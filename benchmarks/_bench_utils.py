@@ -1,0 +1,26 @@
+"""Shared constants/helpers for the benchmark suite.
+
+All benchmarks run scaled-down instances by default so the whole suite
+finishes on a laptop; set ``REPRO_FULL=1`` to run paper-scale parameters
+(hours).  EXPERIMENTS.md records the mapping to the paper's numbers.
+"""
+
+import os
+
+FULL = bool(os.environ.get("REPRO_FULL"))
+
+#: trace length / history used by benches ("laptop" vs "paper" scale)
+BENCH_T = 7 if FULL else 5
+BENCH_H = 4 if FULL else 3
+#: per-cell CEGIS budget in seconds (the paper used a week; DNF = budget hit)
+CELL_BUDGET = 3600.0 if FULL else 120.0
+
+
+def fmt_row(label: str, result) -> str:
+    """One Table-1-style row: method, iterations, time, status."""
+    status = "ok" if result.found else ("DNF(budget)" if result.timed_out else "exhausted")
+    return (
+        f"{label:45s} iters={result.iterations:5d} "
+        f"cex={result.counterexamples:5d} wall={result.wall_time:8.1f}s "
+        f"[{status}]"
+    )

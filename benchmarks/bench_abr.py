@@ -1,0 +1,48 @@
+"""A2 (paper §5): the ABR verifier built on the CCAC environment.
+
+Measures verification and threshold-synthesis cost and checks the
+qualitative results: the greedy policy is refuted, the synthesized
+threshold is proved stall-free.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.abr import AbrConfig, AbrPolicy, AbrVerifier, synthesize_threshold
+
+
+@pytest.fixture(scope="module")
+def abr_cfg():
+    return AbrConfig(n_chunks=6, startup_delay=2,
+                     size_low=Fraction(1, 2), size_high=Fraction(3, 2))
+
+
+def test_abr_refute_greedy(benchmark, abr_cfg):
+    verifier = AbrVerifier(abr_cfg)
+
+    def run():
+        return verifier.find_counterexample(AbrPolicy(Fraction(0)))
+
+    trace = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert trace is not None and trace.stalled_chunk is not None
+    print(f"greedy ABR stalls at chunk {trace.stalled_chunk}")
+
+
+def test_abr_verify_conservative(benchmark, abr_cfg):
+    verifier = AbrVerifier(abr_cfg)
+
+    def run():
+        return verifier.verify(AbrPolicy(Fraction(100)))
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_abr_threshold_synthesis(benchmark, abr_cfg):
+    def run():
+        return synthesize_threshold(abr_cfg)
+
+    policy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert policy is not None
+    print(f"synthesized ABR policy: {policy.describe()}")
+    assert AbrVerifier(abr_cfg).verify(policy)

@@ -1,0 +1,86 @@
+"""Microbenchmarks of the SMT substrate (the Z3 replacement).
+
+These calibrate the solver the whole reproduction stands on: pure SAT
+(pigeonhole), pure LRA (chained bounds), and the boolean/arithmetic mix
+the CCAC encodings produce (max-gadget chains).
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import And, Or, Real, RealVal, Solver, encode_max, sat, unsat
+from repro.smt.sat import SatSolver
+
+
+def test_sat_pigeonhole(benchmark):
+    def run():
+        s = SatSolver()
+        holes = 5
+        var = {}
+        for p in range(holes + 1):
+            for h in range(holes):
+                var[p, h] = s.new_var()
+        for p in range(holes + 1):
+            s.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(holes + 1), 2):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+        return s.solve()
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) is False
+
+
+def test_lra_chain(benchmark):
+    def run():
+        s = Solver()
+        xs = [Real(f"bm_x{i}") for i in range(40)]
+        for a, b in zip(xs, xs[1:]):
+            s.add(b >= a + 1)
+        s.add(xs[0] >= 0, xs[-1] <= 100)
+        return s.check()
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) is sat
+
+
+def test_lra_chain_unsat(benchmark):
+    def run():
+        s = Solver()
+        xs = [Real(f"bm_y{i}") for i in range(40)]
+        for a, b in zip(xs, xs[1:]):
+            s.add(b >= a + 1)
+        s.add(xs[0] >= 0, xs[-1] <= 10)
+        return s.check()
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) is unsat
+
+
+def test_max_gadget_chain(benchmark):
+    """The CCAC sender recurrence shape: a chain of max() gadgets."""
+
+    def run():
+        s = Solver()
+        xs = [Real(f"bm_m{i}") for i in range(25)]
+        s.add(xs[0].eq(0))
+        for i in range(1, 25):
+            s.add(encode_max(xs[i], [xs[i - 1], RealVal(i) - xs[i - 1]]))
+        s.add(xs[-1] >= 0)
+        return s.check()
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) is sat
+
+
+def test_disjunctive_bounds(benchmark):
+    """Boolean branching over arithmetic ranges."""
+
+    def run():
+        s = Solver()
+        xs = [Real(f"bm_d{i}") for i in range(12)]
+        total = xs[0]
+        for i, v in enumerate(xs):
+            s.add(Or(And(v >= 0, v <= 1), And(v >= 10, v <= 11)))
+        s.add(sum(xs[1:], xs[0]) >= 55)
+        return s.check()
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) is sat

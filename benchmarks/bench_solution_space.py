@@ -1,0 +1,56 @@
+"""R1/R2 reproduction: the solution space at the default thresholds.
+
+Paper (in-text): RoCC is rediscovered; enumerating *all* solutions in the
+no-cwnd space yields only RoCC variants — telescoping ack differences
+split between rules using 2 and 3 RTTs of history (6 and 6 in the paper's
+9^5 space).
+
+The scaled-down run enumerates the full small-domain space exhaustively
+(CEGIS-all, which is provably exhaustive) and checks the shape: every
+solution is shift-invariant (beta sum = 0) and the RoCC rule itself is in
+the set when it fits the space.
+"""
+
+import pytest
+
+from repro.core import (
+    SMALL_DOMAIN,
+    SynthesisQuery,
+    TemplateSpec,
+    enumerate_all,
+    history_histogram,
+    is_shift_invariant,
+    rocc,
+    summarize,
+)
+
+from _bench_utils import BENCH_H, CELL_BUDGET, fmt_row
+
+
+def _enumerate(bench_cfg):
+    spec = TemplateSpec(BENCH_H, False, SMALL_DOMAIN)
+    query = SynthesisQuery(
+        spec=spec, cfg=bench_cfg, generator="enum",
+        worst_case_cex=True, time_budget=CELL_BUDGET,
+    )
+    return enumerate_all(query)
+
+
+def test_enumerate_all_small_space(benchmark, bench_cfg):
+    result = benchmark.pedantic(_enumerate, args=(bench_cfg,), rounds=1, iterations=1)
+    print(fmt_row("enumerate-all no_cwnd_small", result))
+    assert result.exhausted or result.timed_out
+    reports = summarize(result.solutions, bench_cfg)
+    for r in reports:
+        print(f"  {r.rule:45s} rocc_family={r.rocc_family} "
+              f"history={r.history_used} steady_cwnd={r.steady_cwnd}")
+    print(f"  history histogram: {history_histogram(result.solutions)}")
+
+    # R1: the RoCC rule is rediscovered when it is inside the space
+    keys = {c.key() for c in result.solutions}
+    if BENCH_H >= 3 and result.exhausted:
+        assert rocc(BENCH_H).key() in keys
+
+    # R2 shape: every solution is a telescoping ack-difference rule
+    for cand in result.solutions:
+        assert is_shift_invariant(cand), f"non-telescoping solution {cand.pretty()}"

@@ -1,0 +1,85 @@
+"""R3/R4 reproduction: solution counts vs utilization/delay thresholds.
+
+Paper (in-text, 9^5 space): at delay <= 4 RTT, raising the utilization
+floor 50% -> 65% -> 70% shrinks the solution set 12 -> 2 -> 1; at util >=
+50%, relaxing delay to 8 RTT explodes it to 245, tightening to 3.6 RTT
+gives 9 and to 3 RTT gives 0.
+
+The scaled-down run sweeps the same two axes on the small space; the
+shape to reproduce is *monotonicity*: counts shrink as either threshold
+tightens, reaching zero for infeasible combinations.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    SMALL_DOMAIN,
+    SynthesisQuery,
+    TemplateSpec,
+    enumerate_all,
+)
+
+from _bench_utils import BENCH_H, CELL_BUDGET
+
+UTIL_POINTS = [Fraction(1, 2), Fraction(13, 20), Fraction(7, 10)]
+DELAY_POINTS = [Fraction(8), Fraction(4), Fraction(3)]
+
+_COUNTS: dict[str, list[tuple[Fraction, int]]] = {"util": [], "delay": []}
+
+
+def _count(bench_cfg, util=None, delay=None) -> int:
+    cfg = bench_cfg.with_thresholds(util=util, delay=delay)
+    spec = TemplateSpec(BENCH_H, False, SMALL_DOMAIN)
+    query = SynthesisQuery(
+        spec=spec, cfg=cfg, generator="enum", worst_case_cex=True,
+        time_budget=CELL_BUDGET,
+    )
+    result = enumerate_all(query)
+    return len(result.solutions)
+
+
+def test_utilization_sweep(benchmark, bench_cfg):
+    """Count solutions at each utilization floor (delay fixed at 4 RTT)."""
+
+    def run():
+        counts = []
+        for u in UTIL_POINTS:
+            n = _count(bench_cfg, util=u)
+            counts.append((u, n))
+            print(f"util >= {u}: {n} solutions")
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    _COUNTS["util"] = counts
+    ns = [n for _u, n in counts]
+    # R3 shape: monotone shrink as the floor rises
+    assert ns == sorted(ns, reverse=True)
+
+
+def test_delay_sweep(benchmark, bench_cfg):
+    """Count solutions at each delay bound (util fixed at 50%)."""
+
+    def run():
+        counts = []
+        for d in DELAY_POINTS:
+            n = _count(bench_cfg, delay=d)
+            counts.append((d, n))
+            print(f"delay <= {d} RTT: {n} solutions")
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    _COUNTS["delay"] = counts
+    ns = [n for _d, n in counts]
+    # R4 shape: monotone shrink as the bound tightens
+    assert ns == sorted(ns, reverse=True)
+
+
+def test_infeasible_extreme_has_no_solutions(bench_cfg):
+    """R4's endpoint: a tight-enough delay bound leaves nothing.  A
+    sub-BDP in-flight cap cannot coexist with 50% utilization under
+    1-RTT jitter."""
+    n = _count(bench_cfg, delay=Fraction(1, 2))
+    print(f"delay <= 1/2 RTT: {n} solutions")
+    assert n == 0

@@ -1,0 +1,42 @@
+"""A4 ablation: sensitivity of verifier verdicts and cost to trace length.
+
+The encoding is finite-trace; the paper (via CCAC) argues the induction-
+friendly property makes short traces meaningful.  This bench measures how
+verifier time scales with T and checks the key verdicts are stable across
+odd trace lengths.
+
+(Even T admits degenerate 'exactly 50%' adversary schedules — the
+utilization threshold is >= — so the canonical configurations use odd T;
+this bench documents that boundary behaviour too.)
+"""
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.core import CcacVerifier, constant_cwnd, rocc
+
+
+@pytest.mark.parametrize("T", [5, 7, 9])
+def test_verifier_scaling_rocc(benchmark, T):
+    cfg = ModelConfig(T=T, history=3)
+    verifier = CcacVerifier(cfg)
+
+    def run():
+        return verifier.find_counterexample(rocc(3))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"T={T}: rocc verified={result.verified} in {result.wall_time:.2f}s")
+    assert result.verified
+
+
+@pytest.mark.parametrize("T", [5, 7, 9])
+def test_verifier_scaling_const1(benchmark, T):
+    cfg = ModelConfig(T=T, history=3)
+    verifier = CcacVerifier(cfg)
+
+    def run():
+        return verifier.find_counterexample(constant_cwnd(1, 3))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"T={T}: const-1 verified={result.verified} in {result.wall_time:.2f}s")
+    assert not result.verified

@@ -1,0 +1,71 @@
+"""R5 reproduction: verifier cost per call.
+
+Paper: "The complexity of verifier formulation is fixed across iterations,
+unlike the generator that gets more constraints in each iteration.  The
+verifier typically takes ~0.5s to compute a counterexample."
+
+We benchmark single verifier calls for refuted and verified candidates
+and check the refuted (SAT) calls stay within the same order of
+magnitude regardless of which candidate is queried.
+"""
+
+import pytest
+
+from repro.core import CcacVerifier, constant_cwnd, rocc
+
+from _bench_utils import BENCH_H
+
+
+def test_verifier_refuted_call(benchmark, bench_cfg):
+    """Time to produce one counterexample (SAT verdict)."""
+    verifier = CcacVerifier(bench_cfg)
+    cand = constant_cwnd(1, BENCH_H)
+
+    def run():
+        return verifier.find_counterexample(cand)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.verified
+
+
+def test_verifier_verified_call(benchmark, bench_cfg):
+    """Time to prove a candidate (UNSAT verdict, the expensive case)."""
+    verifier = CcacVerifier(bench_cfg)
+    cand = rocc(BENCH_H)
+
+    def run():
+        return verifier.find_counterexample(cand)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.verified
+
+
+def test_verifier_wce_call(benchmark, bench_cfg):
+    """Worst-case-counterexample call: several verifier solves (binary
+    search) — the paper's trade: more verifier time, fewer iterations."""
+    verifier = CcacVerifier(bench_cfg)
+    cand = constant_cwnd(1, BENCH_H)
+
+    def run():
+        return verifier.find_counterexample(cand, worst_case=True)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert not result.verified
+
+
+def test_verifier_cost_constant_across_candidates(bench_cfg):
+    """The verifier's per-call cost must not grow with the number of
+    candidates tried (it has no accumulating state)."""
+    import time
+
+    verifier = CcacVerifier(bench_cfg)
+    cands = [constant_cwnd(g, BENCH_H) for g in (0, 1, 2)] * 3
+    times = []
+    for cand in cands:
+        t0 = time.perf_counter()
+        verifier.find_counterexample(cand)
+        times.append(time.perf_counter() - t0)
+    early = sum(times[:3]) / 3
+    late = sum(times[-3:]) / 3
+    assert late <= early * 5  # no systematic growth
+    print(f"verifier per-call: early={early:.3f}s late={late:.3f}s")

@@ -1,0 +1,12 @@
+"""Benchmark fixtures (shared constants live in _bench_utils.py)."""
+
+import pytest
+
+from repro.ccac import ModelConfig
+
+from _bench_utils import BENCH_H, BENCH_T
+
+
+@pytest.fixture(scope="session")
+def bench_cfg() -> ModelConfig:
+    return ModelConfig(T=BENCH_T, history=BENCH_H)

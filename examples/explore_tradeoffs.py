@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Explore the throughput-delay trade-off space (paper §4, "Extensions").
+
+The paper's most interesting observation is how the *solution space*
+changes with the desired thresholds: raising the utilization requirement
+or tightening the delay bound shrinks the set of provably correct CCAs
+until a single rule (or none) remains.  This example enumerates ALL
+solutions in the small no-cwnd space at several thresholds and classifies
+them.
+
+Run:  python examples/explore_tradeoffs.py           (a few minutes)
+      REPRO_FAST=1 python examples/explore_tradeoffs.py   (single sweep)
+"""
+
+import os
+from fractions import Fraction
+
+from repro.ccac import ModelConfig
+from repro.core import (
+    SMALL_DOMAIN,
+    SynthesisQuery,
+    TemplateSpec,
+    enumerate_all,
+    history_histogram,
+    summarize,
+)
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+
+def run_point(util: Fraction, delay: Fraction) -> None:
+    cfg = ModelConfig(T=7, util_thresh=util, delay_thresh=delay)
+    spec = TemplateSpec(history=4, use_cwnd_history=False, coeff_domain=SMALL_DOMAIN)
+    query = SynthesisQuery(spec=spec, cfg=cfg, generator="enum", find_all=True)
+    result = enumerate_all(query)
+    print(f"util >= {util}, delay <= {delay} RTT: "
+          f"{len(result.solutions)} provably correct CCAs "
+          f"({result.iterations} CEGIS iterations)")
+    reports = summarize(result.solutions, cfg)
+    for r in reports:
+        tag = "RoCC-family" if r.rocc_family else "other"
+        print(f"    {r.rule:50s} [{tag}, steady cwnd {r.steady_cwnd}]")
+    if result.solutions:
+        print(f"    history usage: {history_histogram(result.solutions)}")
+    print()
+
+
+def main() -> None:
+    print("=== utilization sweep at delay <= 4 RTT ===")
+    utils = [Fraction(1, 2)] if FAST else [Fraction(1, 2), Fraction(13, 20), Fraction(7, 10)]
+    for u in utils:
+        run_point(u, Fraction(4))
+    if not FAST:
+        print("=== delay sweep at util >= 50% ===")
+        for d in [Fraction(8), Fraction(3)]:
+            run_point(Fraction(1, 2), d)
+
+
+if __name__ == "__main__":
+    main()

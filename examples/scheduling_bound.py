@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Scheduling-domain demonstration (paper §5).
+
+The paper argues the CEGIS methodology generalizes beyond congestion
+control, naming scheduling as a domain where "it is unclear if existing
+schedulers meet performance bounds".  Here the framework *proves* the
+most classical scheduling guarantee — Graham's bound for greedy list
+scheduling, makespan <= (2 - 1/m) * OPT — over all workloads of a given
+shape, and rediscovers the tight adversarial instance just below it.
+
+Run:  python examples/scheduling_bound.py
+"""
+
+from fractions import Fraction
+
+from repro.sched import SchedulingConfig, SchedulingVerifier
+
+
+def main() -> None:
+    cfg = SchedulingConfig(n_jobs=4, n_machines=2, max_job=Fraction(4))
+    verifier = SchedulingVerifier(cfg)
+    graham = cfg.graham_ratio
+    print(f"greedy list scheduling, {cfg.n_jobs} jobs on {cfg.n_machines} machines")
+    print(f"Graham's bound: makespan <= {graham} * LB\n")
+
+    result = verifier.verify_ratio(graham)
+    print(f"rho = {graham}: {'PROVED for all workloads' if result.verified else 'refuted?!'} "
+          f"({result.wall_time:.1f}s)")
+
+    for rho in (Fraction(7, 5), Fraction(5, 4)):
+        result = verifier.verify_ratio(rho)
+        if result.verified:
+            print(f"rho = {rho}: proved")
+        else:
+            w = result.witness
+            sizes = ", ".join(str(s) for s in w.job_sizes)
+            print(f"rho = {rho}: REFUTED — workload [{sizes}] drives greedy to "
+                  f"ratio {w.ratio} (assignment {list(w.assignment)})")
+
+    tight = verifier.tight_ratio(precision=Fraction(1, 32))
+    print(f"\ntightest provable ratio for this shape: {tight} "
+          f"(Graham's asymptotic constant is {graham})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run synthesized and classic CCAs on the discrete-time simulator.
+
+The formal results say RoCC-style rules keep high utilization and bounded
+queues on *every* admissible network; this example checks that empirically
+against three concrete link adversaries (ideal, maximally-lazy delivery,
+and the token-wasting starvation adversary) and shows how the classic
+baselines degrade.
+
+Run:  python examples/simulate_synthesized.py
+"""
+
+from fractions import Fraction
+
+from repro.ccas import AIMD, ConstantCwnd, CubicLike, RoCC, TemplateCCA
+from repro.core import paper_eq_iii, rocc
+from repro.sim import run_simulation
+
+TICKS = 200
+WARMUP = 20
+
+
+def main() -> None:
+    ccas = [
+        RoCC(),
+        TemplateCCA(rocc()),           # the synthesized rule, via the adapter
+        TemplateCCA(paper_eq_iii()),   # paper Eq. iii (multiplicative variant)
+        AIMD(),
+        CubicLike(),
+        ConstantCwnd(Fraction(1)),     # one-BDP window: provably fragile
+        ConstantCwnd(Fraction(3)),
+    ]
+    policies = ["ideal", "lazy", "max_waste"]
+
+    header = f"{'CCA':42s}" + "".join(f"{p:>22s}" for p in policies)
+    print(header)
+    print("-" * len(header))
+    for cca in ccas:
+        cells = []
+        for policy in policies:
+            r = run_simulation(cca, ticks=TICKS, policy=policy)
+            cells.append(
+                f"util={float(r.utilization(WARMUP)):.2f} q={float(r.max_queue(WARMUP)):4.1f}"
+            )
+        name = cca.name if len(cca.name) <= 40 else cca.name[:37] + "..."
+        print(f"{name:42s}" + "".join(f"{c:>22s}" for c in cells))
+
+    print()
+    print("Reading: the RoCC-family rules hold utilization ~1.0 with queue")
+    print("<= 2 BDP under every adversary; the one-BDP constant window is")
+    print("starved to exactly 50% by the waste adversary (the behaviour the")
+    print("verifier's counterexample predicts), and AIMD/Cubic lose")
+    print("throughput when acks are delayed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so ``pip install -e .``
+must use the legacy ``setup.py develop`` code path; metadata lives in
+pyproject.toml and is read by setuptools automatically.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""CCmatic reproduction: automated design and analysis of network heuristics.
+
+Reproduces Agarwal et al., "Automating network heuristic design and
+analysis" (HotNets 2022): CEGIS-based synthesis of congestion-control
+algorithms that provably achieve high utilization and bounded delay under
+a CCAC-style network model — built entirely from scratch, including the
+underlying SMT solver.
+
+Public entry points:
+
+* :mod:`repro.smt` — QF-LRA SMT solver (DPLL(T): CDCL + Simplex).
+* :mod:`repro.ccac` — the CCAC network model used as the verifier.
+* :mod:`repro.cegis` — the generic CEGIS loop with range pruning and
+  worst-case counterexamples.
+* :mod:`repro.core` — CCmatic itself: templates, generator, verifier,
+  synthesis driver, assumption-synthesis queries.
+* :mod:`repro.ccas`, :mod:`repro.sim` — concrete CCAs and a discrete-time
+  simulator for empirical validation.
+* :mod:`repro.netcal` — network-calculus curve algebra.
+* :mod:`repro.abr` — the adaptive-bitrate extension sketched in §5.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""ABR verification on the CCAC environment model (paper §5)."""
+
+from .model import (
+    AbrConfig,
+    AbrModel,
+    AbrPolicy,
+    AbrTrace,
+    AbrVerifier,
+    synthesize_threshold,
+)
+
+__all__ = [
+    "AbrConfig",
+    "AbrModel",
+    "AbrPolicy",
+    "AbrTrace",
+    "AbrVerifier",
+    "synthesize_threshold",
+]

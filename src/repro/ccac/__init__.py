@@ -1,0 +1,39 @@
+"""CCAC-lite: the network model used as the CEGIS verifier's environment.
+
+A faithful re-encoding of the lossless / infinite-buffer fragment of CCAC
+(Arun et al., SIGCOMM '21) — the fragment the CCmatic paper's evaluation
+exercises — expressed over :mod:`repro.smt`.
+"""
+
+from .config import ModelConfig
+from .model import CcacModel
+from .properties import (
+    bounded_queue,
+    cwnd_decreases,
+    cwnd_increases,
+    desired_property,
+    high_utilization,
+    negated_desired,
+)
+from .lossy import LossyCcacModel, LossyVerifier, minimum_buffer
+from .multiflow import StarvationResult, StarvationVerifier, TwoFlowModel
+from .trace import CexTrace, RangeBound
+
+__all__ = [
+    "CcacModel",
+    "CexTrace",
+    "ModelConfig",
+    "LossyCcacModel",
+    "LossyVerifier",
+    "RangeBound",
+    "StarvationResult",
+    "StarvationVerifier",
+    "TwoFlowModel",
+    "bounded_queue",
+    "cwnd_decreases",
+    "cwnd_increases",
+    "desired_property",
+    "high_utilization",
+    "minimum_buffer",
+    "negated_desired",
+]

@@ -1,0 +1,71 @@
+"""Configuration of the CCAC-lite network model.
+
+The model is non-dimensionalized the way CCAC does it: time is measured in
+units of the propagation delay ``D`` and data in units such that the link
+rate ``C`` defaults to 1 (so ``C*D`` — one bandwidth-delay product — is 1).
+The paper's experiments use jitter of one RTT and, unless swept, a desired
+property of "utilization >= 50% AND delay <= 4 RTT".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Parameters of the verifier's network model and desired property.
+
+    Attributes:
+        T: trace length; the model has timesteps ``0..T`` inclusive.
+        C: link rate (bytes per unit time).
+        D: propagation delay (the time unit; keep at 1).
+        jitter: maximum extra queueing the non-deterministic box may inject,
+            in units of ``D`` — the paper lets CCAC "jitter each packet up
+            to 1 x RTT".
+        history: template history ``h``; timesteps ``0..h-1`` carry
+            adversarially chosen initial cwnd values, later steps follow
+            the CCA template.
+        util_thresh: desired utilization fraction (``thresh_U``).
+        delay_thresh: desired delay bound in RTTs (``thresh_D``); encoded
+            as ``A_t - S_t <= delay_thresh * C * D`` (bytes in flight,
+            i.e. end-to-end delay including the propagation RTT).
+        initial_queue_max: box bound on the adversarial initial queue.
+        initial_cwnd_max: box bound on adversarial initial cwnd values.
+        cwnd_min: floor on the congestion window (one MSS in practice —
+            every deployed CCA keeps at least one segment in flight; the
+            RoCC kernel clamps the same way).  In BDP units; the default
+            0.1 corresponds to a 10-segment BDP.
+    """
+
+    T: int = 9
+    C: Fraction = Fraction(1)
+    D: int = 1
+    jitter: int = 1
+    history: int = 4
+    util_thresh: Fraction = Fraction(1, 2)
+    delay_thresh: Fraction = Fraction(4)
+    initial_queue_max: Fraction = Fraction(8)
+    initial_cwnd_max: Fraction = Fraction(8)
+    cwnd_min: Fraction = Fraction(1, 10)
+
+    def __post_init__(self):
+        if self.T <= self.history:
+            raise ValueError(f"T={self.T} must exceed history={self.history}")
+        if self.jitter < 0 or self.D <= 0 or self.C <= 0:
+            raise ValueError("C, D must be positive and jitter non-negative")
+
+    def with_thresholds(self, util: Fraction | None = None, delay: Fraction | None = None) -> "ModelConfig":
+        """Copy with different desired-property thresholds (for sweeps)."""
+        cfg = self
+        if util is not None:
+            cfg = replace(cfg, util_thresh=Fraction(util))
+        if delay is not None:
+            cfg = replace(cfg, delay_thresh=Fraction(delay))
+        return cfg
+
+    @property
+    def bdp(self) -> Fraction:
+        """Bandwidth-delay product ``C*D`` (the natural cwnd unit)."""
+        return self.C * self.D

@@ -1,0 +1,179 @@
+"""Lossy / finite-buffer CCAC model (paper §4.1, "Environment and objectives").
+
+The evaluation in §4 uses lossless networks with infinite buffers; the
+paper's next step is lossy environments, where "a simple CCA template may
+not suffice".  This module adds CCAC's finite-buffer loss semantics:
+
+* a drop-tail buffer of ``buffer`` bytes at the bottleneck;
+* a cumulative loss counter ``L_t`` (monotone, never exceeding sends);
+* bytes in the queue are bounded: ``(A_t - L_t) - S_t <= buffer`` —
+  arrivals beyond the buffer *must* be dropped;
+* losses happen only when the buffer is actually full:
+  ``L_t > L_{t-1}  =>  (A_t - L_t) - S_t >= buffer``;
+* service applies to non-dropped bytes: ``S_t <= A_t - L_t``;
+* the window constraint counts only non-dropped in-flight data; losses
+  detected by the previous RTT free window space, so the eager sender is
+  ``A_t = max(A_{t-1}, S_{t-1} + L_{t-1} + cwnd_t)``.  (Using ``L_{t-1}``
+  rather than ``L_t`` is essential: the current step's drops are an
+  effect of this step's sends, and closing that loop would let the
+  constraint system manufacture infinite send/drop fixpoints or, worse,
+  make small-buffer systems infeasible and every CCA vacuously correct.)
+
+The desired property gains a third leg: losses are retransmitted work, so
+"(losses bounded OR cwnd decreases)" joins the utilization and delay
+conjuncts.  Without it a tiny buffer would *trivially* verify every CCA —
+the buffer physically enforces the delay bound while unpenalized drops
+absorb the rest — which is exactly the kind of vacuous-verifier pitfall
+§5 warns about when porting environments.
+
+With these semantics the verifier answers the paper's question directly:
+which lossless-synthesized rules survive a finite buffer?  (RoCC needs
+the buffer to cover its steady queue of ~BDP+increment; below that it
+drops every RTT and fails the loss budget.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..smt import And, Not, Or, Real, RealVal, Solver, Term, encode_max, sat
+from .config import ModelConfig
+from .model import CcacModel
+from .properties import desired_property
+from .trace import CexTrace
+
+
+class LossyCcacModel(CcacModel):
+    """CCAC-lite with a finite drop-tail buffer.
+
+    Inherits all lossless variables/constraints and adds the loss
+    counter; the sender constraint is overridden to account for lost
+    bytes freeing window space.
+    """
+
+    def __init__(self, cfg: ModelConfig, buffer: Fraction, prefix: str = "ln"):
+        super().__init__(cfg, prefix)
+        if buffer <= 0:
+            raise ValueError("buffer must be positive (use CcacModel for infinite)")
+        self.buffer = Fraction(buffer)
+        self.L = [Real(f"{prefix}_L_{t}") for t in range(cfg.T + 1)]
+
+    def delivered(self, t: int) -> Term:
+        """Arrivals that were not dropped."""
+        return self.A[t] - self.L[t]
+
+    def loss_constraints(self) -> list[Term]:
+        cfg = self.cfg
+        buf = RealVal(self.buffer)
+        cons: list[Term] = [self.L[0].eq(0)]
+        for t in range(1, cfg.T + 1):
+            cons.append(self.L[t] >= self.L[t - 1])
+            cons.append(self.L[t] <= self.A[t])
+            # queue never exceeds the buffer
+            cons.append(self.delivered(t) - self.S[t] <= buf)
+            # drops only when the buffer is full
+            cons.append(
+                Or(
+                    self.L[t].eq(self.L[t - 1]),
+                    self.delivered(t) - self.S[t] >= buf,
+                )
+            )
+        return cons
+
+    def environment_constraints(self) -> list[Term]:
+        cons = super().environment_constraints()
+        # service applies to non-dropped data: S_t <= A_t - L_t tightens
+        # the lossless S_t <= A_t
+        for t in range(1, self.cfg.T + 1):
+            cons.append(self.S[t] <= self.delivered(t))
+        return cons + self.loss_constraints()
+
+    def sender_constraints(self) -> list[Term]:
+        cons: list[Term] = []
+        for t in range(1, self.cfg.T + 1):
+            cons.append(
+                encode_max(
+                    self.A[t],
+                    [self.A[t - 1], self.S[t - 1] + self.L[t - 1] + self.cwnd[t]],
+                )
+            )
+        return cons
+
+
+@dataclass
+class LossyVerificationResult:
+    """Outcome of a lossy-model verification."""
+
+    verified: bool
+    counterexample: Optional[CexTrace]
+    loss: Optional[tuple[Fraction, ...]]
+    wall_time: float
+
+
+class LossyVerifier:
+    """Verify a candidate against the finite-buffer model.
+
+    ``loss_thresh`` bounds acceptable cumulative losses over the trace
+    (in C*D units); like the delay leg, it is relaxed by "or the cwnd is
+    already decreasing".
+    """
+
+    def __init__(self, cfg: ModelConfig, buffer: Fraction, loss_thresh: Fraction = Fraction(1)):
+        self.cfg = cfg
+        self.buffer = Fraction(buffer)
+        self.loss_thresh = Fraction(loss_thresh)
+
+    def desired(self, net: LossyCcacModel) -> Term:
+        from .properties import cwnd_decreases
+
+        loss_ok = net.L[self.cfg.T] <= RealVal(self.loss_thresh * self.cfg.C * self.cfg.D)
+        return And(
+            desired_property(net),
+            Or(loss_ok, cwnd_decreases(net)),
+        )
+
+    def find_counterexample(self, candidate) -> LossyVerificationResult:
+        start = time.perf_counter()
+        net = LossyCcacModel(self.cfg, self.buffer)
+        solver = Solver()
+        solver.add(*net.constraints())
+        solver.add(*candidate.constraints_for(net))
+        solver.add(Not(self.desired(net)))
+        outcome = solver.check()
+        if outcome is not sat:
+            return LossyVerificationResult(True, None, None, time.perf_counter() - start)
+        model = solver.model()
+        trace = CexTrace.from_model(model, net)
+        loss = tuple(model.value(v) for v in net.L)
+        return LossyVerificationResult(
+            False, trace, loss, time.perf_counter() - start
+        )
+
+    def verify(self, candidate) -> bool:
+        return self.find_counterexample(candidate).verified
+
+
+def minimum_buffer(
+    candidate,
+    cfg: ModelConfig,
+    lo: Fraction = Fraction(1, 4),
+    hi: Fraction = Fraction(16),
+    precision: Fraction = Fraction(1, 4),
+) -> Optional[Fraction]:
+    """Smallest buffer (to ``precision``) at which the candidate still
+    verifies; None if even ``hi`` is insufficient.  Buffer sizing — the
+    classic network-provisioning question — answered formally."""
+    if not LossyVerifier(cfg, hi).verify(candidate):
+        return None
+    if LossyVerifier(cfg, lo).verify(candidate):
+        return lo
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if LossyVerifier(cfg, mid).verify(candidate):
+            hi = mid
+        else:
+            lo = mid
+    return hi

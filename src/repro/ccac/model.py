@@ -1,0 +1,155 @@
+"""The CCAC-lite network model as SMT constraints.
+
+This encodes the lossless / infinite-buffer fragment of CCAC (Arun et al.,
+SIGCOMM '21) that the CCmatic paper's evaluation uses.  Cumulative counters
+over discrete time ``t = 0..T`` (units of propagation delay ``D``):
+
+``A_t``     bytes the sender has sent ("arrivals" at the bottleneck),
+``S_t``     bytes the network has delivered/ACKed ("service"),
+``W_t``     "wasted" tokens of the non-deterministic token bucket,
+``cwnd_t``  congestion window.
+
+Constraints (cfg.C is the link rate):
+
+1. monotonicity of ``A``, ``S``, ``W``;
+2. token-bucket upper service: ``S_t <= C*t - W_t``;
+3. jittered lower service: ``S_t >= C*(t-j) - W_{t-j}`` for ``t >= j``
+   (the adversary can delay any byte by up to ``j`` time units);
+4. no service before arrival: ``S_t <= A_t``;
+5. waste only when sender-limited: ``W_t > W_{t-1}`` requires
+   ``A_t <= C*t - W_t``;
+6. eager window-limited sender: ``A_t = max(A_{t-1}, S_{t-1} + cwnd_t)``
+   (the RTT is one time unit, so the window constraint references
+   ``S_{t-1}``);
+7. arbitrary-but-reachable initial conditions: ``S_0 = 0``, ``W_0 = 0``;
+   the initial queue ``A_0`` satisfies the window constraint
+   ``A_0 <= S_{-1} + cwnd_0``.
+
+**Pre-history.**  CCAC lets the solver pick arbitrary behaviour before
+``t = 0``.  We expose that as explicit *pre-history* variables: ack counts
+``S_{-1} .. S_{-h}`` (monotone, at most 0, and at least ``-C*i`` because
+the service rate never exceeds ``C``) and cwnd values ``cwnd_{-1} ..
+cwnd_{-h}``.  The CCA template is then applied at *every* ``t >= 0``, so
+the cwnd trajectory inside the trace is always consistent with the
+candidate CCA — the adversary cannot fabricate unreachable cwnd history,
+only choose what the network did before the window started.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..smt import And, Or, Real, RealVal, Term, encode_max
+from .config import ModelConfig
+
+
+class CcacModel:
+    """SMT variables + constraints of one network trace.
+
+    ``prefix`` namespaces the variables, so several independent traces can
+    coexist in one solver (the generator instantiates one copy per
+    counterexample).
+    """
+
+    def __init__(self, cfg: ModelConfig, prefix: str = "net"):
+        self.cfg = cfg
+        self.prefix = prefix
+        ts = range(cfg.T + 1)
+        self.A = [Real(f"{prefix}_A_{t}") for t in ts]
+        self.S = [Real(f"{prefix}_S_{t}") for t in ts]
+        self.W = [Real(f"{prefix}_W_{t}") for t in ts]
+        self.cwnd = [Real(f"{prefix}_cwnd_{t}") for t in ts]
+        h = cfg.history
+        # pre-history: index i-1 holds the value at time -i
+        self.S_pre = [Real(f"{prefix}_S_m{i}") for i in range(1, h + 1)]
+        self.cwnd_pre = [Real(f"{prefix}_cwnd_m{i}") for i in range(1, h + 1)]
+        # Bytes acked before the trace window started.  The in-window
+        # service S is normalized to S_0 = 0, but the CCA observes
+        # *cumulative* acks since connection start; exposing the offset as
+        # a free non-negative variable makes the encoding shift-invariant,
+        # which rejects template fillings that depend on the absolute ack
+        # level (only telescoping ack differences can survive).
+        self.ack_offset = Real(f"{prefix}_ackoff")
+
+    # ------------------------------------------------------------------
+
+    def S_at(self, t: int) -> Term:
+        """Ack counter at time ``t`` (negative t reads pre-history)."""
+        if t >= 0:
+            return self.S[t]
+        return self.S_pre[-t - 1]
+
+    def cwnd_at(self, t: int) -> Term:
+        """cwnd at time ``t`` (negative t reads pre-history)."""
+        if t >= 0:
+            return self.cwnd[t]
+        return self.cwnd_pre[-t - 1]
+
+    def ack_at(self, t: int) -> Term:
+        """Cumulative acks as the CCA observes them: ``S(t) + offset``."""
+        return self.S_at(t) + self.ack_offset
+
+    def tokens(self, t: int) -> Term:
+        """Upper service curve ``C*t - W_t``."""
+        return RealVal(self.cfg.C * t) - self.W[t]
+
+    def queue(self, t: int) -> Term:
+        """Bytes in flight ``A_t - S_t`` (queue plus propagation)."""
+        return self.A[t] - self.S[t]
+
+    # ------------------------------------------------------------------
+
+    def environment_constraints(self) -> list[Term]:
+        """Constraints 1-5 and 7: everything the *network* controls."""
+        cfg = self.cfg
+        cons: list[Term] = []
+        # normalization and initial conditions (7)
+        cons.append(self.S[0].eq(0))
+        cons.append(self.W[0].eq(0))
+        cons.append(self.A[0] >= 0)
+        cons.append(self.A[0] <= RealVal(cfg.initial_queue_max))
+        # the initial outstanding data was sent under the initial window
+        cons.append(self.A[0] <= self.S_pre[0] + self.cwnd[0])
+        cons.append(self.ack_offset >= 0)
+        # pre-history acks: monotone, non-positive, rate-limited by C
+        prev = self.S[0]
+        for i in range(1, cfg.history + 1):
+            s = self.S_pre[i - 1]
+            cons.append(s <= prev)
+            cons.append(s >= RealVal(-cfg.C * i))
+            prev = s
+        # pre-history cwnds: within the sanity box (the floor applies —
+        # pre-history cwnds were also produced by the CCA)
+        for cw in self.cwnd_pre:
+            cons.append(cw >= RealVal(cfg.cwnd_min))
+            cons.append(cw <= RealVal(cfg.initial_cwnd_max))
+        for t in range(1, cfg.T + 1):
+            # monotonicity (1)
+            cons.append(self.A[t] >= self.A[t - 1])
+            cons.append(self.S[t] >= self.S[t - 1])
+            cons.append(self.W[t] >= self.W[t - 1])
+            # token bucket upper bound (2)
+            cons.append(self.S[t] <= self.tokens(t))
+            # jittered lower service (3)
+            if t >= cfg.jitter:
+                back = t - cfg.jitter
+                cons.append(self.S[t] >= RealVal(cfg.C * back) - self.W[back])
+            # causality (4)
+            cons.append(self.S[t] <= self.A[t])
+            # waste only when sender-limited (5)
+            cons.append(Or(self.W[t].eq(self.W[t - 1]), self.A[t] <= self.tokens(t)))
+        return cons
+
+    def sender_constraints(self) -> list[Term]:
+        """Constraint 6: the eager window-limited sender."""
+        cons: list[Term] = []
+        for t in range(1, self.cfg.T + 1):
+            cons.append(
+                encode_max(self.A[t], [self.A[t - 1], self.S[t - 1] + self.cwnd[t]])
+            )
+        return cons
+
+    def constraints(self) -> list[Term]:
+        """All network + sender constraints (cwnd still unconstrained —
+        the candidate template supplies the cwnd-defining equalities)."""
+        return self.environment_constraints() + self.sender_constraints()

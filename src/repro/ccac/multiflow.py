@@ -1,0 +1,225 @@
+"""Two-flow CCAC model for fairness / starvation queries (paper §4.1).
+
+The paper's "next steps" call out co-existence objectives and the open
+starvation question ("Recent work showed that network delays can cause
+competing flows to starve for many known CCAs...  It is unknown if a CCA
+outside this class can avoid starvation").  This module provides the
+model those queries need: two flows of the *same* candidate CCA sharing
+one jittery token-bucket link.
+
+Aggregate service follows exactly the single-flow constraints; the split
+between flows is adversarial, softened by one explicit assumption knob:
+
+    ``min_share``: a backlogged flow receives at least this fraction of
+    each step's aggregate service.
+
+``min_share = 0`` is the fully adversarial split (any scheduler,
+including one that never serves a flow); CCAC leaves multi-flow service
+discipline out of scope, so the knob *is* the environment assumption —
+the fairness analogue of the §4.1 assumption-synthesis story, and the
+test suite sweeps it.
+
+The starvation property checked is the induction-friendly per-flow form:
+
+    for each flow i:  throughput_i >= phi * fair_share  OR  cwnd_i grows
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..smt import And, Not, Or, Real, RealVal, Solver, Term, encode_max, sat
+from .config import ModelConfig
+from .model import CcacModel
+from .trace import CexTrace
+
+
+class TwoFlowModel:
+    """Two window-limited senders sharing one CCAC link."""
+
+    def __init__(self, cfg: ModelConfig, min_share: Fraction = Fraction(0), prefix: str = "mf"):
+        if not (0 <= min_share <= Fraction(1, 2)):
+            raise ValueError("min_share must be in [0, 1/2]")
+        self.cfg = cfg
+        self.min_share = Fraction(min_share)
+        self.prefix = prefix
+        ts = range(cfg.T + 1)
+        h = cfg.history
+        self.W = [Real(f"{prefix}_W_{t}") for t in ts]
+        self.flows = []
+        for i in (1, 2):
+            flow = {
+                "A": [Real(f"{prefix}{i}_A_{t}") for t in ts],
+                "S": [Real(f"{prefix}{i}_S_{t}") for t in ts],
+                "cwnd": [Real(f"{prefix}{i}_cwnd_{t}") for t in ts],
+                "S_pre": [Real(f"{prefix}{i}_S_m{j}") for j in range(1, h + 1)],
+                "cwnd_pre": [Real(f"{prefix}{i}_cwnd_m{j}") for j in range(1, h + 1)],
+                "ack_offset": Real(f"{prefix}{i}_ackoff"),
+            }
+            self.flows.append(flow)
+
+    # -- single-flow views so CandidateCCA.constraints_for can be reused ----
+
+    def flow_view(self, i: int) -> "FlowView":
+        return FlowView(self, i)
+
+    def total_S(self, t: int) -> Term:
+        return self.flows[0]["S"][t] + self.flows[1]["S"][t]
+
+    def total_A(self, t: int) -> Term:
+        return self.flows[0]["A"][t] + self.flows[1]["A"][t]
+
+    def tokens(self, t: int) -> Term:
+        return RealVal(self.cfg.C * t) - self.W[t]
+
+    # ------------------------------------------------------------------
+
+    def environment_constraints(self) -> list[Term]:
+        cfg = self.cfg
+        cons: list[Term] = [self.W[0].eq(0)]
+        for flow in self.flows:
+            cons.append(flow["S"][0].eq(0))
+            cons.append(flow["A"][0] >= 0)
+            cons.append(flow["A"][0] <= RealVal(cfg.initial_queue_max))
+            cons.append(flow["A"][0] <= flow["S_pre"][0] + flow["cwnd"][0])
+            cons.append(flow["ack_offset"] >= 0)
+            prev = flow["S"][0]
+            for j in range(1, cfg.history + 1):
+                s = flow["S_pre"][j - 1]
+                cons.append(s <= prev)
+                cons.append(s >= RealVal(-cfg.C * j))
+                prev = s
+            for cw in flow["cwnd_pre"]:
+                cons.append(cw >= RealVal(cfg.cwnd_min))
+                cons.append(cw <= RealVal(cfg.initial_cwnd_max))
+        for t in range(1, cfg.T + 1):
+            cons.append(self.W[t] >= self.W[t - 1])
+            # aggregate token bucket + jittered lower bound
+            cons.append(self.total_S(t) <= self.tokens(t))
+            if t >= cfg.jitter:
+                back = t - cfg.jitter
+                cons.append(
+                    self.total_S(t) >= RealVal(cfg.C * back) - self.W[back]
+                )
+            # waste only when both senders jointly token-limited
+            cons.append(
+                Or(self.W[t].eq(self.W[t - 1]), self.total_A(t) <= self.tokens(t))
+            )
+            for flow in self.flows:
+                cons.append(flow["A"][t] >= flow["A"][t - 1])
+                cons.append(flow["S"][t] >= flow["S"][t - 1])
+                cons.append(flow["S"][t] <= flow["A"][t])
+            # minimum-share scheduling assumption: a backlogged flow gets
+            # at least min_share of the step's aggregate service
+            if self.min_share > 0:
+                for flow in self.flows:
+                    step_i = flow["S"][t] - flow["S"][t - 1]
+                    step_tot = self.total_S(t) - self.total_S(t - 1)
+                    backlogged = flow["A"][t - 1] - flow["S"][t - 1] > 0
+                    cons.append(
+                        Or(
+                            Not(backlogged),
+                            step_i >= RealVal(self.min_share) * step_tot,
+                        )
+                    )
+        return cons
+
+    def sender_constraints(self) -> list[Term]:
+        cons: list[Term] = []
+        for flow in self.flows:
+            for t in range(1, self.cfg.T + 1):
+                cons.append(
+                    encode_max(
+                        flow["A"][t],
+                        [flow["A"][t - 1], flow["S"][t - 1] + flow["cwnd"][t]],
+                    )
+                )
+        return cons
+
+    def constraints(self) -> list[Term]:
+        return self.environment_constraints() + self.sender_constraints()
+
+    # -- properties ------------------------------------------------------
+
+    def no_starvation(self, phi: Fraction) -> Term:
+        """Per-flow: throughput at least phi * fair share, or the flow's
+        cwnd is still growing (ramping up)."""
+        cfg = self.cfg
+        fair = cfg.C * cfg.T / 2
+        parts = []
+        for flow in self.flows:
+            thr = flow["S"][cfg.T] - flow["S"][0]
+            growing = flow["cwnd"][cfg.T] > flow["cwnd"][0]
+            parts.append(Or(thr >= RealVal(Fraction(phi) * fair), growing))
+        return And(*parts)
+
+
+class FlowView:
+    """Adapter exposing one flow of a :class:`TwoFlowModel` through the
+    single-flow :class:`~repro.ccac.model.CcacModel` attribute interface,
+    so template ``constraints_for`` works unchanged."""
+
+    def __init__(self, parent: TwoFlowModel, index: int):
+        flow = parent.flows[index]
+        self.cfg = parent.cfg
+        self.prefix = f"{parent.prefix}{index + 1}"
+        self.A = flow["A"]
+        self.S = flow["S"]
+        self.W = parent.W
+        self.cwnd = flow["cwnd"]
+        self.S_pre = flow["S_pre"]
+        self.cwnd_pre = flow["cwnd_pre"]
+        self.ack_offset = flow["ack_offset"]
+
+    def S_at(self, t: int) -> Term:
+        if t >= 0:
+            return self.S[t]
+        return self.S_pre[-t - 1]
+
+    def cwnd_at(self, t: int) -> Term:
+        if t >= 0:
+            return self.cwnd[t]
+        return self.cwnd_pre[-t - 1]
+
+    def ack_at(self, t: int) -> Term:
+        return self.S_at(t) + self.ack_offset
+
+
+@dataclass
+class StarvationResult:
+    """Outcome of one starvation query."""
+
+    verified: bool  # True: no admissible trace starves either flow
+    throughputs: Optional[tuple[Fraction, Fraction]]
+    wall_time: float
+
+
+class StarvationVerifier:
+    """Checks whether a candidate CCA can be starved when competing with
+    itself under a given scheduling assumption."""
+
+    def __init__(self, cfg: ModelConfig, min_share: Fraction = Fraction(0)):
+        self.cfg = cfg
+        self.min_share = Fraction(min_share)
+
+    def find_starvation(self, candidate, phi: Fraction) -> StarvationResult:
+        import time
+
+        start = time.perf_counter()
+        model = TwoFlowModel(self.cfg, min_share=self.min_share)
+        solver = Solver()
+        solver.add(*model.constraints())
+        for i in (0, 1):
+            solver.add(*candidate.constraints_for(model.flow_view(i)))
+        solver.add(Not(model.no_starvation(Fraction(phi))))
+        outcome = solver.check()
+        if outcome is not sat:
+            return StarvationResult(True, None, time.perf_counter() - start)
+        m = solver.model()
+        thr = tuple(
+            m.value(model.flows[i]["S"][self.cfg.T]) - m.value(model.flows[i]["S"][0])
+            for i in (0, 1)
+        )
+        return StarvationResult(False, thr, time.perf_counter() - start)

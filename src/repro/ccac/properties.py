@@ -1,0 +1,61 @@
+"""Desired-property encodings (paper §3.1.1, "Steady state behavior").
+
+The raw objective "high utilization AND low delay" is unachievable on a
+finite trace with adversarial initial conditions (a flow that starts with
+an empty pipe cannot show high utilization immediately; one that starts
+behind a huge queue cannot show low delay).  The paper relaxes it to
+
+    (high utilization  OR  cwnd increased) AND
+    (queue bounded     OR  cwnd decreased)
+
+which, by induction over successive windows, implies the original property
+in steady state.  Concretely (paper's encoding):
+
+* ``ack(T) - ack(0) >= thresh_U * C * T``        (high utilization)
+* ``cwnd(T) > cwnd(0)``                          (increase cwnd)
+* ``cwnd(T) < cwnd(0)``                          (decrease cwnd)
+* ``forall t: queue(t) <= thresh_D * C * D``     (bounded delay)
+"""
+
+from __future__ import annotations
+
+from ..smt import And, Not, Or, RealVal, Term
+from .config import ModelConfig
+from .model import CcacModel
+
+
+def high_utilization(model: CcacModel) -> Term:
+    """``S_T - S_0 >= thresh_U * C * T`` (S_0 is normalized to 0)."""
+    cfg = model.cfg
+    target = cfg.util_thresh * cfg.C * cfg.T
+    return model.S[cfg.T] - model.S[0] >= RealVal(target)
+
+
+def bounded_queue(model: CcacModel) -> Term:
+    """``forall t: A_t - S_t <= thresh_D * C * D``."""
+    cfg = model.cfg
+    limit = RealVal(cfg.delay_thresh * cfg.C * cfg.D)
+    return And(*[model.queue(t) <= limit for t in range(cfg.T + 1)])
+
+
+def cwnd_increases(model: CcacModel) -> Term:
+    """``cwnd(T) > cwnd(0)``."""
+    return model.cwnd[model.cfg.T] > model.cwnd[0]
+
+
+def cwnd_decreases(model: CcacModel) -> Term:
+    """``cwnd(T) < cwnd(0)``."""
+    return model.cwnd[model.cfg.T] < model.cwnd[0]
+
+
+def desired_property(model: CcacModel) -> Term:
+    """The paper's induction-friendly relaxation (see module docstring)."""
+    return And(
+        Or(high_utilization(model), cwnd_increases(model)),
+        Or(bounded_queue(model), cwnd_decreases(model)),
+    )
+
+
+def negated_desired(model: CcacModel) -> Term:
+    """``not desired`` — what the verifier searches for."""
+    return Not(desired_property(model))

@@ -1,0 +1,18 @@
+"""Executable congestion-control algorithms for the simulator."""
+
+from .base import CongestionControl
+from .classic import AIMD, ConstantCwnd, CubicLike
+from .delay_based import CopaLike, VegasLike
+from .rocc import RoCC
+from .synthesized import TemplateCCA
+
+__all__ = [
+    "AIMD",
+    "CongestionControl",
+    "ConstantCwnd",
+    "CopaLike",
+    "CubicLike",
+    "RoCC",
+    "TemplateCCA",
+    "VegasLike",
+]

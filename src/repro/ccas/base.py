@@ -1,0 +1,41 @@
+"""Interface for executable congestion-control algorithms.
+
+The simulator drives CCAs at per-RTT granularity — the granularity the
+paper's template uses ("prior work has shown CCAs operating on summary
+metrics every RTT to be as good as fine-grained, per-ACK control").
+Each RTT tick the CCA observes the cumulative bytes acknowledged and
+returns the congestion window for the next RTT.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+
+
+class CongestionControl(ABC):
+    """A window-based CCA driven once per RTT."""
+
+    #: human-readable algorithm name
+    name: str = "cca"
+
+    @abstractmethod
+    def initial_cwnd(self) -> Fraction:
+        """Window to use before any feedback arrives."""
+
+    @abstractmethod
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        """Observe feedback and return the next congestion window.
+
+        Args:
+            now: current tick (units of propagation delay).
+            acked: cumulative bytes acknowledged by ``now``.
+            rtt_estimate: smoothed RTT in time units (>= 1, the
+                propagation delay; larger values indicate queueing).
+
+        Returns:
+            The congestion window (bytes) for the next tick.
+        """
+
+    def reset(self) -> None:
+        """Forget connection state (default: nothing to forget)."""

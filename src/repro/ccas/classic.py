@@ -1,0 +1,121 @@
+"""Classic baseline CCAs for the simulator.
+
+The simulated network is lossless with an unbounded buffer (the CCAC
+configuration the paper evaluates), so loss-based algorithms are driven by
+a delay signal instead: crossing a queueing-delay threshold plays the role
+of the congestion event.  This matches how AIMD/Cubic behave behind an
+AQM with a delay target and keeps the comparison on the same environment
+the formal results use.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .base import CongestionControl
+
+
+class ConstantCwnd(CongestionControl):
+    """Fixed window — the simplest (and provably fragile) policy."""
+
+    name = "constant"
+
+    def __init__(self, cwnd: Fraction):
+        self.cwnd = Fraction(cwnd)
+
+    def initial_cwnd(self) -> Fraction:
+        return self.cwnd
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        return self.cwnd
+
+
+class AIMD(CongestionControl):
+    """Additive-increase, multiplicative-decrease on a delay signal.
+
+    Increase by ``alpha`` per RTT; on the delay signal (RTT estimate above
+    ``delay_threshold``), cut the window by ``beta``.
+    """
+
+    name = "aimd"
+
+    def __init__(
+        self,
+        alpha: Fraction = Fraction(1),
+        beta: Fraction = Fraction(1, 2),
+        delay_threshold: Fraction = Fraction(2),
+        min_cwnd: Fraction = Fraction(1, 10),
+    ):
+        self.alpha = Fraction(alpha)
+        self.beta = Fraction(beta)
+        self.delay_threshold = Fraction(delay_threshold)
+        self.min_cwnd = Fraction(min_cwnd)
+        self._cwnd = Fraction(1)
+
+    def initial_cwnd(self) -> Fraction:
+        self._cwnd = Fraction(1)
+        return self._cwnd
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        if rtt_estimate > self.delay_threshold:
+            self._cwnd = max(self._cwnd * self.beta, self.min_cwnd)
+        else:
+            self._cwnd += self.alpha
+        return self._cwnd
+
+    def reset(self) -> None:
+        self._cwnd = Fraction(1)
+
+
+class CubicLike(CongestionControl):
+    """Cubic-shaped window growth with delay-triggered backoff.
+
+    Window grows as ``w_max - c*(k - t_since)**3`` style concave/convex
+    probing around the last backoff point ``w_max`` (exact rational
+    arithmetic; constants per RFC 8312 scaled to RTT ticks).
+    """
+
+    name = "cubic-like"
+
+    def __init__(
+        self,
+        c: Fraction = Fraction(4, 10),
+        beta: Fraction = Fraction(7, 10),
+        delay_threshold: Fraction = Fraction(2),
+        min_cwnd: Fraction = Fraction(1, 10),
+    ):
+        self.c = Fraction(c)
+        self.beta = Fraction(beta)
+        self.delay_threshold = Fraction(delay_threshold)
+        self.min_cwnd = Fraction(min_cwnd)
+        self._w_max = Fraction(1)
+        self._epoch_start = 0
+        self._cwnd = Fraction(1)
+
+    def initial_cwnd(self) -> Fraction:
+        return self._cwnd
+
+    def _k(self) -> Fraction:
+        # K = cbrt(w_max * (1-beta) / c); rational cube-root approximation
+        target = self._w_max * (1 - self.beta) / self.c
+        k = Fraction(1)
+        for _ in range(24):
+            k = (2 * k + target / (k * k)) / 3
+            k = k.limit_denominator(1 << 16)
+        return k
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        if rtt_estimate > self.delay_threshold:
+            self._w_max = self._cwnd
+            self._cwnd = max(self._cwnd * self.beta, self.min_cwnd)
+            self._epoch_start = now
+        else:
+            t = Fraction(now - self._epoch_start)
+            k = self._k()
+            self._cwnd = max(self._w_max + self.c * (t - k) ** 3, self.min_cwnd)
+        return self._cwnd
+
+    def reset(self) -> None:
+        self._w_max = Fraction(1)
+        self._cwnd = Fraction(1)
+        self._epoch_start = 0

@@ -1,0 +1,102 @@
+"""Delay-based CCAs (Vegas/Copa style) for the simulator baselines.
+
+The paper motivates CCmatic with the fragility of hand-designed
+delay-based algorithms — CCAC "found traces where BBR, Copa achieve
+arbitrarily low utilization".  These executable models let the examples
+and tests show the same failure mode empirically: the waste adversary
+injects queueing delay that the algorithms misread as congestion.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .base import CongestionControl
+
+
+class VegasLike(CongestionControl):
+    """TCP-Vegas-style window control.
+
+    Maintains ``diff = cwnd/base_rtt - cwnd/rtt`` (expected minus actual
+    rate) and nudges the window to keep ``alpha <= diff <= beta`` — here
+    expressed directly on the queue estimate ``cwnd * (1 - 1/rtt)``.
+    """
+
+    name = "vegas-like"
+
+    def __init__(
+        self,
+        alpha: Fraction = Fraction(1, 2),
+        beta: Fraction = Fraction(3, 2),
+        step: Fraction = Fraction(1, 2),
+        min_cwnd: Fraction = Fraction(1, 10),
+    ):
+        self.alpha = Fraction(alpha)
+        self.beta = Fraction(beta)
+        self.step = Fraction(step)
+        self.min_cwnd = Fraction(min_cwnd)
+        self._cwnd = Fraction(1)
+
+    def initial_cwnd(self) -> Fraction:
+        return self._cwnd
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        rtt = max(Fraction(rtt_estimate), Fraction(1))
+        queued = self._cwnd * (1 - Fraction(1) / rtt)
+        if queued < self.alpha:
+            self._cwnd += self.step
+        elif queued > self.beta:
+            self._cwnd = max(self._cwnd - self.step, self.min_cwnd)
+        return self._cwnd
+
+    def reset(self) -> None:
+        self._cwnd = Fraction(1)
+
+
+class CopaLike(CongestionControl):
+    """Copa-style target-rate control.
+
+    Target rate is ``1 / (delta * queueing_delay)``; the window moves
+    toward ``target_rate * rtt``.  Under low measured queueing delay the
+    target is large (probe); under adversarial delay it collapses — the
+    fragility CCAC exposed.
+    """
+
+    name = "copa-like"
+
+    def __init__(
+        self,
+        delta: Fraction = Fraction(1, 2),
+        gain: Fraction = Fraction(1, 2),
+        min_cwnd: Fraction = Fraction(1, 10),
+        max_cwnd: Fraction = Fraction(64),
+    ):
+        self.delta = Fraction(delta)
+        self.gain = Fraction(gain)
+        self.min_cwnd = Fraction(min_cwnd)
+        self.max_cwnd = Fraction(max_cwnd)
+        self._cwnd = Fraction(1)
+
+    def initial_cwnd(self) -> Fraction:
+        return self._cwnd
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        rtt = max(Fraction(rtt_estimate), Fraction(1))
+        queuing_delay = rtt - 1  # base RTT is 1 in model units
+        if queuing_delay <= 0:
+            target_cwnd = self.max_cwnd
+        else:
+            target_rate = Fraction(1) / (self.delta * queuing_delay)
+            target_cwnd = min(target_rate * rtt, self.max_cwnd)
+        self._cwnd += self.gain * (target_cwnd - self._cwnd)
+        self._cwnd = max(min(self._cwnd, self.max_cwnd), self.min_cwnd)
+        # The division by queueing delay feeds the window's denominator
+        # back into next tick's delay estimate, so exact rationals grow
+        # multiplicatively (bit sizes square per RTT).  Real Copa works
+        # with finite-precision measurements; cap the denominator the
+        # same way to keep long simulations tractable.
+        self._cwnd = self._cwnd.limit_denominator(1 << 24)
+        return self._cwnd
+
+    def reset(self) -> None:
+        self._cwnd = Fraction(1)

@@ -1,0 +1,40 @@
+"""RoCC (robust congestion control) — the rule CCmatic rediscovers.
+
+``cwnd(t) = ack(t-1) - ack(t-3) + increment``: the window is the number of
+bytes acknowledged over the last two RTTs plus a small additive probe.
+On an ideal constant-rate link it converges to a queue of one BDP plus the
+increment (paper §4, citing the rocc_kernel and mvfst Copa2
+implementations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+
+from .base import CongestionControl
+
+
+class RoCC(CongestionControl):
+    """The synthesized/rediscovered RoCC rule as an executable CCA."""
+
+    name = "rocc"
+
+    def __init__(self, increment: Fraction = Fraction(1), window_rtts: int = 2,
+                 min_cwnd: Fraction = Fraction(1, 10)):
+        self.increment = Fraction(increment)
+        self.window_rtts = window_rtts
+        self.min_cwnd = Fraction(min_cwnd)
+        self._ack_history: deque[Fraction] = deque(maxlen=window_rtts + 1)
+
+    def initial_cwnd(self) -> Fraction:
+        return max(self.increment, self.min_cwnd)
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        self._ack_history.append(Fraction(acked))
+        oldest = self._ack_history[0]
+        cwnd = (acked - oldest) + self.increment
+        return max(cwnd, self.min_cwnd)
+
+    def reset(self) -> None:
+        self._ack_history.clear()

@@ -1,0 +1,52 @@
+"""Bridge from synthesized template rules to executable CCAs.
+
+Any :class:`~repro.core.template.CandidateCCA` found by the synthesizer
+can be dropped into the simulator through this adapter, closing the loop
+between the formal result and empirical behaviour (the examples run the
+rediscovered RoCC rule and its synthesized variants side by side).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+
+from ..core.template import CandidateCCA
+from .base import CongestionControl
+
+
+class TemplateCCA(CongestionControl):
+    """Executes a template rule: per RTT, apply
+
+        cwnd(t) = sum_i alpha_i*cwnd(t-i) + beta_i*ack(t-i) + gamma
+
+    with the same cwnd floor the verifier model uses.
+    """
+
+    def __init__(self, candidate: CandidateCCA, cwnd_min: Fraction = Fraction(1, 10)):
+        self.candidate = candidate
+        self.cwnd_min = Fraction(cwnd_min)
+        self.name = f"synthesized[{candidate.pretty()}]"
+        h = candidate.history
+        self._cwnd_hist: deque[Fraction] = deque([self.cwnd_min] * h, maxlen=h)
+        self._ack_hist: deque[Fraction] = deque([Fraction(0)] * h, maxlen=h)
+
+    def initial_cwnd(self) -> Fraction:
+        return max(self.candidate.gamma, self.cwnd_min)
+
+    def on_rtt(self, now: int, acked: Fraction, rtt_estimate: Fraction) -> Fraction:
+        # The window returned here applies to tick now+1, so the freshest
+        # observation (acked by `now`) is that tick's ack(t-1): record it
+        # before evaluating the rule.  The cwnd history is appended after
+        # — the freshest window the rule may read is the current one.
+        self._ack_hist.append(Fraction(acked))
+        cwnd_hist = list(reversed(self._cwnd_hist))
+        ack_hist = list(reversed(self._ack_hist))
+        cwnd = self.candidate.next_cwnd(cwnd_hist, ack_hist, self.cwnd_min)
+        self._cwnd_hist.append(cwnd)
+        return cwnd
+
+    def reset(self) -> None:
+        h = self.candidate.history
+        self._cwnd_hist = deque([self.cwnd_min] * h, maxlen=h)
+        self._ack_hist = deque([Fraction(0)] * h, maxlen=h)

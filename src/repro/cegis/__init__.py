@@ -1,0 +1,21 @@
+"""Counterexample-guided inductive synthesis, generic over the domain."""
+
+from .interfaces import (
+    CegisOptions,
+    CegisOutcome,
+    CegisStats,
+    Generator,
+    PruningMode,
+    Verifier,
+)
+from .loop import CegisLoop
+
+__all__ = [
+    "CegisLoop",
+    "CegisOptions",
+    "CegisOutcome",
+    "CegisStats",
+    "Generator",
+    "PruningMode",
+    "Verifier",
+]

@@ -1,0 +1,105 @@
+"""Interfaces and result types of the generic CEGIS loop (paper Fig. 1).
+
+The loop is domain-agnostic: a *generator* proposes candidates from a
+search space and accumulates counterexamples; a *verifier* either certifies
+a candidate or produces a counterexample that breaks it.  CCmatic
+instantiates these with the CCA template and the CCAC model, but the same
+interfaces host the toy domains used in tests and the ABR extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generic, Optional, Protocol, TypeVar
+
+Candidate = TypeVar("Candidate")
+Counterexample = TypeVar("Counterexample")
+
+
+class PruningMode(Enum):
+    """How much each counterexample eliminates (paper §3.1.2).
+
+    EXACT:  the baseline — a counterexample eliminates only candidates
+            that reproduce the trace's exact behaviour.
+    RANGE:  range pruning — a counterexample eliminates every candidate
+            whose behaviour falls in the interval of behaviours the trace
+            is consistent with.
+    """
+
+    EXACT = "exact"
+    RANGE = "range"
+
+
+class Generator(Protocol[Candidate, Counterexample]):
+    """The ∃-player: proposes candidates consistent with all
+    counterexamples seen so far."""
+
+    def propose(self) -> Optional[Candidate]:
+        """Next candidate, or None when the space is exhausted (the query
+        has no solution beyond the ones already blocked)."""
+        ...
+
+    def add_counterexample(self, cex: Counterexample) -> None:
+        """Record that ``cex`` breaks some candidates; future proposals
+        must satisfy the specification on it."""
+        ...
+
+    def block(self, candidate: Candidate) -> None:
+        """Exclude one specific candidate (used to enumerate all
+        solutions)."""
+        ...
+
+
+class Verifier(Protocol[Candidate, Counterexample]):
+    """The ∀-player: certifies candidates or breaks them."""
+
+    def find_counterexample(self, candidate: Candidate, worst_case: bool = False):
+        """Returns an object with ``verified: bool`` and
+        ``counterexample: Optional[Counterexample]``."""
+        ...
+
+
+@dataclass
+class CegisOptions:
+    """Knobs of one CEGIS run."""
+
+    worst_case_cex: bool = False
+    find_all: bool = False
+    max_iterations: int = 100_000
+    max_solutions: Optional[int] = None
+    time_budget: Optional[float] = None
+    verbose: bool = False
+
+
+@dataclass
+class CegisStats:
+    """Bookkeeping the paper's Table 1 reports (# Itr, time)."""
+
+    iterations: int = 0
+    counterexamples: int = 0
+    generator_time: float = 0.0
+    verifier_time: float = 0.0
+    verifier_calls: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.generator_time + self.verifier_time
+
+
+@dataclass
+class CegisOutcome(Generic[Candidate]):
+    """Result of a CEGIS run."""
+
+    solutions: list = field(default_factory=list)
+    stats: CegisStats = field(default_factory=CegisStats)
+    exhausted: bool = False  # generator proved no further solutions exist
+    timed_out: bool = False
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def first(self):
+        return self.solutions[0] if self.solutions else None

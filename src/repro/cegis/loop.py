@@ -1,0 +1,75 @@
+"""The CEGIS loop itself (paper Fig. 1).
+
+    generator proposes A*  ->  verifier searches for trace breaking A*
+        counterexample found -> add to X, iterate
+        none found           -> A* is a solution (provably correct)
+        generator UNSAT      -> no solution exists in the search space
+
+Terminating after the first solution reproduces Table 1; ``find_all``
+keeps blocking found solutions until the generator is exhausted, which
+reproduces the paper's solution-space exploration ("We ask CCmatic to
+produce all possible solutions, implying that there are no other
+solutions in our search space").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .interfaces import CegisOptions, CegisOutcome, CegisStats, Generator, Verifier
+
+
+class CegisLoop:
+    """Drives one synthesis query to completion."""
+
+    def __init__(self, generator: Generator, verifier: Verifier, options: Optional[CegisOptions] = None):
+        self.generator = generator
+        self.verifier = verifier
+        self.options = options or CegisOptions()
+
+    def run(self) -> CegisOutcome:
+        opts = self.options
+        outcome: CegisOutcome = CegisOutcome()
+        stats = outcome.stats
+        start = time.perf_counter()
+        while stats.iterations < opts.max_iterations:
+            if opts.time_budget is not None and time.perf_counter() - start > opts.time_budget:
+                outcome.timed_out = True
+                break
+            stats.iterations += 1
+
+            t0 = time.perf_counter()
+            candidate = self.generator.propose()
+            stats.generator_time += time.perf_counter() - t0
+            if candidate is None:
+                outcome.exhausted = True
+                break
+
+            t0 = time.perf_counter()
+            result = self.verifier.find_counterexample(
+                candidate, worst_case=opts.worst_case_cex
+            )
+            stats.verifier_time += time.perf_counter() - t0
+            stats.verifier_calls += 1
+
+            if result.verified:
+                outcome.solutions.append(candidate)
+                if opts.verbose:
+                    print(f"[cegis] iter {stats.iterations}: solution {candidate}")
+                if not opts.find_all:
+                    break
+                if opts.max_solutions is not None and len(outcome.solutions) >= opts.max_solutions:
+                    break
+                self.generator.block(candidate)
+            else:
+                cex = result.counterexample
+                if cex is None:
+                    # verifier gave up (budget); treat as inconclusive stop
+                    outcome.timed_out = True
+                    break
+                stats.counterexamples += 1
+                if opts.verbose:
+                    print(f"[cegis] iter {stats.iterations}: counterexample for {candidate}")
+                self.generator.add_counterexample(cex)
+        return outcome

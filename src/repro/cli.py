@@ -1,0 +1,201 @@
+"""Command-line interface: ``ccmatic <command>``.
+
+Commands:
+
+* ``synthesize`` — run the CEGIS loop on one of the paper's search spaces;
+* ``verify``     — verify a named CCA (rocc, eq3, const:<gamma>);
+* ``sweep``      — count solutions across utilization/delay thresholds;
+* ``simulate``   — run CCAs on the discrete-time simulator;
+* ``assumption`` — synthesize the weakest sufficient environment
+  assumption for a CCA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .ccac import ModelConfig
+from .cegis import PruningMode
+from .core import (
+    CandidateCCA,
+    CcacVerifier,
+    SynthesisQuery,
+    classify,
+    constant_cwnd,
+    paper_eq_iii,
+    rocc,
+    synthesize,
+    table1_spaces,
+    total_waste_budget,
+    weakest_sufficient_assumption,
+)
+
+
+def _named_cca(name: str) -> CandidateCCA:
+    if name == "rocc":
+        return rocc()
+    if name == "eq3":
+        return paper_eq_iii()
+    if name.startswith("const:"):
+        return constant_cwnd(Fraction(name.split(":", 1)[1]))
+    raise SystemExit(f"unknown CCA {name!r}; use rocc, eq3, or const:<gamma>")
+
+
+def _add_cfg_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--T", type=int, default=7, help="trace length (timesteps)")
+    p.add_argument("--util", type=Fraction, default=Fraction(1, 2), help="utilization threshold")
+    p.add_argument("--delay", type=Fraction, default=Fraction(4), help="delay threshold (RTTs)")
+
+
+def _cfg(args) -> ModelConfig:
+    return ModelConfig(T=args.T, util_thresh=args.util, delay_thresh=args.delay)
+
+
+def cmd_synthesize(args) -> int:
+    spaces = table1_spaces()
+    spec = spaces[args.space]
+    query = SynthesisQuery(
+        spec=spec,
+        cfg=_cfg(args),
+        pruning=PruningMode.EXACT if args.pruning == "exact" else PruningMode.RANGE,
+        worst_case_cex=args.wce,
+        generator=args.generator,
+        find_all=args.all,
+        max_iterations=args.max_iterations,
+        time_budget=args.time_budget,
+        verbose=args.verbose,
+    )
+    result = synthesize(query)
+    print(
+        f"iterations={result.iterations} counterexamples={result.counterexamples} "
+        f"wall={result.wall_time:.1f}s exhausted={result.exhausted}"
+    )
+    if not result.solutions:
+        print("no solution found")
+        return 1
+    for cand in result.solutions:
+        report = classify(cand, query.cfg)
+        tag = "RoCC-family" if report.rocc_family else "other"
+        print(f"  {report.rule}   [{tag}, {report.history_used} RTTs of history]")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    cand = _named_cca(args.cca)
+    verifier = CcacVerifier(_cfg(args))
+    res = verifier.find_counterexample(cand, worst_case=args.wce)
+    print(f"{cand.pretty()}")
+    if res.verified:
+        print(f"VERIFIED in {res.wall_time:.2f}s (no admissible trace violates the property)")
+        return 0
+    tr = res.counterexample
+    print(f"COUNTEREXAMPLE in {res.wall_time:.2f}s:")
+    print(tr)
+    return 1
+
+
+def cmd_sweep(args) -> int:
+    from .core import enumerate_all
+
+    spec = table1_spaces()[args.space]
+    values = [Fraction(v) for v in args.values.split(",")]
+    for v in values:
+        if args.kind == "util":
+            cfg = ModelConfig(T=args.T, util_thresh=v)
+        else:
+            cfg = ModelConfig(T=args.T, delay_thresh=v)
+        query = SynthesisQuery(
+            spec=spec, cfg=cfg, generator="enum", find_all=True,
+            time_budget=args.time_budget,
+        )
+        result = enumerate_all(query)
+        print(f"{args.kind}={v}: {len(result.solutions)} solutions"
+              f"{' (budget hit)' if result.timed_out else ''}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .ccas import AIMD, ConstantCwnd, CubicLike, RoCC, TemplateCCA
+    from .sim import run_simulation
+
+    ccas = {
+        "rocc": RoCC(),
+        "aimd": AIMD(),
+        "cubic": CubicLike(),
+        "const1": ConstantCwnd(Fraction(1)),
+    }
+    for name, cca in ccas.items():
+        for policy in ("ideal", "lazy", "max_waste"):
+            r = run_simulation(cca, ticks=args.ticks, policy=policy)
+            print(
+                f"{name:8s} {policy:10s} util={float(r.utilization(10)):.3f} "
+                f"max_queue={float(r.max_queue(10)):.2f}"
+            )
+    return 0
+
+
+def cmd_assumption(args) -> int:
+    cand = _named_cca(args.cca)
+    cfg = _cfg(args)
+    result = weakest_sufficient_assumption(cand, cfg, total_waste_budget(cfg))
+    print(f"{cand.pretty()}")
+    if not result.found:
+        print("no sufficient assumption in the family")
+        return 1
+    print(f"weakest sufficient assumption ({result.probes} probes, "
+          f"{result.wall_time:.1f}s):")
+    print(f"  {result.assumption}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="ccmatic", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="run CEGIS synthesis")
+    p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
+    p.add_argument("--pruning", choices=["exact", "range"], default="range")
+    p.add_argument("--wce", action="store_true", help="worst-case counterexamples")
+    p.add_argument("--generator", choices=["smt", "enum"], default="enum")
+    p.add_argument("--all", action="store_true", help="enumerate all solutions")
+    p.add_argument("--max-iterations", type=int, default=100000)
+    p.add_argument("--time-budget", type=float, default=None)
+    p.add_argument("--verbose", action="store_true")
+    _add_cfg_args(p)
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("verify", help="verify a named CCA")
+    p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
+    p.add_argument("--wce", action="store_true")
+    _add_cfg_args(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("sweep", help="solution counts vs thresholds")
+    p.add_argument("kind", choices=["util", "delay"])
+    p.add_argument("--values", default="1/2,13/20,7/10")
+    p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
+    p.add_argument("--T", type=int, default=7)
+    p.add_argument("--time-budget", type=float, default=None)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("simulate", help="run CCAs on the simulator")
+    p.add_argument("--ticks", type=int, default=100)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("assumption", help="weakest sufficient assumption")
+    p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
+    _add_cfg_args(p)
+    p.set_defaults(func=cmd_assumption)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Enumerative finite-domain generator (fast path + test oracle).
+
+Because the coefficient domains are finite, the generator's constraint
+problem is a finite CSP; this implementation keeps the explicit set of
+surviving candidates and filters it with exact rational simulation of the
+specification on each counterexample.  It is mathematically equivalent to
+:class:`repro.core.generator_smt.SmtGenerator` (the tests check the two
+against each other) and much faster for the spaces that fit in memory
+(3^5, 9^5, 3^9); the 9^9 space only fits the symbolic generator.
+
+The simulation semantics mirror the SMT encoding exactly:
+
+* cwnd follows the clamped template on the trace's ack observations,
+* sends follow the eager window-limited recurrence,
+* feasibility is exact-trace or range membership per the pruning mode,
+* the specification is ``feasible => desired``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..ccac import CexTrace, ModelConfig
+from ..cegis import PruningMode
+from .template import CandidateCCA, TemplateSpec
+
+
+def simulate_on_trace(
+    candidate: CandidateCCA, trace: CexTrace, cfg: ModelConfig
+) -> tuple[list[Fraction], list[Fraction]]:
+    """Candidate's (cwnd, A) trajectories on a trace's observations."""
+    T = cfg.T
+    cwnd: list[Fraction] = []
+    for t in range(T + 1):
+        total = Fraction(candidate.gamma)
+        for i in range(1, candidate.history + 1):
+            back = t - i
+            if candidate.alphas[i - 1] != 0:
+                hist = cwnd[back] if back >= 0 else trace.cwnd_at(back)
+                total += candidate.alphas[i - 1] * hist
+            if candidate.betas[i - 1] != 0:
+                total += candidate.betas[i - 1] * trace.ack_at(back)
+        cwnd.append(max(total, cfg.cwnd_min))
+    A: list[Fraction] = [trace.A[0]]
+    for t in range(1, T + 1):
+        A.append(max(A[t - 1], trace.S[t - 1] + cwnd[t]))
+    return cwnd, A
+
+
+def satisfies_spec(
+    candidate: CandidateCCA,
+    trace: CexTrace,
+    cfg: ModelConfig,
+    pruning: PruningMode,
+) -> bool:
+    """Evaluate ``sigma(candidate, trace) = feasible => desired`` exactly."""
+    cwnd, A = simulate_on_trace(candidate, trace, cfg)
+    T = cfg.T
+
+    feasible = trace.A[0] <= trace.S_pre[0] + cwnd[0]
+    if feasible:
+        if pruning is PruningMode.EXACT:
+            feasible = all(A[t] == trace.A[t] for t in range(1, T + 1))
+        else:
+            for t, bound in enumerate(trace.range_bounds()):
+                if t == 0:
+                    continue
+                if A[t] < bound.lower or (bound.upper is not None and A[t] > bound.upper):
+                    feasible = False
+                    break
+    if not feasible:
+        return True
+
+    util_ok = trace.S[T] - trace.S[0] >= cfg.util_thresh * cfg.C * cfg.T
+    limit = cfg.delay_thresh * cfg.C * cfg.D
+    queue_ok = all(A[t] - trace.S[t] <= limit for t in range(T + 1))
+    increased = cwnd[T] > cwnd[0]
+    decreased = cwnd[T] < cwnd[0]
+    return (util_ok or increased) and (queue_ok or decreased)
+
+
+class EnumerativeGenerator:
+    """Explicit-survivor-set generator over a finite template space."""
+
+    # guard against accidentally materializing the 9^9 space
+    MAX_SPACE = 2_000_000
+
+    def __init__(
+        self,
+        spec: TemplateSpec,
+        cfg: ModelConfig,
+        pruning: PruningMode = PruningMode.RANGE,
+    ):
+        if spec.search_space_size > self.MAX_SPACE:
+            raise ValueError(
+                f"search space {spec.search_space_size} too large to enumerate; "
+                "use SmtGenerator"
+            )
+        self.spec = spec
+        self.cfg = cfg
+        self.pruning = pruning
+        self._survivors: list[CandidateCCA] = list(spec.iterate_candidates())
+        self._traces: list[CexTrace] = []
+
+    @property
+    def survivor_count(self) -> int:
+        return len(self._survivors)
+
+    def propose(self) -> Optional[CandidateCCA]:
+        if not self._survivors:
+            return None
+        return self._survivors[0]
+
+    def add_counterexample(self, trace: CexTrace) -> None:
+        self._traces.append(trace)
+        self._survivors = [
+            c
+            for c in self._survivors
+            if satisfies_spec(c, trace, self.cfg, self.pruning)
+        ]
+
+    def block(self, candidate: CandidateCCA) -> None:
+        key = candidate.key()
+        self._survivors = [c for c in self._survivors if c.key() != key]

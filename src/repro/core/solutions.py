@@ -1,0 +1,134 @@
+"""Analysis and classification of synthesized CCAs.
+
+The paper reports that all 12 solutions in the no-cwnd large-domain space
+are "minor variations of RoCC": telescoping ack differences (the beta
+coefficients sum to zero, so cwnd tracks bytes acked over a recent window)
+plus a non-negative additive term.  This module provides the predicates
+used to reproduce those observations and a steady-state analysis of a
+rule's throughput/delay operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from ..ccac import ModelConfig
+from .template import CandidateCCA
+
+
+def beta_sum(cand: CandidateCCA) -> Fraction:
+    """Sum of the ack coefficients; zero means shift-invariant
+    (the rule reads ack *differences* only)."""
+    return sum(cand.betas, Fraction(0))
+
+
+def alpha_sum(cand: CandidateCCA) -> Fraction:
+    return sum(cand.alphas, Fraction(0))
+
+
+def is_shift_invariant(cand: CandidateCCA) -> bool:
+    """The rule is unchanged when all acks are shifted by a constant."""
+    return beta_sum(cand) == 0
+
+
+def is_rocc_family(cand: CandidateCCA) -> bool:
+    """RoCC-style rule: no cwnd history, telescoping ack differences with
+    net positive recent weight, plus a non-negative additive term."""
+    if any(a != 0 for a in cand.alphas):
+        return False
+    if beta_sum(cand) != 0:
+        return False
+    if all(b == 0 for b in cand.betas):
+        return False
+    return cand.gamma >= 0
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Fixed point of a rule on an ideal constant-rate link.
+
+    On an ideal link at full utilization, ``ack(t-i) = ack(t) - C*i`` and
+    cwnd is constant, so the template becomes a linear equation in the
+    steady cwnd.  ``cwnd`` is None when no positive fixed point exists
+    (the rule starves or diverges on the ideal link).
+    """
+
+    cwnd: Optional[Fraction]
+    queue: Optional[Fraction]  # steady bytes in flight beyond the BDP
+
+    @property
+    def utilizes_link(self) -> bool:
+        return self.cwnd is not None and self.cwnd > 0
+
+
+def steady_state(cand: CandidateCCA, cfg: ModelConfig) -> SteadyState:
+    """Solve the rule's fixed point on an ideal link of rate C.
+
+    With cwnd fixed at w and ``ack(t-i) = ack_now - C*i``:
+
+        w = sum(alpha_i) * w + sum(beta_i) * ack_now
+            - C * sum(i * beta_i) + gamma
+
+    A finite fixed point requires ``sum(beta_i) == 0`` (otherwise the rule
+    depends on the absolute ack level, which grows without bound) and
+    ``sum(alpha_i) != 1``.
+    """
+    if beta_sum(cand) != 0:
+        return SteadyState(None, None)
+    a_sum = alpha_sum(cand)
+    if a_sum == 1:
+        return SteadyState(None, None)
+    weighted = sum(
+        (Fraction(i) * cand.betas[i - 1] for i in range(1, cand.history + 1)),
+        Fraction(0),
+    )
+    w = (cand.gamma - cfg.C * weighted) / (1 - a_sum)
+    if w <= 0:
+        return SteadyState(None, None)
+    queue = w - cfg.bdp
+    return SteadyState(cwnd=w, queue=max(queue, Fraction(0)))
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """One synthesized CCA with its classification and operating point."""
+
+    candidate: CandidateCCA
+    rule: str
+    rocc_family: bool
+    shift_invariant: bool
+    history_used: int
+    steady_cwnd: Optional[Fraction]
+    steady_queue: Optional[Fraction]
+
+
+def classify(cand: CandidateCCA, cfg: ModelConfig) -> SolutionReport:
+    ss = steady_state(cand, cfg)
+    return SolutionReport(
+        candidate=cand,
+        rule=cand.pretty(),
+        rocc_family=is_rocc_family(cand),
+        shift_invariant=is_shift_invariant(cand),
+        history_used=cand.history_used(),
+        steady_cwnd=ss.cwnd,
+        steady_queue=ss.queue,
+    )
+
+
+def summarize(solutions: Iterable[CandidateCCA], cfg: ModelConfig) -> list[SolutionReport]:
+    """Classify a batch of solutions, sorted by history used then rule."""
+    reports = [classify(c, cfg) for c in solutions]
+    reports.sort(key=lambda r: (r.history_used, r.rule))
+    return reports
+
+
+def history_histogram(solutions: Iterable[CandidateCCA]) -> dict[int, int]:
+    """How many solutions read k RTTs of history (the paper's 6-and-6
+    split between 2-RTT and 3-RTT solutions)."""
+    hist: dict[int, int] = {}
+    for c in solutions:
+        k = c.history_used()
+        hist[k] = hist.get(k, 0) + 1
+    return dict(sorted(hist.items()))

@@ -1,0 +1,142 @@
+"""CCmatic's synthesis driver: wires template, generator, verifier, CEGIS.
+
+This is the public entry point of the reproduction.  A
+:class:`SynthesisQuery` describes the ∃∀ question ("does there exist a CCA
+in this template space such that for all CCAC traces the desired property
+holds"); :func:`synthesize` runs the CEGIS loop and returns provably
+correct CCAs, and :func:`brute_force` provides the paper's comparison
+baseline (call the verifier on every candidate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Literal, Optional
+
+from ..ccac import ModelConfig
+from ..cegis import CegisLoop, CegisOptions, CegisOutcome, PruningMode
+from .generator_enum import EnumerativeGenerator
+from .generator_smt import SmtGenerator
+from .template import CandidateCCA, TemplateSpec
+from .verifier import CcacVerifier
+
+GeneratorBackend = Literal["smt", "enum"]
+
+
+@dataclass
+class SynthesisQuery:
+    """One ∃∀ synthesis question (a Table 1 cell is one of these plus an
+    optimization configuration)."""
+
+    spec: TemplateSpec
+    cfg: ModelConfig = field(default_factory=ModelConfig)
+    pruning: PruningMode = PruningMode.RANGE
+    worst_case_cex: bool = True
+    generator: GeneratorBackend = "smt"
+    find_all: bool = False
+    max_iterations: int = 100_000
+    max_solutions: Optional[int] = None
+    time_budget: Optional[float] = None
+    verbose: bool = False
+
+
+@dataclass
+class SynthesisResult:
+    """Solutions plus the bookkeeping Table 1 reports."""
+
+    query: SynthesisQuery
+    solutions: list[CandidateCCA]
+    iterations: int
+    counterexamples: int
+    generator_time: float
+    verifier_time: float
+    wall_time: float
+    exhausted: bool
+    timed_out: bool
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def first(self) -> Optional[CandidateCCA]:
+        return self.solutions[0] if self.solutions else None
+
+
+def make_generator(query: SynthesisQuery):
+    """Instantiate the configured generator backend."""
+    if query.generator == "enum":
+        return EnumerativeGenerator(query.spec, query.cfg, query.pruning)
+    return SmtGenerator(query.spec, query.cfg, query.pruning)
+
+
+def synthesize(query: SynthesisQuery) -> SynthesisResult:
+    """Run the CEGIS loop for a query."""
+    start = time.perf_counter()
+    generator = make_generator(query)
+    verifier = CcacVerifier(query.cfg)
+    options = CegisOptions(
+        worst_case_cex=query.worst_case_cex,
+        find_all=query.find_all,
+        max_iterations=query.max_iterations,
+        max_solutions=query.max_solutions,
+        time_budget=query.time_budget,
+        verbose=query.verbose,
+    )
+    outcome: CegisOutcome = CegisLoop(generator, verifier, options).run()
+    return SynthesisResult(
+        query=query,
+        solutions=outcome.solutions,
+        iterations=outcome.stats.iterations,
+        counterexamples=outcome.stats.counterexamples,
+        generator_time=outcome.stats.generator_time,
+        verifier_time=outcome.stats.verifier_time,
+        wall_time=time.perf_counter() - start,
+        exhausted=outcome.exhausted,
+        timed_out=outcome.timed_out,
+    )
+
+
+def enumerate_all(query: SynthesisQuery) -> SynthesisResult:
+    """All solutions in the space (the paper's exhaustive-set claim)."""
+    import dataclasses
+
+    q = dataclasses.replace(query, find_all=True)
+    return synthesize(q)
+
+
+def brute_force(
+    spec: TemplateSpec,
+    cfg: Optional[ModelConfig] = None,
+    stop_at_first: bool = True,
+    max_candidates: Optional[int] = None,
+) -> SynthesisResult:
+    """The paper's brute-force comparison: call the verifier on every
+    candidate in the space (no generator at all)."""
+    cfg = cfg or ModelConfig()
+    verifier = CcacVerifier(cfg)
+    start = time.perf_counter()
+    solutions: list[CandidateCCA] = []
+    tried = 0
+    for cand in spec.iterate_candidates():
+        if max_candidates is not None and tried >= max_candidates:
+            break
+        tried += 1
+        if verifier.find_counterexample(cand).verified:
+            solutions.append(cand)
+            if stop_at_first:
+                break
+    query = SynthesisQuery(spec=spec, cfg=cfg, generator="enum")
+    return SynthesisResult(
+        query=query,
+        solutions=solutions,
+        iterations=tried,
+        counterexamples=tried - len(solutions),
+        generator_time=0.0,
+        verifier_time=verifier.total_time,
+        wall_time=time.perf_counter() - start,
+        exhausted=max_candidates is None,
+        timed_out=False,
+    )

@@ -1,0 +1,124 @@
+"""The CEGIS verifier: CCAC as an SMT query per candidate CCA.
+
+Given a concrete candidate, the verifier asks whether some feasible network
+trace violates the desired property:
+
+    SAT( environment /\\ sender /\\ template(candidate) /\\ not desired )
+
+SAT yields a counterexample trace; UNSAT *proves* the candidate achieves
+the property on every trace the model allows.
+
+It also implements the paper's **worst-case counterexample** optimization:
+instead of any counterexample, find one that maximizes
+``min_t (u_t - l_t)`` — the narrowest width of the range-pruning intervals
+— "we maximize using binary search" (§3.1.2).  Wider intervals let each
+counterexample eliminate more candidates in the generator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..ccac import CcacModel, CexTrace, ModelConfig, negated_desired
+from ..smt import Or, Real, RealVal, Solver, Term, sat, unknown
+from ..smt.optimize import maximize
+from .template import CandidateCCA
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verifier call."""
+
+    candidate: CandidateCCA
+    verified: bool
+    counterexample: Optional[CexTrace]
+    wall_time: float
+    solver_checks: int
+    unknown: bool = False
+
+
+class CcacVerifier:
+    """Stateless verifier; each call builds a fresh solver instance."""
+
+    def __init__(self, cfg: ModelConfig, wce_precision: Fraction = Fraction(1, 8)):
+        self.cfg = cfg
+        self.wce_precision = wce_precision
+        self.calls = 0
+        self.total_time = 0.0
+
+    def _base_solver(self, candidate: CandidateCCA) -> tuple[Solver, CcacModel]:
+        net = CcacModel(self.cfg, prefix="v")
+        solver = Solver()
+        solver.add(*net.constraints())
+        solver.add(*candidate.constraints_for(net))
+        solver.add(negated_desired(net))
+        return solver, net
+
+    def find_counterexample(
+        self,
+        candidate: CandidateCCA,
+        worst_case: bool = False,
+        max_conflicts: Optional[int] = None,
+    ) -> VerificationResult:
+        """Search for a property-violating trace (optionally worst-case)."""
+        start = time.perf_counter()
+        self.calls += 1
+        solver, net = self._base_solver(candidate)
+        if worst_case:
+            result = self._solve_worst_case(solver, net, max_conflicts)
+        else:
+            outcome = solver.check(max_conflicts=max_conflicts)
+            if outcome is unknown:
+                elapsed = time.perf_counter() - start
+                self.total_time += elapsed
+                return VerificationResult(candidate, False, None, elapsed, 1, unknown=True)
+            if outcome is sat:
+                result = CexTrace.from_model(solver.model(), net)
+            else:
+                result = None
+        elapsed = time.perf_counter() - start
+        self.total_time += elapsed
+        return VerificationResult(
+            candidate=candidate,
+            verified=result is None,
+            counterexample=result,
+            wall_time=elapsed,
+            solver_checks=solver.stats.checks,
+        )
+
+    def _solve_worst_case(
+        self, solver: Solver, net: CcacModel, max_conflicts: Optional[int]
+    ) -> Optional[CexTrace]:
+        """Maximize ``min_t (u_t - l_t)`` over counterexample traces.
+
+        ``u_t - l_t = (C*t - W_t) - S_t`` at steps where the waste grew
+        (elsewhere the interval is unbounded and exempt).  A fresh
+        objective variable ``m`` is tied below every finite width and
+        maximized by binary search.
+        """
+        cfg = self.cfg
+        m = Real(f"{net.prefix}_wce_m")
+        solver.add(m >= 0)
+        hi = Fraction(cfg.C * cfg.T + cfg.initial_queue_max)
+        solver.add(m <= RealVal(hi))
+        for t in range(1, cfg.T + 1):
+            width = net.tokens(t) - net.S[t]
+            solver.add(Or(net.W[t].eq(net.W[t - 1]), width >= m))
+        opt = maximize(
+            solver,
+            m,
+            lo=Fraction(0),
+            hi=hi,
+            precision=self.wce_precision,
+            max_conflicts=max_conflicts,
+        )
+        if not opt.feasible or opt.model is None:
+            return None
+        return CexTrace.from_model(opt.model, net)
+
+    def verify(self, candidate: CandidateCCA) -> bool:
+        """Convenience wrapper: True iff the candidate is proved correct."""
+        return self.find_counterexample(candidate).verified

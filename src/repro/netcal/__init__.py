@@ -1,0 +1,35 @@
+"""Network-calculus curve algebra (the theory behind the CCAC model)."""
+
+from .bounds import (
+    check_service_within_envelope,
+    max_queue_bound,
+    service_envelope,
+    utilization_lower_bound,
+)
+from .curves import (
+    Curve,
+    backlog_bound_rate_latency,
+    constant_rate,
+    delay_bound_rate_latency,
+    horizontal_deviation,
+    min_plus_convolve,
+    rate_latency,
+    token_bucket,
+    vertical_deviation,
+)
+
+__all__ = [
+    "Curve",
+    "backlog_bound_rate_latency",
+    "check_service_within_envelope",
+    "constant_rate",
+    "delay_bound_rate_latency",
+    "horizontal_deviation",
+    "max_queue_bound",
+    "min_plus_convolve",
+    "rate_latency",
+    "service_envelope",
+    "token_bucket",
+    "utilization_lower_bound",
+    "vertical_deviation",
+]

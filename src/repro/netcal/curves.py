@@ -1,0 +1,197 @@
+"""Min-plus algebra over piecewise-linear curves (network calculus).
+
+CCAC models the network with network calculus (Le Boudec & Thiran); this
+module provides the underlying curve algebra: non-decreasing piecewise
+linear functions f: R+ -> R+, min-plus convolution/deconvolution, and the
+standard arrival/service curve constructors.  The CCAC-lite constraints
+are a discretization of the service-curve pair
+
+    beta_lower(t) = C*(t - j) - W,   beta_upper(t) = C*t - W
+
+which the test suite cross-checks against these curves.
+
+Curves are represented by their breakpoints: a sorted list of (x, y)
+pairs with a final slope extending the last segment to infinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+Rat = Fraction
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Non-decreasing piecewise-linear curve.
+
+    ``points`` are breakpoints (x, y) with strictly increasing x starting
+    at x=0; the curve is linear between breakpoints and continues with
+    ``final_slope`` after the last one.
+    """
+
+    points: tuple[tuple[Rat, Rat], ...]
+    final_slope: Rat
+
+    def __post_init__(self):
+        if not self.points or self.points[0][0] != 0:
+            raise ValueError("curve must start at x = 0")
+        xs = [p[0] for p in self.points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError("breakpoint x-coordinates must be increasing")
+        ys = [p[1] for p in self.points]
+        if any(b < a for a, b in zip(ys, ys[1:])) or self.final_slope < 0:
+            raise ValueError("curve must be non-decreasing")
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, x) -> Rat:
+        x = Fraction(x)
+        if x < 0:
+            return Fraction(0)
+        pts = self.points
+        if x >= pts[-1][0]:
+            x0, y0 = pts[-1]
+            return y0 + self.final_slope * (x - x0)
+        # binary search for the segment
+        lo, hi = 0, len(pts) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if pts[mid][0] <= x:
+                lo = mid
+            else:
+                hi = mid
+        (x0, y0), (x1, y1) = pts[lo], pts[hi]
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (x - x0)
+
+    def breakpoints_x(self) -> list[Rat]:
+        return [p[0] for p in self.points]
+
+    def sample_xs(self, horizon: Rat) -> list[Rat]:
+        xs = [x for x in self.breakpoints_x() if x <= horizon]
+        if horizon not in xs:
+            xs.append(Fraction(horizon))
+        return sorted(set(xs))
+
+
+def token_bucket(rate, burst) -> Curve:
+    """Arrival curve ``gamma_{r,b}(t) = b + r*t`` (t > 0), 0 at t = 0."""
+    rate, burst = Fraction(rate), Fraction(burst)
+    return Curve(points=((Fraction(0), burst),), final_slope=rate)
+
+
+def rate_latency(rate, latency) -> Curve:
+    """Service curve ``beta_{R,T}(t) = R * max(0, t - T)``."""
+    rate, latency = Fraction(rate), Fraction(latency)
+    if latency == 0:
+        return Curve(points=((Fraction(0), Fraction(0)),), final_slope=rate)
+    return Curve(
+        points=((Fraction(0), Fraction(0)), (latency, Fraction(0))),
+        final_slope=rate,
+    )
+
+
+def constant_rate(rate) -> Curve:
+    """Pure rate server ``beta(t) = C*t``."""
+    return rate_latency(rate, 0)
+
+
+def _candidate_xs(f: Curve, g: Curve, horizon: Rat) -> list[Rat]:
+    xs = set()
+    for x in f.breakpoints_x() + g.breakpoints_x():
+        if 0 <= x <= horizon:
+            xs.add(Fraction(x))
+    xs.add(Fraction(0))
+    xs.add(Fraction(horizon))
+    return sorted(xs)
+
+
+def min_plus_convolve(f: Curve, g: Curve, horizon, samples: int = 64) -> list[tuple[Rat, Rat]]:
+    """Sampled min-plus convolution ``(f ⊗ g)(t) = inf_s f(t-s) + g(s)``.
+
+    For piecewise-linear convex curves the infimum is attained at a
+    breakpoint of either operand, so sampling the breakpoints (plus a
+    uniform grid for robustness against non-convex inputs) is exact for
+    the curve families used here.
+    """
+    horizon = Fraction(horizon)
+    grid = sorted(
+        set(
+            _candidate_xs(f, g, horizon)
+            + [horizon * i / samples for i in range(samples + 1)]
+        )
+    )
+    out: list[tuple[Rat, Rat]] = []
+    for t in grid:
+        best = None
+        for s in grid:
+            if s > t:
+                break
+            val = f(t - s) + g(s)
+            if best is None or val < best:
+                best = val
+        out.append((t, best if best is not None else Fraction(0)))
+    return out
+
+
+def horizontal_deviation(arrival: Curve, service: Curve, horizon, samples: int = 256) -> Rat:
+    """Delay bound ``h(alpha, beta)``: the max horizontal distance —
+    smallest d such that ``alpha(t) <= beta(t + d)`` for all t."""
+    horizon = Fraction(horizon)
+    grid = sorted(
+        set(
+            _candidate_xs(arrival, service, horizon)
+            + [horizon * i / samples for i in range(samples + 1)]
+        )
+    )
+    worst = Fraction(0)
+    for t in grid:
+        target = arrival(t)
+        # find smallest d with service(t + d) >= target by bisection
+        lo, hi = Fraction(0), horizon * 2 + 1
+        if service(t + hi) < target:
+            raise ValueError("service curve never catches up within horizon")
+        for _ in range(64):
+            mid = (lo + hi) / 2
+            if service(t + mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo < Fraction(1, 1 << 24):
+                break
+        worst = max(worst, hi)
+    return worst
+
+
+def vertical_deviation(arrival: Curve, service: Curve, horizon, samples: int = 256) -> Rat:
+    """Backlog bound ``v(alpha, beta) = sup_t alpha(t) - beta(t)``."""
+    horizon = Fraction(horizon)
+    grid = sorted(
+        set(
+            _candidate_xs(arrival, service, horizon)
+            + [horizon * i / samples for i in range(samples + 1)]
+        )
+    )
+    return max(arrival(t) - service(t) for t in grid)
+
+
+def delay_bound_rate_latency(rate, burst, service_rate, latency) -> Rat:
+    """Closed-form delay bound for token bucket through rate-latency:
+    ``d = T + b / R`` (requires r <= R)."""
+    rate, burst = Fraction(rate), Fraction(burst)
+    service_rate, latency = Fraction(service_rate), Fraction(latency)
+    if rate > service_rate:
+        raise ValueError("unstable: arrival rate exceeds service rate")
+    return latency + burst / service_rate
+
+
+def backlog_bound_rate_latency(rate, burst, service_rate, latency) -> Rat:
+    """Closed-form backlog bound: ``b + r * T`` (requires r <= R)."""
+    rate, burst = Fraction(rate), Fraction(burst)
+    service_rate, latency = Fraction(service_rate), Fraction(latency)
+    if rate > service_rate:
+        raise ValueError("unstable: arrival rate exceeds service rate")
+    return burst + rate * latency

@@ -1,0 +1,17 @@
+"""Scheduling-domain demonstration of the framework (paper §5)."""
+
+from .model import (
+    GreedySchedulingModel,
+    RatioResult,
+    ScheduleWitness,
+    SchedulingConfig,
+    SchedulingVerifier,
+)
+
+__all__ = [
+    "GreedySchedulingModel",
+    "RatioResult",
+    "ScheduleWitness",
+    "SchedulingConfig",
+    "SchedulingVerifier",
+]

@@ -1,0 +1,170 @@
+"""Operational (non-symbolic) counterpart of the CCAC token-bucket link.
+
+The verifier reasons about *all* behaviours the model allows; the
+simulator executes *one* behaviour chosen by a concrete adversary policy.
+A :class:`JitteryLink` maintains the same state as the model — cumulative
+arrivals ``A``, service ``S``, waste ``W`` — and each tick picks values
+satisfying exactly the model's constraints:
+
+    S_t <= C*t - W_t                (token bucket)
+    S_t >= C*(t-j) - W_{t-j}        (jitter bound)
+    S_t <= A_t,  S monotone
+    W grows only while the sender is token-limited
+
+Adversary policies:
+
+* ``ideal``    — never waste, deliver greedily (a perfect link);
+* ``lazy``     — deliver as late as the jitter bound allows;
+* ``max_waste``— waste tokens whenever permitted *and* deliver late
+  (the starvation adversary from the formal analysis);
+* ``aggregate``— ACK aggregation: hold deliveries at the jitter floor,
+  then release everything available in periodic bursts (a common cellular
+  and WiFi pathology CCAC models through the same slack);
+* ``random``   — mix the above per tick (seeded).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Literal
+
+AdversaryPolicy = Literal["ideal", "lazy", "max_waste", "aggregate", "random"]
+
+
+@dataclass
+class LinkState:
+    """Cumulative link counters after a tick."""
+
+    t: int
+    A: Fraction
+    S: Fraction
+    W: Fraction
+
+
+class JitteryLink:
+    """A single bottleneck link with CCAC's non-deterministic slack."""
+
+    def __init__(
+        self,
+        capacity=Fraction(1),
+        jitter: int = 1,
+        policy: AdversaryPolicy = "ideal",
+        seed: int = 0,
+    ):
+        """``capacity`` is either a constant rate or a callable
+        ``tick -> rate`` (see :mod:`repro.sim.workloads`)."""
+        if callable(capacity):
+            self._rate_fn = capacity
+            self.C = Fraction(capacity(0))
+        else:
+            self.C = Fraction(capacity)
+            self._rate_fn = None
+        self.jitter = jitter
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self.t = 0
+        self.A_hist: list[Fraction] = [Fraction(0)]
+        self.S_hist: list[Fraction] = [Fraction(0)]
+        self.W_hist: list[Fraction] = [Fraction(0)]
+        self._cap_cum: list[Fraction] = [Fraction(0)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def S(self) -> Fraction:
+        return self.S_hist[-1]
+
+    @property
+    def W(self) -> Fraction:
+        return self.W_hist[-1]
+
+    def rate_at(self, t: int) -> Fraction:
+        """Instantaneous link rate during tick ``t``."""
+        if self._rate_fn is None:
+            return self.C
+        return Fraction(self._rate_fn(t))
+
+    def capacity_cum(self, t: int) -> Fraction:
+        """Cumulative capacity through tick ``t`` (generalizes ``C*t``)."""
+        while len(self._cap_cum) <= t:
+            nxt = len(self._cap_cum)
+            self._cap_cum.append(self._cap_cum[-1] + self.rate_at(nxt))
+        return self._cap_cum[t]
+
+    def tokens(self) -> Fraction:
+        return self.capacity_cum(self.t) - self.W
+
+    #: burst period of the ACK-aggregation adversary (ticks)
+    AGGREGATE_PERIOD = 3
+
+    def _pick_policy(self) -> AdversaryPolicy:
+        if self.policy != "random":
+            return self.policy
+        return self._rng.choice(["ideal", "lazy", "max_waste", "aggregate"])
+
+    def step(self, arrivals: Fraction) -> LinkState:
+        """Advance one tick with cumulative sender arrivals ``arrivals``."""
+        if arrivals < self.A_hist[-1]:
+            raise ValueError("cumulative arrivals must be monotone")
+        self.t += 1
+        t = self.t
+        A_t = Fraction(arrivals)
+        self.A_hist.append(A_t)
+        policy = self._pick_policy()
+
+        W_prev = self.W_hist[-1]
+        cap_t = self.capacity_cum(t)
+        # waste first: allowed only if afterwards A_t <= cap(t) - W_t
+        if policy in ("max_waste",):
+            W_t = max(W_prev, cap_t - A_t)
+        else:
+            W_t = W_prev
+        # upper bound from the token bucket
+        s_max = min(A_t, cap_t - W_t)
+        # lower bound from the jitter constraint
+        back = t - self.jitter
+        if back >= 0:
+            s_min = self.capacity_cum(back) - self.W_hist[back]
+        else:
+            s_min = Fraction(0)
+        s_min = max(s_min, self.S_hist[-1])
+        s_min = min(s_min, s_max)  # cannot be forced above what's available
+
+        if policy == "ideal":
+            S_t = s_max
+        elif policy in ("lazy", "max_waste"):
+            S_t = s_min
+        elif policy == "aggregate":
+            S_t = s_max if t % self.AGGREGATE_PERIOD == 0 else s_min
+        else:  # pragma: no cover - "random" resolved above
+            S_t = s_max
+        self.S_hist.append(S_t)
+        self.W_hist.append(W_t)
+        return LinkState(t=t, A=A_t, S=S_t, W=W_t)
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Check the recorded run against the model constraints (tests)."""
+        errors: list[str] = []
+        for t in range(1, self.t + 1):
+            cap_t = self.capacity_cum(t)
+            if self.S_hist[t] < self.S_hist[t - 1]:
+                errors.append(f"S not monotone at {t}")
+            if self.W_hist[t] < self.W_hist[t - 1]:
+                errors.append(f"W not monotone at {t}")
+            if self.S_hist[t] > cap_t - self.W_hist[t]:
+                errors.append(f"token bucket violated at {t}")
+            if self.S_hist[t] > self.A_hist[t]:
+                errors.append(f"causality violated at {t}")
+            back = t - self.jitter
+            if back >= 0 and self.S_hist[t] < min(
+                self.capacity_cum(back) - self.W_hist[back],
+                min(self.A_hist[t], cap_t - self.W_hist[t]),
+            ):
+                errors.append(f"jitter lower bound violated at {t}")
+            if self.W_hist[t] > self.W_hist[t - 1] and self.A_hist[t] > cap_t - self.W_hist[t]:
+                errors.append(f"waste condition violated at {t}")
+        return errors

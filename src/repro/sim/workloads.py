@@ -1,0 +1,86 @@
+"""Link-rate workloads for the simulator.
+
+The formal model handles variable link rates through the jitter term and
+induction (paper §3.1.1, citing CCAC); the simulator complements that
+with explicit rate patterns so examples and tests can exercise CCAs on
+step changes, periodic variation, and random-walk capacity — the
+workloads the paper's intro motivates (wired, cellular, satellite).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterator, Sequence
+
+RateFn = Callable[[int], Fraction]
+
+
+def constant_rate(rate: Fraction | int) -> RateFn:
+    """Fixed-capacity link."""
+    value = Fraction(rate)
+    return lambda t: value
+
+
+def step_rate(before: Fraction | int, after: Fraction | int, at: int) -> RateFn:
+    """Capacity change at tick ``at`` (e.g., a route change)."""
+    b, a = Fraction(before), Fraction(after)
+    return lambda t: b if t < at else a
+
+
+def periodic_rate(low: Fraction | int, high: Fraction | int, period: int) -> RateFn:
+    """Square-wave capacity (e.g., periodic cross traffic)."""
+    lo, hi = Fraction(low), Fraction(high)
+    half = max(period // 2, 1)
+    return lambda t: hi if (t // half) % 2 == 0 else lo
+
+
+def random_walk_rate(
+    base: Fraction | int,
+    step: Fraction | int,
+    seed: int = 0,
+    floor: Fraction | int = Fraction(1, 4),
+) -> RateFn:
+    """Cellular-style random-walk capacity (precomputed, deterministic
+    for a given seed)."""
+    rng = random.Random(seed)
+    base, step, floor = Fraction(base), Fraction(step), Fraction(floor)
+    cache: list[Fraction] = [base]
+
+    def rate(t: int) -> Fraction:
+        while len(cache) <= t:
+            delta = step if rng.random() < 0.5 else -step
+            cache.append(max(cache[-1] + delta, floor))
+        return cache[t]
+
+    return rate
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named link-rate pattern for benchmarks and examples."""
+
+    name: str
+    rate: RateFn
+    description: str
+
+
+def standard_workloads(seed: int = 7) -> list[Workload]:
+    """The workload suite used by examples/tests: the environments the
+    paper's introduction lists."""
+    return [
+        Workload("wired", constant_rate(1), "fixed-capacity wired link"),
+        Workload(
+            "route-change", step_rate(1, Fraction(1, 2), at=60),
+            "capacity halves mid-connection",
+        ),
+        Workload(
+            "cross-traffic", periodic_rate(Fraction(1, 2), 1, period=20),
+            "periodic competing load",
+        ),
+        Workload(
+            "cellular", random_walk_rate(1, Fraction(1, 8), seed=seed),
+            "random-walk capacity",
+        ),
+    ]

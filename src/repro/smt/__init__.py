@@ -1,0 +1,68 @@
+"""A from-scratch SMT solver for quantifier-free linear real arithmetic.
+
+This package replaces Z3 in the CCmatic reproduction (no solver wheel is
+available offline).  It provides:
+
+* a hash-consed term language (:mod:`repro.smt.terms`),
+* Tseitin CNF conversion (:mod:`repro.smt.cnf`),
+* a CDCL SAT core with theory hooks (:mod:`repro.smt.sat`),
+* an exact-arithmetic incremental Simplex for LRA
+  (:mod:`repro.smt.simplex`, :mod:`repro.smt.theory`),
+* an incremental z3-flavoured frontend (:mod:`repro.smt.solver`),
+* binary-search optimization (:mod:`repro.smt.optimize`) and MaxSAT
+  (:mod:`repro.smt.maxsat`).
+"""
+
+from .encodings import (
+    at_most_one,
+    bool_indicator,
+    encode_abs,
+    encode_max,
+    encode_min,
+    exactly_one,
+    select_product,
+    selected_constant,
+)
+from .errors import (
+    BudgetExceededError,
+    NonLinearError,
+    SmtError,
+    SortError,
+    UnknownResultError,
+)
+from .maxsat import MaxSatResult, MaxSatSolver
+from .optimize import OptimizeResult, maximize, minimize
+from .solver import Model, Result, Solver, check_formulas, sat, unknown, unsat
+from .terms import (
+    FALSE,
+    TRUE,
+    Add,
+    And,
+    Bool,
+    BoolVal,
+    Eq,
+    FreshBool,
+    FreshReal,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Sum,
+    Term,
+    evaluate,
+    substitute,
+)
+
+__all__ = [
+    "Add", "And", "Bool", "BoolVal", "BudgetExceededError", "Eq", "FALSE",
+    "FreshBool", "FreshReal", "Iff", "Implies", "Ite", "MaxSatResult",
+    "MaxSatSolver", "Model", "NonLinearError", "Not", "OptimizeResult",
+    "Or", "Real", "RealVal", "Result", "SmtError", "Solver", "SortError",
+    "Sum", "TRUE", "Term", "UnknownResultError", "at_most_one",
+    "bool_indicator", "check_formulas", "encode_abs", "encode_max",
+    "encode_min", "evaluate", "exactly_one", "maximize", "minimize", "sat",
+    "select_product", "selected_constant", "substitute", "unknown", "unsat",
+]

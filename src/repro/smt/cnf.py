@@ -1,0 +1,155 @@
+"""Tseitin CNF conversion from preprocessed terms to SAT clauses.
+
+Definitional clauses (``aux <=> subformula``) are valid independently of any
+assertion frame, so they are emitted unguarded; only the root literal of an
+asserted formula is guarded by the solver's frame machinery (see
+:mod:`repro.smt.solver`).
+
+The encoder owns the mapping from boolean variables and canonical
+arithmetic atoms to SAT variables and registers new atoms with the theory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .errors import SortError
+from .linarith import LinAtom, normalize_atom
+from .sat import SatSolver
+from .terms import Kind, Sort, Term
+from .theory import LraTheory
+
+
+class TseitinEncoder:
+    """Stateful encoder shared across all assertions of one solver."""
+
+    def __init__(self, sat: SatSolver, theory: LraTheory):
+        self.sat = sat
+        self.theory = theory
+        self._lit_cache: dict[int, int] = {}
+        self._atom_vars: dict[LinAtom, int] = {}
+        self._bool_vars: dict[Term, int] = {}
+        self._true_lit: int | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def true_lit(self) -> int:
+        """A literal asserted true at the root (used for constants)."""
+        if self._true_lit is None:
+            v = self.sat.new_var()
+            self.sat.add_clause([v])
+            self._true_lit = v
+        return self._true_lit
+
+    def bool_var_lit(self, term: Term) -> int:
+        var = self._bool_vars.get(term)
+        if var is None:
+            var = self.sat.new_var()
+            self._bool_vars[term] = var
+        return var
+
+    def atom_lit(self, term: Term) -> int:
+        """Literal for an arithmetic atom term (LE/LT), canonical upper form."""
+        atom = normalize_atom(term)
+        if isinstance(atom, bool):
+            return self.true_lit() if atom else -self.true_lit()
+        negated = False
+        if not atom.upper:
+            atom = atom.negate()
+            negated = True
+        var = self._atom_vars.get(atom)
+        if var is None:
+            var = self.sat.new_var(theory_atom=True)
+            self._atom_vars[atom] = var
+            self.theory.register_atom(atom, var)
+        return -var if negated else var
+
+    # -- encoding ------------------------------------------------------------
+
+    def literal(self, term: Term) -> int:
+        """Tseitin literal for an arbitrary boolean term."""
+        cached = self._lit_cache.get(id(term))
+        if cached is not None:
+            return cached
+        lit = self._encode(term)
+        self._lit_cache[id(term)] = lit
+        return lit
+
+    def _encode(self, term: Term) -> int:
+        if term.sort is not Sort.BOOL:
+            raise SortError(f"expected boolean term: {term!r}")
+        k = term.kind
+        if k is Kind.CONST:
+            return self.true_lit() if term.value else -self.true_lit()
+        if k is Kind.VAR:
+            return self.bool_var_lit(term)
+        if k in (Kind.LE, Kind.LT):
+            return self.atom_lit(term)
+        if k is Kind.EQ:
+            raise SortError("equality atoms must be eliminated by preprocess()")
+        if k is Kind.NOT:
+            return -self.literal(term.args[0])
+        add = self.sat.add_clause
+        if k is Kind.AND:
+            lits = [self.literal(a) for a in term.args]
+            f = self.sat.new_var()
+            for l in lits:
+                add([-f, l])
+            add([f] + [-l for l in lits])
+            return f
+        if k is Kind.OR:
+            lits = [self.literal(a) for a in term.args]
+            f = self.sat.new_var()
+            for l in lits:
+                add([-l, f])
+            add([-f] + lits)
+            return f
+        if k is Kind.IMPLIES:
+            a = self.literal(term.args[0])
+            b = self.literal(term.args[1])
+            f = self.sat.new_var()
+            add([-f, -a, b])
+            add([f, a])
+            add([f, -b])
+            return f
+        if k is Kind.IFF:
+            a = self.literal(term.args[0])
+            b = self.literal(term.args[1])
+            f = self.sat.new_var()
+            add([-f, -a, b])
+            add([-f, a, -b])
+            add([f, a, b])
+            add([f, -a, -b])
+            return f
+        if k is Kind.ITE:  # boolean ITE
+            c = self.literal(term.args[0])
+            t = self.literal(term.args[1])
+            e = self.literal(term.args[2])
+            f = self.sat.new_var()
+            add([-f, -c, t])
+            add([-f, c, e])
+            add([f, -c, -t])
+            add([f, c, -e])
+            return f
+        raise SortError(f"cannot encode term of kind {k}: {term!r}")
+
+    def assert_formula(self, term: Term, guard: int | None = None) -> None:
+        """Assert ``term`` at the root, optionally guarded by ``guard``
+        (the clause becomes ``term OR NOT guard``)."""
+        extra = [-guard] if guard is not None else []
+        self._assert_top(term, extra)
+
+    def _assert_top(self, term: Term, extra: list[int]) -> None:
+        # Flatten top-level conjunctions / disjunctions into plain clauses.
+        if term.kind is Kind.AND:
+            for a in term.args:
+                self._assert_top(a, extra)
+            return
+        if term.kind is Kind.OR:
+            self.sat.add_clause([self.literal(a) for a in term.args] + extra)
+            return
+        if term.kind is Kind.IMPLIES:
+            a, b = term.args
+            self.sat.add_clause([-self.literal(a), self.literal(b)] + extra)
+            return
+        self.sat.add_clause([self.literal(term)] + extra)

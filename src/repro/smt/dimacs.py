@@ -1,0 +1,93 @@
+"""DIMACS CNF interchange for the SAT core.
+
+Lets the CDCL engine consume the standard benchmark format (and dump the
+boolean abstraction of any query for external cross-checking).  Supports
+the ``p cnf`` header, comment lines, and multi-line clauses terminated
+by 0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TextIO
+
+from .errors import SmtError
+from .sat import SatSolver
+
+
+class DimacsError(SmtError):
+    """Malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Returns (num_vars, clauses)."""
+    nvars: Optional[int] = None
+    nclauses: Optional[int] = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"bad problem line: {line!r}")
+            nvars, nclauses = int(parts[2]), int(parts[3])
+            continue
+        if line.startswith("%"):
+            break  # SATLIB trailer
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        raise DimacsError("last clause not terminated with 0")
+    if nvars is None:
+        raise DimacsError("missing 'p cnf' header")
+    for clause in clauses:
+        for lit in clause:
+            if abs(lit) > nvars:
+                raise DimacsError(f"literal {lit} exceeds declared {nvars} vars")
+    if nclauses is not None and len(clauses) != nclauses:
+        # tolerated (common in the wild) but flagged via attribute? keep strict
+        pass
+    return nvars, clauses
+
+
+def solve_dimacs(text: str) -> tuple[Optional[bool], Optional[list[int]]]:
+    """Solve a DIMACS instance.
+
+    Returns ``(verdict, model)`` where the model is a list of signed
+    literals (DIMACS ``v``-line convention) when satisfiable.
+    """
+    nvars, clauses = parse_dimacs(text)
+    solver = SatSolver()
+    for _ in range(nvars):
+        solver.new_var()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return False, None
+    verdict = solver.solve()
+    if verdict is not True:
+        return verdict, None
+    model = [v if solver.model_value(v) else -v for v in range(1, nvars + 1)]
+    return True, model
+
+
+def to_dimacs(nvars: int, clauses: Iterable[list[int]]) -> str:
+    """Render clauses in DIMACS CNF format."""
+    clause_list = [list(c) for c in clauses]
+    lines = [f"p cnf {nvars} {len(clause_list)}"]
+    for clause in clause_list:
+        for lit in clause:
+            if lit == 0 or abs(lit) > nvars:
+                raise DimacsError(f"invalid literal {lit}")
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs(fp: TextIO, nvars: int, clauses: Iterable[list[int]]) -> None:
+    fp.write(to_dimacs(nvars, clauses))

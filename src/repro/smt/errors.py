@@ -1,0 +1,27 @@
+"""Exception hierarchy for the :mod:`repro.smt` solver stack."""
+
+
+class SmtError(Exception):
+    """Base class for all solver-related errors."""
+
+
+class SortError(SmtError):
+    """A term was used where a different sort (Bool/Real) was expected."""
+
+
+class NonLinearError(SmtError):
+    """An arithmetic term could not be normalized to a linear expression.
+
+    The solver implements QF-LRA only; products of two non-constant terms
+    must be linearized by the caller (e.g. with the if-then-else expansion
+    described in the CCmatic paper, available as
+    :func:`repro.smt.encodings.select_product`).
+    """
+
+
+class UnknownResultError(SmtError):
+    """A model or core was requested but the last check did not produce one."""
+
+
+class BudgetExceededError(SmtError):
+    """A resource budget (conflicts, propagations, wall clock) was exhausted."""

@@ -1,0 +1,107 @@
+"""MaxSAT on top of the DPLL(T) stack.
+
+The paper (§4.1) proposes MaxSAT to define the *weakest sufficient
+assumption* when synthesizing environment assumptions.  We implement
+weighted partial MaxSAT by the indicator-sum method: each soft constraint
+gets a relaxation boolean coupled to a 0/1 real indicator, and we binary
+search for the smallest achievable total relaxation weight using the
+underlying LRA engine for the cardinality arithmetic — no dedicated
+cardinality encodings needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from .encodings import bool_indicator
+from .solver import Model, Solver, sat
+from .terms import FreshBool, FreshReal, Or, RealVal, Sum, Term
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a MaxSAT call."""
+
+    feasible: bool  # hard constraints satisfiable at all
+    cost: Optional[Fraction]  # total weight of violated soft constraints
+    model: Optional[Model]
+    satisfied: list[bool]  # per-soft-constraint satisfaction flags
+
+
+class MaxSatSolver:
+    """Weighted partial MaxSAT: minimize the weight of violated softs."""
+
+    def __init__(self):
+        self.solver = Solver()
+        self._softs: list[tuple[Term, Fraction, Term]] = []  # (formula, weight, relax)
+
+    def add_hard(self, *formulas: Term) -> None:
+        """Constraints that must hold."""
+        self.solver.add(*formulas)
+
+    def add_soft(self, formula: Term, weight: Fraction | int = 1) -> None:
+        """A constraint we would like to hold; violating it costs ``weight``."""
+        relax = FreshBool("relax")
+        indicator = FreshReal("relax_ind")
+        self.solver.add(Or(formula, relax))
+        self.solver.add(bool_indicator(relax, indicator))
+        self._softs.append((formula, Fraction(weight), indicator))
+
+    def solve(self, max_conflicts: Optional[int] = None) -> MaxSatResult:
+        """Minimize total relaxation cost by binary search on the cost sum."""
+        if not self._softs:
+            outcome = self.solver.check(max_conflicts=max_conflicts)
+            if outcome is not sat:
+                return MaxSatResult(False, None, None, [])
+            return MaxSatResult(True, Fraction(0), self.solver.model(), [])
+
+        cost_term = Sum(
+            RealVal(w) * ind for (_f, w, ind) in self._softs
+        )
+        outcome = self.solver.check(max_conflicts=max_conflicts)
+        if outcome is not sat:
+            return MaxSatResult(False, None, None, [])
+        best_model = self.solver.model()
+        best_cost = best_model.value(cost_term)
+
+        lo = Fraction(0)
+        hi = best_cost
+        while lo < hi:
+            mid = (lo + hi) / 2
+            self.solver.push()
+            self.solver.add(cost_term <= mid)
+            outcome = self.solver.check(max_conflicts=max_conflicts)
+            if outcome is sat:
+                model = self.solver.model()
+                achieved = model.value(cost_term)
+                best_model, best_cost = model, achieved
+                hi = achieved
+            else:
+                # costs live on a discrete lattice; tighten lo past mid
+                lo = _next_weight_at_least(self._weights(), mid)
+            self.solver.pop()
+        flags = [bool(best_model.value(f)) for (f, _w, _i) in self._softs]
+        return MaxSatResult(True, best_cost, best_model, flags)
+
+    def _weights(self) -> Sequence[Fraction]:
+        return [w for (_f, w, _i) in self._softs]
+
+
+def _next_weight_at_least(weights: Sequence[Fraction], threshold: Fraction) -> Fraction:
+    """Smallest subset-sum of ``weights`` strictly greater than ``threshold``.
+
+    Exact when the number of softs is small (<= 20); otherwise falls back
+    to ``threshold + min_weight`` which keeps the search sound (may take a
+    few extra iterations, never skips the optimum).
+    """
+    if len(weights) <= 20:
+        sums = {Fraction(0)}
+        for w in weights:
+            sums |= {s + w for s in sums}
+        candidates = [s for s in sums if s > threshold]
+        if candidates:
+            return min(candidates)
+        return threshold + (min(weights) if weights else Fraction(1))
+    return threshold + min(weights)

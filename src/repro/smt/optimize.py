@@ -1,0 +1,96 @@
+"""Objective optimization by binary search over a rational objective.
+
+The CCmatic *worst-case counterexample* optimization asks the verifier to
+maximize ``min_t (u_t - l_t)`` (paper §3.1.2) — "we maximize using binary
+search".  This module provides exactly that primitive, generalized: given a
+satisfiable constraint system and a real objective term, find (to a given
+precision) the largest value ``m`` such that the system plus
+``objective >= m`` is satisfiable, returning the maximizing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from .solver import Model, Result, Solver, sat, unsat
+from .terms import Term
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of a binary-search optimization."""
+
+    feasible: bool
+    best_value: Optional[Fraction]
+    model: Optional[Model]
+    probes: int
+
+
+def maximize(
+    solver: Solver,
+    objective: Term,
+    lo: Fraction,
+    hi: Fraction,
+    precision: Fraction = Fraction(1, 64),
+    max_conflicts: Optional[int] = None,
+) -> OptimizeResult:
+    """Maximize ``objective`` over the solver's current assertions.
+
+    ``lo`` must be a value for which feasibility is *unknown or likely*;
+    ``hi`` an upper limit of the search.  The solver is used through
+    push/pop, so its assertion stack is unchanged on return.  Returns the
+    best model found; ``feasible=False`` when even ``objective >= lo`` has
+    no model.
+    """
+    lo = Fraction(lo)
+    hi = Fraction(hi)
+    probes = 0
+
+    def probe(value: Fraction) -> tuple[Result, Optional[Model]]:
+        nonlocal probes
+        probes += 1
+        solver.push()
+        solver.add(objective >= value)
+        outcome = solver.check(max_conflicts=max_conflicts)
+        model = solver.model() if outcome is sat else None
+        solver.pop()
+        return outcome, model
+
+    outcome, model = probe(lo)
+    if outcome is not sat:
+        return OptimizeResult(False, None, None, probes)
+    best_value = model.value(objective)
+    best_model = model
+
+    # best_value may already exceed lo; start the search from it.
+    low = max(lo, best_value)
+    high = hi
+    while high - low > precision:
+        mid = (low + high) / 2
+        outcome, model = probe(mid)
+        if outcome is sat:
+            achieved = model.value(objective)
+            low = max(mid, achieved)
+            if achieved > best_value:
+                best_value = achieved
+                best_model = model
+        else:
+            high = mid
+    return OptimizeResult(True, best_value, best_model, probes)
+
+
+def minimize(
+    solver: Solver,
+    objective: Term,
+    lo: Fraction,
+    hi: Fraction,
+    precision: Fraction = Fraction(1, 64),
+    max_conflicts: Optional[int] = None,
+) -> OptimizeResult:
+    """Minimize ``objective`` (dual of :func:`maximize`)."""
+    result = maximize(solver, -objective, -hi, -lo, precision, max_conflicts)
+    if result.best_value is not None:
+        return OptimizeResult(result.feasible, -result.best_value, result.model, result.probes)
+    return result

@@ -1,0 +1,346 @@
+"""Incremental Simplex for linear real arithmetic (Dutertre–de Moura).
+
+This is the theory core behind the DPLL(T) solver: it maintains a tableau
+of linear equalities ``basic = sum(coeff * nonbasic)`` plus per-variable
+bounds, supports asserting/retracting bounds along the SAT trail, and
+decides feasibility by Bland-rule pivoting.  All arithmetic is exact
+(:class:`fractions.Fraction`); strict inequalities are handled with
+δ-rationals (:class:`DRat`), pairs ``r + d·δ`` for an infinitesimal δ.
+
+The design follows "A Fast Linear-Arithmetic Solver for DPLL(T)"
+(Dutertre & de Moura, CAV 2006): backtracking only restores bounds — the
+tableau and the current assignment are kept, so pops are O(#bounds).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+
+class DRat:
+    """δ-rational ``r + d·δ`` for an infinitesimal positive δ.
+
+    Ordering is lexicographic on ``(r, d)``, which matches the semantics
+    of strict bounds: ``x < c`` is ``x <= c - δ``.
+    """
+
+    __slots__ = ("r", "d")
+
+    def __init__(self, r, d=0):
+        self.r = Fraction(r)
+        self.d = Fraction(d)
+
+    def __add__(self, other: "DRat") -> "DRat":
+        return DRat(self.r + other.r, self.d + other.d)
+
+    def __sub__(self, other: "DRat") -> "DRat":
+        return DRat(self.r - other.r, self.d - other.d)
+
+    def scale(self, k: Fraction) -> "DRat":
+        return DRat(self.r * k, self.d * k)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DRat) and self.r == other.r and self.d == other.d
+
+    def __lt__(self, other: "DRat") -> bool:
+        return (self.r, self.d) < (other.r, other.d)
+
+    def __le__(self, other: "DRat") -> bool:
+        return (self.r, self.d) <= (other.r, other.d)
+
+    def __gt__(self, other: "DRat") -> bool:
+        return (self.r, self.d) > (other.r, other.d)
+
+    def __ge__(self, other: "DRat") -> bool:
+        return (self.r, self.d) >= (other.r, other.d)
+
+    def __hash__(self) -> int:
+        return hash((self.r, self.d))
+
+    def concretize(self, delta: Fraction) -> Fraction:
+        """Substitute a concrete positive rational for δ."""
+        return self.r + self.d * delta
+
+    def __repr__(self) -> str:
+        if self.d == 0:
+            return str(self.r)
+        sign = "+" if self.d > 0 else "-"
+        return f"{self.r} {sign} {abs(self.d)}δ"
+
+
+ZERO = DRat(0)
+
+
+class Conflict(list):
+    """A list of explanation tags whose bounds are jointly inconsistent."""
+
+
+class Simplex:
+    """Incremental simplex over exact δ-rationals.
+
+    Variables are dense ints.  Bounds carry an opaque *explanation tag*
+    (the SAT literal that asserted them); conflicts are reported as lists
+    of these tags.
+    """
+
+    def __init__(self):
+        self.nvars = 0
+        self.lower: list[Optional[DRat]] = []
+        self.upper: list[Optional[DRat]] = []
+        self.lower_tag: list = []
+        self.upper_tag: list = []
+        self.assign: list[DRat] = []
+        # rows: basic var -> {nonbasic var: Fraction}
+        self.rows: dict[int, dict[int, Fraction]] = {}
+        # cols: nonbasic var -> set of basic vars whose row mentions it
+        self.cols: dict[int, set[int]] = {}
+        self.basic: set[int] = set()
+        # undo machinery
+        self._trail: list[tuple[int, str, Optional[DRat], object]] = []
+        self._level_marks: list[int] = []
+        self.pivots = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        v = self.nvars
+        self.nvars += 1
+        self.lower.append(None)
+        self.upper.append(None)
+        self.lower_tag.append(None)
+        self.upper_tag.append(None)
+        self.assign.append(ZERO)
+        self.cols[v] = set()
+        return v
+
+    def add_row(self, expr: dict[int, Fraction]) -> int:
+        """Introduce a slack variable ``s`` with ``s = expr`` and return it.
+
+        ``expr`` maps existing variables to coefficients; any basic
+        variables in it are substituted by their rows so the new row only
+        mentions nonbasic variables.
+        """
+        s = self.new_var()
+        row: dict[int, Fraction] = {}
+        for var, coeff in expr.items():
+            if var in self.basic:
+                for v2, c2 in self.rows[var].items():
+                    row[v2] = row.get(v2, Fraction(0)) + coeff * c2
+            else:
+                row[var] = row.get(var, Fraction(0)) + coeff
+        row = {v: c for v, c in row.items() if c != 0}
+        self.rows[s] = row
+        self.basic.add(s)
+        for var in row:
+            self.cols[var].add(s)
+        self.assign[s] = self._row_value(row)
+        return s
+
+    def _row_value(self, row: dict[int, Fraction]) -> DRat:
+        total = ZERO
+        for var, coeff in row.items():
+            total = total + self.assign[var].scale(coeff)
+        return total
+
+    # ------------------------------------------------------------------
+    # Bound assertion / retraction
+    # ------------------------------------------------------------------
+
+    def push_level(self) -> None:
+        self._level_marks.append(len(self._trail))
+
+    def pop_levels(self, count: int) -> None:
+        if count <= 0 or not self._level_marks:
+            return
+        count = min(count, len(self._level_marks))
+        mark = self._level_marks[-count]
+        del self._level_marks[-count:]
+        while len(self._trail) > mark:
+            var, which, old_bound, old_tag = self._trail.pop()
+            if which == "L":
+                self.lower[var] = old_bound
+                self.lower_tag[var] = old_tag
+            else:
+                self.upper[var] = old_bound
+                self.upper_tag[var] = old_tag
+
+    def reset_bounds(self) -> None:
+        """Retract every bound (level-0 included); tableau is kept."""
+        self._trail.clear()
+        self._level_marks.clear()
+        for v in range(self.nvars):
+            self.lower[v] = None
+            self.upper[v] = None
+            self.lower_tag[v] = None
+            self.upper_tag[v] = None
+
+    def assert_upper(self, var: int, bound: DRat, tag) -> Optional[Conflict]:
+        """Assert ``var <= bound``; returns a conflict or None."""
+        current = self.upper[var]
+        if current is not None and bound >= current:
+            return None
+        low = self.lower[var]
+        if low is not None and bound < low:
+            return Conflict([tag, self.lower_tag[var]])
+        self._trail.append((var, "U", current, self.upper_tag[var]))
+        self.upper[var] = bound
+        self.upper_tag[var] = tag
+        if var not in self.basic and self.assign[var] > bound:
+            self._update(var, bound)
+        return None
+
+    def assert_lower(self, var: int, bound: DRat, tag) -> Optional[Conflict]:
+        """Assert ``var >= bound``; returns a conflict or None."""
+        current = self.lower[var]
+        if current is not None and bound <= current:
+            return None
+        up = self.upper[var]
+        if up is not None and bound > up:
+            return Conflict([tag, self.upper_tag[var]])
+        self._trail.append((var, "L", current, self.lower_tag[var]))
+        self.lower[var] = bound
+        self.lower_tag[var] = tag
+        if var not in self.basic and self.assign[var] < bound:
+            self._update(var, bound)
+        return None
+
+    def _update(self, var: int, value: DRat) -> None:
+        delta = value - self.assign[var]
+        for b in self.cols[var]:
+            coeff = self.rows[b].get(var)
+            if coeff:
+                self.assign[b] = self.assign[b] + delta.scale(coeff)
+        self.assign[var] = value
+
+    # ------------------------------------------------------------------
+    # Feasibility check
+    # ------------------------------------------------------------------
+
+    def check(self) -> Optional[Conflict]:
+        """Pivot until all bounds hold; returns a conflict or None."""
+        while True:
+            violated = -1
+            below = False
+            for b in sorted(self.basic):  # Bland's rule: smallest index
+                val = self.assign[b]
+                lo = self.lower[b]
+                if lo is not None and val < lo:
+                    violated, below = b, True
+                    break
+                up = self.upper[b]
+                if up is not None and val > up:
+                    violated, below = b, False
+                    break
+            if violated < 0:
+                return None
+            b = violated
+            row = self.rows[b]
+            pivot_var = -1
+            for j in sorted(row):
+                coeff = row[j]
+                if below:
+                    can = (coeff > 0 and (self.upper[j] is None or self.assign[j] < self.upper[j])) or (
+                        coeff < 0 and (self.lower[j] is None or self.assign[j] > self.lower[j])
+                    )
+                else:
+                    can = (coeff < 0 and (self.upper[j] is None or self.assign[j] < self.upper[j])) or (
+                        coeff > 0 and (self.lower[j] is None or self.assign[j] > self.lower[j])
+                    )
+                if can:
+                    pivot_var = j
+                    break
+            if pivot_var < 0:
+                return self._explain(b, below)
+            target = self.lower[b] if below else self.upper[b]
+            assert target is not None
+            self._pivot_and_update(b, pivot_var, target)
+
+    def _explain(self, b: int, below: bool) -> Conflict:
+        row = self.rows[b]
+        tags = []
+        if below:
+            tags.append(self.lower_tag[b])
+            for j, coeff in row.items():
+                tags.append(self.upper_tag[j] if coeff > 0 else self.lower_tag[j])
+        else:
+            tags.append(self.upper_tag[b])
+            for j, coeff in row.items():
+                tags.append(self.lower_tag[j] if coeff > 0 else self.upper_tag[j])
+        return Conflict([t for t in tags if t is not None])
+
+    def _pivot_and_update(self, b: int, j: int, v: DRat) -> None:
+        self.pivots += 1
+        a_bj = self.rows[b][j]
+        theta = (v - self.assign[b]).scale(Fraction(1) / a_bj)
+        self.assign[b] = v
+        self.assign[j] = self.assign[j] + theta
+        for b2 in self.cols[j]:
+            if b2 != b:
+                coeff = self.rows[b2].get(j)
+                if coeff:
+                    self.assign[b2] = self.assign[b2] + theta.scale(coeff)
+        self._pivot(b, j)
+
+    def _pivot(self, b: int, j: int) -> None:
+        """Swap basic ``b`` with nonbasic ``j``."""
+        row = self.rows.pop(b)
+        self.basic.discard(b)
+        a_bj = row.pop(j)
+        self.cols[j].discard(b)
+        # j = (b - sum_{k != j} a_k x_k) / a_bj
+        new_row: dict[int, Fraction] = {b: Fraction(1) / a_bj}
+        for k, a_k in row.items():
+            new_row[k] = -a_k / a_bj
+            self.cols[k].discard(b)
+        self.rows[j] = new_row
+        self.basic.add(j)
+        self.cols.setdefault(b, set()).add(j)
+        for k in new_row:
+            if k != b:
+                self.cols[k].add(j)
+        # substitute j in every other row that mentions it
+        for b2 in list(self.cols[j]):
+            if b2 == j:
+                continue
+            row2 = self.rows[b2]
+            c = row2.pop(j, None)
+            if c is None:
+                continue
+            for k, a_k in new_row.items():
+                nv = row2.get(k, Fraction(0)) + c * a_k
+                if nv == 0:
+                    if k in row2:
+                        del row2[k]
+                        self.cols[k].discard(b2)
+                else:
+                    if k not in row2:
+                        self.cols[k].add(b2)
+                    row2[k] = nv
+        self.cols[j] = set()
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+
+    def concrete_delta(self) -> Fraction:
+        """A positive rational value for δ under which the current
+        assignment satisfies every asserted bound concretely."""
+        delta = Fraction(1)
+        for v in range(self.nvars):
+            val = self.assign[v]
+            lo = self.lower[v]
+            if lo is not None and lo.r < val.r and lo.d > val.d:
+                delta = min(delta, (val.r - lo.r) / (lo.d - val.d))
+            up = self.upper[v]
+            if up is not None and val.r < up.r and val.d > up.d:
+                delta = min(delta, (up.r - val.r) / (val.d - up.d))
+        return delta / 2
+
+    def model(self) -> list[Fraction]:
+        """Concrete rational values for all variables (call after a
+        successful :meth:`check`)."""
+        delta = self.concrete_delta()
+        return [self.assign[v].concretize(delta) for v in range(self.nvars)]

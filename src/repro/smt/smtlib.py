@@ -1,0 +1,301 @@
+"""SMT-LIB v2 interchange for the QF-LRA fragment.
+
+Lets users dump any query this library builds (e.g. a CCAC verification
+instance) to the standard format — so it can be cross-checked against
+Z3/CVC5 where those are available — and load simple QF-LRA benchmarks
+back in.  Supported surface:
+
+* sorts ``Bool`` and ``Real``;
+* ``declare-const`` / ``declare-fun`` with zero arguments;
+* ``assert`` over ``and or not => ite + - * / <= < >= > =``, rational and
+  decimal literals, ``true``/``false``;
+* ``(check-sat)`` / ``(get-model)`` markers (ignored on parse).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator
+
+from .errors import SmtError, SortError
+from .terms import (
+    And,
+    Bool,
+    BoolVal,
+    Eq,
+    Implies,
+    Ite,
+    Kind,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Sort,
+    Term,
+)
+
+
+class SmtLibError(SmtError):
+    """Malformed SMT-LIB input."""
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+
+
+def _rational_to_smtlib(value: Fraction) -> str:
+    if value < 0:
+        return f"(- {_rational_to_smtlib(-value)})"
+    if value.denominator == 1:
+        return f"{value.numerator}.0"
+    return f"(/ {value.numerator}.0 {value.denominator}.0)"
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render one term as an SMT-LIB s-expression."""
+    k = term.kind
+    if k is Kind.CONST:
+        if term.sort is Sort.BOOL:
+            return "true" if term.value else "false"
+        return _rational_to_smtlib(term.value)
+    if k is Kind.VAR:
+        return term.name
+    if k is Kind.NOT:
+        return f"(not {term_to_smtlib(term.args[0])})"
+    if k is Kind.AND:
+        return "(and " + " ".join(term_to_smtlib(a) for a in term.args) + ")"
+    if k is Kind.OR:
+        return "(or " + " ".join(term_to_smtlib(a) for a in term.args) + ")"
+    if k is Kind.IMPLIES:
+        return f"(=> {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+    if k is Kind.IFF:
+        return f"(= {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+    if k is Kind.ITE:
+        a, b, c = (term_to_smtlib(x) for x in term.args)
+        return f"(ite {a} {b} {c})"
+    if k is Kind.ADD:
+        return "(+ " + " ".join(term_to_smtlib(a) for a in term.args) + ")"
+    if k is Kind.NEG:
+        return f"(- {term_to_smtlib(term.args[0])})"
+    if k is Kind.SCALE:
+        if term.value is None:
+            return f"(* {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+        return f"(* {_rational_to_smtlib(term.value)} {term_to_smtlib(term.args[0])})"
+    if k is Kind.LE:
+        return f"(<= {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+    if k is Kind.LT:
+        return f"(< {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+    if k is Kind.EQ:
+        return f"(= {term_to_smtlib(term.args[0])} {term_to_smtlib(term.args[1])})"
+    raise SortError(f"cannot print kind {k}")
+
+
+def to_smtlib(assertions: list[Term], logic: str = "QF_LRA") -> str:
+    """A complete SMT-LIB script for a list of assertions."""
+    variables: dict[str, Term] = {}
+    for formula in assertions:
+        for node in formula.iter_dag():
+            if node.is_var():
+                variables[node.name] = node
+    lines = [f"(set-logic {logic})"]
+    for name in sorted(variables):
+        sort = "Bool" if variables[name].sort is Sort.BOOL else "Real"
+        lines.append(f"(declare-const {name} {sort})")
+    for formula in assertions:
+        lines.append(f"(assert {term_to_smtlib(formula)})")
+    lines.append("(check-sat)")
+    lines.append("(get-model)")
+    return "\n".join(lines) + "\n"
+
+
+def solver_to_smtlib(solver) -> str:
+    """Dump a :class:`repro.smt.Solver`'s active assertions."""
+    return to_smtlib(solver.assertions())
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in "()":
+            yield c
+            i += 1
+        elif c.isspace():
+            i += 1
+        elif c == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "|":
+            j = text.index("|", i + 1)
+            yield text[i : j + 1]
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "();":
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _parse_sexprs(tokens: list[str]):
+    """Token list -> nested lists/atoms."""
+    pos = 0
+
+    def parse_one():
+        nonlocal pos
+        if pos >= len(tokens):
+            raise SmtLibError("unexpected end of input")
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            out = []
+            while pos < len(tokens) and tokens[pos] != ")":
+                out.append(parse_one())
+            if pos >= len(tokens):
+                raise SmtLibError("unbalanced parentheses")
+            pos += 1  # consume ')'
+            return out
+        if tok == ")":
+            raise SmtLibError("unexpected ')'")
+        return tok
+
+    exprs = []
+    while pos < len(tokens):
+        exprs.append(parse_one())
+    return exprs
+
+
+def _atom_value(tok: str) -> Fraction | None:
+    try:
+        if "." in tok:
+            return Fraction(tok)
+        return Fraction(int(tok))
+    except (ValueError, ZeroDivisionError):
+        return None
+
+
+class SmtLibScript:
+    """Result of parsing: declarations + assertions."""
+
+    def __init__(self):
+        self.logic: str | None = None
+        self.variables: dict[str, Term] = {}
+        self.assertions: list[Term] = []
+
+    def check(self):
+        """Solve the parsed script with our solver; returns a Result."""
+        from .solver import Solver
+
+        solver = Solver()
+        solver.add(*self.assertions)
+        return solver.check()
+
+
+def parse_smtlib(text: str) -> SmtLibScript:
+    """Parse an SMT-LIB script (the supported fragment)."""
+    script = SmtLibScript()
+    for expr in _parse_sexprs(list(_tokenize(text))):
+        if not isinstance(expr, list) or not expr:
+            raise SmtLibError(f"top-level form expected, got {expr!r}")
+        head = expr[0]
+        if head == "set-logic":
+            script.logic = expr[1]
+        elif head in ("set-info", "set-option", "check-sat", "get-model", "exit"):
+            continue
+        elif head == "declare-const":
+            _, name, sort = expr
+            script.variables[name] = _declare(name, sort)
+        elif head == "declare-fun":
+            _, name, params, sort = expr
+            if params:
+                raise SmtLibError("only zero-arity functions supported")
+            script.variables[name] = _declare(name, sort)
+        elif head == "assert":
+            script.assertions.append(_build(expr[1], script.variables))
+        else:
+            raise SmtLibError(f"unsupported command {head!r}")
+    return script
+
+
+def _declare(name: str, sort: str) -> Term:
+    if sort == "Bool":
+        return Bool(name)
+    if sort == "Real":
+        return Real(name)
+    raise SmtLibError(f"unsupported sort {sort!r}")
+
+
+def _build(expr, variables: dict[str, Term]) -> Term:
+    if isinstance(expr, str):
+        if expr == "true":
+            return BoolVal(True)
+        if expr == "false":
+            return BoolVal(False)
+        value = _atom_value(expr)
+        if value is not None:
+            return RealVal(value)
+        if expr in variables:
+            return variables[expr]
+        raise SmtLibError(f"undeclared symbol {expr!r}")
+    head, *args = expr
+    if head == "-" and len(args) == 1:
+        return -_build(args[0], variables)
+    built = [_build(a, variables) for a in args]
+    if head == "and":
+        return And(*built)
+    if head == "or":
+        return Or(*built)
+    if head == "not":
+        return Not(built[0])
+    if head == "=>":
+        out = built[-1]
+        for a in reversed(built[:-1]):
+            out = Implies(a, out)
+        return out
+    if head == "ite":
+        return Ite(built[0], built[1], built[2])
+    if head == "+":
+        out = built[0]
+        for b in built[1:]:
+            out = out + b
+        return out
+    if head == "-":
+        out = built[0]
+        for b in built[1:]:
+            out = out - b
+        return out
+    if head == "*":
+        out = built[0]
+        for b in built[1:]:
+            out = out * b
+        return out
+    if head == "/":
+        out = built[0]
+        for b in built[1:]:
+            if not b.is_const():
+                raise SmtLibError("division only by constants in QF_LRA fragment")
+            out = out / b.value
+        return out
+    if head == "<=":
+        return _chain(built, lambda a, b: a <= b)
+    if head == "<":
+        return _chain(built, lambda a, b: a < b)
+    if head == ">=":
+        return _chain(built, lambda a, b: a >= b)
+    if head == ">":
+        return _chain(built, lambda a, b: a > b)
+    if head == "=":
+        return _chain(built, Eq)
+    raise SmtLibError(f"unsupported operator {head!r}")
+
+
+def _chain(args: list[Term], op) -> Term:
+    parts = [op(a, b) for a, b in zip(args, args[1:])]
+    return And(*parts)

@@ -1,0 +1,185 @@
+"""The user-facing SMT solver: a z3-flavoured API over CDCL(T).
+
+Example::
+
+    from repro.smt import Real, Solver, sat
+
+    x, y = Real("x"), Real("y")
+    s = Solver()
+    s.add(x + y <= 4, x >= 1, y >= 2)
+    assert s.check() == sat
+    m = s.model()
+    m.value(x)  # Fraction
+
+``push``/``pop`` are implemented with guard literals: every assertion made
+inside a frame is guarded by that frame's activation literal, checks pass
+the active guards as assumptions, and ``pop`` permanently disables the
+guard.  This keeps the CDCL core fully incremental (learned clauses are
+never invalidated).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from .cnf import TseitinEncoder
+from .errors import UnknownResultError
+from .preprocess import preprocess
+from .sat import SatSolver
+from .terms import Sort, Term, evaluate
+from .theory import LraTheory
+
+
+class Result(Enum):
+    """Outcome of a :meth:`Solver.check` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError("compare against repro.smt.sat/unsat explicitly")
+
+
+sat = Result.SAT
+unsat = Result.UNSAT
+unknown = Result.UNKNOWN
+
+
+class Model:
+    """A satisfying assignment; evaluates arbitrary terms.
+
+    Variables that the solver never saw evaluate to 0 / False, matching
+    the convention of other SMT solvers for don't-care variables.
+    """
+
+    def __init__(self, bool_values: dict[Term, bool], real_values: dict[Term, Fraction]):
+        self._bools = bool_values
+        self._reals = real_values
+
+    def value(self, term: Term):
+        """Evaluate ``term`` (bool -> bool, real -> Fraction)."""
+        if term.is_var():
+            if term.sort is Sort.BOOL:
+                return self._bools.get(term, False)
+            return self._reals.get(term, Fraction(0))
+
+        class _Env:
+            def __init__(self, model: "Model"):
+                self.model = model
+
+            def __getitem__(self, var: Term):
+                return self.model.value(var)
+
+        return evaluate(term, _Env(self))
+
+    def __repr__(self) -> str:
+        parts = [f"{t.name}={v}" for t, v in list(self._reals.items())[:8]]
+        return f"Model({', '.join(parts)}{'...' if len(self._reals) > 8 else ''})"
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics over the life of a solver."""
+
+    checks: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    pivots: int = 0
+    solve_time: float = 0.0
+
+
+class Solver:
+    """Incremental DPLL(T) solver for QF-LRA + booleans."""
+
+    def __init__(self):
+        self.theory = LraTheory()
+        self.sat_core = SatSolver(self.theory)
+        self.encoder = TseitinEncoder(self.sat_core, self.theory)
+        self._frames: list[int] = []  # guard SAT vars, one per push
+        self._assertions: list[list[Term]] = [[]]
+        self._last_result: Optional[Result] = None
+        self._model: Optional[Model] = None
+        self.stats = SolverStats()
+
+    # -- assertions -----------------------------------------------------------
+
+    def add(self, *formulas: Term) -> None:
+        """Assert one or more boolean terms."""
+        guard = self._frames[-1] if self._frames else None
+        for f in formulas:
+            self._assertions[-1].append(f)
+            self.encoder.assert_formula(preprocess(f), guard)
+        self._last_result = None
+
+    def assertions(self) -> list[Term]:
+        """All currently active assertions (across frames)."""
+        return [f for frame in self._assertions for f in frame]
+
+    def push(self) -> None:
+        """Open a new assertion frame."""
+        self._frames.append(self.sat_core.new_var())
+        self._assertions.append([])
+
+    def pop(self) -> None:
+        """Discard the most recent frame and its assertions."""
+        if not self._frames:
+            raise IndexError("pop without matching push")
+        guard = self._frames.pop()
+        self._assertions.pop()
+        self.sat_core.add_clause([-guard])
+        self._last_result = None
+
+    # -- solving --------------------------------------------------------------
+
+    def check(self, max_conflicts: Optional[int] = None) -> Result:
+        """Decide satisfiability of the current assertion stack."""
+        start = time.perf_counter()
+        outcome = self.sat_core.solve(
+            assumptions=list(self._frames), max_conflicts=max_conflicts
+        )
+        self.stats.checks += 1
+        self.stats.solve_time += time.perf_counter() - start
+        self.stats.conflicts = self.sat_core.conflicts
+        self.stats.decisions = self.sat_core.decisions
+        self.stats.propagations = self.sat_core.propagations
+        self.stats.pivots = self.theory.simplex.pivots
+        if outcome is None:
+            self._last_result = unknown
+            self._model = None
+        elif outcome:
+            self._last_result = sat
+            self._model = self._build_model()
+        else:
+            self._last_result = unsat
+            self._model = None
+        return self._last_result
+
+    def _build_model(self) -> Model:
+        bools = {
+            term: self.sat_core.model_value(var)
+            for term, var in self.encoder._bool_vars.items()
+        }
+        reals = {
+            term: self.theory.model_value(term)
+            for term in self.theory.var_of_term
+        }
+        return Model(bools, reals)
+
+    def model(self) -> Model:
+        """The model of the last successful :meth:`check`."""
+        if self._model is None:
+            raise UnknownResultError("no model available (last check not sat)")
+        return self._model
+
+
+def check_formulas(formulas: Iterable[Term], max_conflicts: Optional[int] = None) -> Result:
+    """One-shot satisfiability check of a conjunction of formulas."""
+    s = Solver()
+    s.add(*formulas)
+    return s.check(max_conflicts=max_conflicts)

@@ -1,0 +1,86 @@
+"""ABR verifier tests (paper §5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.abr import AbrConfig, AbrPolicy, AbrVerifier, synthesize_threshold
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AbrConfig(n_chunks=5, startup_delay=2,
+                     size_low=Fraction(1, 2), size_high=Fraction(3, 2))
+
+
+@pytest.fixture(scope="module")
+def verifier(cfg):
+    return AbrVerifier(cfg)
+
+
+class TestConfig:
+    def test_trace_length(self, cfg):
+        assert cfg.T == cfg.startup_delay + cfg.n_chunks
+
+    def test_low_quality_must_be_sustainable(self):
+        with pytest.raises(ValueError):
+            AbrConfig(size_low=Fraction(2), size_high=Fraction(3))
+
+    def test_sizes_ordered(self):
+        with pytest.raises(ValueError):
+            AbrConfig(size_low=Fraction(1), size_high=Fraction(1, 2))
+
+
+class TestVerifier:
+    def test_greedy_policy_stalls(self, cfg, verifier):
+        """Always-high-quality exceeds link rate and must stall on some
+        admissible trace."""
+        trace = verifier.find_counterexample(AbrPolicy(Fraction(0)))
+        assert trace is not None
+        assert trace.stalled_chunk is not None
+
+    def test_conservative_policy_verified(self, cfg, verifier):
+        """Always-low-quality (size <= C) never stalls: provable."""
+        assert verifier.verify(AbrPolicy(Fraction(1000)))
+
+    def test_counterexample_trace_admissible(self, cfg, verifier):
+        trace = verifier.find_counterexample(AbrPolicy(Fraction(0)))
+        S = trace.S
+        assert S[0] == 0
+        for t in range(1, cfg.T + 1):
+            assert S[t] >= S[t - 1]
+            assert S[t] - S[t - 1] <= cfg.C
+            assert S[t] <= cfg.C * t
+            back = t - cfg.jitter
+            if back >= 0:
+                assert S[t] >= cfg.C * back
+
+    def test_counterexample_qualities_follow_policy(self, cfg, verifier):
+        trace = verifier.find_counterexample(AbrPolicy(Fraction(0)))
+        # theta = 0: every chunk with non-negative lead is high quality
+        assert all(q in (0, 1) for q in trace.qualities)
+
+    def test_quality_floor_makes_it_harder(self, cfg, verifier):
+        """Policies meeting a quality floor are a subset of stall-free
+        policies."""
+        theta = Fraction(1000)
+        assert verifier.verify(AbrPolicy(theta))
+        # demanding all chunks at high quality with huge theta must fail
+        assert not verifier.verify(AbrPolicy(theta), min_high_chunks=cfg.n_chunks)
+
+
+class TestSynthesis:
+    def test_synthesized_threshold_verifies(self, cfg, verifier):
+        policy = synthesize_threshold(cfg)
+        assert policy is not None
+        assert verifier.verify(policy)
+
+    def test_threshold_monotone(self, cfg, verifier):
+        """Anything above a verified threshold also verifies."""
+        policy = synthesize_threshold(cfg)
+        assert verifier.verify(AbrPolicy(policy.theta + 1))
+
+    def test_with_quality_floor(self, cfg, verifier):
+        policy = synthesize_threshold(cfg, min_high_chunks=1)
+        if policy is not None:
+            assert verifier.verify(policy, min_high_chunks=1)

@@ -1,0 +1,166 @@
+"""Tests of the CCAC-lite model: constraint consistency, adversary power,
+and the paper's qualitative verification verdicts."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import (
+    CcacModel,
+    CexTrace,
+    ModelConfig,
+    bounded_queue,
+    desired_property,
+    high_utilization,
+    negated_desired,
+)
+from repro.core import CcacVerifier, constant_cwnd, rocc
+from repro.smt import And, Not, Solver, sat, unsat
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ModelConfig()
+        assert cfg.T > cfg.history
+        assert cfg.bdp == 1
+
+    def test_t_must_exceed_history(self):
+        with pytest.raises(ValueError):
+            ModelConfig(T=4, history=4)
+
+    def test_with_thresholds(self):
+        cfg = ModelConfig().with_thresholds(util=Fraction(7, 10))
+        assert cfg.util_thresh == Fraction(7, 10)
+        assert cfg.delay_thresh == ModelConfig().delay_thresh
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(jitter=-1)
+
+
+class TestEnvironmentSat:
+    def test_environment_alone_satisfiable(self, fast_cfg):
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        assert s.check() is sat
+
+    def test_ideal_trace_exists(self, fast_cfg):
+        """A full-utilization, zero-queue-growth trace is admissible."""
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(high_utilization(net))
+        s.add(bounded_queue(net))
+        assert s.check() is sat
+
+    def test_adversary_can_violate_property(self, fast_cfg):
+        """Without any CCA constraint, the adversary can break the
+        property (otherwise synthesis would be vacuous)."""
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(negated_desired(net))
+        assert s.check() is sat
+
+    def test_service_cannot_exceed_link_rate(self, fast_cfg):
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(net.S[fast_cfg.T] > fast_cfg.C * fast_cfg.T)
+        assert s.check() is unsat
+
+    def test_waste_needs_idle_sender(self, fast_cfg):
+        """W cannot grow while the sender has a large backlog."""
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        # big queue at every step and waste growth at step 2
+        s.add(net.W[2] > net.W[1])
+        s.add(net.A[2] > net.tokens(2))
+        assert s.check() is unsat
+
+
+class TestTraceExtraction:
+    def test_counterexample_satisfies_environment(self, fast_cfg):
+        res = CcacVerifier(fast_cfg).find_counterexample(
+            constant_cwnd(1, fast_cfg.history)
+        )
+        assert not res.verified
+        trace = res.counterexample
+        assert trace.check_environment() == []
+
+    def test_counterexample_violates_property(self, fast_cfg):
+        res = CcacVerifier(fast_cfg).find_counterexample(
+            constant_cwnd(1, fast_cfg.history)
+        )
+        trace = res.counterexample
+        util_ok = trace.utilization() >= fast_cfg.util_thresh
+        queue_ok = trace.max_queue() <= fast_cfg.delay_thresh * fast_cfg.C * fast_cfg.D
+        increased = trace.cwnd[fast_cfg.T] > trace.cwnd[0]
+        decreased = trace.cwnd[fast_cfg.T] < trace.cwnd[0]
+        assert not ((util_ok or increased) and (queue_ok or decreased))
+
+    def test_range_bounds_structure(self, fast_cfg):
+        res = CcacVerifier(fast_cfg).find_counterexample(
+            constant_cwnd(1, fast_cfg.history)
+        )
+        trace = res.counterexample
+        bounds = trace.range_bounds()
+        assert len(bounds) == fast_cfg.T + 1
+        for t in range(1, fast_cfg.T + 1):
+            b = bounds[t]
+            assert b.lower == trace.S[t]
+            if trace.W[t] == trace.W[t - 1]:
+                assert b.upper is None
+            else:
+                assert b.upper == fast_cfg.C * t - trace.W[t]
+            # the original trace must itself be inside the range
+            assert trace.A[t] >= b.lower
+            if b.upper is not None:
+                assert trace.A[t] <= b.upper
+
+
+class TestVerdicts:
+    """The paper's qualitative results as regression tests."""
+
+    def test_rocc_verified(self, fast_cfg):
+        assert CcacVerifier(fast_cfg).verify(rocc(fast_cfg.history))
+
+    def test_one_bdp_window_refuted(self, fast_cfg):
+        assert not CcacVerifier(fast_cfg).verify(constant_cwnd(1, fast_cfg.history))
+
+    def test_rocc_fails_stricter_delay(self, fast_cfg):
+        """RoCC converges to ~BDP+1 in flight; a 1-RTT delay bound must
+        refute it."""
+        cfg = fast_cfg.with_thresholds(delay=Fraction(1))
+        assert not CcacVerifier(cfg).verify(rocc(cfg.history))
+
+    def test_divergent_rule_refuted(self, fast_cfg):
+        """A non-telescoping rule (beta sum != 0) depends on the absolute
+        ack level and must be refuted via the ack-offset freedom."""
+        from repro.core import CandidateCCA
+
+        h = fast_cfg.history
+        z = (Fraction(0),) * h
+        betas = [Fraction(0)] * h
+        betas[-1] = Fraction(1)
+        divergent = CandidateCCA(z, tuple(betas), Fraction(1))
+        assert not CcacVerifier(fast_cfg).verify(divergent)
+
+    def test_wce_returns_wider_ranges(self, fast_cfg):
+        v = CcacVerifier(fast_cfg)
+        cand = constant_cwnd(1, fast_cfg.history)
+        plain = v.find_counterexample(cand, worst_case=False)
+        wce = v.find_counterexample(cand, worst_case=True)
+        assert not plain.verified and not wce.verified
+        w_plain = plain.counterexample.min_finite_range_width()
+        w_wce = wce.counterexample.min_finite_range_width()
+        if w_plain is not None and w_wce is not None:
+            assert w_wce >= w_plain
+
+    def test_wce_trace_still_admissible(self, fast_cfg):
+        res = CcacVerifier(fast_cfg).find_counterexample(
+            constant_cwnd(1, fast_cfg.history), worst_case=True
+        )
+        assert res.counterexample.check_environment() == []

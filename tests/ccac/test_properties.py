@@ -1,0 +1,74 @@
+"""Tests of the desired-property encodings."""
+
+from fractions import Fraction
+
+from repro.ccac import (
+    CcacModel,
+    ModelConfig,
+    bounded_queue,
+    cwnd_decreases,
+    cwnd_increases,
+    desired_property,
+    high_utilization,
+    negated_desired,
+)
+from repro.smt import And, Not, Solver, sat, unsat
+
+
+class TestPropertyStructure:
+    def test_desired_is_conjunction_of_disjunctions(self, fast_cfg):
+        net = CcacModel(fast_cfg)
+        prop = desired_property(net)
+        # structural sanity: it must mention both halves
+        names = {t.name for t in prop.iter_dag() if t.is_var()}
+        assert any("S_" in (n or "") for n in names)
+        assert any("cwnd" in (n or "") for n in names)
+
+    def test_negated_desired_is_negation(self, fast_cfg):
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(desired_property(net))
+        s.add(negated_desired(net))
+        assert s.check() is unsat
+
+
+class TestPropertySemantics:
+    def test_high_utilization_threshold(self, fast_cfg):
+        """Forcing S_T below the threshold falsifies high_utilization."""
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        target = fast_cfg.util_thresh * fast_cfg.C * fast_cfg.T
+        s.add(net.S[fast_cfg.T] < target - 1)
+        s.add(high_utilization(net))
+        assert s.check() is unsat
+
+    def test_bounded_queue_is_forall(self, fast_cfg):
+        """A single over-limit step falsifies bounded_queue."""
+        net = CcacModel(fast_cfg)
+        limit = fast_cfg.delay_thresh * fast_cfg.C * fast_cfg.D
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(net.queue(2) > limit)
+        s.add(bounded_queue(net))
+        assert s.check() is unsat
+
+    def test_increase_decrease_exclusive(self, fast_cfg):
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(cwnd_increases(net), cwnd_decreases(net))
+        assert s.check() is unsat
+
+    def test_both_disjuncts_needed(self, fast_cfg):
+        """desired can hold through the cwnd escape hatches: a trace with
+        low utilization but increasing cwnd still satisfies it."""
+        net = CcacModel(fast_cfg)
+        s = Solver()
+        s.add(*net.constraints())
+        s.add(Not(high_utilization(net)))
+        s.add(desired_property(net))
+        assert s.check() is sat
+        m = s.model()
+        assert m.value(net.cwnd[fast_cfg.T]) > m.value(net.cwnd[0])

@@ -1,0 +1,110 @@
+"""Unit tests for CexTrace on hand-constructed traces."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import CexTrace, ModelConfig
+
+
+def make_trace(cfg: ModelConfig, **overrides) -> CexTrace:
+    """A simple full-utilization trace: A leads S by one unit of queue."""
+    T = cfg.T
+    S = tuple(Fraction(t) for t in range(T + 1))
+    fields = dict(
+        cfg=cfg,
+        A=tuple(s + 1 for s in S),
+        S=S,
+        W=tuple(Fraction(0) for _ in range(T + 1)),
+        cwnd=tuple(Fraction(2) for _ in range(T + 1)),
+        S_pre=tuple(Fraction(-i) for i in range(1, cfg.history + 1)),
+        cwnd_pre=tuple(Fraction(2) for _ in range(cfg.history)),
+        ack_offset=Fraction(0),
+    )
+    fields.update(overrides)
+    return CexTrace(**fields)
+
+
+@pytest.fixture
+def cfg():
+    return ModelConfig(T=5, history=3)
+
+
+class TestMetrics:
+    def test_utilization_full(self, cfg):
+        tr = make_trace(cfg)
+        assert tr.utilization() == 1
+
+    def test_max_queue(self, cfg):
+        tr = make_trace(cfg)
+        assert tr.max_queue() == 1
+
+    def test_indexing_helpers(self, cfg):
+        tr = make_trace(cfg)
+        assert tr.S_at(-1) == -1
+        assert tr.S_at(2) == 2
+        assert tr.cwnd_at(-2) == 2
+        assert tr.ack_at(3) == tr.S[3] + tr.ack_offset
+
+    def test_ack_offset_shifts_acks(self, cfg):
+        tr = make_trace(cfg, ack_offset=Fraction(100))
+        assert tr.ack_at(0) == 100
+        assert tr.ack_at(-1) == 99
+
+
+class TestRangeBounds:
+    def test_flat_waste_gives_unbounded_upper(self, cfg):
+        tr = make_trace(cfg)
+        for b in tr.range_bounds()[1:]:
+            assert b.upper is None
+            assert b.width is None
+
+    def test_growing_waste_gives_finite_upper(self, cfg):
+        W = tuple(Fraction(t, 2) for t in range(cfg.T + 1))
+        S = tuple(Fraction(t, 2) for t in range(cfg.T + 1))
+        tr = make_trace(cfg, W=W, S=S, A=tuple(s + Fraction(1, 2) for s in S))
+        bounds = tr.range_bounds()
+        for t in range(1, cfg.T + 1):
+            assert bounds[t].upper == cfg.C * t - W[t]
+            assert bounds[t].lower == S[t]
+
+    def test_min_finite_range_width(self, cfg):
+        W = tuple(Fraction(t) for t in range(cfg.T + 1))
+        S = tuple(Fraction(0) for _ in range(cfg.T + 1))
+        tr = make_trace(cfg, W=W, S=S, A=tuple(Fraction(0) for _ in range(cfg.T + 1)))
+        # width at t = C*t - W_t - S_t = t - t - 0 = 0
+        assert tr.min_finite_range_width() == 0
+
+    def test_t0_bound_pins_initial_queue(self, cfg):
+        tr = make_trace(cfg)
+        b0 = tr.range_bounds()[0]
+        assert b0.lower == b0.upper == tr.A[0]
+
+
+class TestEnvironmentCheck:
+    def test_valid_trace_passes(self, cfg):
+        tr = make_trace(cfg)
+        assert tr.check_environment() == []
+
+    def test_detects_nonmonotone_service(self, cfg):
+        S = list(make_trace(cfg).S)
+        S[3] = S[2] - 1
+        tr = make_trace(cfg, S=tuple(S), A=tuple(s + 2 for s in make_trace(cfg).S))
+        assert any("monotone" in e or "lower service" in e for e in tr.check_environment())
+
+    def test_detects_token_violation(self, cfg):
+        S = tuple(Fraction(2 * t) for t in range(cfg.T + 1))  # above link rate
+        tr = make_trace(cfg, S=S, A=tuple(s + 1 for s in S))
+        assert any("token" in e for e in tr.check_environment())
+
+    def test_detects_lazy_sender(self, cfg):
+        base = make_trace(cfg)
+        A = list(base.A)
+        A[2] += 5  # sent more than the window allows
+        tr = make_trace(cfg, A=tuple(A))
+        assert any("eager" in e for e in tr.check_environment())
+
+    def test_str_renders(self, cfg):
+        out = str(make_trace(cfg))
+        assert "utilization" in out
+        assert out.count("\n") >= cfg.T

@@ -1,0 +1,116 @@
+"""Unit tests for the executable CCAs."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ccas import AIMD, ConstantCwnd, CubicLike, RoCC, TemplateCCA
+from repro.core import paper_eq_iii, rocc
+
+
+class TestRoCC:
+    def test_initial_cwnd_positive(self):
+        assert RoCC().initial_cwnd() > 0
+
+    def test_window_is_acked_plus_increment(self):
+        cca = RoCC(increment=Fraction(1))
+        cca.reset()
+        cca.on_rtt(1, Fraction(0), Fraction(1))
+        cca.on_rtt(2, Fraction(1), Fraction(1))
+        cwnd = cca.on_rtt(3, Fraction(2), Fraction(1))
+        # acked over the 2-RTT window = 2 - 0, plus increment
+        assert cwnd == Fraction(3)
+
+    def test_min_cwnd_floor(self):
+        cca = RoCC(increment=Fraction(0), min_cwnd=Fraction(1, 10))
+        cca.reset()
+        assert cca.on_rtt(1, Fraction(0), Fraction(1)) >= Fraction(1, 10)
+
+    def test_reset_clears_history(self):
+        cca = RoCC(increment=Fraction(1))
+        cca.on_rtt(1, Fraction(5), Fraction(1))
+        cca.reset()
+        # after reset the ack window is empty again: cwnd = 0 + increment
+        assert cca.on_rtt(1, Fraction(0), Fraction(1)) == Fraction(1)
+
+
+class TestAIMD:
+    def test_additive_increase(self):
+        cca = AIMD(alpha=Fraction(1))
+        cca.initial_cwnd()
+        w1 = cca.on_rtt(1, Fraction(1), Fraction(1))
+        w2 = cca.on_rtt(2, Fraction(2), Fraction(1))
+        assert w2 == w1 + 1
+
+    def test_multiplicative_decrease(self):
+        cca = AIMD(beta=Fraction(1, 2), delay_threshold=Fraction(2))
+        cca.initial_cwnd()
+        w1 = cca.on_rtt(1, Fraction(1), Fraction(1))
+        w2 = cca.on_rtt(2, Fraction(2), Fraction(5))  # delay signal
+        assert w2 == w1 / 2
+
+    def test_floor(self):
+        cca = AIMD(min_cwnd=Fraction(1, 4))
+        cca.initial_cwnd()
+        for _ in range(20):
+            w = cca.on_rtt(1, Fraction(0), Fraction(10))
+        assert w == Fraction(1, 4)
+
+
+class TestCubicLike:
+    def test_grows_without_congestion(self):
+        cca = CubicLike()
+        cca.initial_cwnd()
+        ws = [cca.on_rtt(t, Fraction(t), Fraction(1)) for t in range(1, 15)]
+        assert ws[-1] > ws[0]
+
+    def test_backoff_on_delay(self):
+        cca = CubicLike(beta=Fraction(7, 10))
+        cca.initial_cwnd()
+        for t in range(1, 10):
+            w = cca.on_rtt(t, Fraction(t), Fraction(1))
+        w_after = cca.on_rtt(10, Fraction(10), Fraction(5))
+        assert w_after < w
+
+    def test_floor_respected(self):
+        cca = CubicLike(min_cwnd=Fraction(1, 10))
+        cca.initial_cwnd()
+        for t in range(1, 30):
+            w = cca.on_rtt(t, Fraction(0), Fraction(10))
+            assert w >= Fraction(1, 10)
+
+
+class TestTemplateCCA:
+    def test_name_includes_rule(self):
+        cca = TemplateCCA(rocc())
+        assert "ack(t-1)" in cca.name
+
+    def test_floor_applied(self):
+        from repro.core import constant_cwnd
+
+        cca = TemplateCCA(constant_cwnd(-2), cwnd_min=Fraction(1, 10))
+        cca.reset()
+        assert cca.on_rtt(1, Fraction(0), Fraction(1)) == Fraction(1, 10)
+
+    @given(acks=st.lists(
+        st.fractions(min_value=0, max_value=Fraction(3), max_denominator=4),
+        min_size=4, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_rocc_template_equals_handwritten(self, acks):
+        """On identical cumulative ack sequences, the template adapter for
+        the RoCC rule and the hand-written RoCC produce the same windows
+        (once both have full history)."""
+        t_cca = TemplateCCA(rocc(), cwnd_min=Fraction(1, 10))
+        h_cca = RoCC(increment=Fraction(1), min_cwnd=Fraction(1, 10))
+        t_cca.reset()
+        h_cca.reset()
+        cum = Fraction(0)
+        t_ws, h_ws = [], []
+        for i, inc in enumerate(acks, start=1):
+            cum += inc
+            t_ws.append(t_cca.on_rtt(i, cum, Fraction(1)))
+            h_ws.append(h_cca.on_rtt(i, cum, Fraction(1)))
+        # after warmup (3 RTTs of history) the rules coincide:
+        # both are acked-in-last-2-RTTs + 1
+        for tw, hw in zip(t_ws[3:], h_ws[3:]):
+            assert tw == hw

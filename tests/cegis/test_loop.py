@@ -1,0 +1,131 @@
+"""Tests of the generic CEGIS loop on a small toy domain.
+
+Toy problem: synthesize integer parameters (a, b) of f(x) = a*x + b such
+that for all x in [0, 10], lo(x) <= f(x) <= hi(x).  The verifier checks
+candidate functions by scanning the domain; the generator filters an
+explicit candidate set — i.e. the same architecture as CCmatic, but cheap
+enough to exercise every loop behaviour (first-solution, find-all,
+exhaustion, iteration budget, time budget).
+"""
+
+from dataclasses import dataclass
+
+from repro.cegis import CegisLoop, CegisOptions, PruningMode
+
+
+@dataclass(frozen=True)
+class LineCandidate:
+    a: int
+    b: int
+
+    def __call__(self, x: int) -> int:
+        return self.a * x + self.b
+
+
+@dataclass
+class ToyResult:
+    verified: bool
+    counterexample: object
+
+
+class ToyVerifier:
+    """f must satisfy x <= f(x) <= 2x + 3 on 0..10."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def find_counterexample(self, cand: LineCandidate, worst_case: bool = False):
+        self.calls += 1
+        xs = range(0, 11)
+        if worst_case:
+            # pick the x with the largest violation (prunes more)
+            worst, worst_gap = None, 0
+            for x in xs:
+                gap = max(x - cand(x), cand(x) - (2 * x + 3), 0)
+                if gap > worst_gap:
+                    worst, worst_gap = x, gap
+            return ToyResult(worst is None, worst)
+        for x in xs:
+            if not (x <= cand(x) <= 2 * x + 3):
+                return ToyResult(False, x)
+        return ToyResult(True, None)
+
+
+class ToyGenerator:
+    def __init__(self, lo=-3, hi=3):
+        self.survivors = [
+            LineCandidate(a, b) for a in range(lo, hi + 1) for b in range(lo, hi + 1)
+        ]
+
+    def propose(self):
+        return self.survivors[0] if self.survivors else None
+
+    def add_counterexample(self, x: int) -> None:
+        self.survivors = [c for c in self.survivors if x <= c(x) <= 2 * x + 3]
+
+    def block(self, cand) -> None:
+        self.survivors = [c for c in self.survivors if c != cand]
+
+
+def true_solutions():
+    out = set()
+    for a in range(-3, 4):
+        for b in range(-3, 4):
+            if all(x <= a * x + b <= 2 * x + 3 for x in range(11)):
+                out.add((a, b))
+    return out
+
+
+class TestLoopBehaviours:
+    def test_finds_first_solution(self):
+        outcome = CegisLoop(ToyGenerator(), ToyVerifier()).run()
+        assert outcome.found
+        c = outcome.first
+        assert all(x <= c(x) <= 2 * x + 3 for x in range(11))
+
+    def test_find_all_matches_ground_truth(self):
+        outcome = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(find_all=True)
+        ).run()
+        assert outcome.exhausted
+        assert {(c.a, c.b) for c in outcome.solutions} == true_solutions()
+
+    def test_exhaustion_when_no_solution(self):
+        gen = ToyGenerator(lo=-3, hi=-1)  # all-negative slopes can't work
+        outcome = CegisLoop(gen, ToyVerifier()).run()
+        assert not outcome.found
+        assert outcome.exhausted
+
+    def test_max_iterations_respected(self):
+        outcome = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(max_iterations=2)
+        ).run()
+        assert outcome.stats.iterations <= 2
+
+    def test_max_solutions(self):
+        outcome = CegisLoop(
+            ToyGenerator(),
+            ToyVerifier(),
+            CegisOptions(find_all=True, max_solutions=2),
+        ).run()
+        assert len(outcome.solutions) == 2
+
+    def test_stats_consistency(self):
+        verifier = ToyVerifier()
+        outcome = CegisLoop(ToyGenerator(), verifier).run()
+        assert outcome.stats.verifier_calls == verifier.calls
+        assert outcome.stats.counterexamples == outcome.stats.iterations - len(
+            outcome.solutions
+        )
+
+    def test_worst_case_cex_not_slower_in_iterations(self):
+        plain = CegisLoop(ToyGenerator(), ToyVerifier()).run()
+        wce = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(worst_case_cex=True)
+        ).run()
+        assert wce.found and plain.found
+        assert wce.stats.iterations <= plain.stats.iterations * 2
+
+    def test_pruning_mode_enum(self):
+        assert PruningMode("exact") is PruningMode.EXACT
+        assert PruningMode("range") is PruningMode.RANGE

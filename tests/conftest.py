@@ -1,0 +1,30 @@
+"""Shared fixtures: fast model configurations for solver-backed tests."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.ccac import ModelConfig
+
+# the exact-arithmetic solver makes example runtimes vary wildly on the
+# single-core CI box; wall-clock deadlines would only add flakes
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def fast_cfg() -> ModelConfig:
+    """Smallest config where the paper's qualitative verdicts hold
+    (RoCC verifies; the one-BDP constant window is refuted)."""
+    return ModelConfig(T=5, history=3)
+
+
+@pytest.fixture
+def paper_cfg() -> ModelConfig:
+    """The default (paper-shaped) configuration."""
+    return ModelConfig(T=7, history=4)

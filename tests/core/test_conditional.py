@@ -1,0 +1,110 @@
+"""Tests for the conditional (if-then-else) template extension (§4.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cegis import PruningMode
+from repro.core.conditional import (
+    ConditionalCCA,
+    ConditionalGenerator,
+    ConditionalSpec,
+    ConditionalVerifier,
+    aimd_candidate,
+    conditional_satisfies_spec,
+    rocc_conditional,
+    simulate_conditional,
+    synthesize_conditional,
+)
+
+
+class TestCandidates:
+    def test_aimd_is_aimd_shaped(self):
+        assert aimd_candidate().is_aimd_shaped()
+        assert not rocc_conditional().is_aimd_shaped()
+
+    def test_pretty_renders_both_branches(self):
+        s = aimd_candidate().pretty()
+        assert "if queue_est" in s and "else" in s
+
+    def test_next_cwnd_branch_selection(self):
+        cand = aimd_candidate(threshold=Fraction(2))
+        # clear: queue_est = 4 - (10-8) = 2 <= 2 -> additive increase
+        w = cand.next_cwnd(Fraction(4), Fraction(10), Fraction(8), Fraction(6), Fraction(0))
+        assert w == 5
+        # congested: queue_est = 4 - (10-9) = 3 > 2 -> halve
+        w = cand.next_cwnd(Fraction(4), Fraction(10), Fraction(9), Fraction(8), Fraction(0))
+        assert w == 2
+
+    def test_rocc_conditional_equals_linear_rocc_on_ideal_history(self):
+        cand = rocc_conditional()
+        # ack history at rate 1: acked over 2 RTTs = 2, +1 -> 3
+        w = cand.next_cwnd(Fraction(3), Fraction(10), Fraction(9), Fraction(8), Fraction(0))
+        assert w == 3
+
+    def test_spec_contains_and_iterates(self):
+        spec = ConditionalSpec()
+        cands = list(spec.iterate_candidates())
+        assert len(cands) == spec.search_space_size
+        assert spec.contains(aimd_candidate(threshold=Fraction(2)))
+        assert spec.contains(rocc_conditional())
+
+
+class TestVerifier:
+    def test_rocc_conditional_verified(self, fast_cfg):
+        assert ConditionalVerifier(fast_cfg).verify(rocc_conditional())
+
+    def test_aimd_refuted(self, fast_cfg):
+        """The adversary can hide the queue signal (jitter the acks), so
+        the self-clocked AIMD guard misfires — the analogue of CCAC's
+        findings for delay-signal CCAs like Copa/BBR."""
+        res = ConditionalVerifier(fast_cfg).find_counterexample(aimd_candidate())
+        assert not res.verified
+        assert res.counterexample.check_environment() == []
+
+    def test_pure_md_refuted(self, fast_cfg):
+        shrink = ConditionalCCA(
+            Fraction(0), Fraction(1, 2), Fraction(0), Fraction(1, 2), Fraction(0)
+        )
+        assert not ConditionalVerifier(fast_cfg).verify(shrink)
+
+
+class TestGenerator:
+    def test_counterexample_filters(self, fast_cfg):
+        verifier = ConditionalVerifier(fast_cfg)
+        trace = verifier.find_counterexample(aimd_candidate()).counterexample
+        spec = ConditionalSpec(threshold_domain=(Fraction(2),))
+        gen = ConditionalGenerator(spec, fast_cfg)
+        before = gen.survivor_count
+        gen.add_counterexample(trace)
+        assert gen.survivor_count < before
+        # the refuted candidate must be gone (it reproduced this trace)
+        assert all(
+            c.key() != aimd_candidate().key() for c in gen._survivors
+        ) or conditional_satisfies_spec(
+            aimd_candidate(), trace, fast_cfg, PruningMode.RANGE
+        )
+
+    def test_simulation_consistency_with_verifier_trace(self, fast_cfg):
+        """Simulating the refuted candidate on its own counterexample
+        reproduces the trace's cwnd trajectory (the verifier and the
+        numeric semantics agree)."""
+        cand = aimd_candidate()
+        trace = ConditionalVerifier(fast_cfg).find_counterexample(cand).counterexample
+        cwnd, A = simulate_conditional(cand, trace, fast_cfg)
+        assert tuple(cwnd) == trace.cwnd
+        assert tuple(A) == trace.A
+
+
+class TestSynthesis:
+    def test_synthesizes_verified_conditional(self, fast_cfg):
+        """The enriched space contains RoCC, so synthesis must find a
+        provably correct rule."""
+        spec = ConditionalSpec(
+            threshold_domain=(Fraction(2),),
+            mu_domain=(Fraction(0), Fraction(1)),
+            delta_domain=(Fraction(0), Fraction(1)),
+        )
+        outcome = synthesize_conditional(fast_cfg, spec=spec, time_budget=600)
+        assert outcome.solutions
+        assert ConditionalVerifier(fast_cfg).verify(outcome.solutions[0])

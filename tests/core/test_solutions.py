@@ -1,0 +1,95 @@
+"""Tests for solution classification and steady-state analysis."""
+
+from fractions import Fraction
+
+from repro.ccac import ModelConfig
+from repro.core import (
+    CandidateCCA,
+    classify,
+    constant_cwnd,
+    history_histogram,
+    is_rocc_family,
+    is_shift_invariant,
+    paper_eq_iii,
+    rocc,
+    steady_state,
+    summarize,
+)
+
+
+def make(betas, gamma=0, alphas=None, h=4):
+    alphas = alphas or [0] * h
+    return CandidateCCA(
+        tuple(Fraction(a) for a in alphas),
+        tuple(Fraction(b) for b in betas),
+        Fraction(gamma),
+    )
+
+
+class TestClassification:
+    def test_rocc_is_rocc_family(self):
+        assert is_rocc_family(rocc())
+        assert is_shift_invariant(rocc())
+
+    def test_eq_iii_is_rocc_family(self):
+        assert is_rocc_family(paper_eq_iii())
+
+    def test_constant_is_not(self):
+        assert not is_rocc_family(constant_cwnd(1))
+
+    def test_divergent_is_not_shift_invariant(self):
+        assert not is_shift_invariant(make([0, 0, 0, 1], gamma=1))
+
+    def test_alpha_rules_excluded_from_rocc_family(self):
+        cand = make([1, 0, -1, 0], gamma=1, alphas=[1, 0, 0, 0])
+        assert not is_rocc_family(cand)
+
+
+class TestSteadyState:
+    def test_rocc_steady_cwnd(self):
+        """RoCC: w = (ack now - (ack now - 2C)) + 1 = 2C + 1."""
+        cfg = ModelConfig()
+        ss = steady_state(rocc(), cfg)
+        assert ss.cwnd == 3
+        assert ss.queue == 2  # 3 - BDP
+
+    def test_eq_iii_steady_cwnd(self):
+        """Eq iii: w = C*(3/2*1 - 1/2*2 - 1*3)*(-1) = 5/2 C."""
+        cfg = ModelConfig()
+        ss = steady_state(paper_eq_iii(), cfg)
+        assert ss.cwnd == Fraction(5, 2)
+
+    def test_non_telescoping_has_no_fixed_point(self):
+        cfg = ModelConfig()
+        ss = steady_state(make([0, 0, 0, 1], gamma=1), cfg)
+        assert ss.cwnd is None
+
+    def test_starving_rule_no_positive_fixed_point(self):
+        # cwnd = ack(t-3) - ack(t-1): steady value = -2C < 0
+        cfg = ModelConfig()
+        ss = steady_state(make([-1, 0, 1, 0]), cfg)
+        assert ss.cwnd is None
+
+    def test_scales_with_link_rate(self):
+        cfg = ModelConfig(C=Fraction(4))
+        ss = steady_state(rocc(), cfg)
+        assert ss.cwnd == 9  # 2*4 + 1
+
+
+class TestSummaries:
+    def test_history_histogram(self):
+        sols = [rocc(), paper_eq_iii(), make([1, -1, 0, 0], gamma=1)]
+        hist = history_histogram(sols)
+        assert hist == {2: 1, 3: 2}
+
+    def test_summarize_sorted(self):
+        cfg = ModelConfig()
+        reports = summarize([paper_eq_iii(), make([1, -1, 0, 0], gamma=1)], cfg)
+        assert reports[0].history_used <= reports[1].history_used
+
+    def test_classify_fields(self):
+        cfg = ModelConfig()
+        rep = classify(rocc(), cfg)
+        assert rep.rule == "cwnd(t) = ack(t-1) - ack(t-3) + 1"
+        assert rep.rocc_family and rep.history_used == 3
+        assert rep.steady_cwnd == 3

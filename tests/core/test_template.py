@@ -1,0 +1,133 @@
+"""Tests of the CCA template and its search spaces."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    LARGE_DOMAIN,
+    SMALL_DOMAIN,
+    CandidateCCA,
+    TemplateSpec,
+    constant_cwnd,
+    paper_eq_iii,
+    rocc,
+    table1_spaces,
+)
+
+
+class TestDomains:
+    def test_small_domain(self):
+        assert SMALL_DOMAIN == (-1, 0, 1)
+
+    def test_large_domain_is_halves(self):
+        assert LARGE_DOMAIN == tuple(Fraction(i, 2) for i in range(-4, 5))
+        assert len(LARGE_DOMAIN) == 9
+
+
+class TestSearchSpaceSizes:
+    """Table 1's search-space column: 3^5, 9^5, 3^9, 9^9."""
+
+    def test_table1_sizes(self):
+        spaces = table1_spaces()
+        assert spaces["no_cwnd_small"].search_space_size == 3**5
+        assert spaces["no_cwnd_large"].search_space_size == 9**5
+        assert spaces["cwnd_small"].search_space_size == 3**9
+        assert spaces["cwnd_large"].search_space_size == 9**9
+
+    def test_parameter_counts(self):
+        spaces = table1_spaces()
+        assert spaces["no_cwnd_small"].parameter_count == 5
+        assert spaces["cwnd_small"].parameter_count == 9
+
+    def test_iteration_matches_size(self):
+        spec = TemplateSpec(history=2, use_cwnd_history=False, coeff_domain=SMALL_DOMAIN)
+        cands = list(spec.iterate_candidates())
+        assert len(cands) == spec.search_space_size == 3**3
+        assert len({c.key() for c in cands}) == len(cands)
+
+    def test_contains(self):
+        spec = table1_spaces()["no_cwnd_small"]
+        assert spec.contains(rocc())
+        assert not spec.contains(paper_eq_iii())  # 3/2 not in small domain
+        assert table1_spaces()["no_cwnd_large"].contains(paper_eq_iii())
+
+    def test_make_roundtrip(self):
+        spec = TemplateSpec(history=4, use_cwnd_history=True, coeff_domain=SMALL_DOMAIN)
+        values = [Fraction(v) for v in (1, 0, -1, 0, 0, 1, -1, 0, 1)]
+        cand = spec.make(values)
+        assert cand.alphas == tuple(values[:4])
+        assert cand.betas == tuple(values[4:8])
+        assert cand.gamma == values[8]
+
+    def test_make_wrong_length(self):
+        spec = table1_spaces()["no_cwnd_small"]
+        with pytest.raises(ValueError):
+            spec.make([Fraction(0)] * 3)
+
+    def test_random_candidate_in_space(self):
+        rng = random.Random(7)
+        spec = table1_spaces()["no_cwnd_large"]
+        for _ in range(20):
+            assert spec.contains(spec.random_candidate(rng))
+
+
+class TestNamedRules:
+    def test_rocc_shape(self):
+        r = rocc()
+        assert r.pretty() == "cwnd(t) = ack(t-1) - ack(t-3) + 1"
+        assert r.history_used() == 3
+
+    def test_eq_iii_shape(self):
+        e = paper_eq_iii()
+        assert e.betas == (Fraction(3, 2), Fraction(-1, 2), Fraction(-1), Fraction(0))
+        assert "3/2*ack(t-1)" in e.pretty()
+
+    def test_constant(self):
+        c = constant_cwnd(2)
+        assert c.pretty() == "cwnd(t) = 2"
+        assert c.history_used() == 0
+
+
+class TestNumericEvaluation:
+    def test_rocc_steady_rule(self):
+        r = rocc()
+        # ack history (most recent first) on an ideal link at rate 1
+        ack = [Fraction(10), Fraction(9), Fraction(8), Fraction(7)]
+        cw = [Fraction(3)] * 4
+        assert r.next_cwnd(cw, ack) == Fraction(10) - Fraction(8) + 1
+
+    def test_clamp_applied(self):
+        r = CandidateCCA((Fraction(0),) * 4, (Fraction(0),) * 4, Fraction(-5))
+        assert r.next_cwnd([0] * 4, [0] * 4, cwnd_min=Fraction(1, 10)) == Fraction(1, 10)
+
+    @given(
+        gamma=st.fractions(min_value=Fraction(-2), max_value=Fraction(2), max_denominator=2)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_constant_rule_returns_gamma(self, gamma):
+        c = constant_cwnd(gamma)
+        got = c.next_cwnd([1] * 4, [5] * 4)
+        assert got == max(gamma, 0)
+
+
+class TestPretty:
+    def test_zero_rule(self):
+        z = constant_cwnd(0)
+        assert z.pretty() == "cwnd(t) = 0"
+
+    def test_negative_leading(self):
+        c = CandidateCCA(
+            (Fraction(0),) * 4,
+            (Fraction(-1), Fraction(0), Fraction(1), Fraction(0)),
+            Fraction(0),
+        )
+        s = c.pretty()
+        assert s.startswith("cwnd(t) = -ack(t-1)")
+        assert "+ ack(t-3)" in s
+
+    def test_fractional_coefficient_rendered(self):
+        s = paper_eq_iii().pretty()
+        assert "1/2*ack(t-2)" in s

@@ -1,0 +1,70 @@
+"""Property-based soundness tests of the verifier over random candidates."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cegis import PruningMode
+from repro.core import (
+    CcacVerifier,
+    SMALL_DOMAIN,
+    TemplateSpec,
+    satisfies_spec,
+)
+
+
+def spec_for(cfg):
+    return TemplateSpec(
+        history=cfg.history, use_cwnd_history=False, coeff_domain=SMALL_DOMAIN
+    )
+
+
+class TestVerifierSoundness:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_counterexamples_are_admissible_and_breaking(self, seed):
+        """For random candidates: any counterexample must (a) satisfy the
+        network model exactly and (b) actually break the candidate under
+        the exact-feasibility spec."""
+        from repro.ccac import ModelConfig
+
+        cfg = ModelConfig(T=5, history=3)
+        rng = random.Random(seed)
+        cand = spec_for(cfg).random_candidate(rng)
+        res = CcacVerifier(cfg).find_counterexample(cand)
+        if res.verified:
+            return
+        trace = res.counterexample
+        assert trace.check_environment() == []
+        assert not satisfies_spec(cand, trace, cfg, PruningMode.EXACT)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_range_spec_also_violated(self, seed):
+        """Range feasibility is weaker, so the spec under RANGE pruning
+        must also be violated by the candidate's own counterexample."""
+        from repro.ccac import ModelConfig
+
+        cfg = ModelConfig(T=5, history=3)
+        rng = random.Random(seed)
+        cand = spec_for(cfg).random_candidate(rng)
+        res = CcacVerifier(cfg).find_counterexample(cand)
+        if res.verified:
+            return
+        assert not satisfies_spec(cand, res.counterexample, cfg, PruningMode.RANGE)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=4, deadline=None)
+    def test_wce_counterexample_equally_sound(self, seed):
+        from repro.ccac import ModelConfig
+
+        cfg = ModelConfig(T=5, history=3)
+        rng = random.Random(seed)
+        cand = spec_for(cfg).random_candidate(rng)
+        res = CcacVerifier(cfg).find_counterexample(cand, worst_case=True)
+        if res.verified:
+            return
+        trace = res.counterexample
+        assert trace.check_environment() == []
+        assert not satisfies_spec(cand, trace, cfg, PruningMode.EXACT)

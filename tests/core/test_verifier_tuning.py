@@ -1,0 +1,56 @@
+"""Tests for verifier tuning (§5's "tuning verifiers with CEGIS")."""
+
+from fractions import Fraction
+
+from repro.core import (
+    constant_cwnd,
+    rocc,
+    total_waste_budget,
+    tune_verifier,
+    weakest_sufficient_assumption,
+)
+
+
+class TestTuneVerifier:
+    def test_panel_of_robust_ccas_keeps_full_environment(self, fast_cfg):
+        """A panel of unconditionally verified CCAs needs no constraint:
+        the tuned environment is the whole family range."""
+        template = total_waste_budget(fast_cfg)
+        h = fast_cfg.history
+        tuned = tune_verifier([rocc(h)], fast_cfg, template)
+        assert tuned.found
+        assert tuned.theta == template.hi
+
+    def test_fragile_member_tightens_environment(self, fast_cfg):
+        """Adding a fragile heuristic forces the environment to shrink to
+        what that heuristic can survive."""
+        template = total_waste_budget(fast_cfg)
+        h = fast_cfg.history
+        tuned = tune_verifier([rocc(h), constant_cwnd(1, h)], fast_cfg, template)
+        assert tuned.found
+        assert tuned.theta < template.hi
+
+    def test_panel_theta_is_min_of_members(self, fast_cfg):
+        """The tuned theta equals the weakest-assumption theta of the most
+        fragile member (intersection of monotone families)."""
+        template = total_waste_budget(fast_cfg)
+        h = fast_cfg.history
+        fragile = constant_cwnd(1, h)
+        solo = weakest_sufficient_assumption(fragile, fast_cfg, template)
+        panel = tune_verifier([rocc(h), fragile], fast_cfg, template)
+        assert panel.found and solo.found
+        # same binary search bounds/precision -> same answer
+        assert abs(panel.theta - solo.theta) <= Fraction(1, 8)
+
+    def test_describe(self, fast_cfg):
+        template = total_waste_budget(fast_cfg)
+        tuned = tune_verifier([rocc(fast_cfg.history)], fast_cfg, template)
+        assert "wastes at most" in tuned.describe()
+
+    def test_empty_result_when_impossible(self, fast_cfg):
+        """A panel containing a hopeless heuristic admits no environment."""
+        cfg = fast_cfg.with_thresholds(util=Fraction(99, 100), delay=Fraction(1, 100))
+        template = total_waste_budget(cfg)
+        tuned = tune_verifier([constant_cwnd(1, cfg.history)], cfg, template)
+        assert not tuned.found
+        assert "no environment" in tuned.describe()

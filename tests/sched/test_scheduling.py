@@ -1,0 +1,86 @@
+"""Tests for the scheduling-domain demonstration (§5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sched import SchedulingConfig, SchedulingVerifier
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SchedulingConfig(n_jobs=3, n_machines=2)
+
+
+@pytest.fixture(scope="module")
+def verifier(cfg):
+    return SchedulingVerifier(cfg)
+
+
+class TestConfig:
+    def test_graham_ratio(self):
+        assert SchedulingConfig(n_machines=2).graham_ratio == Fraction(3, 2)
+        assert SchedulingConfig(n_jobs=4, n_machines=4).graham_ratio == Fraction(7, 4)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingConfig(n_jobs=0)
+
+
+class TestGrahamBound:
+    def test_bound_proved(self, cfg, verifier):
+        """Graham's (2 - 1/m) guarantee holds for every workload: the
+        negation is UNSAT."""
+        result = verifier.verify_ratio(cfg.graham_ratio)
+        assert result.verified
+        assert result.witness is None
+
+    def test_below_bound_refuted_with_witness(self, cfg, verifier):
+        """Slightly below the bound, an adversarial workload exists (the
+        classic two-small-jobs-then-a-long-one family)."""
+        result = verifier.verify_ratio(Fraction(7, 5))
+        assert not result.verified
+        w = result.witness
+        assert w is not None
+        assert w.ratio > Fraction(7, 5)
+        assert len(w.job_sizes) == cfg.n_jobs
+        assert all(0 <= s <= cfg.max_job for s in w.job_sizes)
+
+    def test_witness_respects_greedy_semantics(self, cfg, verifier):
+        """Replay the witness: the recorded assignment must be a valid
+        greedy run and reproduce the reported makespan."""
+        result = verifier.verify_ratio(Fraction(13, 10))
+        w = result.witness
+        loads = [Fraction(0)] * cfg.n_machines
+        for size, machine in zip(w.job_sizes, w.assignment):
+            assert loads[machine] == min(loads), "not a least-loaded choice"
+            loads[machine] += size
+        assert max(loads) == w.makespan
+        lb = max(max(w.job_sizes), sum(w.job_sizes) / cfg.n_machines)
+        assert lb == w.lower_bound
+
+    def test_bound_holds_for_four_jobs(self):
+        cfg = SchedulingConfig(n_jobs=4, n_machines=2)
+        assert SchedulingVerifier(cfg).verify_ratio(cfg.graham_ratio).verified
+
+    def test_single_machine_trivial(self):
+        """With one machine greedy IS optimal: ratio 1 verifies."""
+        cfg = SchedulingConfig(n_jobs=3, n_machines=1)
+        assert SchedulingVerifier(cfg).verify_ratio(Fraction(1)).verified
+
+    def test_ratio_one_refuted_for_two_machines(self, verifier):
+        """Greedy is not optimal for m >= 2."""
+        assert not verifier.verify_ratio(Fraction(1)).verified
+
+
+class TestTightRatio:
+    def test_binary_search_finds_exact_constant(self, cfg, verifier):
+        """For n=3, m=2 the worst case is the 1-1-2 instance: exactly
+        ratio 3/2, so the tight provable ratio converges to 3/2."""
+        tight = verifier.tight_ratio(precision=Fraction(1, 64))
+        assert abs(tight - Fraction(3, 2)) <= Fraction(1, 64)
+
+    def test_bad_bracket_rejected(self, cfg):
+        v = SchedulingVerifier(cfg)
+        with pytest.raises(ValueError):
+            v.tight_ratio(hi=Fraction(1))

@@ -1,0 +1,109 @@
+"""Tests of the operational jittery link, including a property test that
+every adversary policy produces traces admissible under the formal model."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import JitteryLink
+
+
+class TestBasics:
+    def test_ideal_delivers_everything_available(self):
+        link = JitteryLink(policy="ideal")
+        state = link.step(Fraction(5))
+        assert state.S == min(Fraction(5), link.C * 1)
+
+    def test_monotone_arrivals_enforced(self):
+        link = JitteryLink()
+        link.step(Fraction(2))
+        try:
+            link.step(Fraction(1))
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_lazy_defers_to_jitter_bound(self):
+        link = JitteryLink(policy="lazy", jitter=1)
+        link.step(Fraction(10))
+        # at t=1 the lower bound is C*0 - W_0 = 0
+        assert link.S_hist[1] == 0
+        link.step(Fraction(10))
+        # at t=2 it must have delivered at least C*1
+        assert link.S_hist[2] >= link.C
+
+    def test_max_waste_starves_small_window(self):
+        link = JitteryLink(policy="max_waste", jitter=1)
+        A = Fraction(0)
+        S_prev = Fraction(0)
+        cwnd = Fraction(1)
+        for _ in range(40):
+            A = max(A, S_prev + cwnd)
+            S_prev = link.step(A).S
+        # one-BDP window under the waste adversary: about half capacity
+        util = link.S_hist[-1] / (link.C * link.t)
+        assert util <= Fraction(3, 5)
+
+    def test_tokens_accounting(self):
+        link = JitteryLink(policy="max_waste")
+        link.step(Fraction(0))
+        assert link.tokens() == link.C * 1 - link.W
+
+
+arrival_increments = st.lists(
+    st.fractions(min_value=0, max_value=Fraction(3), max_denominator=4),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestAdmissibility:
+    @given(incs=arrival_increments, policy=st.sampled_from(["ideal", "lazy", "max_waste", "random"]))
+    @settings(max_examples=60, deadline=None)
+    def test_any_arrival_sequence_yields_admissible_trace(self, incs, policy):
+        link = JitteryLink(policy=policy, seed=11)
+        A = Fraction(0)
+        for inc in incs:
+            A += inc
+            link.step(A)
+        assert link.validate() == []
+
+    @given(incs=arrival_increments)
+    @settings(max_examples=30, deadline=None)
+    def test_ideal_dominates_lazy(self, incs):
+        """The ideal link delivers at least as much as the lazy one."""
+        ideal = JitteryLink(policy="ideal")
+        lazy = JitteryLink(policy="lazy")
+        A = Fraction(0)
+        for inc in incs:
+            A += inc
+            ideal.step(A)
+            lazy.step(A)
+        assert ideal.S >= lazy.S
+
+
+class TestAggregationPolicy:
+    def test_bursty_but_admissible(self):
+        from fractions import Fraction
+
+        link = JitteryLink(policy="aggregate")
+        A = Fraction(0)
+        for i in range(24):
+            A += 1
+            link.step(A)
+        assert link.validate() == []
+
+    def test_delivers_in_bursts(self):
+        from fractions import Fraction
+
+        link = JitteryLink(policy="aggregate", jitter=2)
+        A = Fraction(0)
+        steps = []
+        for i in range(12):
+            A += 1
+            s = link.step(A)
+            steps.append(s.S)
+        increments = [b - a for a, b in zip(steps, steps[1:])]
+        # some ticks deliver nothing, burst ticks deliver multiple units
+        assert any(i == 0 for i in increments)
+        assert any(i > 1 for i in increments)

@@ -1,0 +1,84 @@
+"""Simulation-runner tests: conservation laws and the empirical verdicts
+the formal analysis predicts."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccas import AIMD, ConstantCwnd, CubicLike, RoCC, TemplateCCA
+from repro.core import constant_cwnd, paper_eq_iii, rocc
+from repro.sim import run_simulation
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", ["ideal", "lazy", "max_waste", "random"])
+    def test_counters_monotone_and_causal(self, policy):
+        r = run_simulation(RoCC(), ticks=50, policy=policy, seed=3)
+        for t in range(1, r.ticks + 1):
+            assert r.A[t] >= r.A[t - 1]
+            assert r.S[t] >= r.S[t - 1]
+            assert r.S[t] <= r.A[t]
+
+    def test_service_bounded_by_capacity(self):
+        r = run_simulation(RoCC(), ticks=50, policy="ideal")
+        assert r.S[-1] <= r.capacity * r.ticks
+
+    def test_initial_queue_honored(self):
+        r = run_simulation(RoCC(), ticks=30, initial_queue=Fraction(3))
+        assert r.A[0] == 3
+
+
+class TestFormalPredictions:
+    """The simulator must reproduce the verifier's verdicts empirically."""
+
+    def test_rocc_full_utilization_all_adversaries(self):
+        for policy in ("ideal", "lazy", "max_waste"):
+            r = run_simulation(RoCC(), ticks=120, policy=policy)
+            assert r.utilization(warmup=20) >= Fraction(19, 20)
+
+    def test_rocc_queue_converges_to_bdp_plus_increment(self):
+        """Paper: 'On an ideal link with constant rate, RoCC converges to
+        a queue of BDP + MSS bytes'."""
+        r = run_simulation(RoCC(increment=Fraction(1)), ticks=120, policy="ideal")
+        # bytes in flight = BDP + queue; steady cwnd = 2C+1
+        assert r.max_queue(warmup=40) == Fraction(2)
+
+    def test_one_bdp_window_starved_to_half(self):
+        r = run_simulation(ConstantCwnd(Fraction(1)), ticks=200, policy="max_waste")
+        assert abs(r.utilization(warmup=20) - Fraction(1, 2)) <= Fraction(1, 10)
+
+    def test_big_window_immune_to_waste(self):
+        r = run_simulation(ConstantCwnd(Fraction(3)), ticks=200, policy="max_waste")
+        assert r.utilization(warmup=20) >= Fraction(7, 10)
+
+    def test_template_adapter_matches_rocc(self):
+        """The synthesized-rule adapter and the hand-written RoCC must
+        produce identical steady-state behaviour."""
+        r1 = run_simulation(RoCC(), ticks=100, policy="max_waste")
+        r2 = run_simulation(TemplateCCA(rocc()), ticks=100, policy="max_waste")
+        assert r1.utilization(30) == r2.utilization(30)
+        assert r1.max_queue(30) == r2.max_queue(30)
+
+    def test_eq_iii_high_utilization_on_ideal(self):
+        r = run_simulation(TemplateCCA(paper_eq_iii()), ticks=150, policy="ideal")
+        assert r.utilization(warmup=50) >= Fraction(9, 10)
+
+    def test_aimd_sawtooth_bounded(self):
+        r = run_simulation(AIMD(), ticks=150, policy="ideal")
+        assert r.utilization(warmup=30) >= Fraction(4, 5)
+        assert r.max_queue(30) <= 4
+
+    def test_cubic_recovers(self):
+        r = run_simulation(CubicLike(), ticks=150, policy="ideal")
+        assert r.utilization(warmup=50) >= Fraction(3, 4)
+
+
+class TestMetrics:
+    def test_mean_queue_leq_max(self):
+        r = run_simulation(RoCC(), ticks=60)
+        assert r.mean_queue(10) <= r.max_queue(10)
+
+    def test_warmup_slicing(self):
+        r = run_simulation(RoCC(), ticks=60)
+        assert r.utilization(0) <= 1
+        assert r.utilization(59) <= 1

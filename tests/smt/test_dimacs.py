@@ -1,0 +1,90 @@
+"""DIMACS reader/writer tests, including randomized roundtrips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.dimacs import DimacsError, parse_dimacs, solve_dimacs, to_dimacs
+
+
+SAMPLE = """\
+c a comment
+p cnf 3 2
+1 -3 0
+2 3
+-1 0
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        nvars, clauses = parse_dimacs(SAMPLE)
+        assert nvars == 3
+        assert clauses == [[1, -3], [2, 3, -1]]
+
+    def test_missing_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 2")
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n2 0")
+
+    def test_satlib_trailer_tolerated(self):
+        nvars, clauses = parse_dimacs("p cnf 1 1\n1 0\n%\n0")
+        assert clauses == [[1]]
+
+
+class TestSolve:
+    def test_sat_instance(self):
+        verdict, model = solve_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert verdict is True
+        assert -1 in model and 2 in model
+
+    def test_unsat_instance(self):
+        verdict, model = solve_dimacs("p cnf 1 2\n1 0\n-1 0\n")
+        assert verdict is False
+        assert model is None
+
+    def test_model_satisfies_all_clauses(self):
+        text = "p cnf 4 4\n1 2 0\n-2 3 0\n-3 -1 4 0\n-4 2 0\n"
+        verdict, model = solve_dimacs(text)
+        assert verdict is True
+        assignment = {abs(l): l > 0 for l in model}
+        _n, clauses = parse_dimacs(text)
+        for clause in clauses:
+            assert any(assignment[abs(l)] == (l > 0) for l in clause)
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        clauses = [[1, -2], [3], [-1, -3, 2]]
+        text = to_dimacs(3, clauses)
+        nvars, parsed = parse_dimacs(text)
+        assert nvars == 3 and parsed == clauses
+
+    def test_invalid_literal_rejected(self):
+        with pytest.raises(DimacsError):
+            to_dimacs(2, [[3]])
+        with pytest.raises(DimacsError):
+            to_dimacs(2, [[0]])
+
+    @given(
+        clauses=st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=5).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1, max_size=4,
+            ),
+            min_size=1, max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_roundtrip(self, clauses):
+        text = to_dimacs(5, clauses)
+        _n, parsed = parse_dimacs(text)
+        assert parsed == clauses

@@ -1,0 +1,69 @@
+"""Tests for the MaxSAT layer."""
+
+from fractions import Fraction
+
+from repro.smt import Bool, MaxSatSolver, Not, Or, Real
+
+x = Real("mx")
+a, b, c = Bool("ma"), Bool("mb"), Bool("mc")
+
+
+class TestMaxSat:
+    def test_all_softs_satisfiable(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 0, x <= 10)
+        ms.add_soft(x >= 1)
+        ms.add_soft(x <= 9)
+        res = ms.solve()
+        assert res.feasible and res.cost == 0
+        assert res.satisfied == [True, True]
+
+    def test_one_violation_needed(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 0, x <= 10)
+        ms.add_soft(x >= 5)
+        ms.add_soft(x <= 3)
+        ms.add_soft(x >= 1)
+        res = ms.solve()
+        assert res.cost == 1
+        assert sum(res.satisfied) == 2
+
+    def test_weights_steer_choice(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 0, x <= 10)
+        ms.add_soft(x >= 5, weight=10)
+        ms.add_soft(x <= 3, weight=1)
+        res = ms.solve()
+        assert res.cost == 1
+        assert res.satisfied[0] is True  # keep the heavy one
+
+    def test_hard_unsat(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 1, x <= 0)
+        ms.add_soft(x >= 0)
+        res = ms.solve()
+        assert not res.feasible and res.cost is None
+
+    def test_boolean_softs(self):
+        ms = MaxSatSolver()
+        ms.add_hard(Or(Not(a), Not(b)))  # a and b incompatible
+        ms.add_soft(a)
+        ms.add_soft(b)
+        ms.add_soft(c)
+        res = ms.solve()
+        assert res.cost == 1
+        assert res.satisfied[2] is True
+
+    def test_no_softs(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 0)
+        res = ms.solve()
+        assert res.feasible and res.cost == 0
+
+    def test_fractional_weights(self):
+        ms = MaxSatSolver()
+        ms.add_hard(x >= 0, x <= 1)
+        ms.add_soft(x >= 2, weight=Fraction(1, 2))
+        ms.add_soft(x >= 3, weight=Fraction(1, 4))
+        res = ms.solve()
+        assert res.cost == Fraction(3, 4)

@@ -1,0 +1,62 @@
+"""Tests for ITE lifting and equality elimination."""
+
+from fractions import Fraction
+
+from repro.smt import And, Bool, Eq, Ite, Not, Real, RealVal, Solver, sat, unsat
+from repro.smt.preprocess import eliminate_eq, lift_real_ites, preprocess
+from repro.smt.terms import Kind, Sort
+
+x, y = Real("px"), Real("py")
+a = Bool("pa")
+
+
+def kinds_in(term):
+    return {t.kind for t in term.iter_dag()}
+
+
+class TestEliminateEq:
+    def test_eq_becomes_two_les(self):
+        out = eliminate_eq(Eq(x, 3))
+        assert Kind.EQ not in kinds_in(out)
+        assert Kind.LE in kinds_in(out)
+
+    def test_negated_eq(self):
+        out = eliminate_eq(Not(Eq(x, y)))
+        assert Kind.EQ not in kinds_in(out)
+
+    def test_no_eq_unchanged(self):
+        t = And(x <= 3, a)
+        assert eliminate_eq(t) is t
+
+
+class TestLiftRealItes:
+    def test_real_ite_removed(self):
+        t = Ite(a, RealVal(1), RealVal(2)) <= x
+        out = lift_real_ites(t)
+        real_ites = [
+            n for n in out.iter_dag() if n.kind is Kind.ITE and n.sort is Sort.REAL
+        ]
+        assert not real_ites
+
+    def test_bool_ite_kept(self):
+        t = Ite(a, x <= 1, x >= 2)
+        out = lift_real_ites(t)
+        assert any(n.kind is Kind.ITE for n in out.iter_dag())
+
+    def test_semantics_preserved(self):
+        t = Eq(x, Ite(a, RealVal(3), RealVal(5)))
+        s = Solver()
+        s.add(t, a, x >= 4)
+        assert s.check() is unsat
+        s2 = Solver()
+        s2.add(t, Not(a), x >= 4)
+        assert s2.check() is sat
+
+
+class TestPreprocess:
+    def test_output_has_no_eq_or_real_ite(self):
+        t = And(Eq(x, Ite(a, RealVal(1), y)), Not(Eq(y, 7)))
+        out = preprocess(t)
+        for node in out.iter_dag():
+            assert node.kind is not Kind.EQ
+            assert not (node.kind is Kind.ITE and node.sort is Sort.REAL)

@@ -1,0 +1,214 @@
+"""Simplex core tests: bounds, pivoting, conflicts, backtracking, and a
+differential feasibility test against scipy.optimize.linprog."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linprog
+
+from repro.smt.simplex import DRat, Simplex
+
+
+class TestDRat:
+    def test_ordering_lexicographic(self):
+        assert DRat(1) < DRat(2)
+        assert DRat(1) < DRat(1, 1)
+        assert DRat(1, -1) < DRat(1)
+        assert DRat(1, -1) < DRat(1, 1)
+
+    def test_arithmetic(self):
+        a, b = DRat(1, 2), DRat(3, -1)
+        assert (a + b) == DRat(4, 1)
+        assert (a - b) == DRat(-2, 3)
+        assert a.scale(Fraction(2)) == DRat(2, 4)
+
+    def test_concretize(self):
+        assert DRat(1, -2).concretize(Fraction(1, 4)) == Fraction(1, 2)
+
+
+class TestSimplexBasics:
+    def test_single_var_bounds(self):
+        s = Simplex()
+        v = s.new_var()
+        assert s.assert_lower(v, DRat(1), "l") is None
+        assert s.assert_upper(v, DRat(3), "u") is None
+        assert s.check() is None
+        assert 1 <= s.model()[v] <= 3
+
+    def test_immediate_bound_conflict(self):
+        s = Simplex()
+        v = s.new_var()
+        assert s.assert_lower(v, DRat(5), "l") is None
+        conflict = s.assert_upper(v, DRat(2), "u")
+        assert conflict is not None
+        assert set(conflict) == {"l", "u"}
+
+    def test_row_feasibility(self):
+        s = Simplex()
+        x_var, y_var = s.new_var(), s.new_var()
+        total = s.add_row({x_var: Fraction(1), y_var: Fraction(1)})
+        s.assert_lower(x_var, DRat(1), "lx")
+        s.assert_lower(y_var, DRat(2), "ly")
+        s.assert_upper(total, DRat(4), "ut")
+        assert s.check() is None
+        m = s.model()
+        assert m[x_var] >= 1 and m[y_var] >= 2 and m[x_var] + m[y_var] <= 4
+
+    def test_row_conflict_explanation(self):
+        s = Simplex()
+        x_var, y_var = s.new_var(), s.new_var()
+        total = s.add_row({x_var: Fraction(1), y_var: Fraction(1)})
+        s.assert_lower(x_var, DRat(3), "lx")
+        s.assert_lower(y_var, DRat(3), "ly")
+        s.assert_upper(total, DRat(4), "ut")
+        conflict = s.check()
+        assert conflict is not None
+        assert set(conflict) == {"lx", "ly", "ut"}
+
+    def test_strict_bounds_separated(self):
+        s = Simplex()
+        v = s.new_var()
+        s.assert_lower(v, DRat(0, 1), "l")  # v > 0
+        s.assert_upper(v, DRat(1, -1), "u")  # v < 1
+        assert s.check() is None
+        val = s.model()[v]
+        assert 0 < val < 1
+
+    def test_strict_conflict(self):
+        s = Simplex()
+        v = s.new_var()
+        s.assert_lower(v, DRat(1, 1), "l")  # v > 1
+        conflict = s.assert_upper(v, DRat(1, 0), "u")  # v <= 1
+        assert conflict is not None
+
+
+class TestBacktracking:
+    def test_pop_restores_bounds(self):
+        s = Simplex()
+        v = s.new_var()
+        s.assert_lower(v, DRat(0), "l0")
+        s.push_level()
+        s.assert_lower(v, DRat(10), "l10")
+        assert s.lower[v] == DRat(10)
+        s.pop_levels(1)
+        assert s.lower[v] == DRat(0)
+        s.assert_upper(v, DRat(5), "u5")
+        assert s.check() is None
+
+    def test_pop_multiple_levels(self):
+        s = Simplex()
+        v = s.new_var()
+        for i in range(5):
+            s.push_level()
+            s.assert_lower(v, DRat(i), f"l{i}")
+        s.pop_levels(3)
+        assert s.lower[v] == DRat(1)
+        s.pop_levels(2)
+        assert s.lower[v] is None
+
+    def test_conflict_then_pop_then_feasible(self):
+        s = Simplex()
+        x_var, y_var = s.new_var(), s.new_var()
+        total = s.add_row({x_var: Fraction(1), y_var: Fraction(1)})
+        s.assert_upper(total, DRat(4), "ut")
+        s.push_level()
+        s.assert_lower(x_var, DRat(3), "lx")
+        s.assert_lower(y_var, DRat(3), "ly")
+        assert s.check() is not None
+        s.pop_levels(1)
+        assert s.check() is None
+
+    def test_reset_bounds(self):
+        s = Simplex()
+        v = s.new_var()
+        s.assert_lower(v, DRat(3), "l")
+        s.reset_bounds()
+        assert s.lower[v] is None and s.lower_tag[v] is None
+        assert s.check() is None
+
+
+small_fracs = st.fractions(
+    min_value=Fraction(-5), max_value=Fraction(5), max_denominator=3
+)
+
+
+@st.composite
+def lp_instances(draw):
+    """Random small LPs: rows a.x <= b over 3 variables with box bounds."""
+    nvars = 3
+    nrows = draw(st.integers(1, 5))
+    rows = []
+    for _ in range(nrows):
+        coeffs = [draw(small_fracs) for _ in range(nvars)]
+        bound = draw(small_fracs)
+        rows.append((coeffs, bound))
+    boxes = [(draw(small_fracs), draw(small_fracs)) for _ in range(nvars)]
+    return rows, boxes
+
+
+class TestDifferentialAgainstScipy:
+    @given(instance=lp_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_feasibility_matches_linprog(self, instance):
+        rows, boxes = instance
+        nvars = 3
+
+        s = Simplex()
+        svars = [s.new_var() for _ in range(nvars)]
+        conflict = None
+        for i, (lo, hi) in enumerate(boxes):
+            lo, hi = min(lo, hi), max(lo, hi)
+            conflict = conflict or s.assert_lower(svars[i], DRat(lo), f"box_lo{i}")
+            conflict = conflict or s.assert_upper(svars[i], DRat(hi), f"box_hi{i}")
+        for j, (coeffs, bound) in enumerate(rows):
+            expr = {svars[i]: c for i, c in enumerate(coeffs) if c != 0}
+            if not expr:
+                if bound < 0:
+                    conflict = conflict or ["ground"]
+                continue
+            rv = s.add_row(expr)
+            conflict = conflict or s.assert_upper(rv, DRat(bound), f"row{j}")
+        ours_feasible = conflict is None and s.check() is None
+
+        # scipy reference
+        a_ub = [[float(c) for c in coeffs] for coeffs, _b in rows]
+        b_ub = [float(b) for _c, b in rows]
+        bounds = [(float(min(lo, hi)), float(max(lo, hi))) for lo, hi in boxes]
+        ref = linprog(
+            c=[0.0] * nvars, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs"
+        )
+        assert ours_feasible == ref.success
+
+    @given(instance=lp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_model_satisfies_constraints(self, instance):
+        rows, boxes = instance
+        nvars = 3
+        s = Simplex()
+        svars = [s.new_var() for _ in range(nvars)]
+        rowvars = []
+        ok = True
+        for i, (lo, hi) in enumerate(boxes):
+            lo, hi = min(lo, hi), max(lo, hi)
+            ok = ok and s.assert_lower(svars[i], DRat(lo), f"lo{i}") is None
+            ok = ok and s.assert_upper(svars[i], DRat(hi), f"hi{i}") is None
+        for j, (coeffs, bound) in enumerate(rows):
+            expr = {svars[i]: c for i, c in enumerate(coeffs) if c != 0}
+            if not expr:
+                ok = ok and bound >= 0
+                continue
+            rv = s.add_row(expr)
+            rowvars.append((rv, coeffs, bound))
+            ok = ok and s.assert_upper(rv, DRat(bound), f"r{j}") is None
+        if not ok or s.check() is not None:
+            return
+        m = s.model()
+        for i, (lo, hi) in enumerate(boxes):
+            lo, hi = min(lo, hi), max(lo, hi)
+            assert lo <= m[svars[i]] <= hi
+        for rv, coeffs, bound in rowvars:
+            total = sum(c * m[svars[i]] for i, c in enumerate(coeffs))
+            assert total <= bound
+            assert m[rv] == total

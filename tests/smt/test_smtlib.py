@@ -1,0 +1,142 @@
+"""SMT-LIB printer/parser tests, including print->parse roundtrips."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import And, Bool, Eq, Implies, Ite, Not, Or, Real, RealVal, Solver, sat, unsat
+from repro.smt.smtlib import (
+    SmtLibError,
+    parse_smtlib,
+    solver_to_smtlib,
+    term_to_smtlib,
+    to_smtlib,
+)
+
+x, y = Real("slx"), Real("sly")
+a = Bool("sla")
+
+
+class TestPrinting:
+    def test_atoms(self):
+        assert term_to_smtlib(x <= RealVal(3)) == "(<= slx 3.0)"
+        assert term_to_smtlib(x < y) == "(< slx sly)"
+
+    def test_rationals(self):
+        assert term_to_smtlib(RealVal(Fraction(1, 2))) == "(/ 1.0 2.0)"
+        assert term_to_smtlib(RealVal(Fraction(-3, 4))) == "(- (/ 3.0 4.0))"
+
+    def test_boolean_structure(self):
+        out = term_to_smtlib(And(a, Or(Not(a), x <= RealVal(0))))
+        assert out == "(and sla (or (not sla) (<= slx 0.0)))"
+
+    def test_script_declares_all_vars(self):
+        script = to_smtlib([x + y <= RealVal(1), a])
+        assert "(declare-const slx Real)" in script
+        assert "(declare-const sla Bool)" in script
+        assert script.strip().endswith("(get-model)")
+
+    def test_solver_dump(self):
+        s = Solver()
+        s.add(x >= RealVal(1))
+        out = solver_to_smtlib(s)
+        assert "(assert (<= 1.0 slx))" in out or "(assert (>= slx 1.0))" in out or "(<=" in out
+
+
+class TestParsing:
+    def test_simple_script(self):
+        script = parse_smtlib(
+            """
+            (set-logic QF_LRA)
+            (declare-const p Real)
+            (declare-const q Bool)
+            (assert (and q (<= p 3.0)))
+            (check-sat)
+            """
+        )
+        assert script.logic == "QF_LRA"
+        assert set(script.variables) == {"p", "q"}
+        assert script.check() is sat
+
+    def test_unsat_script(self):
+        script = parse_smtlib(
+            """
+            (declare-const v Real)
+            (assert (< v 0.0))
+            (assert (> v 0.0))
+            """
+        )
+        assert script.check() is unsat
+
+    def test_comments_and_decimals(self):
+        script = parse_smtlib(
+            """
+            ; a comment
+            (declare-const w Real)
+            (assert (= w 2.5))
+            """
+        )
+        assert script.check() is sat
+
+    def test_declare_fun_zero_arity(self):
+        script = parse_smtlib("(declare-fun f () Real)(assert (>= f 0.0))")
+        assert script.check() is sat
+
+    def test_nonzero_arity_rejected(self):
+        with pytest.raises(SmtLibError):
+            parse_smtlib("(declare-fun f (Real) Real)")
+
+    def test_undeclared_symbol_rejected(self):
+        with pytest.raises(SmtLibError):
+            parse_smtlib("(assert (<= ghost 1.0))")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(SmtLibError):
+            parse_smtlib("(assert (<= x 1.0)")
+
+    def test_chained_comparison(self):
+        script = parse_smtlib(
+            "(declare-const u Real)(declare-const v Real)"
+            "(assert (<= 0.0 u v 1.0))(assert (< u v))"
+        )
+        assert script.check() is sat
+
+    def test_ite_and_implies(self):
+        script = parse_smtlib(
+            "(declare-const c Bool)(declare-const r Real)"
+            "(assert (= r (ite c 1.0 2.0)))(assert (=> c false))"
+        )
+        assert script.check() is sat
+
+
+class TestRoundtrip:
+    def test_formula_roundtrip_preserves_satisfiability(self):
+        formulas = [
+            And(x >= RealVal(0), Or(x <= RealVal(1), a)),
+            Implies(a, x + y <= RealVal(Fraction(5, 2))),
+            Eq(y, Ite(a, RealVal(1), RealVal(2))),
+        ]
+        script_text = to_smtlib(formulas)
+        parsed = parse_smtlib(script_text)
+        assert parsed.check() is sat
+
+        # now make it unsat and confirm the roundtrip preserves that too
+        formulas_unsat = formulas + [x < RealVal(0)]
+        assert parse_smtlib(to_smtlib(formulas_unsat)).check() is unsat
+
+    def test_ccac_query_roundtrips(self, fast_cfg):
+        """A full verifier instance survives the print->parse cycle with
+        the same verdict."""
+        from repro.ccac import CcacModel, negated_desired
+        from repro.core import rocc
+
+        net = CcacModel(fast_cfg)
+        formulas = (
+            net.constraints()
+            + rocc(fast_cfg.history).constraints_for(net)
+            + [negated_desired(net)]
+        )
+        # ITE/EQ are fine: the printer emits them, the parser rebuilds them
+        parsed = parse_smtlib(to_smtlib(formulas))
+        assert parsed.check() is unsat  # rocc is verified

@@ -1,0 +1,138 @@
+"""Stress/property tests of the solver: incremental-vs-fresh equivalence
+and randomized mixed instances."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    And,
+    Bool,
+    Implies,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Solver,
+    check_formulas,
+    sat,
+    unsat,
+)
+
+VARS = [Real(f"st_x{i}") for i in range(4)]
+BOOLS = [Bool(f"st_b{i}") for i in range(3)]
+
+
+def random_atom(rng: random.Random):
+    v = rng.choice(VARS)
+    c = Fraction(rng.randint(-6, 6), rng.choice([1, 2]))
+    kind = rng.randrange(4)
+    if kind == 0:
+        return v <= RealVal(c)
+    if kind == 1:
+        return v >= RealVal(c)
+    w = rng.choice(VARS)
+    if kind == 2:
+        return v + w <= RealVal(c)
+    return v - w >= RealVal(c)
+
+
+def random_formula(rng: random.Random, depth: int = 2):
+    if depth == 0 or rng.random() < 0.4:
+        if rng.random() < 0.25:
+            return rng.choice(BOOLS)
+        return random_atom(rng)
+    op = rng.randrange(3)
+    f1 = random_formula(rng, depth - 1)
+    f2 = random_formula(rng, depth - 1)
+    if op == 0:
+        return And(f1, f2)
+    if op == 1:
+        return Or(f1, f2)
+    return Implies(f1, Not(f2))
+
+
+class TestIncrementalEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_fresh(self, seed):
+        """Adding formulas one-by-one with checks in between must agree
+        with a single fresh solve of the conjunction."""
+        rng = random.Random(seed)
+        formulas = [random_formula(rng) for _ in range(4)]
+
+        incremental = Solver()
+        inc_results = []
+        for f in formulas:
+            incremental.add(f)
+            inc_results.append(incremental.check())
+
+        for i in range(len(formulas)):
+            fresh = check_formulas(formulas[: i + 1])
+            assert inc_results[i] is fresh, (
+                f"prefix {i}: incremental={inc_results[i]} fresh={fresh}"
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_push_pop_is_erasure(self, seed):
+        """check() after push/add/pop must agree with never having added."""
+        rng = random.Random(seed)
+        base = [random_formula(rng) for _ in range(3)]
+        extra = random_formula(rng)
+
+        s = Solver()
+        s.add(*base)
+        before = s.check()
+        s.push()
+        s.add(extra)
+        s.check()
+        s.pop()
+        after = s.check()
+        assert before is after
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_models_satisfy_assertions(self, seed):
+        rng = random.Random(seed)
+        formulas = [random_formula(rng) for _ in range(4)]
+        s = Solver()
+        s.add(*formulas)
+        if s.check() is sat:
+            m = s.model()
+            from repro.smt import evaluate
+
+            env = {v: m.value(v) for v in VARS + BOOLS}
+            for f in formulas:
+                assert evaluate(f, env) is True
+
+
+class TestScaling:
+    def test_long_bound_chain(self):
+        s = Solver()
+        xs = [Real(f"chain{i}") for i in range(120)]
+        for lo, hi in zip(xs, xs[1:]):
+            s.add(hi >= lo + 1)
+        s.add(xs[0] >= 0)
+        s.add(xs[-1] <= 1000)
+        assert s.check() is sat
+        s.add(xs[-1] <= 100)
+        assert s.check() is unsat
+
+    def test_many_disjuncts(self):
+        s = Solver()
+        v = Real("many_d")
+        s.add(Or(*[v.eq(RealVal(i)) for i in range(30)]))
+        s.add(v >= 29)
+        assert s.check() is sat
+        assert s.model().value(v) == 29
+
+    def test_deep_nesting(self):
+        formula = BOOLS[0]
+        v = Real("deep")
+        for i in range(30):
+            formula = Or(And(formula, v >= i), v <= -1)
+        s = Solver()
+        s.add(formula, v >= 0)
+        assert s.check() is sat

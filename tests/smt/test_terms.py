@@ -1,0 +1,198 @@
+"""Unit tests for the hash-consed term language."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    Add,
+    And,
+    Bool,
+    BoolVal,
+    Eq,
+    FreshBool,
+    FreshReal,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    SortError,
+    Sum,
+    evaluate,
+    substitute,
+)
+from repro.smt.terms import Kind, Sort
+
+
+class TestInterning:
+    def test_same_name_same_object(self):
+        assert Real("x") is Real("x")
+        assert Bool("b") is Bool("b")
+
+    def test_different_sorts_different_objects(self):
+        assert Real("v") is not Bool("v")
+
+    def test_structural_sharing(self):
+        x, y = Real("x"), Real("y")
+        assert (x + y) is (x + y)
+        assert And(Bool("a"), Bool("b")) is And(Bool("a"), Bool("b"))
+
+    def test_fresh_names_unique(self):
+        assert FreshReal().name != FreshReal().name
+        assert FreshBool().name != FreshBool().name
+
+
+class TestBooleanSimplification:
+    def test_and_identity(self):
+        a = Bool("a")
+        assert And(a) is a
+        assert And(a, TRUE) is a
+        assert And(a, FALSE) is FALSE
+        assert And() is TRUE
+
+    def test_or_identity(self):
+        a = Bool("a")
+        assert Or(a) is a
+        assert Or(a, FALSE) is a
+        assert Or(a, TRUE) is TRUE
+        assert Or() is FALSE
+
+    def test_flattening(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        assert And(And(a, b), c) is And(a, b, c)
+        assert Or(Or(a, b), c) is Or(a, b, c)
+
+    def test_double_negation(self):
+        a = Bool("a")
+        assert Not(Not(a)) is a
+        assert Not(TRUE) is FALSE
+        assert Not(FALSE) is TRUE
+
+    def test_implies_constants(self):
+        a = Bool("a")
+        assert Implies(TRUE, a) is a
+        assert Implies(FALSE, a) is TRUE
+        assert Implies(a, TRUE) is TRUE
+        assert Implies(a, FALSE) is Not(a)
+
+    def test_iff_constants(self):
+        a = Bool("a")
+        assert Iff(a, a) is TRUE
+        assert Iff(a, TRUE) is a
+        assert Iff(a, FALSE) is Not(a)
+
+    def test_ite_simplification(self):
+        a = Bool("a")
+        x, y = Real("x"), Real("y")
+        assert Ite(TRUE, x, y) is x
+        assert Ite(FALSE, x, y) is y
+        assert Ite(a, x, x) is x
+
+
+class TestArithmetic:
+    def test_constant_folding(self):
+        assert RealVal(2) + RealVal(3) is RealVal(5)
+        assert (RealVal(2) * RealVal(3)).value == 6
+        assert (-RealVal(4)).value == -4
+
+    def test_add_drops_zero(self):
+        x = Real("x")
+        assert Add(x, RealVal(0)) is x
+        assert Add() is RealVal(0)
+
+    def test_mul_by_zero_and_one(self):
+        x = Real("x")
+        assert (0 * x) is RealVal(0)
+        assert (1 * x) is x
+
+    def test_nested_scale_collapses(self):
+        x = Real("x")
+        t = 2 * (3 * x)
+        assert t.kind is Kind.SCALE
+        assert t.value == 6
+
+    def test_division_by_constant(self):
+        x = Real("x")
+        t = x / 2
+        assert t.kind is Kind.SCALE and t.value == Fraction(1, 2)
+        with pytest.raises(SortError):
+            x / Real("y")
+
+    def test_sum_helper(self):
+        xs = [Real(f"s{i}") for i in range(3)]
+        assert Sum(xs) is Add(*xs)
+
+    def test_ground_comparisons_fold(self):
+        assert (RealVal(1) <= RealVal(2)) is TRUE
+        assert (RealVal(3) < RealVal(2)) is FALSE
+        assert Eq(RealVal(2), RealVal(2)) is TRUE
+
+
+class TestSortChecking:
+    def test_bool_in_arith_rejected(self):
+        with pytest.raises(SortError):
+            Real("x") + Bool("b")
+
+    def test_real_in_bool_rejected(self):
+        with pytest.raises(SortError):
+            And(Real("x"), Bool("b"))
+
+    def test_comparison_needs_reals(self):
+        with pytest.raises(SortError):
+            Bool("a") <= Real("x")  # noqa: B015
+
+
+class TestEvaluate:
+    def test_arith(self):
+        x, y = Real("x"), Real("y")
+        env = {x: Fraction(2), y: Fraction(5)}
+        assert evaluate(2 * x + y - 1, env) == Fraction(8)
+
+    def test_boolean(self):
+        a, b = Bool("a"), Bool("b")
+        env = {a: True, b: False}
+        assert evaluate(And(a, Not(b)), env) is True
+        assert evaluate(Implies(a, b), env) is False
+        assert evaluate(Iff(a, b), env) is False
+
+    def test_atoms(self):
+        x = Real("x")
+        assert evaluate(x <= 3, {x: Fraction(3)}) is True
+        assert evaluate(x < 3, {x: Fraction(3)}) is False
+        assert evaluate(Eq(x, 3), {x: Fraction(3)}) is True
+
+    def test_ite(self):
+        a, x, y = Bool("a"), Real("x"), Real("y")
+        env = {a: False, x: Fraction(1), y: Fraction(9)}
+        assert evaluate(Ite(a, x, y), env) == 9
+
+
+class TestSubstitute:
+    def test_var_replacement(self):
+        x, y = Real("x"), Real("y")
+        t = substitute(x + x + y, {x: RealVal(3)})
+        assert evaluate(t, {y: Fraction(1)}) == 7
+
+    def test_identity_when_unmapped(self):
+        x, y = Real("x"), Real("y")
+        t = x + y
+        assert substitute(t, {Real("z"): RealVal(1)}) is t
+
+    def test_bool_substitution(self):
+        a, b = Bool("a"), Bool("b")
+        t = substitute(And(a, b), {a: TRUE})
+        assert t is b
+
+
+class TestDagIteration:
+    def test_iter_dag_yields_each_node_once(self):
+        x = Real("x")
+        t = (x + 1) + (x + 1)
+        nodes = list(t.iter_dag())
+        assert len(nodes) == len(set(id(n) for n in nodes))
+        assert x in nodes

@@ -1,0 +1,61 @@
+"""CLI smoke tests (fast configurations only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subactions = [
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        ][0]
+        assert set(subactions.choices) == {
+            "synthesize", "verify", "sweep", "simulate", "assumption",
+        }
+
+    def test_unknown_cca_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "bbr", "--T", "5"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCommands:
+    def test_verify_rocc(self, capsys):
+        rc = main(["verify", "rocc", "--T", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "VERIFIED" in out
+
+    def test_verify_const1_refuted(self, capsys):
+        rc = main(["verify", "const:1", "--T", "5"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "COUNTEREXAMPLE" in out
+        assert "utilization" in out
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--ticks", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rocc" in out and "max_waste" in out
+
+    def test_synthesize_tiny(self, capsys):
+        rc = main([
+            "synthesize", "--space", "no_cwnd_small", "--wce",
+            "--T", "5", "--time-budget", "300",
+        ])
+        out = capsys.readouterr().out
+        assert "iterations=" in out
+        if rc == 0:
+            assert "cwnd(t) =" in out
+
+    def test_assumption_const1(self, capsys):
+        rc = main(["assumption", "const:1", "--T", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wastes at most" in out
