@@ -3,9 +3,19 @@
 All benchmarks run scaled-down instances by default so the whole suite
 finishes on a laptop; set ``REPRO_FULL=1`` to run paper-scale parameters
 (hours).  EXPERIMENTS.md records the mapping to the paper's numbers.
+
+Set ``REPRO_BENCH_JSON=path/to/BENCH_obs.json`` to append one JSON
+record per reported row to that trajectory file — each record carries
+the row's result stats plus a full :mod:`repro.obs.metrics` snapshot,
+so solver cost (conflicts, pivots, check time) can be attributed to
+individual benchmark cells across runs.
 """
 
+import json
 import os
+import time
+
+from repro.obs import metrics
 
 FULL = bool(os.environ.get("REPRO_FULL"))
 
@@ -15,9 +25,34 @@ BENCH_H = 4 if FULL else 3
 #: per-cell CEGIS budget in seconds (the paper used a week; DNF = budget hit)
 CELL_BUDGET = 3600.0 if FULL else 120.0
 
+#: trajectory file for metric snapshots (off unless the env var is set)
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON")
+
+
+def record_snapshot(label: str, result=None, path=None) -> None:
+    """Append one ``{label, time, result?, metrics}`` record to the
+    ``BENCH_*.json`` trajectory (a JSONL file; no-op when unconfigured)."""
+    path = path or BENCH_JSON
+    if not path:
+        return
+    record = {"label": label, "t": time.time(), "metrics": metrics().snapshot()}
+    if result is not None:
+        record["result"] = {
+            "iterations": getattr(result, "iterations", None),
+            "counterexamples": getattr(result, "counterexamples", None),
+            "wall_time": getattr(result, "wall_time", None),
+            "found": getattr(result, "found", None),
+            "timed_out": getattr(result, "timed_out", None),
+            "exhausted": getattr(result, "exhausted", None),
+        }
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, default=str) + "\n")
+
 
 def fmt_row(label: str, result) -> str:
-    """One Table-1-style row: method, iterations, time, status."""
+    """One Table-1-style row: method, iterations, time, status.  Also
+    records the row into the ``BENCH_*.json`` trajectory when enabled."""
+    record_snapshot(label, result)
     status = "ok" if result.found else ("DNF(budget)" if result.timed_out else "exhausted")
     return (
         f"{label:45s} iters={result.iterations:5d} "

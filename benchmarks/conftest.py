@@ -4,9 +4,14 @@ import pytest
 
 from repro.ccac import ModelConfig
 
-from _bench_utils import BENCH_H, BENCH_T
+from _bench_utils import BENCH_H, BENCH_T, record_snapshot
 
 
 @pytest.fixture(scope="session")
 def bench_cfg() -> ModelConfig:
     return ModelConfig(T=BENCH_T, history=BENCH_H)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # final cumulative metrics snapshot for the BENCH_*.json trajectory
+    record_snapshot("session_end")

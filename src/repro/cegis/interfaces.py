@@ -56,13 +56,28 @@ class Verifier(Protocol[Candidate, Counterexample]):
 
     def find_counterexample(self, candidate: Candidate, worst_case: bool = False):
         """Returns an object with ``verified: bool`` and
-        ``counterexample: Optional[Counterexample]``."""
+        ``counterexample: Optional[Counterexample]``.
+
+        Verifiers may additionally accept a ``deadline`` keyword (a
+        ``time.perf_counter()`` timestamp); the CEGIS loop passes the
+        remaining time budget through it so one long verifier call
+        cannot overshoot :attr:`CegisOptions.time_budget`.  A verifier
+        that gives up on the budget must return ``verified=False`` with
+        ``counterexample=None`` (ideally also ``unknown=True``)."""
         ...
 
 
 @dataclass
 class CegisOptions:
-    """Knobs of one CEGIS run."""
+    """Knobs of one CEGIS run.
+
+    ``verbose`` is a sink configuration: it attaches a
+    :class:`repro.obs.ConsoleSink` to the global tracer for the duration
+    of the run (unless one is already attached), rendering the loop's
+    solution/counterexample events as the familiar ``[cegis] iter N:``
+    lines.  ``time_budget`` is enforced as a deadline threaded into the
+    verifier, not just a top-of-loop check.
+    """
 
     worst_case_cex: bool = False
     find_all: bool = False

@@ -10,14 +10,42 @@ keeps blocking found solutions until the generator is exhausted, which
 reproduces the paper's solution-space exploration ("We ask CCmatic to
 produce all possible solutions, implying that there are no other
 solutions in our search space").
+
+Every run is traced through :mod:`repro.obs`: per-iteration
+``cegis.generate``/``cegis.verify`` spans, ``cegis.propose`` /
+``cegis.counterexample`` / ``cegis.solution`` events, and a final
+``cegis.done`` event carrying the :class:`CegisStats` totals.
+``CegisOptions.verbose`` is sugar for attaching a console sink for the
+duration of the run.
+
+``CegisOptions.time_budget`` is enforced as a *deadline*: besides the
+top-of-loop check, the remaining budget is threaded into verifiers that
+accept a ``deadline`` keyword (``time.perf_counter()`` timestamp), so a
+single long verifier call can no longer overshoot the budget unboundedly.
+A run stopped this way records an explicit ``cegis.budget_exhausted``
+event.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Optional
 
+from ..obs import DEBUG, ConsoleSink, tracer
 from .interfaces import CegisOptions, CegisOutcome, CegisStats, Generator, Verifier
+
+
+def _accepts_deadline(verifier: Verifier) -> bool:
+    """Whether ``verifier.find_counterexample`` takes a ``deadline`` kwarg."""
+    try:
+        sig = inspect.signature(verifier.find_counterexample)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    params = sig.parameters
+    return "deadline" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
 
 
 class CegisLoop:
@@ -27,36 +55,69 @@ class CegisLoop:
         self.generator = generator
         self.verifier = verifier
         self.options = options or CegisOptions()
+        self._verifier_takes_deadline = _accepts_deadline(verifier)
 
     def run(self) -> CegisOutcome:
+        tr = tracer()
+        console = None
+        if self.options.verbose and not any(
+            isinstance(s, ConsoleSink) for s in tr.sinks
+        ):
+            console = tr.add_sink(ConsoleSink())
+        try:
+            with tr.span("cegis.run", worst_case=self.options.worst_case_cex,
+                         find_all=self.options.find_all):
+                return self._run(tr)
+        finally:
+            if console is not None:
+                tr.remove_sink(console)
+
+    def _run(self, tr) -> CegisOutcome:
         opts = self.options
         outcome: CegisOutcome = CegisOutcome()
         stats = outcome.stats
         start = time.perf_counter()
+        deadline = None if opts.time_budget is None else start + opts.time_budget
         while stats.iterations < opts.max_iterations:
-            if opts.time_budget is not None and time.perf_counter() - start > opts.time_budget:
-                outcome.timed_out = True
+            if deadline is not None and time.perf_counter() > deadline:
+                self._budget_exhausted(tr, outcome, where="loop")
                 break
             stats.iterations += 1
 
-            t0 = time.perf_counter()
-            candidate = self.generator.propose()
-            stats.generator_time += time.perf_counter() - t0
+            with tr.span("cegis.generate", level=DEBUG, iter=stats.iterations) as span:
+                t0 = time.perf_counter()
+                candidate = self.generator.propose()
+                dt = time.perf_counter() - t0
+                span.set_duration(dt)
+            stats.generator_time += dt
             if candidate is None:
                 outcome.exhausted = True
+                tr.event("cegis.exhausted", iter=stats.iterations)
                 break
+            tr.event("cegis.propose", level=DEBUG, iter=stats.iterations,
+                     candidate=str(candidate))
 
-            t0 = time.perf_counter()
-            result = self.verifier.find_counterexample(
-                candidate, worst_case=opts.worst_case_cex
-            )
-            stats.verifier_time += time.perf_counter() - t0
+            kwargs = {}
+            if self._verifier_takes_deadline and deadline is not None:
+                kwargs["deadline"] = deadline
+            with tr.span("cegis.verify", level=DEBUG, iter=stats.iterations) as span:
+                t0 = time.perf_counter()
+                result = self.verifier.find_counterexample(
+                    candidate, worst_case=opts.worst_case_cex, **kwargs
+                )
+                dt = time.perf_counter() - t0
+                span.set_duration(dt)
+            stats.verifier_time += dt
             stats.verifier_calls += 1
 
             if result.verified:
                 outcome.solutions.append(candidate)
-                if opts.verbose:
-                    print(f"[cegis] iter {stats.iterations}: solution {candidate}")
+                tr.event(
+                    "cegis.solution",
+                    iter=stats.iterations,
+                    candidate=str(candidate),
+                    msg=f"[cegis] iter {stats.iterations}: solution {candidate}",
+                )
                 if not opts.find_all:
                     break
                 if opts.max_solutions is not None and len(outcome.solutions) >= opts.max_solutions:
@@ -65,11 +126,36 @@ class CegisLoop:
             else:
                 cex = result.counterexample
                 if cex is None:
-                    # verifier gave up (budget); treat as inconclusive stop
-                    outcome.timed_out = True
+                    # verifier gave up (conflict or wall-clock budget)
+                    self._budget_exhausted(tr, outcome, where="verifier")
                     break
                 stats.counterexamples += 1
-                if opts.verbose:
-                    print(f"[cegis] iter {stats.iterations}: counterexample for {candidate}")
+                tr.event(
+                    "cegis.counterexample",
+                    iter=stats.iterations,
+                    candidate=str(candidate),
+                    msg=f"[cegis] iter {stats.iterations}: counterexample for {candidate}",
+                )
                 self.generator.add_counterexample(cex)
+        tr.event(
+            "cegis.done",
+            iterations=stats.iterations,
+            counterexamples=stats.counterexamples,
+            solutions=len(outcome.solutions),
+            generator_time=stats.generator_time,
+            verifier_time=stats.verifier_time,
+            exhausted=outcome.exhausted,
+            timed_out=outcome.timed_out,
+        )
         return outcome
+
+    @staticmethod
+    def _budget_exhausted(tr, outcome: CegisOutcome, where: str) -> None:
+        outcome.timed_out = True
+        stats: CegisStats = outcome.stats
+        tr.event(
+            "cegis.budget_exhausted",
+            iter=stats.iterations,
+            where=where,
+            msg=f"[cegis] iter {stats.iterations}: time budget exhausted ({where})",
+        )

@@ -7,7 +7,15 @@ Commands:
 * ``sweep``      — count solutions across utilization/delay thresholds;
 * ``simulate``   — run CCAs on the discrete-time simulator;
 * ``assumption`` — synthesize the weakest sufficient environment
-  assumption for a CCA.
+  assumption for a CCA;
+* ``report``     — per-phase breakdown of a JSONL trace.
+
+Global observability flags (accepted before or after the subcommand):
+
+* ``--trace PATH``  — write a structured JSONL trace of the run
+  (spans, events, and a final metrics snapshot);
+* ``--log-level {quiet,info,debug}`` — live console rendering of events
+  (``info``) and span timings (``debug``).
 """
 
 from __future__ import annotations
@@ -16,8 +24,11 @@ import argparse
 import sys
 from fractions import Fraction
 
+from . import __version__
 from .ccac import ModelConfig
 from .cegis import PruningMode
+from .obs import DEBUG, INFO, ConsoleSink, JsonlSink, metrics, tracer
+from .obs.report import report as render_trace_report
 from .core import (
     CandidateCCA,
     CcacVerifier,
@@ -150,11 +161,41 @@ def cmd_assumption(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    try:
+        print(render_trace_report(args.trace_file))
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.trace_file!r}: {exc}")
+    return 0
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Global observability flags, shared by the root parser and every
+    subcommand so they work in either position (``ccmatic --trace f sub``
+    and ``ccmatic sub --trace f``).  SUPPRESS defaults keep the
+    subparser from clobbering a value parsed at the root."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--trace", metavar="PATH", default=argparse.SUPPRESS,
+        help="write a JSONL trace of the run to PATH",
+    )
+    g.add_argument(
+        "--log-level", choices=["quiet", "info", "debug"],
+        default=argparse.SUPPRESS,
+        help="live console event rendering (default: quiet)",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="ccmatic", description=__doc__)
+    obs = _obs_parent()
+    parser = argparse.ArgumentParser(
+        prog="ccmatic", description=__doc__, parents=[obs]
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("synthesize", help="run CEGIS synthesis")
+    p = sub.add_parser("synthesize", help="run CEGIS synthesis", parents=[obs])
     p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
     p.add_argument("--pruning", choices=["exact", "range"], default="range")
     p.add_argument("--wce", action="store_true", help="worst-case counterexamples")
@@ -166,13 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cfg_args(p)
     p.set_defaults(func=cmd_synthesize)
 
-    p = sub.add_parser("verify", help="verify a named CCA")
+    p = sub.add_parser("verify", help="verify a named CCA", parents=[obs])
     p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
     p.add_argument("--wce", action="store_true")
     _add_cfg_args(p)
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("sweep", help="solution counts vs thresholds")
+    p = sub.add_parser("sweep", help="solution counts vs thresholds", parents=[obs])
     p.add_argument("kind", choices=["util", "delay"])
     p.add_argument("--values", default="1/2,13/20,7/10")
     p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
@@ -180,21 +221,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, default=None)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("simulate", help="run CCAs on the simulator")
+    p = sub.add_parser("simulate", help="run CCAs on the simulator", parents=[obs])
     p.add_argument("--ticks", type=int, default=100)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("assumption", help="weakest sufficient assumption")
+    p = sub.add_parser("assumption", help="weakest sufficient assumption", parents=[obs])
     p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
     _add_cfg_args(p)
     p.set_defaults(func=cmd_assumption)
 
+    p = sub.add_parser("report", help="per-phase breakdown of a JSONL trace")
+    p.add_argument("trace_file", help="trace captured with --trace")
+    p.set_defaults(func=cmd_report)
+
     return parser
+
+
+def _configure_observability(args, argv) -> list:
+    """Attach the sinks requested by the global flags; returns them for
+    teardown.  Also stamps the trace with run metadata."""
+    tr = tracer()
+    sinks = []
+    trace_path = getattr(args, "trace", None)
+    log_level = getattr(args, "log_level", "quiet")
+    if trace_path:
+        try:
+            sinks.append(tr.add_sink(JsonlSink(trace_path)))
+        except OSError as exc:
+            print(f"cannot open trace file '{trace_path}': {exc}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+    if log_level != "quiet":
+        level = INFO if log_level == "info" else DEBUG
+        sinks.append(tr.add_sink(ConsoleSink(level=level)))
+    if sinks:
+        tr.meta(argv=list(argv) if argv is not None else sys.argv[1:],
+                version=__version__)
+    return sinks
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    tr = tracer()
+    sinks = _configure_observability(args, argv)
+    try:
+        return args.func(args)
+    finally:
+        if sinks:
+            tr.emit_metrics(metrics().snapshot())
+        for sink in sinks:
+            tr.remove_sink(sink)
+            sink.close()
 
 
 if __name__ == "__main__":

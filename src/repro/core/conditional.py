@@ -249,16 +249,18 @@ class ConditionalVerifier:
         solver.add(*candidate.constraints_for(net))
         solver.add(negated_desired(net))
         if worst_case:
-            trace = self._inner._solve_worst_case(solver, net, None)
+            trace, inconclusive = self._inner._solve_worst_case(solver, net, None)
         else:
             outcome = solver.check()
+            inconclusive = outcome is unknown
             trace = CexTrace.from_model(solver.model(), net) if outcome is sat else None
         return VerificationResult(
             candidate=candidate,
-            verified=trace is None,
+            verified=trace is None and not inconclusive,
             counterexample=trace,
             wall_time=time.perf_counter() - start,
             solver_checks=solver.stats.checks,
+            unknown=inconclusive,
         )
 
     def verify(self, candidate: ConditionalCCA) -> bool:

@@ -23,6 +23,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..ccac import CcacModel, CexTrace, ModelConfig, negated_desired
+from ..obs import DEBUG, tracer
 from ..smt import Or, Real, RealVal, Solver, Term, sat, unknown
 from ..smt.optimize import maximize
 from .template import CandidateCCA
@@ -62,42 +63,69 @@ class CcacVerifier:
         candidate: CandidateCCA,
         worst_case: bool = False,
         max_conflicts: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> VerificationResult:
-        """Search for a property-violating trace (optionally worst-case)."""
+        """Search for a property-violating trace (optionally worst-case).
+
+        ``deadline`` (a ``time.perf_counter()`` timestamp) bounds the
+        wall-clock the underlying SMT search may consume; an expired
+        deadline yields an inconclusive result (``unknown=True``), never
+        a false "verified".
+        """
         start = time.perf_counter()
         self.calls += 1
-        solver, net = self._base_solver(candidate)
-        if worst_case:
-            result = self._solve_worst_case(solver, net, max_conflicts)
-        else:
-            outcome = solver.check(max_conflicts=max_conflicts)
-            if outcome is unknown:
-                elapsed = time.perf_counter() - start
-                self.total_time += elapsed
-                return VerificationResult(candidate, False, None, elapsed, 1, unknown=True)
-            if outcome is sat:
-                result = CexTrace.from_model(solver.model(), net)
+        tr = tracer()
+        with tr.span(
+            "verifier.find_cex", level=DEBUG,
+            candidate=str(candidate), worst_case=worst_case,
+        ) as span:
+            solver, net = self._base_solver(candidate)
+            inconclusive = False
+            if worst_case:
+                result, inconclusive = self._solve_worst_case(
+                    solver, net, max_conflicts, deadline
+                )
             else:
-                result = None
-        elapsed = time.perf_counter() - start
-        self.total_time += elapsed
+                outcome = solver.check(max_conflicts=max_conflicts, deadline=deadline)
+                if outcome is unknown:
+                    result, inconclusive = None, True
+                elif outcome is sat:
+                    result = CexTrace.from_model(solver.model(), net)
+                else:
+                    result = None
+            elapsed = time.perf_counter() - start
+            self.total_time += elapsed
+            span.set(
+                verified=result is None and not inconclusive,
+                unknown=inconclusive,
+                solver_checks=solver.stats.checks,
+            )
         return VerificationResult(
             candidate=candidate,
-            verified=result is None,
+            verified=result is None and not inconclusive,
             counterexample=result,
             wall_time=elapsed,
             solver_checks=solver.stats.checks,
+            unknown=inconclusive,
         )
 
     def _solve_worst_case(
-        self, solver: Solver, net: CcacModel, max_conflicts: Optional[int]
-    ) -> Optional[CexTrace]:
+        self,
+        solver: Solver,
+        net: CcacModel,
+        max_conflicts: Optional[int],
+        deadline: Optional[float] = None,
+    ) -> tuple[Optional[CexTrace], bool]:
         """Maximize ``min_t (u_t - l_t)`` over counterexample traces.
 
         ``u_t - l_t = (C*t - W_t) - S_t`` at steps where the waste grew
         (elsewhere the interval is unbounded and exempt).  A fresh
         objective variable ``m`` is tied below every finite width and
         maximized by binary search.
+
+        Returns ``(trace, inconclusive)``: ``(None, False)`` proves no
+        counterexample exists, ``(None, True)`` means the search budget
+        ran out before the initial probe was decided.
         """
         cfg = self.cfg
         m = Real(f"{net.prefix}_wce_m")
@@ -114,10 +142,11 @@ class CcacVerifier:
             hi=hi,
             precision=self.wce_precision,
             max_conflicts=max_conflicts,
+            deadline=deadline,
         )
         if not opt.feasible or opt.model is None:
-            return None
-        return CexTrace.from_model(opt.model, net)
+            return None, opt.unknown
+        return CexTrace.from_model(opt.model, net), False
 
     def verify(self, candidate: CandidateCCA) -> bool:
         """Convenience wrapper: True iff the candidate is proved correct."""

@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from ..ccac import ModelConfig
+from ..obs import DEBUG, tracer
 from .queries import AssumptionTemplate, _holds_under
 from .template import CandidateCCA
 
@@ -68,27 +69,34 @@ def tune_verifier(
     """
     start = time.perf_counter()
     probes = 0
+    tr = tracer()
 
     def panel_holds(theta: Fraction) -> bool:
         nonlocal probes
         for cand in panel:
             probes += 1
-            if not _holds_under(cand, cfg, template, theta):
+            holds = _holds_under(cand, cfg, template, theta)
+            tr.event(
+                "tuning.probe", level=DEBUG, probe=probes,
+                theta=str(theta), candidate=str(cand), holds=holds,
+            )
+            if not holds:
                 return False
         return True
 
-    lo, hi = template.lo, template.hi
-    if not panel_holds(lo):
-        return TunedVerifier(template, None, panel, probes, time.perf_counter() - start)
-    if panel_holds(hi):
-        best = hi
-    else:
-        best = lo
-        while hi - lo > precision:
-            mid = (lo + hi) / 2
-            if panel_holds(mid):
-                best = mid
-                lo = mid
-            else:
-                hi = mid
+    with tr.span("tuning.run", panel=len(panel)):
+        lo, hi = template.lo, template.hi
+        if not panel_holds(lo):
+            return TunedVerifier(template, None, panel, probes, time.perf_counter() - start)
+        if panel_holds(hi):
+            best = hi
+        else:
+            best = lo
+            while hi - lo > precision:
+                mid = (lo + hi) / 2
+                if panel_holds(mid):
+                    best = mid
+                    lo = mid
+                else:
+                    hi = mid
     return TunedVerifier(template, best, panel, probes, time.perf_counter() - start)

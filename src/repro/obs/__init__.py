@@ -1,0 +1,53 @@
+"""Observability: structured tracing, metrics, and trace reports.
+
+The measurement substrate for every performance claim the reproduction
+makes (Table 1 iteration counts, the pruning/worst-case-cex ablations,
+solver cost attribution).  Three pieces:
+
+* :mod:`repro.obs.events` — nestable spans and point events emitted
+  through pluggable sinks (JSONL for machines, a console renderer for
+  humans).  A process-global :func:`tracer` is shared by the SMT core,
+  the CEGIS loop, and the CLI; with no sinks attached every call
+  short-circuits to a no-op, so instrumented code pays (almost) nothing
+  when tracing is off.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms with a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+  API.  The SMT solver records per-check *deltas* (conflicts, decisions,
+  propagations, simplex pivots) so cost aggregates correctly across many
+  short-lived ``Solver`` instances.
+* :mod:`repro.obs.report` — parse a JSONL trace back into a per-phase
+  time/iteration breakdown (``ccmatic report``).
+
+Capture a trace from the CLI with ``ccmatic synthesize --trace out.jsonl``
+and inspect it with ``ccmatic report out.jsonl``.
+"""
+
+from .events import (
+    DEBUG,
+    INFO,
+    WARN,
+    ConsoleSink,
+    JsonlSink,
+    Sink,
+    Span,
+    Tracer,
+    tracer,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARN",
+    "ConsoleSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Sink",
+    "Span",
+    "Tracer",
+    "metrics",
+    "tracer",
+]

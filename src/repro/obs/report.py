@@ -1,0 +1,163 @@
+"""Turn a JSONL trace back into a per-phase breakdown (``ccmatic report``).
+
+The report aggregates span records by name (count, total, mean), counts
+events, and — when the trace contains a ``cegis.done`` event — checks
+that the span-derived generator/verifier totals agree with the loop's
+own ``CegisStats`` bookkeeping (they measure the same code regions, so
+disagreement beyond a few percent indicates instrumentation drift).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, TextIO, Union
+
+
+@dataclass
+class SpanAgg:
+    """Aggregate of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    depth: int = 0  # minimum nesting depth seen (for display indentation)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report renderer needs, parsed from one trace."""
+
+    records: int = 0
+    spans: dict[str, SpanAgg] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    meta: Optional[dict] = None
+    cegis_done: Optional[dict] = None
+    metrics: Optional[dict] = None  # last metrics snapshot wins
+    malformed: int = 0
+
+    def span_total(self, name: str) -> float:
+        agg = self.spans.get(name)
+        return agg.total if agg else 0.0
+
+
+def parse_trace(lines: Iterable[str]) -> TraceSummary:
+    """Parse JSONL lines into a :class:`TraceSummary` (tolerates junk lines)."""
+    summary = TraceSummary()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            summary.malformed += 1
+            continue
+        summary.records += 1
+        kind = rec.get("type")
+        if kind == "span":
+            name = rec.get("name", "?")
+            agg = summary.spans.get(name)
+            if agg is None:
+                agg = summary.spans[name] = SpanAgg(name, depth=rec.get("depth", 0))
+            dur = float(rec.get("dur", 0.0))
+            agg.count += 1
+            agg.total += dur
+            agg.max = max(agg.max, dur)
+            agg.depth = min(agg.depth, rec.get("depth", 0))
+        elif kind == "event":
+            name = rec.get("name", "?")
+            summary.events[name] = summary.events.get(name, 0) + 1
+            if name == "cegis.done":
+                summary.cegis_done = rec.get("attrs", {})
+        elif kind == "metrics":
+            summary.metrics = rec.get("snapshot")
+        elif kind == "meta":
+            summary.meta = rec
+    return summary
+
+
+def load_trace(path_or_file: Union[str, TextIO]) -> TraceSummary:
+    """Read and parse a JSONL trace file."""
+    if hasattr(path_or_file, "read"):
+        return parse_trace(path_or_file)
+    with open(path_or_file, "r", encoding="utf-8") as f:
+        return parse_trace(f)
+
+
+def render_report(summary: TraceSummary) -> str:
+    """Format a :class:`TraceSummary` as the human-readable report."""
+    out: list[str] = []
+    if summary.meta is not None:
+        argv = summary.meta.get("argv")
+        if argv:
+            out.append(f"run: {' '.join(str(a) for a in argv)}")
+    out.append(
+        f"records: {summary.records}"
+        + (f" ({summary.malformed} malformed lines skipped)" if summary.malformed else "")
+    )
+
+    if summary.spans:
+        out.append("")
+        out.append(f"{'phase':32s} {'calls':>7s} {'total_s':>10s} {'mean_ms':>10s} {'max_ms':>10s}")
+        wall = max((a.total for a in summary.spans.values()), default=0.0)
+        for agg in sorted(summary.spans.values(), key=lambda a: (a.depth, -a.total)):
+            indent = "  " * agg.depth
+            out.append(
+                f"{indent + agg.name:32s} {agg.count:7d} {agg.total:10.3f} "
+                f"{agg.mean * 1000:10.2f} {agg.max * 1000:10.2f}"
+            )
+        del wall
+
+    if summary.events:
+        out.append("")
+        out.append("events:")
+        for name, n in sorted(summary.events.items(), key=lambda kv: -kv[1]):
+            out.append(f"  {name:30s} {n:7d}")
+
+    done = summary.cegis_done
+    if done is not None:
+        out.append("")
+        out.append(
+            "cegis: iterations={} counterexamples={} solutions={} "
+            "generator_time={:.3f}s verifier_time={:.3f}s".format(
+                done.get("iterations", "?"),
+                done.get("counterexamples", "?"),
+                done.get("solutions", "?"),
+                float(done.get("generator_time", 0.0)),
+                float(done.get("verifier_time", 0.0)),
+            )
+        )
+        for phase, key in (("cegis.generate", "generator_time"),
+                           ("cegis.verify", "verifier_time")):
+            recorded = float(done.get(key, 0.0))
+            spanned = summary.span_total(phase)
+            if recorded > 0:
+                pct = 100.0 * spanned / recorded
+                out.append(
+                    f"  {phase}: span total {spanned:.3f}s vs recorded "
+                    f"{key} {recorded:.3f}s ({pct:.1f}% agreement)"
+                )
+
+    if summary.metrics:
+        out.append("")
+        out.append("metrics:")
+        for name, value in summary.metrics.get("counters", {}).items():
+            out.append(f"  {name:30s} {value}")
+        for name, h in summary.metrics.get("histograms", {}).items():
+            if h.get("count"):
+                out.append(
+                    f"  {name:30s} count={h['count']} mean={h['mean']:.6f} "
+                    f"max={h['max']:.6f}"
+                )
+    return "\n".join(out)
+
+
+def report(path_or_file: Union[str, TextIO]) -> str:
+    """Load a trace and render its report (the ``ccmatic report`` body)."""
+    return render_report(load_trace(path_or_file))

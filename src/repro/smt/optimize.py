@@ -14,18 +14,26 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Optional
 
-from .solver import Model, Result, Solver, sat, unsat
+from ..obs import DEBUG, tracer
+from .solver import Model, Result, Solver, sat, unknown, unsat
 from .terms import Term
 
 
 @dataclass
 class OptimizeResult:
-    """Outcome of a binary-search optimization."""
+    """Outcome of a binary-search optimization.
+
+    ``unknown`` is True when the *initial* feasibility probe was
+    inconclusive (conflict or wall-clock budget exhausted), i.e. the
+    caller must not interpret ``feasible=False`` as a proof of
+    infeasibility.
+    """
 
     feasible: bool
     best_value: Optional[Fraction]
     model: Optional[Model]
     probes: int
+    unknown: bool = False
 
 
 def maximize(
@@ -35,6 +43,7 @@ def maximize(
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
     max_conflicts: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> OptimizeResult:
     """Maximize ``objective`` over the solver's current assertions.
 
@@ -42,25 +51,36 @@ def maximize(
     ``hi`` an upper limit of the search.  The solver is used through
     push/pop, so its assertion stack is unchanged on return.  Returns the
     best model found; ``feasible=False`` when even ``objective >= lo`` has
-    no model.
+    no model (with ``unknown=True`` when that probe was inconclusive
+    rather than unsat).  Each binary-search step is emitted as an
+    ``opt.probe`` event when tracing is enabled.
     """
     lo = Fraction(lo)
     hi = Fraction(hi)
     probes = 0
+    tr = tracer()
 
     def probe(value: Fraction) -> tuple[Result, Optional[Model]]:
         nonlocal probes
         probes += 1
         solver.push()
         solver.add(objective >= value)
-        outcome = solver.check(max_conflicts=max_conflicts)
+        outcome = solver.check(max_conflicts=max_conflicts, deadline=deadline)
         model = solver.model() if outcome is sat else None
         solver.pop()
+        if tr.enabled:
+            tr.event(
+                "opt.probe",
+                level=DEBUG,
+                probe=probes,
+                value=str(value),
+                result=outcome.value,
+            )
         return outcome, model
 
     outcome, model = probe(lo)
     if outcome is not sat:
-        return OptimizeResult(False, None, None, probes)
+        return OptimizeResult(False, None, None, probes, unknown=outcome is unknown)
     best_value = model.value(objective)
     best_model = model
 
@@ -88,9 +108,13 @@ def minimize(
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
     max_conflicts: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> OptimizeResult:
     """Minimize ``objective`` (dual of :func:`maximize`)."""
-    result = maximize(solver, -objective, -hi, -lo, precision, max_conflicts)
+    result = maximize(solver, -objective, -hi, -lo, precision, max_conflicts, deadline)
     if result.best_value is not None:
-        return OptimizeResult(result.feasible, -result.best_value, result.model, result.probes)
+        return OptimizeResult(
+            result.feasible, -result.best_value, result.model, result.probes,
+            result.unknown,
+        )
     return result

@@ -17,6 +17,7 @@ literal of boolean variable ``v`` (1-based), ``-v`` its negation.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Optional, Sequence
 
 
@@ -95,6 +96,7 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         self.theory_checks = 0
         self._theory_qhead = 0
         self._theory_dirty = False
@@ -415,9 +417,12 @@ class SatSolver:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
         on_progress: Optional[Callable[[int], None]] = None,
+        deadline: Optional[float] = None,
     ) -> Optional[bool]:
         """Search for a model. Returns True (SAT), False (UNSAT) or None
-        if ``max_conflicts`` was exhausted."""
+        if ``max_conflicts`` or the wall-clock ``deadline`` (a
+        ``time.perf_counter()`` timestamp, checked at each conflict) was
+        exhausted."""
         if not self.ok:
             return False
         # Replay the root-level trail into a freshly reset theory solver.
@@ -441,12 +446,16 @@ class SatSolver:
                 if max_conflicts is not None and self.conflicts - start_conflicts >= max_conflicts:
                     self.cancel_until(0)
                     return None
+                if deadline is not None and time.perf_counter() >= deadline:
+                    self.cancel_until(0)
+                    return None
                 if on_progress is not None:
                     on_progress(self.conflicts)
                 if self.conflicts - conflicts_at_restart >= budget:
                     restart_idx += 1
                     conflicts_at_restart = self.conflicts
                     budget = luby(restart_idx) * 128
+                    self.restarts += 1
                     self.cancel_until(0)
                 if len(self.learned) > 4000 + 8 * len(self.clauses):
                     self._reduce_db()

@@ -21,11 +21,12 @@ never invalidated).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from enum import Enum
 from fractions import Fraction
 from typing import Iterable, Optional
 
+from ..obs import DEBUG, metrics, tracer
 from .cnf import TseitinEncoder
 from .errors import UnknownResultError
 from .preprocess import preprocess
@@ -84,14 +85,32 @@ class Model:
 
 @dataclass
 class SolverStats:
-    """Cumulative statistics over the life of a solver."""
+    """Statistics over the life of a solver.
+
+    The cumulative fields (``conflicts``, ``decisions``, ...) are sums of
+    per-check *deltas*, so they stay meaningful when stats from several
+    short-lived ``Solver`` instances are aggregated (the CEGIS verifier
+    builds a fresh solver per call).  ``last_check_*`` holds the delta of
+    the most recent :meth:`Solver.check` alone.
+    """
 
     checks: int = 0
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
     pivots: int = 0
+    restarts: int = 0
     solve_time: float = 0.0
+    last_check_conflicts: int = 0
+    last_check_decisions: int = 0
+    last_check_propagations: int = 0
+    last_check_pivots: int = 0
+    last_check_restarts: int = 0
+    last_check_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict export (for traces, snapshots, BENCH_*.json)."""
+        return asdict(self)
 
 
 class Solver:
@@ -137,18 +156,90 @@ class Solver:
 
     # -- solving --------------------------------------------------------------
 
-    def check(self, max_conflicts: Optional[int] = None) -> Result:
-        """Decide satisfiability of the current assertion stack."""
+    #: emit an ``smt.progress`` event every this many conflicts while tracing
+    PROGRESS_EVERY = 512
+
+    def check(
+        self,
+        max_conflicts: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Result:
+        """Decide satisfiability of the current assertion stack.
+
+        ``deadline`` is a ``time.perf_counter()`` timestamp; the search
+        aborts with :data:`unknown` once it has passed (checked at each
+        conflict, like ``max_conflicts``).
+        """
+        core = self.sat_core
+        base_conflicts = core.conflicts
+        base_decisions = core.decisions
+        base_propagations = core.propagations
+        base_restarts = core.restarts
+        base_pivots = self.theory.simplex.pivots
+
+        tr = tracer()
+        span = None
+        on_progress = None
+        if tr.enabled:
+            span = tr.span(
+                "smt.check",
+                level=DEBUG,
+                vars=core.nvars,
+                clauses=len(core.clauses),
+            )
+            span.__enter__()
+            last_reported = [base_conflicts]
+
+            def on_progress(conflicts: int) -> None:
+                if conflicts - last_reported[0] >= self.PROGRESS_EVERY:
+                    last_reported[0] = conflicts
+                    tr.event(
+                        "smt.progress",
+                        level=DEBUG,
+                        conflicts=conflicts - base_conflicts,
+                        restarts=core.restarts - base_restarts,
+                        learned=len(core.learned),
+                    )
+
         start = time.perf_counter()
-        outcome = self.sat_core.solve(
-            assumptions=list(self._frames), max_conflicts=max_conflicts
-        )
-        self.stats.checks += 1
-        self.stats.solve_time += time.perf_counter() - start
-        self.stats.conflicts = self.sat_core.conflicts
-        self.stats.decisions = self.sat_core.decisions
-        self.stats.propagations = self.sat_core.propagations
-        self.stats.pivots = self.theory.simplex.pivots
+        try:
+            outcome = core.solve(
+                assumptions=list(self._frames),
+                max_conflicts=max_conflicts,
+                on_progress=on_progress,
+                deadline=deadline,
+            )
+        except BaseException as exc:
+            if span is not None:
+                span.__exit__(type(exc), exc, exc.__traceback__)
+                span = None
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            st = self.stats
+            st.checks += 1
+            st.solve_time += elapsed
+            st.last_check_conflicts = core.conflicts - base_conflicts
+            st.last_check_decisions = core.decisions - base_decisions
+            st.last_check_propagations = core.propagations - base_propagations
+            st.last_check_restarts = core.restarts - base_restarts
+            st.last_check_pivots = self.theory.simplex.pivots - base_pivots
+            st.last_check_time = elapsed
+            st.conflicts += st.last_check_conflicts
+            st.decisions += st.last_check_decisions
+            st.propagations += st.last_check_propagations
+            st.restarts += st.last_check_restarts
+            st.pivots += st.last_check_pivots
+            reg = metrics()
+            reg.counter("smt.checks").inc()
+            reg.counter("smt.conflicts").inc(st.last_check_conflicts)
+            reg.counter("smt.decisions").inc(st.last_check_decisions)
+            reg.counter("smt.propagations").inc(st.last_check_propagations)
+            reg.counter("smt.restarts").inc(st.last_check_restarts)
+            reg.counter("smt.pivots").inc(st.last_check_pivots)
+            reg.gauge("smt.clauses").set(len(core.clauses))
+            reg.histogram("smt.check_time").observe(elapsed)
+
         if outcome is None:
             self._last_result = unknown
             self._model = None
@@ -158,6 +249,17 @@ class Solver:
         else:
             self._last_result = unsat
             self._model = None
+        metrics().counter(f"smt.result.{self._last_result.value}").inc()
+        if span is not None:
+            span.set(
+                result=self._last_result.value,
+                conflicts=self.stats.last_check_conflicts,
+                decisions=self.stats.last_check_decisions,
+                propagations=self.stats.last_check_propagations,
+                pivots=self.stats.last_check_pivots,
+                restarts=self.stats.last_check_restarts,
+            )
+            span.__exit__(None, None, None)
         return self._last_result
 
     def _build_model(self) -> Model:

@@ -1,0 +1,154 @@
+"""Tests of the tracing layer: span nesting, timing, sinks, levels."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs import DEBUG, INFO, ConsoleSink, JsonlSink, Tracer
+from repro.obs.events import _NOOP_SPAN
+
+
+def records_of(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+@pytest.fixture
+def traced():
+    """A private tracer with an in-memory JSONL sink."""
+    tr = Tracer()
+    buf = io.StringIO()
+    tr.add_sink(JsonlSink(buf))
+    return tr, buf
+
+
+class TestSpans:
+    def test_disabled_tracer_returns_shared_noop(self):
+        tr = Tracer()
+        assert not tr.enabled
+        span = tr.span("x", attr=1)
+        assert span is _NOOP_SPAN
+        with span as s:
+            s.set(more=2).set_duration(1.0)  # all no-ops, no errors
+        tr.event("x.event", k="v")  # swallowed
+
+    def test_span_nesting_parent_and_depth(self, traced):
+        tr, buf = traced
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = records_of(buf)  # inner closes (and emits) first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1 and outer["depth"] == 0
+        assert outer["parent"] is None
+
+    def test_sibling_spans_share_parent(self, traced):
+        tr, buf = traced
+        with tr.span("outer"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        a, b, outer = records_of(buf)
+        assert a["parent"] == outer["id"] and b["parent"] == outer["id"]
+        assert a["id"] != b["id"]
+
+    def test_timing_monotonicity(self, traced):
+        tr, buf = traced
+        with tr.span("outer"):
+            time.sleep(0.002)
+            with tr.span("inner"):
+                time.sleep(0.002)
+        inner, outer = records_of(buf)
+        assert 0 < inner["dur"] <= outer["dur"]
+        # the inner span starts no earlier than the outer one
+        assert inner["ts"] >= outer["ts"]
+
+    def test_set_duration_overrides_clock(self, traced):
+        tr, buf = traced
+        with tr.span("s") as span:
+            span.set_duration(42.5)
+        (rec,) = records_of(buf)
+        assert rec["dur"] == 42.5
+
+    def test_events_attributed_to_innermost_span(self, traced):
+        tr, buf = traced
+        tr.event("orphan")
+        with tr.span("s"):
+            tr.event("child", k=1)
+        orphan, child, span = records_of(buf)
+        assert orphan["span"] is None
+        assert child["span"] == span["id"]
+        assert child["attrs"] == {"k": 1}
+
+    def test_exception_marks_span_and_unwinds_stack(self, traced):
+        tr, buf = traced
+        with pytest.raises(ValueError):
+            with tr.span("bad"):
+                raise ValueError("boom")
+        (rec,) = records_of(buf)
+        assert rec["attrs"]["error"] == "ValueError"
+        assert tr.current_span_id() is None
+
+    def test_remove_sink_disables(self, traced):
+        tr, buf = traced
+        (sink,) = tr.sinks
+        tr.remove_sink(sink)
+        assert not tr.enabled
+        tr.event("dropped")
+        assert buf.getvalue() == ""
+
+
+class TestSinks:
+    def test_jsonl_sink_stringifies_unserializable(self):
+        tr = Tracer()
+        buf = io.StringIO()
+        tr.add_sink(JsonlSink(buf))
+        from fractions import Fraction
+
+        tr.event("e", value=Fraction(1, 3))
+        (rec,) = records_of(buf)
+        assert rec["attrs"]["value"] == "1/3"
+
+    def test_jsonl_sink_level_filter(self):
+        tr = Tracer()
+        buf = io.StringIO()
+        tr.add_sink(JsonlSink(buf, level=INFO))
+        tr.event("debug-only", level=DEBUG)
+        tr.event("kept", level=INFO)
+        recs = records_of(buf)
+        assert [r["name"] for r in recs] == ["kept"]
+
+    def test_console_sink_prints_msg_verbatim(self, capsys):
+        tr = Tracer()
+        tr.add_sink(ConsoleSink(level=INFO))
+        tr.event("cegis.solution", msg="[cegis] iter 3: solution X")
+        tr.event("hidden", level=DEBUG, msg="nope")
+        out = capsys.readouterr().out
+        assert out == "[cegis] iter 3: solution X\n"
+
+    def test_console_sink_renders_attrs_without_msg(self, capsys):
+        tr = Tracer()
+        tr.add_sink(ConsoleSink(level=INFO))
+        tr.event("smt.progress", conflicts=100, restarts=2)
+        out = capsys.readouterr().out
+        assert "[smt.progress]" in out and "conflicts=100" in out
+
+    def test_console_sink_debug_shows_span_timings(self, capsys):
+        tr = Tracer()
+        tr.add_sink(ConsoleSink(level=DEBUG))
+        with tr.span("phase", level=DEBUG):
+            pass
+        out = capsys.readouterr().out
+        assert "~ phase" in out and "ms" in out
+
+    def test_meta_and_metrics_records(self, traced):
+        tr, buf = traced
+        tr.meta(argv=["synthesize"], version="1.0.0")
+        tr.emit_metrics({"counters": {"smt.checks": 3}})
+        meta, metrics_rec = records_of(buf)
+        assert meta["type"] == "meta" and meta["argv"] == ["synthesize"]
+        assert metrics_rec["type"] == "metrics"
+        assert metrics_rec["snapshot"]["counters"]["smt.checks"] == 3

@@ -1,0 +1,77 @@
+"""JSONL round-trip: write a trace, parse it back, render the report."""
+
+import io
+import json
+
+from repro.obs import JsonlSink, Tracer
+from repro.obs.report import load_trace, parse_trace, render_report
+
+
+def make_trace() -> io.StringIO:
+    tr = Tracer()
+    buf = io.StringIO()
+    tr.add_sink(JsonlSink(buf))
+    tr.meta(argv=["synthesize", "--space", "x"], version="test")
+    with tr.span("cegis.run"):
+        for i in (1, 2):
+            with tr.span("cegis.generate") as s:
+                s.set_duration(0.25)
+            with tr.span("cegis.verify") as s:
+                s.set_duration(0.5)
+        tr.event("cegis.counterexample", iter=1)
+        tr.event("cegis.solution", iter=2)
+        tr.event(
+            "cegis.done",
+            iterations=2, counterexamples=1, solutions=1,
+            generator_time=0.5, verifier_time=1.0,
+        )
+    tr.emit_metrics({"counters": {"smt.checks": 4},
+                     "gauges": {},
+                     "histograms": {"smt.check_time":
+                                    {"count": 4, "total": 1.0, "mean": 0.25,
+                                     "min": 0.1, "max": 0.4}}})
+    buf.seek(0)
+    return buf
+
+
+class TestRoundTrip:
+    def test_every_line_is_json(self):
+        buf = make_trace()
+        for line in buf.read().splitlines():
+            json.loads(line)
+
+    def test_parse_aggregates_spans_and_events(self):
+        summary = load_trace(make_trace())
+        assert summary.malformed == 0
+        gen = summary.spans["cegis.generate"]
+        ver = summary.spans["cegis.verify"]
+        assert gen.count == 2 and gen.total == 0.5
+        assert ver.count == 2 and ver.total == 1.0
+        assert summary.events["cegis.counterexample"] == 1
+        assert summary.cegis_done["iterations"] == 2
+        assert summary.metrics["counters"]["smt.checks"] == 4
+
+    def test_span_totals_match_recorded_stats(self):
+        summary = load_trace(make_trace())
+        done = summary.cegis_done
+        assert abs(summary.span_total("cegis.generate") - done["generator_time"]) \
+            <= 0.05 * done["generator_time"]
+        assert abs(summary.span_total("cegis.verify") - done["verifier_time"]) \
+            <= 0.05 * done["verifier_time"]
+
+    def test_render_report_contains_phases_and_agreement(self):
+        out = render_report(load_trace(make_trace()))
+        assert "cegis.generate" in out and "cegis.verify" in out
+        assert "iterations=2" in out
+        assert "agreement" in out
+        assert "smt.checks" in out
+
+    def test_malformed_lines_tolerated(self):
+        summary = parse_trace(["not json at all", '{"type": "event", "name": "e"}'])
+        assert summary.malformed == 1
+        assert summary.events["e"] == 1
+
+    def test_empty_trace(self):
+        summary = parse_trace([])
+        out = render_report(summary)
+        assert "records: 0" in out

@@ -1,0 +1,78 @@
+"""SolverStats delta semantics, as_dict export, and deadline aborts."""
+
+import time
+
+from repro.smt import Real, Solver, sat, unknown, unsat
+
+
+def _hard_instance(solver: Solver, n: int = 9, prefix: str = "ph") -> None:
+    """A pigeonhole-flavoured instance: n+1 items in n slots (unsat,
+    requires real search so deadlines/conflict budgets can bite)."""
+    from repro.smt import And, Or
+
+    xs = [[Real(f"{prefix}_{p}_{h}") for h in range(n)] for p in range(n + 1)]
+    for p in range(n + 1):
+        solver.add(Or(*[And(xs[p][h] >= 1) for h in range(n)]))
+        for h in range(n):
+            solver.add(xs[p][h] >= 0, xs[p][h] <= 1)
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                solver.add(xs[p1][h] + xs[p2][h] <= 1)
+
+
+class TestStatsDeltas:
+    def test_cumulative_is_sum_of_deltas(self):
+        s = Solver()
+        x, y = Real("sd_x"), Real("sd_y")
+        s.add(x >= 1, y >= 2)
+        assert s.check() is sat
+        first = s.stats.last_check_conflicts
+        s.add(x + y <= 2)  # now unsat
+        assert s.check() is unsat
+        second = s.stats.last_check_conflicts
+        assert s.stats.checks == 2
+        assert s.stats.conflicts == first + second
+
+    def test_as_dict_round_trips_all_fields(self):
+        s = Solver()
+        x = Real("sd_d")
+        s.add(x >= 0)
+        s.check()
+        d = s.stats.as_dict()
+        for key in (
+            "checks", "conflicts", "decisions", "propagations", "pivots",
+            "restarts", "solve_time", "last_check_conflicts",
+            "last_check_decisions", "last_check_propagations",
+            "last_check_pivots", "last_check_restarts", "last_check_time",
+        ):
+            assert key in d
+        assert d["checks"] == 1
+
+    def test_two_instances_do_not_share_stats(self):
+        a, b = Solver(), Solver()
+        x = Real("sd_two")
+        a.add(x >= 1)
+        a.check()
+        assert b.stats.checks == 0
+        b.add(x >= 1)
+        b.check()
+        assert a.stats.checks == 1 and b.stats.checks == 1
+
+
+class TestDeadline:
+    def test_expired_deadline_returns_unknown(self):
+        s = Solver()
+        _hard_instance(s, n=8, prefix="dl1")
+        assert s.check(deadline=time.perf_counter()) is unknown
+
+    def test_generous_deadline_solves(self):
+        s = Solver()
+        x = Real("dl_easy")
+        s.add(x >= 1)
+        assert s.check(deadline=time.perf_counter() + 60.0) is sat
+
+    def test_max_conflicts_still_works(self):
+        s = Solver()
+        _hard_instance(s, n=8, prefix="dl2")
+        assert s.check(max_conflicts=1) is unknown

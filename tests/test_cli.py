@@ -1,5 +1,7 @@
 """CLI smoke tests (fast configurations only)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -7,12 +9,15 @@ from repro.cli import build_parser, main
 
 class TestParser:
     def test_all_subcommands_registered(self):
+        import argparse
+
         parser = build_parser()
         subactions = [
-            a for a in parser._actions if hasattr(a, "choices") and a.choices
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
         ][0]
         assert set(subactions.choices) == {
-            "synthesize", "verify", "sweep", "simulate", "assumption",
+            "synthesize", "verify", "sweep", "simulate", "assumption", "report",
         }
 
     def test_unknown_cca_rejected(self):
@@ -59,3 +64,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "wastes at most" in out
+
+
+class TestObservability:
+    def test_synthesize_trace_round_trip(self, capsys, tmp_path):
+        """synthesize --trace writes parseable JSONL; report reads it back
+        with generator/verifier span totals matching CegisStats closely."""
+        trace = tmp_path / "out.jsonl"
+        rc = main([
+            "synthesize", "--space", "no_cwnd_small", "--wce",
+            "--T", "5", "--time-budget", "300", "--trace", str(trace),
+        ])
+        capsys.readouterr()
+        assert trace.exists()
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {r["type"] for r in records}
+        assert {"meta", "span", "event", "metrics"} <= kinds
+        done = [r for r in records
+                if r["type"] == "event" and r["name"] == "cegis.done"]
+        assert len(done) == 1
+        gen_total = sum(r["dur"] for r in records
+                        if r["type"] == "span" and r["name"] == "cegis.generate")
+        ver_total = sum(r["dur"] for r in records
+                        if r["type"] == "span" and r["name"] == "cegis.verify")
+        attrs = done[0]["attrs"]
+        assert abs(gen_total - attrs["generator_time"]) \
+            <= 0.05 * max(attrs["generator_time"], 1e-9)
+        assert abs(ver_total - attrs["verifier_time"]) \
+            <= 0.05 * max(attrs["verifier_time"], 1e-9)
+
+        rc = main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cegis.verify" in out
+        assert "smt.checks" in out
+
+    def test_global_flag_position_before_subcommand(self, capsys, tmp_path):
+        trace = tmp_path / "before.jsonl"
+        rc = main(["--trace", str(trace), "verify", "rocc", "--T", "5"])
+        capsys.readouterr()
+        assert rc == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["type"] == "span" and r["name"] == "smt.check"
+                   for r in records)
+
+    def test_log_level_info_renders_events(self, capsys):
+        rc = main([
+            "synthesize", "--space", "no_cwnd_small", "--T", "5",
+            "--time-budget", "300", "--log-level", "info",
+        ])
+        out = capsys.readouterr().out
+        assert "[cegis] iter" in out
+
+    def test_report_missing_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", "/nonexistent/trace.jsonl"])
