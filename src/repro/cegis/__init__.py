@@ -1,21 +1,25 @@
 """Counterexample-guided inductive synthesis, generic over the domain."""
 
 from .interfaces import (
+    CegisCheckpoint,
     CegisOptions,
     CegisOutcome,
     CegisStats,
     Generator,
     PruningMode,
+    StopReason,
     Verifier,
 )
 from .loop import CegisLoop
 
 __all__ = [
+    "CegisCheckpoint",
     "CegisLoop",
     "CegisOptions",
     "CegisOutcome",
     "CegisStats",
     "Generator",
     "PruningMode",
+    "StopReason",
     "Verifier",
 ]

@@ -17,6 +17,28 @@ Candidate = TypeVar("Candidate")
 Counterexample = TypeVar("Counterexample")
 
 
+class StopReason(Enum):
+    """Why a CEGIS run ended — every exit is one of these, explicitly.
+
+    Before this enum existed, hitting ``max_iterations`` exited the loop
+    indistinguishably from a clean finish; callers must never have to
+    guess whether an empty solution list is a proof or a timeout.
+    """
+
+    #: stopped after finding the requested solution(s)
+    SOLUTION = "solution"
+    #: the generator proved the (remaining) space has no solutions
+    EXHAUSTED = "exhausted"
+    #: the time budget ran out (loop deadline or verifier give-up)
+    BUDGET = "budget"
+    #: the iteration cap was reached without a conclusive answer
+    MAX_ITERATIONS = "max_iterations"
+    #: the run only terminated because the runtime weakened the search
+    #: (see :mod:`repro.runtime.degrade`); the verdict is honest but
+    #: produced under recorded degradations
+    DEGRADED = "degraded"
+
+
 class PruningMode(Enum):
     """How much each counterexample eliminates (paper §3.1.2).
 
@@ -67,6 +89,30 @@ class Verifier(Protocol[Candidate, Counterexample]):
         ...
 
 
+class CegisCheckpoint(Protocol):
+    """Duck-typed checkpoint store the loop saves to / resumes from.
+
+    The loop stays domain-agnostic: candidates and counterexamples are
+    handed to the store as-is, and the store owns serialization (see
+    :class:`repro.runtime.checkpoint.CheckpointStore` for the atomic
+    JSON implementation with fingerprint verification).
+    """
+
+    def load(self):
+        """Previously saved state or None.  The returned object carries
+        ``stats`` (dict of counter fields), ``solutions``,
+        ``counterexamples``, ``blocked`` (decoded lists, in insertion
+        order) and ``stop_reason`` (None while the run was still in
+        flight)."""
+        ...
+
+    def save(self, *, stats, solutions, counterexamples, blocked,
+             stop_reason: Optional[str] = None) -> None:
+        """Persist the loop state atomically (called once per iteration
+        and once more with the final ``stop_reason``)."""
+        ...
+
+
 @dataclass
 class CegisOptions:
     """Knobs of one CEGIS run.
@@ -110,6 +156,10 @@ class CegisOutcome(Generic[Candidate]):
     stats: CegisStats = field(default_factory=CegisStats)
     exhausted: bool = False  # generator proved no further solutions exist
     timed_out: bool = False
+    #: why the run ended (always set by CegisLoop.run)
+    stop_reason: Optional[StopReason] = None
+    #: whether the run was restored from a checkpoint
+    resumed: bool = False
 
     @property
     def found(self) -> bool:

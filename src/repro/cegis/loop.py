@@ -14,9 +14,9 @@ solutions in our search space").
 Every run is traced through :mod:`repro.obs`: per-iteration
 ``cegis.generate``/``cegis.verify`` spans, ``cegis.propose`` /
 ``cegis.counterexample`` / ``cegis.solution`` events, and a final
-``cegis.done`` event carrying the :class:`CegisStats` totals.
-``CegisOptions.verbose`` is sugar for attaching a console sink for the
-duration of the run.
+``cegis.done`` event carrying the :class:`CegisStats` totals and the
+explicit :class:`StopReason`.  ``CegisOptions.verbose`` is sugar for
+attaching a console sink for the duration of the run.
 
 ``CegisOptions.time_budget`` is enforced as a *deadline*: besides the
 top-of-loop check, the remaining budget is threaded into verifiers that
@@ -24,6 +24,16 @@ accept a ``deadline`` keyword (``time.perf_counter()`` timestamp), so a
 single long verifier call can no longer overshoot the budget unboundedly.
 A run stopped this way records an explicit ``cegis.budget_exhausted``
 event.
+
+**Crash safety.** When constructed with a ``checkpoint`` (any object with
+the :class:`~repro.cegis.interfaces.CegisCheckpoint` shape), the loop
+persists its full state — counterexamples, blocked candidates, solutions,
+stat counters — after every iteration and restores it on the next run:
+replayed counterexamples rebuild the generator deterministically, so a
+run SIGKILL'd mid-iteration continues exactly where the last atomic save
+left it.  A resumed run gets a fresh wall-clock budget (the elapsed time
+of the dead process is gone with it); iteration counts continue from the
+restored value.
 """
 
 from __future__ import annotations
@@ -33,7 +43,15 @@ import time
 from typing import Optional
 
 from ..obs import DEBUG, ConsoleSink, tracer
-from .interfaces import CegisOptions, CegisOutcome, CegisStats, Generator, Verifier
+from .interfaces import (
+    CegisCheckpoint,
+    CegisOptions,
+    CegisOutcome,
+    CegisStats,
+    Generator,
+    StopReason,
+    Verifier,
+)
 
 
 def _accepts_deadline(verifier: Verifier) -> bool:
@@ -51,11 +69,21 @@ def _accepts_deadline(verifier: Verifier) -> bool:
 class CegisLoop:
     """Drives one synthesis query to completion."""
 
-    def __init__(self, generator: Generator, verifier: Verifier, options: Optional[CegisOptions] = None):
+    def __init__(
+        self,
+        generator: Generator,
+        verifier: Verifier,
+        options: Optional[CegisOptions] = None,
+        checkpoint: Optional[CegisCheckpoint] = None,
+    ):
         self.generator = generator
         self.verifier = verifier
         self.options = options or CegisOptions()
+        self.checkpoint = checkpoint
         self._verifier_takes_deadline = _accepts_deadline(verifier)
+        # full histories, tracked only when checkpointing
+        self._cex_log: list = []
+        self._blocked_log: list = []
 
     def run(self) -> CegisOutcome:
         tr = tracer()
@@ -76,6 +104,17 @@ class CegisLoop:
         opts = self.options
         outcome: CegisOutcome = CegisOutcome()
         stats = outcome.stats
+        restored = self._restore(tr, outcome)
+        if restored is not None and restored.stop_reason is not None:
+            # resuming an already-finished run is idempotent: report the
+            # recorded verdict instead of searching past it
+            outcome.stop_reason = StopReason(restored.stop_reason)
+            outcome.exhausted = outcome.stop_reason is StopReason.EXHAUSTED
+            outcome.timed_out = outcome.stop_reason in (
+                StopReason.BUDGET, StopReason.DEGRADED
+            )
+            self._done(tr, outcome)
+            return outcome
         start = time.perf_counter()
         deadline = None if opts.time_budget is None else start + opts.time_budget
         while stats.iterations < opts.max_iterations:
@@ -92,6 +131,7 @@ class CegisLoop:
             stats.generator_time += dt
             if candidate is None:
                 outcome.exhausted = True
+                outcome.stop_reason = StopReason.EXHAUSTED
                 tr.event("cegis.exhausted", iter=stats.iterations)
                 break
             tr.event("cegis.propose", level=DEBUG, iter=stats.iterations,
@@ -119,15 +159,25 @@ class CegisLoop:
                     msg=f"[cegis] iter {stats.iterations}: solution {candidate}",
                 )
                 if not opts.find_all:
+                    outcome.stop_reason = StopReason.SOLUTION
                     break
                 if opts.max_solutions is not None and len(outcome.solutions) >= opts.max_solutions:
+                    outcome.stop_reason = StopReason.SOLUTION
                     break
                 self.generator.block(candidate)
+                if self.checkpoint is not None:
+                    self._blocked_log.append(candidate)
             else:
                 cex = result.counterexample
                 if cex is None:
-                    # verifier gave up (conflict or wall-clock budget)
-                    self._budget_exhausted(tr, outcome, where="verifier")
+                    # verifier gave up (conflict or wall-clock budget);
+                    # a degraded result means the runtime weakened the
+                    # search to get here — report that, not "budget"
+                    degraded = bool(getattr(result, "degraded", False))
+                    self._budget_exhausted(
+                        tr, outcome, where="verifier",
+                        reason=StopReason.DEGRADED if degraded else StopReason.BUDGET,
+                    )
                     break
                 stats.counterexamples += 1
                 tr.event(
@@ -137,6 +187,72 @@ class CegisLoop:
                     msg=f"[cegis] iter {stats.iterations}: counterexample for {candidate}",
                 )
                 self.generator.add_counterexample(cex)
+                if self.checkpoint is not None:
+                    self._cex_log.append(cex)
+            self._save(outcome)
+        if outcome.stop_reason is None:
+            outcome.stop_reason = StopReason.MAX_ITERATIONS
+        self._save(outcome, final=True)
+        self._done(tr, outcome)
+        return outcome
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _restore(self, tr, outcome: CegisOutcome):
+        """Replay checkpointed state into the generator; returns the state
+        (or None when starting fresh)."""
+        if self.checkpoint is None:
+            return None
+        state = self.checkpoint.load()  # fingerprint-verified by the store
+        if state is None:
+            return None
+        for cex in state.counterexamples:
+            self.generator.add_counterexample(cex)
+        for candidate in state.blocked:
+            self.generator.block(candidate)
+        self._cex_log = list(state.counterexamples)
+        self._blocked_log = list(state.blocked)
+        outcome.solutions = list(state.solutions)
+        outcome.resumed = True
+        stats = outcome.stats
+        st = state.stats
+        stats.iterations = int(st.get("iterations", 0))
+        stats.counterexamples = int(st.get("counterexamples", 0))
+        stats.generator_time = float(st.get("generator_time", 0.0))
+        stats.verifier_time = float(st.get("verifier_time", 0.0))
+        stats.verifier_calls = int(st.get("verifier_calls", 0))
+        tr.event(
+            "cegis.resume",
+            iterations=stats.iterations,
+            counterexamples=len(state.counterexamples),
+            blocked=len(state.blocked),
+            solutions=len(outcome.solutions),
+            complete=state.stop_reason is not None,
+            msg=(
+                f"[cegis] resumed from checkpoint: iter {stats.iterations}, "
+                f"{len(state.counterexamples)} counterexamples, "
+                f"{len(outcome.solutions)} solutions"
+            ),
+        )
+        return state
+
+    def _save(self, outcome: CegisOutcome, final: bool = False) -> None:
+        if self.checkpoint is None:
+            return
+        reason = outcome.stop_reason
+        self.checkpoint.save(
+            stats=outcome.stats,
+            solutions=list(outcome.solutions),
+            counterexamples=list(self._cex_log),
+            blocked=list(self._blocked_log),
+            stop_reason=reason.value if (final and reason is not None) else None,
+        )
+
+    # -- termination ----------------------------------------------------------
+
+    @staticmethod
+    def _done(tr, outcome: CegisOutcome) -> None:
+        stats = outcome.stats
         tr.event(
             "cegis.done",
             iterations=stats.iterations,
@@ -146,16 +262,24 @@ class CegisLoop:
             verifier_time=stats.verifier_time,
             exhausted=outcome.exhausted,
             timed_out=outcome.timed_out,
+            stop_reason=outcome.stop_reason.value if outcome.stop_reason else None,
+            resumed=outcome.resumed,
         )
-        return outcome
 
     @staticmethod
-    def _budget_exhausted(tr, outcome: CegisOutcome, where: str) -> None:
+    def _budget_exhausted(
+        tr,
+        outcome: CegisOutcome,
+        where: str,
+        reason: StopReason = StopReason.BUDGET,
+    ) -> None:
         outcome.timed_out = True
+        outcome.stop_reason = reason
         stats: CegisStats = outcome.stats
         tr.event(
             "cegis.budget_exhausted",
             iter=stats.iterations,
             where=where,
+            stop_reason=reason.value,
             msg=f"[cegis] iter {stats.iterations}: time budget exhausted ({where})",
         )

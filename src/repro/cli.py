@@ -8,7 +8,15 @@ Commands:
 * ``simulate``   — run CCAs on the discrete-time simulator;
 * ``assumption`` — synthesize the weakest sufficient environment
   assumption for a CCA;
-* ``report``     — per-phase breakdown of a JSONL trace.
+* ``report``     — per-phase breakdown of a JSONL trace;
+* ``resume``     — continue a synthesis run from its ``--checkpoint``
+  file after a crash or kill.
+
+``synthesize`` runs under the fault-tolerant runtime
+(:mod:`repro.runtime`): ``--checkpoint`` persists crash-safe state every
+iteration, ``--isolate`` runs solver calls in resource-capped workers
+(``--solver-timeout``, ``--solver-mem-mb``), and degradations are
+reported at the end of the run.
 
 Global observability flags (accepted before or after the subcommand):
 
@@ -44,6 +52,41 @@ from .core import (
 )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer, friendly error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: strictly positive float, friendly error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {value})")
+    return value
+
+
+def _readable_file(text: str) -> str:
+    """argparse type: an existing, readable file, friendly error."""
+    import os
+
+    if not os.path.isfile(text):
+        raise argparse.ArgumentTypeError(f"no such file: {text}")
+    if not os.access(text, os.R_OK):
+        raise argparse.ArgumentTypeError(f"file is not readable: {text}")
+    return text
+
+
 def _named_cca(name: str) -> CandidateCCA:
     if name == "rocc":
         return rocc()
@@ -52,6 +95,31 @@ def _named_cca(name: str) -> CandidateCCA:
     if name.startswith("const:"):
         return constant_cwnd(Fraction(name.split(":", 1)[1]))
     raise SystemExit(f"unknown CCA {name!r}; use rocc, eq3, or const:<gamma>")
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("fault tolerance")
+    g.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="persist crash-safe state to PATH every iteration "
+             "(continue later with `ccmatic resume PATH`)",
+    )
+    g.add_argument(
+        "--isolate", action="store_true",
+        help="run each solver call in an isolated, resource-capped worker",
+    )
+    g.add_argument(
+        "--solver-timeout", type=_positive_float, default=60.0,
+        metavar="SECONDS", help="per-call wall-clock cap for --isolate workers",
+    )
+    g.add_argument(
+        "--solver-mem-mb", type=_positive_int, default=None,
+        metavar="MIB", help="per-worker memory cap for --isolate workers",
+    )
+    g.add_argument(
+        "--cross-check", action="store_true",
+        help="advisory: replay each solution on the discrete simulator",
+    )
 
 
 def _add_cfg_args(p: argparse.ArgumentParser) -> None:
@@ -64,7 +132,43 @@ def _cfg(args) -> ModelConfig:
     return ModelConfig(T=args.T, util_thresh=args.util, delay_thresh=args.delay)
 
 
+def _runtime_options(args):
+    from .runtime import RuntimeOptions
+
+    return RuntimeOptions(
+        checkpoint_path=getattr(args, "checkpoint", None),
+        isolate=getattr(args, "isolate", False),
+        solver_timeout=getattr(args, "solver_timeout", 60.0),
+        solver_mem_mb=getattr(args, "solver_mem_mb", None),
+        cross_check=getattr(args, "cross_check", False),
+    )
+
+
+def _print_synthesis_result(result, cfg) -> int:
+    reason = result.stop_reason.value if result.stop_reason else "?"
+    print(
+        f"iterations={result.iterations} counterexamples={result.counterexamples} "
+        f"wall={result.wall_time:.1f}s exhausted={result.exhausted} "
+        f"stop={reason}{' (resumed)' if result.resumed else ''}"
+    )
+    if result.degradations:
+        kinds = ", ".join(sorted({d.get("kind", "?") for d in result.degradations}))
+        print(f"degraded: {len(result.degradations)} event(s) [{kinds}]")
+    if not result.solutions:
+        print("no solution found")
+        return 1
+    for cand in result.solutions:
+        report = classify(cand, cfg)
+        tag = "RoCC-family" if report.rocc_family else "other"
+        print(f"  {report.rule}   [{tag}, {report.history_used} RTTs of history]")
+    for check in result.cross_checks:
+        print(f"  {check.describe()}")
+    return 0
+
+
 def cmd_synthesize(args) -> int:
+    from .runtime import run_synthesis
+
     spaces = table1_spaces()
     spec = spaces[args.space]
     query = SynthesisQuery(
@@ -78,19 +182,23 @@ def cmd_synthesize(args) -> int:
         time_budget=args.time_budget,
         verbose=args.verbose,
     )
-    result = synthesize(query)
-    print(
-        f"iterations={result.iterations} counterexamples={result.counterexamples} "
-        f"wall={result.wall_time:.1f}s exhausted={result.exhausted}"
-    )
-    if not result.solutions:
-        print("no solution found")
-        return 1
-    for cand in result.solutions:
-        report = classify(cand, query.cfg)
-        tag = "RoCC-family" if report.rocc_family else "other"
-        print(f"  {report.rule}   [{tag}, {report.history_used} RTTs of history]")
-    return 0
+    result = run_synthesis(query, _runtime_options(args))
+    return _print_synthesis_result(result, query.cfg)
+
+
+def cmd_resume(args) -> int:
+    from .runtime import CheckpointError, resume_synthesis
+
+    try:
+        result = resume_synthesis(
+            args.checkpoint_file,
+            _runtime_options(args),
+            time_budget=args.time_budget,
+            max_iterations=args.max_iterations,
+        )
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    return _print_synthesis_result(result, result.query.cfg)
 
 
 def cmd_verify(args) -> int:
@@ -201,10 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wce", action="store_true", help="worst-case counterexamples")
     p.add_argument("--generator", choices=["smt", "enum"], default="enum")
     p.add_argument("--all", action="store_true", help="enumerate all solutions")
-    p.add_argument("--max-iterations", type=int, default=100000)
-    p.add_argument("--time-budget", type=float, default=None)
+    p.add_argument("--max-iterations", type=_positive_int, default=100000)
+    p.add_argument("--time-budget", type=_positive_float, default=None)
     p.add_argument("--verbose", action="store_true")
     _add_cfg_args(p)
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser("verify", help="verify a named CCA", parents=[obs])
@@ -231,8 +340,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_assumption)
 
     p = sub.add_parser("report", help="per-phase breakdown of a JSONL trace")
-    p.add_argument("trace_file", help="trace captured with --trace")
+    p.add_argument("trace_file", type=_readable_file,
+                   help="trace captured with --trace")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "resume", help="continue a checkpointed synthesis run", parents=[obs]
+    )
+    p.add_argument("checkpoint_file", type=_readable_file,
+                   help="checkpoint written by `synthesize --checkpoint`")
+    p.add_argument("--max-iterations", type=_positive_int, default=None,
+                   help="override the stored iteration cap")
+    p.add_argument("--time-budget", type=_positive_float, default=None,
+                   help="fresh time budget for the resumed run")
+    _add_runtime_args(p)
+    p.set_defaults(func=cmd_resume)
 
     return parser
 

@@ -249,11 +249,23 @@ class ConditionalVerifier:
         solver.add(*candidate.constraints_for(net))
         solver.add(negated_desired(net))
         if worst_case:
-            trace, inconclusive = self._inner._solve_worst_case(solver, net, None)
+            model, inconclusive = self._inner._solve_worst_case(solver, net, None)
         else:
             outcome = solver.check()
             inconclusive = outcome is unknown
-            trace = CexTrace.from_model(solver.model(), net) if outcome is sat else None
+            model = solver.model() if outcome is sat else None
+        trace = None
+        if model is not None:
+            if self._inner.validate:
+                from ..runtime.validate import validate_counterexample, validate_model
+
+                validate_model(solver.assertions(), model, context="conditional cex")
+            trace = CexTrace.from_model(model, net)
+            if self._inner.validate:
+                # conditional candidates have branch semantics the linear
+                # template re-derivation doesn't cover; validate the
+                # environment and property violation only
+                validate_counterexample(trace, candidate=None)
         return VerificationResult(
             candidate=candidate,
             verified=trace is None and not inconclusive,

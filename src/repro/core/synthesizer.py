@@ -16,7 +16,14 @@ from fractions import Fraction
 from typing import Literal, Optional
 
 from ..ccac import ModelConfig
-from ..cegis import CegisLoop, CegisOptions, CegisOutcome, PruningMode
+from ..cegis import (
+    CegisCheckpoint,
+    CegisLoop,
+    CegisOptions,
+    CegisOutcome,
+    PruningMode,
+    StopReason,
+)
 from .generator_enum import EnumerativeGenerator
 from .generator_smt import SmtGenerator
 from .template import CandidateCCA, TemplateSpec
@@ -55,6 +62,15 @@ class SynthesisResult:
     wall_time: float
     exhausted: bool
     timed_out: bool
+    #: why the run stopped (see :class:`repro.cegis.StopReason`)
+    stop_reason: Optional[StopReason] = None
+    #: True when restored from a checkpoint rather than started fresh
+    resumed: bool = False
+    #: recorded degradation events (see :mod:`repro.runtime.degrade`)
+    degradations: list = field(default_factory=list)
+    #: advisory simulator cross-checks of the solutions (populated when
+    #: :class:`repro.runtime.RuntimeOptions` requests them)
+    cross_checks: list = field(default_factory=list)
 
     @property
     def found(self) -> bool:
@@ -72,11 +88,23 @@ def make_generator(query: SynthesisQuery):
     return SmtGenerator(query.spec, query.cfg, query.pruning)
 
 
-def synthesize(query: SynthesisQuery) -> SynthesisResult:
-    """Run the CEGIS loop for a query."""
+def synthesize(
+    query: SynthesisQuery,
+    *,
+    verifier=None,
+    checkpoint: Optional[CegisCheckpoint] = None,
+) -> SynthesisResult:
+    """Run the CEGIS loop for a query.
+
+    ``verifier`` substitutes the plain :class:`CcacVerifier` (the
+    fault-tolerant runtime passes an isolated and/or resilient wrapper);
+    ``checkpoint`` enables per-iteration crash-safe state persistence
+    (see :mod:`repro.runtime.checkpoint`).
+    """
     start = time.perf_counter()
     generator = make_generator(query)
-    verifier = CcacVerifier(query.cfg)
+    if verifier is None:
+        verifier = CcacVerifier(query.cfg)
     options = CegisOptions(
         worst_case_cex=query.worst_case_cex,
         find_all=query.find_all,
@@ -85,7 +113,9 @@ def synthesize(query: SynthesisQuery) -> SynthesisResult:
         time_budget=query.time_budget,
         verbose=query.verbose,
     )
-    outcome: CegisOutcome = CegisLoop(generator, verifier, options).run()
+    outcome: CegisOutcome = CegisLoop(
+        generator, verifier, options, checkpoint=checkpoint
+    ).run()
     return SynthesisResult(
         query=query,
         solutions=outcome.solutions,
@@ -96,6 +126,9 @@ def synthesize(query: SynthesisQuery) -> SynthesisResult:
         wall_time=time.perf_counter() - start,
         exhausted=outcome.exhausted,
         timed_out=outcome.timed_out,
+        stop_reason=outcome.stop_reason,
+        resumed=outcome.resumed,
+        degradations=list(getattr(verifier, "degradations", ())),
     )
 
 

@@ -13,6 +13,15 @@ instead of any counterexample, find one that maximizes
 ``min_t (u_t - l_t)`` — the narrowest width of the range-pruning intervals
 — "we maximize using binary search" (§3.1.2).  Wider intervals let each
 counterexample eliminate more candidates in the generator.
+
+**Independent validation** (on by default): because the reproduction
+substitutes z3 with the from-scratch :mod:`repro.smt` solver, every SAT
+model is re-checked by :mod:`repro.runtime.validate` — an exact-arithmetic
+evaluator sharing no code with the solver — against all asserted
+constraints, and every extracted trace is replayed against the CCAC
+environment and the candidate's template semantics.  A refuted result
+raises :class:`~repro.runtime.errors.SoundnessError`; soundness failures
+are never converted to ``unknown``.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Optional
 
 from ..ccac import CcacModel, CexTrace, ModelConfig, negated_desired
 from ..obs import DEBUG, tracer
+from ..runtime.validate import validate_counterexample, validate_model
 from ..smt import Or, Real, RealVal, Solver, Term, sat, unknown
 from ..smt.optimize import maximize
 from .template import CandidateCCA
@@ -39,14 +49,23 @@ class VerificationResult:
     wall_time: float
     solver_checks: int
     unknown: bool = False
+    #: True when the runtime weakened the search to produce this result
+    #: (see :mod:`repro.runtime.degrade` / :mod:`repro.runtime.workers`)
+    degraded: bool = False
 
 
 class CcacVerifier:
     """Stateless verifier; each call builds a fresh solver instance."""
 
-    def __init__(self, cfg: ModelConfig, wce_precision: Fraction = Fraction(1, 8)):
+    def __init__(
+        self,
+        cfg: ModelConfig,
+        wce_precision: Fraction = Fraction(1, 8),
+        validate: bool = True,
+    ):
         self.cfg = cfg
         self.wce_precision = wce_precision
+        self.validate = validate
         self.calls = 0
         self.total_time = 0.0
 
@@ -57,6 +76,18 @@ class CcacVerifier:
         solver.add(*candidate.constraints_for(net))
         solver.add(negated_desired(net))
         return solver, net
+
+    def _extract_trace(
+        self, solver: Solver, net: CcacModel, model, candidate: CandidateCCA
+    ) -> CexTrace:
+        """Build the counterexample trace, independently validating both
+        the SAT model and the extracted trace first (when enabled)."""
+        if self.validate:
+            validate_model(solver.assertions(), model, context="verifier cex")
+        trace = CexTrace.from_model(model, net)
+        if self.validate:
+            validate_counterexample(trace, candidate=candidate)
+        return trace
 
     def find_counterexample(
         self,
@@ -82,17 +113,22 @@ class CcacVerifier:
             solver, net = self._base_solver(candidate)
             inconclusive = False
             if worst_case:
-                result, inconclusive = self._solve_worst_case(
+                model, inconclusive = self._solve_worst_case(
                     solver, net, max_conflicts, deadline
                 )
             else:
                 outcome = solver.check(max_conflicts=max_conflicts, deadline=deadline)
                 if outcome is unknown:
-                    result, inconclusive = None, True
+                    model, inconclusive = None, True
                 elif outcome is sat:
-                    result = CexTrace.from_model(solver.model(), net)
+                    model = solver.model()
                 else:
-                    result = None
+                    model = None
+            result = (
+                None
+                if model is None
+                else self._extract_trace(solver, net, model, candidate)
+            )
             elapsed = time.perf_counter() - start
             self.total_time += elapsed
             span.set(
@@ -115,7 +151,7 @@ class CcacVerifier:
         net: CcacModel,
         max_conflicts: Optional[int],
         deadline: Optional[float] = None,
-    ) -> tuple[Optional[CexTrace], bool]:
+    ):
         """Maximize ``min_t (u_t - l_t)`` over counterexample traces.
 
         ``u_t - l_t = (C*t - W_t) - S_t`` at steps where the waste grew
@@ -123,7 +159,7 @@ class CcacVerifier:
         objective variable ``m`` is tied below every finite width and
         maximized by binary search.
 
-        Returns ``(trace, inconclusive)``: ``(None, False)`` proves no
+        Returns ``(model, inconclusive)``: ``(None, False)`` proves no
         counterexample exists, ``(None, True)`` means the search budget
         ran out before the initial probe was decided.
         """
@@ -146,7 +182,7 @@ class CcacVerifier:
         )
         if not opt.feasible or opt.model is None:
             return None, opt.unknown
-        return CexTrace.from_model(opt.model, net), False
+        return opt.model, False
 
     def verify(self, candidate: CandidateCCA) -> bool:
         """Convenience wrapper: True iff the candidate is proved correct."""

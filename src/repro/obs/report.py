@@ -40,6 +40,7 @@ class TraceSummary:
     cegis_done: Optional[dict] = None
     metrics: Optional[dict] = None  # last metrics snapshot wins
     malformed: int = 0
+    degradations: list[dict] = field(default_factory=list)
 
     def span_total(self, name: str) -> float:
         agg = self.spans.get(name)
@@ -75,6 +76,8 @@ def parse_trace(lines: Iterable[str]) -> TraceSummary:
             summary.events[name] = summary.events.get(name, 0) + 1
             if name == "cegis.done":
                 summary.cegis_done = rec.get("attrs", {})
+            elif name == "runtime.degrade":
+                summary.degradations.append(rec.get("attrs", {}))
         elif kind == "metrics":
             summary.metrics = rec.get("snapshot")
         elif kind == "meta":
@@ -133,6 +136,12 @@ def render_report(summary: TraceSummary) -> str:
                 float(done.get("verifier_time", 0.0)),
             )
         )
+        reason = done.get("stop_reason")
+        if reason:
+            out.append(
+                f"  stop_reason: {reason}"
+                + (" (resumed from checkpoint)" if done.get("resumed") else "")
+            )
         for phase, key in (("cegis.generate", "generator_time"),
                            ("cegis.verify", "verifier_time")):
             recorded = float(done.get(key, 0.0))
@@ -143,6 +152,16 @@ def render_report(summary: TraceSummary) -> str:
                     f"  {phase}: span total {spanned:.3f}s vs recorded "
                     f"{key} {recorded:.3f}s ({pct:.1f}% agreement)"
                 )
+
+    if summary.degradations:
+        out.append("")
+        out.append(f"degradations: {len(summary.degradations)}")
+        by_kind: dict[str, int] = {}
+        for d in summary.degradations:
+            kind = d.get("kind", "?")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        for kind, n in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+            out.append(f"  {kind:30s} {n:7d}")
 
     if summary.metrics:
         out.append("")

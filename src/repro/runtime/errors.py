@@ -1,0 +1,47 @@
+"""Exception hierarchy of the fault-tolerant runtime.
+
+The one rule that shapes this hierarchy: :class:`SoundnessError` is the
+single error class the runtime must never degrade away.  Watchdog kills,
+OOM'd workers, and solver timeouts all collapse to an honest ``unknown``
+verdict; a failed *independent validation* of a solver result means the
+stack can no longer be trusted and must crash loudly.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeFault(Exception):
+    """Base class for all fault-tolerant-runtime errors."""
+
+
+class SoundnessError(RuntimeFault):
+    """Independent validation refuted a solver result.
+
+    Raised when a SAT model violates an asserted constraint under exact
+    re-evaluation, or when a counterexample trace fails to satisfy the
+    CCAC environment constraints (or fails to violate the desired
+    property).  Unlike every other failure the runtime handles, this one
+    is never retried, degraded, or converted to ``unknown`` — a single
+    occurrence invalidates the run's correctness claim.
+    """
+
+
+class CheckpointError(RuntimeFault):
+    """A checkpoint could not be read or written."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint's query fingerprint does not match the resuming query.
+
+    Resuming CEGIS state against a different query would silently corrupt
+    the counterexample set, so a mismatch is a hard error, never a warning.
+    """
+
+
+class WorkerError(RuntimeFault):
+    """An isolated solver worker raised a deterministic exception.
+
+    Distinct from a watchdog kill or OOM (which yield ``unknown`` and a
+    bounded retry): a Python-level exception inside the worker would fail
+    identically on retry, so it is surfaced to the caller instead.
+    """

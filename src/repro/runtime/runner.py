@@ -1,0 +1,194 @@
+"""The fault-tolerant runtime's policy layer: one entry point per run mode.
+
+:func:`run_synthesis` composes the runtime pieces around
+:func:`repro.core.synthesize` according to :class:`RuntimeOptions`:
+
+    CcacVerifier                    (validation always innermost)
+      -> IsolatedVerifier           (optional: worker isolation + caps)
+        -> ResilientVerifier        (optional: degradation ladder)
+          -> CegisLoop + CheckpointStore (optional: crash-safe state)
+
+:func:`resume_synthesis` rebuilds the original query from the checkpoint's
+embedded metadata, verifies the fingerprint, and continues the run —
+``ccmatic resume <ckpt>`` is a thin shell over it.  Volatile knobs
+(time budget, iteration cap) may be overridden on resume; semantic fields
+cannot be (the fingerprint would refuse the state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Optional
+
+from ..obs import tracer
+from .checkpoint import CheckpointStore
+from .degrade import ResilientVerifier
+from .errors import CheckpointError
+from .serialize import (
+    decode_candidate,
+    decode_query,
+    decode_trace,
+    encode_candidate,
+    encode_query,
+    encode_trace,
+    query_fingerprint,
+)
+from .workers import IsolatedVerifier, WorkerLimits
+
+__all__ = [
+    "RuntimeOptions",
+    "make_checkpoint_store",
+    "resume_synthesis",
+    "run_synthesis",
+]
+
+
+@dataclass
+class RuntimeOptions:
+    """Fault-tolerance configuration of one synthesis run."""
+
+    #: checkpoint file; None disables crash-safe persistence
+    checkpoint_path: Optional[str] = None
+    #: run verifier calls in isolated, resource-capped workers
+    isolate: bool = False
+    #: per-call wall-clock cap for isolated workers, seconds
+    solver_timeout: float = 60.0
+    #: per-worker address-space cap in MiB (None = unlimited)
+    solver_mem_mb: Optional[int] = None
+    #: extra attempts after a killed worker
+    retries: int = 1
+    #: apply the degradation ladder (wce fallback / precision step-down)
+    degrade: bool = True
+    #: independently validate every SAT model and counterexample
+    validate: bool = True
+    #: precision of the worst-case counterexample binary search
+    wce_precision: Fraction = Fraction(1, 8)
+    #: advisory: run every solution through the discrete simulator and
+    #: attach the reports to ``SynthesisResult.cross_checks``
+    cross_check: bool = False
+
+
+def make_checkpoint_store(query, path: str) -> CheckpointStore:
+    """A :class:`CheckpointStore` wired with the CCmatic codecs for
+    ``query`` (exact-Fraction candidates/traces, query fingerprint, and
+    the encoded query embedded as metadata for ``resume``)."""
+    cfg = query.cfg
+    return CheckpointStore(
+        path,
+        fingerprint=query_fingerprint(query),
+        meta={"query": encode_query(query)},
+        encode_candidate=encode_candidate,
+        decode_candidate=decode_candidate,
+        encode_cex=encode_trace,
+        decode_cex=lambda data: decode_trace(data, cfg),
+    )
+
+
+def _build_verifier(query, options: RuntimeOptions):
+    """The verifier stack for a run; returns (verifier, parts) where
+    ``parts`` are the layers whose ``degradations`` should be merged."""
+    from ..core.verifier import CcacVerifier
+
+    parts = []
+    if options.isolate:
+        base = IsolatedVerifier(
+            query.cfg,
+            wce_precision=options.wce_precision,
+            limits=WorkerLimits(
+                wall_time=options.solver_timeout,
+                memory_mb=options.solver_mem_mb,
+                retries=options.retries,
+            ),
+            validate=options.validate,
+        )
+    else:
+        base = CcacVerifier(
+            query.cfg,
+            wce_precision=options.wce_precision,
+            validate=options.validate,
+        )
+    parts.append(base)
+    verifier = base
+    if options.degrade:
+        verifier = ResilientVerifier(base)
+        parts.append(verifier)
+    return verifier, parts
+
+
+def run_synthesis(query, options: Optional[RuntimeOptions] = None):
+    """Run a synthesis query under the fault-tolerant runtime.
+
+    Returns a :class:`repro.core.synthesizer.SynthesisResult` whose
+    ``degradations`` aggregates every recorded weakening (worker kills,
+    worst-case fallbacks, precision step-downs) across the verifier
+    stack.
+    """
+    from ..core.synthesizer import synthesize
+
+    options = options or RuntimeOptions()
+    verifier, parts = _build_verifier(query, options)
+    checkpoint = (
+        make_checkpoint_store(query, options.checkpoint_path)
+        if options.checkpoint_path
+        else None
+    )
+    result = synthesize(query, verifier=verifier, checkpoint=checkpoint)
+    merged: list = []
+    for part in parts:
+        merged.extend(getattr(part, "degradations", ()))
+    result.degradations = merged
+    if options.cross_check and result.solutions:
+        from .validate import cross_validate
+
+        result.cross_checks = [
+            cross_validate(cand, query.cfg) for cand in result.solutions
+        ]
+    return result
+
+
+def resume_synthesis(
+    path: str,
+    options: Optional[RuntimeOptions] = None,
+    time_budget: Optional[float] = None,
+    max_iterations: Optional[int] = None,
+):
+    """Continue a checkpointed run (``ccmatic resume``).
+
+    The original query is reconstructed from the checkpoint's embedded
+    metadata; ``time_budget`` / ``max_iterations`` optionally override
+    the stored volatile knobs (they are excluded from the fingerprint,
+    so extending a budget on resume is legal).  Raises
+    :class:`CheckpointError` when the file carries no query metadata and
+    :class:`CheckpointMismatchError` when the state belongs to a
+    different query than its metadata claims.
+    """
+    fingerprint, meta = CheckpointStore.read_meta(path)
+    encoded = meta.get("query")
+    if not encoded:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries no query metadata; it was not "
+            f"written by run_synthesis and cannot be resumed standalone"
+        )
+    query = decode_query(encoded)
+    if query_fingerprint(query) != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path!r} metadata does not match its fingerprint; "
+            f"refusing to resume from inconsistent state"
+        )
+    overrides = {}
+    if time_budget is not None:
+        overrides["time_budget"] = time_budget
+    if max_iterations is not None:
+        overrides["max_iterations"] = max_iterations
+    if overrides:
+        query = replace(query, **overrides)
+    options = options or RuntimeOptions()
+    options = replace(options, checkpoint_path=path)
+    tracer().event(
+        "runtime.resume",
+        path=path,
+        fingerprint=fingerprint[:12],
+        msg=f"[runtime] resuming checkpoint {path}",
+    )
+    return run_synthesis(query, options)

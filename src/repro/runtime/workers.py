@@ -1,0 +1,281 @@
+"""Isolated solver workers: hard wall-clock and memory caps around checks.
+
+The from-scratch DPLL(T) solver runs exact-Fraction arithmetic in pure
+Python: a single pathological query can pin a core for hours or swallow
+all RAM, and the in-band ``deadline`` check only fires *between*
+conflicts.  This module provides the out-of-band guarantee: the verifier
+call runs in a forked ``multiprocessing`` worker whose parent enforces a
+hard watchdog (SIGTERM, then SIGKILL) and whose child self-limits memory
+via ``resource.setrlimit(RLIMIT_AS, ...)``.
+
+A killed or OOM'd worker is an *honest* ``unknown`` — never a crash of
+the synthesis run and never a silent "verified".  Failures are retried a
+bounded number of times in a fresh worker with an escalated wall-clock
+budget, each kill emitting a ``runtime.degrade`` event.
+
+The one exception: a :class:`SoundnessError` raised inside the worker
+(independent validation refuting a solver result) is re-raised in the
+parent verbatim.  Soundness failures must never be degraded to
+``unknown``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Optional
+
+from ..obs import WARN, metrics, tracer
+from .errors import SoundnessError, WorkerError
+
+__all__ = ["IsolatedVerifier", "WorkerLimits", "WorkerReport", "run_isolated"]
+
+
+@dataclass(frozen=True)
+class WorkerLimits:
+    """Resource caps for one isolated call (and its retry policy)."""
+
+    wall_time: float = 60.0          # soft in-child deadline, seconds
+    memory_mb: Optional[int] = None  # RLIMIT_AS cap; None = unlimited
+    retries: int = 1                 # extra attempts after the first failure
+    escalation: float = 2.0          # wall-time multiplier per retry
+    kill_grace: float = 1.0          # SIGTERM -> SIGKILL grace, seconds
+
+    def budget(self, attempt: int) -> float:
+        """Wall-clock budget of the given (0-based) attempt."""
+        return self.wall_time * (self.escalation ** attempt)
+
+
+@dataclass
+class WorkerReport:
+    """Outcome of one isolated call."""
+
+    status: str  # ok | timeout | oom | crash | error | soundness
+    result: Any = None
+    detail: str = ""
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
+    """Worker bootstrap: drop inherited sinks, cap memory, run, report."""
+    tr = tracer()
+    for sink in list(tr.sinks):
+        # a forked child shares the parent's open trace file; writing from
+        # both would interleave records mid-line
+        tr.remove_sink(sink)
+    if memory_mb is not None:
+        try:
+            import resource
+
+            limit = memory_mb * 1024 * 1024
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ImportError, ValueError, OSError):
+            pass  # platform without rlimits: watchdog still applies
+    try:
+        result = fn(*args, **(kwargs or {}))
+        conn.send(("ok", result))
+    except SoundnessError as exc:
+        conn.send(("soundness", str(exc)))
+    except MemoryError:
+        conn.send(("oom", f"worker exceeded {memory_mb} MiB"))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def run_isolated(
+    fn,
+    args: tuple = (),
+    kwargs: Optional[dict] = None,
+    wall_time: Optional[float] = None,
+    memory_mb: Optional[int] = None,
+    kill_grace: float = 1.0,
+) -> WorkerReport:
+    """One attempt: run ``fn(*args, **kwargs)`` in a fresh capped worker.
+
+    ``wall_time`` is the hard watchdog; callers that also thread a soft
+    deadline into ``fn`` should leave a little headroom so the in-band
+    abort usually wins and the watchdog is the backstop.  Raises
+    :class:`SoundnessError` if the worker reported one.
+    """
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_entry,
+        args=(child_conn, fn, args, kwargs, memory_mb),
+        daemon=True,
+    )
+    start = time.perf_counter()
+    proc.start()
+    child_conn.close()
+    status, payload = "crash", ""
+    got_message = False
+    try:
+        if parent_conn.poll(wall_time):
+            try:
+                status, payload = parent_conn.recv()
+                got_message = True
+            except (EOFError, OSError):
+                got_message = False  # child died before completing the send
+        else:
+            status = "timeout"
+            payload = f"worker exceeded {wall_time:.1f}s wall clock"
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(kill_grace)
+            if proc.is_alive():
+                proc.kill()
+        proc.join(5.0)
+        parent_conn.close()
+    elapsed = time.perf_counter() - start
+    if not got_message and status != "timeout":
+        # hard death without a report: OOM-killer or native abort
+        code = proc.exitcode
+        status = "crash"
+        payload = f"worker died with exit code {code}"
+    if status == "soundness":
+        raise SoundnessError(payload)
+    if status == "ok":
+        return WorkerReport(status="ok", result=payload, wall_time=elapsed)
+    return WorkerReport(status=status, detail=str(payload), wall_time=elapsed)
+
+
+# -- the isolated CCAC verifier ----------------------------------------------
+
+
+def _verify_task(cfg, precision, candidate, worst_case, time_limit, validate):
+    """Runs inside the worker: one fresh verifier, one call."""
+    from ..core.verifier import CcacVerifier
+
+    verifier = CcacVerifier(cfg, wce_precision=precision, validate=validate)
+    deadline = None if time_limit is None else time.perf_counter() + time_limit
+    return verifier.find_counterexample(
+        candidate, worst_case=worst_case, deadline=deadline
+    )
+
+
+class IsolatedVerifier:
+    """Drop-in for :class:`repro.core.CcacVerifier` with process isolation.
+
+    Each ``find_counterexample`` call runs in a fresh worker under
+    ``limits``; a killed worker yields ``unknown`` (with ``degraded=True``
+    so the CEGIS loop reports an honest stop reason) after bounded
+    retries with escalated budgets.
+    """
+
+    #: hard watchdog headroom over the in-child soft deadline
+    WATCHDOG_SLACK = 1.25
+
+    def __init__(
+        self,
+        cfg,
+        wce_precision: Fraction = Fraction(1, 8),
+        limits: WorkerLimits = WorkerLimits(),
+        validate: bool = True,
+    ):
+        self.cfg = cfg
+        self.wce_precision = Fraction(wce_precision)
+        self.limits = limits
+        self.validate = validate
+        self.calls = 0
+        self.total_time = 0.0
+        self.kills = 0
+        self.degradations: list[dict] = []
+
+    def find_counterexample(
+        self,
+        candidate,
+        worst_case: bool = False,
+        deadline: Optional[float] = None,
+    ):
+        from ..core.verifier import VerificationResult
+
+        self.calls += 1
+        tr = tracer()
+        start = time.perf_counter()
+        limits = self.limits
+        attempts = max(0, limits.retries) + 1
+        last_report: Optional[WorkerReport] = None
+        for attempt in range(attempts):
+            budget = limits.budget(attempt)
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                budget = min(budget, remaining)
+            watchdog = budget * self.WATCHDOG_SLACK + limits.kill_grace
+            report = run_isolated(
+                _verify_task,
+                args=(
+                    self.cfg,
+                    self.wce_precision,
+                    candidate,
+                    worst_case,
+                    budget,
+                    self.validate,
+                ),
+                wall_time=watchdog,
+                memory_mb=limits.memory_mb,
+                kill_grace=limits.kill_grace,
+            )
+            last_report = report
+            self.total_time += report.wall_time
+            if report.ok:
+                result = report.result
+                # in-child soft-deadline expiry is a plain unknown, not a
+                # kill: return it as-is and let the caller's policy decide
+                return result
+            if report.status == "error":
+                raise WorkerError(report.detail)
+            # killed (timeout / oom / crash): record, notify, retry fresh
+            self.kills += 1
+            event = {
+                "kind": "worker_killed",
+                "status": report.status,
+                "attempt": attempt + 1,
+                "attempts": attempts,
+                "budget": round(budget, 3),
+                "detail": report.detail,
+            }
+            self.degradations.append(event)
+            metrics().counter("runtime.worker_kills").inc()
+            if tr.enabled:
+                tr.event(
+                    "runtime.degrade",
+                    level=WARN,
+                    msg=(
+                        f"[runtime] solver worker {report.status} "
+                        f"(attempt {attempt + 1}/{attempts}, "
+                        f"budget {budget:.1f}s) -> "
+                        + ("retrying" if attempt + 1 < attempts else "unknown")
+                    ),
+                    **event,
+                )
+        elapsed = time.perf_counter() - start
+        detail = last_report.detail if last_report else "deadline already expired"
+        return VerificationResult(
+            candidate=candidate,
+            verified=False,
+            counterexample=None,
+            wall_time=elapsed,
+            solver_checks=0,
+            unknown=True,
+            degraded=True,
+        )
+
+    def verify(self, candidate) -> bool:
+        """Convenience wrapper mirroring :meth:`CcacVerifier.verify`."""
+        return self.find_counterexample(candidate).verified

@@ -78,6 +78,17 @@ class Model:
 
         return evaluate(term, _Env(self))
 
+    def assignment(self) -> tuple[dict[Term, bool], dict[Term, Fraction]]:
+        """The raw variable assignment as ``(bools, reals)`` dict copies.
+
+        This is the interface for *independent* model validation
+        (:mod:`repro.runtime.validate`): external checkers re-evaluate the
+        asserted formulas against these values without going through
+        :meth:`value`, so a bug in the solver's own evaluation path cannot
+        mask itself.
+        """
+        return dict(self._bools), dict(self._reals)
+
     def __repr__(self) -> str:
         parts = [f"{t.name}={v}" for t, v in list(self._reals.items())[:8]]
         return f"Model({', '.join(parts)}{'...' if len(self._reals) > 8 else ''})"

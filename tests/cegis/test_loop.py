@@ -10,7 +10,7 @@ exhaustion, iteration budget, time budget).
 
 from dataclasses import dataclass
 
-from repro.cegis import CegisLoop, CegisOptions, PruningMode
+from repro.cegis import CegisLoop, CegisOptions, PruningMode, StopReason
 
 
 @dataclass(frozen=True)
@@ -129,3 +129,153 @@ class TestLoopBehaviours:
     def test_pruning_mode_enum(self):
         assert PruningMode("exact") is PruningMode.EXACT
         assert PruningMode("range") is PruningMode.RANGE
+
+
+class UnknownResult:
+    verified = False
+    counterexample = None
+
+    def __init__(self, degraded=False):
+        self.unknown = True
+        self.degraded = degraded
+
+
+class TestStopReasons:
+    """Every exit path sets an explicit StopReason."""
+
+    def test_solution(self):
+        outcome = CegisLoop(ToyGenerator(), ToyVerifier()).run()
+        assert outcome.stop_reason is StopReason.SOLUTION
+
+    def test_exhausted(self):
+        gen = ToyGenerator(lo=-3, hi=-1)
+        outcome = CegisLoop(gen, ToyVerifier()).run()
+        assert outcome.stop_reason is StopReason.EXHAUSTED
+
+    def test_find_all_runs_to_exhaustion(self):
+        outcome = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(find_all=True)
+        ).run()
+        assert outcome.stop_reason is StopReason.EXHAUSTED
+
+    def test_max_solutions_reports_solution(self):
+        outcome = CegisLoop(
+            ToyGenerator(), ToyVerifier(),
+            CegisOptions(find_all=True, max_solutions=2),
+        ).run()
+        assert outcome.stop_reason is StopReason.SOLUTION
+
+    def test_max_iterations(self):
+        outcome = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(max_iterations=2)
+        ).run()
+        assert outcome.stop_reason is StopReason.MAX_ITERATIONS
+
+    def test_time_budget(self):
+        class SlowVerifier(ToyVerifier):
+            def find_counterexample(self, cand, worst_case=False):
+                import time
+
+                time.sleep(0.02)
+                return super().find_counterexample(cand, worst_case)
+
+        outcome = CegisLoop(
+            ToyGenerator(lo=-3, hi=-1), SlowVerifier(),
+            CegisOptions(time_budget=0.01),
+        ).run()
+        assert outcome.stop_reason is StopReason.BUDGET
+        assert outcome.timed_out
+
+    def test_verifier_unknown_maps_to_budget(self):
+        class GiveUpVerifier:
+            def find_counterexample(self, cand, worst_case=False):
+                return UnknownResult()
+
+        outcome = CegisLoop(ToyGenerator(), GiveUpVerifier()).run()
+        assert outcome.stop_reason is StopReason.BUDGET
+        assert not outcome.found
+
+    def test_degraded_unknown_maps_to_degraded(self):
+        class DegradedVerifier:
+            def find_counterexample(self, cand, worst_case=False):
+                return UnknownResult(degraded=True)
+
+        outcome = CegisLoop(ToyGenerator(), DegradedVerifier()).run()
+        assert outcome.stop_reason is StopReason.DEGRADED
+        assert outcome.timed_out
+
+
+class DictCheckpoint:
+    """Minimal in-memory implementation of the CegisCheckpoint protocol."""
+
+    def __init__(self):
+        self.state = None
+        self.saves = 0
+
+    def load(self):
+        return self.state
+
+    def save(self, *, stats, solutions, counterexamples, blocked, stop_reason=None):
+        from types import SimpleNamespace
+
+        self.saves += 1
+        self.state = SimpleNamespace(
+            stats={
+                "iterations": stats.iterations,
+                "counterexamples": stats.counterexamples,
+                "generator_time": stats.generator_time,
+                "verifier_time": stats.verifier_time,
+                "verifier_calls": stats.verifier_calls,
+            },
+            solutions=list(solutions),
+            counterexamples=list(counterexamples),
+            blocked=list(blocked),
+            stop_reason=stop_reason,
+        )
+
+
+class TestLoopCheckpointing:
+    def test_saved_every_iteration_plus_final(self):
+        ck = DictCheckpoint()
+        outcome = CegisLoop(ToyGenerator(), ToyVerifier(), checkpoint=ck).run()
+        # one save per completed iteration; the breaking iteration is
+        # covered by the final save that also records the stop reason
+        assert ck.saves == outcome.stats.iterations
+        assert ck.state.stop_reason == "solution"
+
+    def test_resume_from_partial_state_matches_uninterrupted(self):
+        full = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(find_all=True)
+        ).run()
+
+        # run a few iterations, drop the final stop_reason to simulate a
+        # kill mid-run, then resume into fresh generator/loop objects
+        ck = DictCheckpoint()
+        CegisLoop(
+            ToyGenerator(), ToyVerifier(),
+            CegisOptions(find_all=True, max_iterations=4),
+            checkpoint=ck,
+        ).run()
+        ck.state.stop_reason = None
+        resumed = CegisLoop(
+            ToyGenerator(), ToyVerifier(), CegisOptions(find_all=True),
+            checkpoint=ck,
+        ).run()
+        assert resumed.resumed
+        assert {(c.a, c.b) for c in resumed.solutions} == {
+            (c.a, c.b) for c in full.solutions
+        }
+        assert resumed.stats.iterations == full.stats.iterations
+        assert resumed.stop_reason is full.stop_reason
+
+    def test_resume_of_complete_run_is_idempotent(self):
+        ck = DictCheckpoint()
+        first = CegisLoop(ToyGenerator(), ToyVerifier(), checkpoint=ck).run()
+        verifier = ToyVerifier()
+        again = CegisLoop(ToyGenerator(), verifier, checkpoint=ck).run()
+        assert verifier.calls == 0  # no new search
+        assert again.resumed
+        assert again.stop_reason is first.stop_reason
+        assert {(c.a, c.b) for c in again.solutions} == {
+            (c.a, c.b) for c in first.solutions
+        }

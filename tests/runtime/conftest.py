@@ -1,0 +1,49 @@
+"""Shared helpers for the fault-tolerant runtime tests."""
+
+import pytest
+
+from repro.core import SynthesisQuery
+from repro.core.template import TemplateSpec
+from repro.obs import Sink, tracer
+
+
+class RecordingSink(Sink):
+    """Collects every trace record for assertions."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def events(self, name: str) -> list[dict]:
+        return [
+            r for r in self.records
+            if r.get("type") == "event" and r.get("name") == name
+        ]
+
+
+@pytest.fixture
+def recording_sink():
+    tr = tracer()
+    sink = tr.add_sink(RecordingSink())
+    yield sink
+    tr.remove_sink(sink)
+
+
+@pytest.fixture
+def tiny_query(fast_cfg) -> SynthesisQuery:
+    """Smallest enum-backed query that terminates in seconds."""
+    spec = TemplateSpec(
+        history=fast_cfg.history,
+        use_cwnd_history=False,
+        coeff_domain=(-1, 0, 1),
+        const_domain=(0, 1),
+    )
+    return SynthesisQuery(
+        spec=spec,
+        cfg=fast_cfg,
+        generator="enum",
+        worst_case_cex=False,
+        time_budget=300,
+    )

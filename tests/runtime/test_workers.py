@@ -1,0 +1,130 @@
+"""Isolated solver workers: watchdog kills, memory caps, retry policy.
+
+Marked ``runtime``: each test forks real processes, so the module is
+slower than the rest of the suite (`-m "not runtime"` skips it).
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.core import constant_cwnd, rocc
+from repro.runtime import (
+    IsolatedVerifier,
+    SoundnessError,
+    WorkerError,
+    WorkerLimits,
+    run_isolated,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+# accept arbitrary args so these can also stand in for _verify_task
+def _sleep_forever(*args):
+    time.sleep(3600)
+    return "never"
+
+
+def _allocate(mb: int) -> int:
+    block = bytearray(mb * 1024 * 1024)
+    return len(block)
+
+
+def _raise_soundness(*args):
+    raise SoundnessError("injected: model refuted in worker")
+
+
+def _raise_value_error(*args):
+    raise ValueError("deterministic bug")
+
+
+def _return_value():
+    return {"answer": 42}
+
+
+class TestRunIsolated:
+    def test_ok_result_round_trips(self):
+        report = run_isolated(_return_value, wall_time=30)
+        assert report.ok
+        assert report.result == {"answer": 42}
+
+    def test_hung_worker_killed_on_wall_clock(self):
+        report = run_isolated(_sleep_forever, wall_time=0.3, kill_grace=0.5)
+        assert report.status == "timeout"
+        assert report.wall_time < 10
+
+    def test_memory_hog_reported_as_oom(self):
+        report = run_isolated(_allocate, args=(512,), wall_time=60, memory_mb=64)
+        assert report.status == "oom"
+
+    def test_soundness_error_propagates_verbatim(self):
+        with pytest.raises(SoundnessError, match="injected"):
+            run_isolated(_raise_soundness, wall_time=30)
+
+    def test_child_exception_reported_not_raised(self):
+        report = run_isolated(_raise_value_error, wall_time=30)
+        assert report.status == "error"
+        assert "ValueError" in report.detail
+
+
+class TestWorkerLimits:
+    def test_budget_escalates_per_attempt(self):
+        limits = WorkerLimits(wall_time=10.0, escalation=2.0)
+        assert limits.budget(0) == 10.0
+        assert limits.budget(1) == 20.0
+        assert limits.budget(2) == 40.0
+
+
+class TestIsolatedVerifier:
+    def test_verdicts_match_inline_verifier(self):
+        cfg = ModelConfig(T=5)
+        iv = IsolatedVerifier(cfg, limits=WorkerLimits(wall_time=300, retries=0))
+        assert iv.find_counterexample(rocc()).verified
+        refuted = iv.find_counterexample(constant_cwnd(Fraction(1)))
+        assert not refuted.verified
+        assert refuted.counterexample is not None
+        assert refuted.counterexample.check_environment() == []
+        assert iv.kills == 0
+
+    def test_killed_worker_degrades_to_unknown(self, recording_sink, monkeypatch):
+        """A worker that never returns is killed, retried, and finally
+        reported as an honest (degraded) unknown with runtime.degrade
+        events — never a crash, never a verdict."""
+        import repro.runtime.workers as workers_mod
+
+        monkeypatch.setattr(workers_mod, "_verify_task", _sleep_forever)
+        cfg = ModelConfig(T=5)
+        iv = IsolatedVerifier(
+            cfg,
+            limits=WorkerLimits(
+                wall_time=0.2, retries=1, escalation=1.0, kill_grace=0.3
+            ),
+        )
+        monkeypatch.setattr(IsolatedVerifier, "WATCHDOG_SLACK", 1.0)
+        result = iv.find_counterexample(rocc())
+        assert result.unknown
+        assert result.degraded
+        assert not result.verified
+        assert iv.kills == 2  # first attempt + one retry
+        events = recording_sink.events("runtime.degrade")
+        assert len(events) == 2
+        assert all(e["attrs"]["kind"] == "worker_killed" for e in events)
+
+    def test_deterministic_child_error_raises_worker_error(self, monkeypatch):
+        import repro.runtime.workers as workers_mod
+
+        monkeypatch.setattr(workers_mod, "_verify_task", _raise_value_error)
+        iv = IsolatedVerifier(ModelConfig(T=5))
+        with pytest.raises(WorkerError, match="ValueError"):
+            iv.find_counterexample(rocc())
+
+    def test_soundness_error_in_worker_propagates(self, monkeypatch):
+        import repro.runtime.workers as workers_mod
+
+        monkeypatch.setattr(workers_mod, "_verify_task", _raise_soundness)
+        iv = IsolatedVerifier(ModelConfig(T=5))
+        with pytest.raises(SoundnessError):
+            iv.find_counterexample(rocc())

@@ -17,7 +17,8 @@ class TestParser:
             if isinstance(a, argparse._SubParsersAction)
         ][0]
         assert set(subactions.choices) == {
-            "synthesize", "verify", "sweep", "simulate", "assumption", "report",
+            "synthesize", "verify", "sweep", "simulate", "assumption",
+            "report", "resume",
         }
 
     def test_unknown_cca_rejected(self):
@@ -27,6 +28,29 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--time-budget", "-1"),
+        ("--time-budget", "0"),
+        ("--time-budget", "soon"),
+        ("--max-iterations", "0"),
+        ("--max-iterations", "-5"),
+        ("--max-iterations", "many"),
+        ("--solver-timeout", "-2"),
+        ("--solver-mem-mb", "0"),
+    ])
+    def test_invalid_synthesize_inputs_rejected(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as exc:
+            main(["synthesize", flag, value])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert flag in err
+
+    def test_resume_missing_checkpoint_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["resume", "/nonexistent/run.ckpt"])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
 
 
 class TestCommands:
