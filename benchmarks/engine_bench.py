@@ -1,0 +1,198 @@
+"""Engine benchmark: the three performance multipliers, measured.
+
+Runs three workloads against :mod:`repro.engine` and writes a single
+``BENCH_engine.json`` with the numbers:
+
+1. **cache** — a repeated-query workload (the same verification queries
+   issued twice through a content-addressed :class:`QueryCache`); the
+   warm pass must be at least 2x faster than the cold pass.
+2. **incremental** — the same candidate set verified by a fresh-solver
+   verifier and an incremental-session verifier
+   (``CcacVerifier(incremental=True)``); the verdicts must be identical
+   candidate by candidate.
+3. **portfolio** — one synthesis query run with ``jobs=1`` and
+   ``jobs=4``; the verdicts (found / exhausted) must be identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_bench.py [--quick] [--out PATH]
+
+``--quick`` scales the workloads down for CI smoke runs (~1 minute);
+the default is laptop scale.  Exit status is non-zero when any
+equivalence or speedup assertion fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from fractions import Fraction  # noqa: E402
+
+from repro.ccac import ModelConfig  # noqa: E402
+from repro.core import (  # noqa: E402
+    SynthesisQuery,
+    constant_cwnd,
+    rocc,
+    table1_spaces,
+)
+from repro.core.verifier import CcacVerifier  # noqa: E402
+from repro.engine import QueryCache  # noqa: E402
+from repro.runtime import RuntimeOptions, run_synthesis  # noqa: E402
+
+
+def _candidates(history: int, n: int) -> list:
+    """A mixed bag of refuted and verified candidates."""
+    cands = [rocc(history)]
+    for g in range(n - 1):
+        cands.append(constant_cwnd(Fraction(g), history))
+    return cands[:n]
+
+
+def bench_cache(cfg: ModelConfig, candidates: list) -> dict:
+    """Repeated-query workload: cold pass populates, warm pass hits."""
+    cache = QueryCache()
+    verifier = CcacVerifier(cfg, cache=cache)
+
+    t0 = time.perf_counter()
+    cold = [verifier.find_counterexample(c).verified for c in candidates]
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = [verifier.find_counterexample(c).verified for c in candidates]
+    warm_s = time.perf_counter() - t0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "queries": len(candidates),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "verdicts_identical": cold == warm,
+        "cache": cache.stats(),
+        "ok": cold == warm and speedup >= 2.0,
+    }
+
+
+def bench_incremental(cfg: ModelConfig, candidates: list) -> dict:
+    """Fresh-solver vs incremental-session verdict equivalence + timing."""
+    fresh = CcacVerifier(cfg)
+    t0 = time.perf_counter()
+    fresh_verdicts = [fresh.find_counterexample(c).verified for c in candidates]
+    fresh_s = time.perf_counter() - t0
+
+    inc = CcacVerifier(cfg, incremental=True)
+    t0 = time.perf_counter()
+    inc_verdicts = [inc.find_counterexample(c).verified for c in candidates]
+    inc_s = time.perf_counter() - t0
+
+    return {
+        "queries": len(candidates),
+        "fresh_s": round(fresh_s, 4),
+        "incremental_s": round(inc_s, 4),
+        "speedup": round(fresh_s / inc_s, 2) if inc_s > 0 else float("inf"),
+        "verdicts_identical": fresh_verdicts == inc_verdicts,
+        "session": inc._session.stats.as_dict() if inc._session else None,
+        "ok": fresh_verdicts == inc_verdicts,
+    }
+
+
+def bench_portfolio(cfg: ModelConfig, budget: float) -> dict:
+    """jobs=1 vs jobs=4 on one synthesis query: identical verdicts."""
+    spec = table1_spaces()["no_cwnd_small"]
+    # the Table 1 space fixes its own history; pair it with a config of
+    # the same trace length but default history
+    cfg = ModelConfig(T=cfg.T)
+    rows = {}
+    for jobs in (1, 4):
+        query = SynthesisQuery(
+            spec=spec,
+            cfg=cfg,
+            generator="enum",
+            worst_case_cex=False,
+            time_budget=budget,
+            jobs=jobs,
+        )
+        t0 = time.perf_counter()
+        result = run_synthesis(query, RuntimeOptions(degrade=False))
+        rows[jobs] = {
+            "found": result.found,
+            "exhausted": result.exhausted,
+            "timed_out": result.timed_out,
+            "iterations": result.iterations,
+            "wall_s": round(time.perf_counter() - t0, 4),
+        }
+    identical = (
+        rows[1]["found"] == rows[4]["found"]
+        and rows[1]["exhausted"] == rows[4]["exhausted"]
+    )
+    return {
+        "jobs_1": rows[1],
+        "jobs_4": rows[4],
+        "verdicts_identical": identical,
+        "ok": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale (smaller traces, fewer candidates)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", metavar="PATH",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        cfg = ModelConfig(T=5, history=3)
+        history, n_cands, budget = 3, 4, 60.0
+    else:
+        cfg = ModelConfig(T=5)
+        history, n_cands, budget = 3, 6, 240.0
+    candidates = _candidates(history, n_cands)
+
+    report = {
+        "bench": "engine",
+        "quick": args.quick,
+        "T": cfg.T,
+        "candidates": n_cands,
+    }
+    print(f"engine bench (T={cfg.T}, {n_cands} candidates, "
+          f"{'quick' if args.quick else 'full'} scale)")
+
+    report["cache"] = bench_cache(cfg, candidates)
+    c = report["cache"]
+    print(f"  cache:       cold={c['cold_s']}s warm={c['warm_s']}s "
+          f"speedup={c['speedup']}x  [{'ok' if c['ok'] else 'FAIL'}]")
+
+    report["incremental"] = bench_incremental(cfg, candidates)
+    i = report["incremental"]
+    print(f"  incremental: fresh={i['fresh_s']}s session={i['incremental_s']}s "
+          f"speedup={i['speedup']}x identical={i['verdicts_identical']}  "
+          f"[{'ok' if i['ok'] else 'FAIL'}]")
+
+    report["portfolio"] = bench_portfolio(cfg, budget)
+    p = report["portfolio"]
+    print(f"  portfolio:   jobs1={p['jobs_1']['wall_s']}s "
+          f"jobs4={p['jobs_4']['wall_s']}s identical={p['verdicts_identical']}  "
+          f"[{'ok' if p['ok'] else 'FAIL'}]")
+
+    report["ok"] = all(report[k]["ok"] for k in ("cache", "incremental", "portfolio"))
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.out}  [{'ok' if report['ok'] else 'FAIL'}]")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

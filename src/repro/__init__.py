@@ -6,7 +6,23 @@ algorithms that provably achieve high utilization and bounded delay under
 a CCAC-style network model — built entirely from scratch, including the
 underlying SMT solver.
 
-Public entry points:
+**Stable top-level surface.**  The names in ``__all__`` are the public
+API; everything else should be imported from its subpackage and may move
+between releases.
+
+* :func:`synthesize` / :class:`SynthesisQuery` — run one ∃∀ synthesis
+  question end to end (:mod:`repro.core`).
+* :func:`verify` — one-shot verification of a concrete candidate CCA
+  against the CCAC model.
+* :class:`Solver` / :class:`CheckOptions` / :class:`SolverSession` — the
+  QF-LRA SMT solver (:mod:`repro.smt`); sessions are the incremental
+  entry point.
+* :class:`CegisLoop` / :class:`CegisOptions` / :class:`StopReason` — the
+  generic CEGIS loop (:mod:`repro.cegis`).
+* :class:`QueryCache` / :class:`PortfolioVerifier` — the performance
+  engine (:mod:`repro.engine`).
+
+Subpackages:
 
 * :mod:`repro.smt` — QF-LRA SMT solver (DPLL(T): CDCL + Simplex).
 * :mod:`repro.ccac` — the CCAC network model used as the verifier.
@@ -14,10 +30,100 @@ Public entry points:
   worst-case counterexamples.
 * :mod:`repro.core` — CCmatic itself: templates, generator, verifier,
   synthesis driver, assumption-synthesis queries.
+* :mod:`repro.engine` — parallel portfolio verification, incremental
+  sessions, and the content-addressed query cache.
 * :mod:`repro.ccas`, :mod:`repro.sim` — concrete CCAs and a discrete-time
   simulator for empirical validation.
 * :mod:`repro.netcal` — network-calculus curve algebra.
 * :mod:`repro.abr` — the adaptive-bitrate extension sketched in §5.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CandidateCCA",
+    "CegisLoop",
+    "CegisOptions",
+    "CheckOptions",
+    "ModelConfig",
+    "PortfolioVerifier",
+    "QueryCache",
+    "Result",
+    "Solver",
+    "SolverSession",
+    "StopReason",
+    "SynthesisQuery",
+    "SynthesisResult",
+    "sat",
+    "synthesize",
+    "unknown",
+    "unsat",
+    "verify",
+]
+
+#: lazy attribute -> home module (PEP 562); keeps ``import repro`` cheap
+#: and cycle-free while exposing one flat, documented surface
+_LAZY = {
+    "CandidateCCA": "repro.core.template",
+    "CegisLoop": "repro.cegis",
+    "CegisOptions": "repro.cegis",
+    "CheckOptions": "repro.smt",
+    "ModelConfig": "repro.ccac",
+    "PortfolioVerifier": "repro.engine",
+    "QueryCache": "repro.engine",
+    "Result": "repro.smt",
+    "Solver": "repro.smt",
+    "SolverSession": "repro.smt",
+    "StopReason": "repro.cegis",
+    "SynthesisQuery": "repro.core.synthesizer",
+    "SynthesisResult": "repro.core.synthesizer",
+    "sat": "repro.smt",
+    "synthesize": "repro.core.synthesizer",
+    "unknown": "repro.smt",
+    "unsat": "repro.smt",
+}
+
+
+def __getattr__(name):
+    home = _LAZY.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+def verify(
+    candidate,
+    cfg=None,
+    *,
+    worst_case: bool = False,
+    validate: bool = True,
+    cache=None,
+):
+    """Verify one concrete candidate CCA against the CCAC model.
+
+    Returns a :class:`repro.core.verifier.VerificationResult`:
+    ``verified=True`` proves no admissible trace violates the desired
+    property; otherwise ``counterexample`` carries a violating trace
+    (the worst-case one under ``worst_case=True``).  ``cache`` accepts a
+    :class:`repro.engine.QueryCache` to reuse conclusive verdicts across
+    calls.
+    """
+    from .ccac import ModelConfig
+    from .core.verifier import CcacVerifier
+
+    verifier = CcacVerifier(
+        cfg if cfg is not None else ModelConfig(),
+        validate=validate,
+        cache=cache,
+    )
+    return verifier.find_counterexample(candidate, worst_case=worst_case)

@@ -1,6 +1,9 @@
 """Counterexample-guided inductive synthesis, generic over the domain."""
 
 from .interfaces import (
+    BatchGenerator,
+    BatchVerdict,
+    BatchVerifier,
     CegisCheckpoint,
     CegisOptions,
     CegisOutcome,
@@ -13,6 +16,9 @@ from .interfaces import (
 from .loop import CegisLoop
 
 __all__ = [
+    "BatchGenerator",
+    "BatchVerdict",
+    "BatchVerifier",
     "CegisCheckpoint",
     "CegisLoop",
     "CegisOptions",

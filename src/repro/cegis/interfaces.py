@@ -55,7 +55,14 @@ class PruningMode(Enum):
 
 class Generator(Protocol[Candidate, Counterexample]):
     """The ∃-player: proposes candidates consistent with all
-    counterexamples seen so far."""
+    counterexamples seen so far.
+
+    These protocols (and :class:`Verifier`/:class:`BatchGenerator`/
+    :class:`BatchVerifier` below) are the single source of truth for the
+    generator/verifier contract; implementations and drivers
+    (:mod:`repro.core.synthesizer`, :mod:`repro.engine`) type against
+    them rather than re-declaring their own signatures.
+    """
 
     def propose(self) -> Optional[Candidate]:
         """Next candidate, or None when the space is exhausted (the query
@@ -73,6 +80,19 @@ class Generator(Protocol[Candidate, Counterexample]):
         ...
 
 
+class BatchGenerator(Generator[Candidate, Counterexample], Protocol):
+    """A generator that can propose several *distinct* candidates at
+    once (for portfolio verification)."""
+
+    def propose_batch(self, k: int) -> list[Candidate]:
+        """Up to ``k`` distinct candidates, all consistent with every
+        counterexample seen so far.  An empty list means the space is
+        exhausted.  Proposing a batch must not permanently block any of
+        the returned candidates — only :meth:`Generator.block` does
+        that."""
+        ...
+
+
 class Verifier(Protocol[Candidate, Counterexample]):
     """The ∀-player: certifies candidates or breaks them."""
 
@@ -86,6 +106,38 @@ class Verifier(Protocol[Candidate, Counterexample]):
         cannot overshoot :attr:`CegisOptions.time_budget`.  A verifier
         that gives up on the budget must return ``verified=False`` with
         ``counterexample=None`` (ideally also ``unknown=True``)."""
+        ...
+
+
+@dataclass
+class BatchVerdict(Generic[Candidate]):
+    """Outcome of one portfolio verification round.
+
+    ``winner`` indexes into the submitted batch; ``result`` is the
+    winner's verification result (or a degraded unknown when no worker
+    was conclusive).  Candidates other than the winner were cancelled
+    mid-check and remain un-judged.
+    """
+
+    #: batch index of the first conclusive worker (None: none were)
+    winner: Optional[int]
+    #: the winning result (``verified``/``counterexample`` shaped)
+    result: object
+    #: number of workers launched this round
+    launched: int = 0
+    #: number of workers cancelled after the winner finished
+    cancelled: int = 0
+
+
+class BatchVerifier(Verifier[Candidate, Counterexample], Protocol):
+    """A verifier that can race a batch of candidates concurrently."""
+
+    def verify_batch(
+        self, candidates: list, worst_case: bool = False, deadline=None
+    ) -> BatchVerdict:
+        """Evaluate ``candidates`` concurrently; first conclusive
+        verdict (counterexample found, or candidate verified) wins and
+        the remaining checks are cancelled."""
         ...
 
 
@@ -131,6 +183,10 @@ class CegisOptions:
     max_solutions: Optional[int] = None
     time_budget: Optional[float] = None
     verbose: bool = False
+    #: portfolio width: >1 enables batched propose + parallel verify
+    #: rounds when the generator/verifier support it (see
+    #: :class:`BatchGenerator` / :class:`BatchVerifier`)
+    jobs: int = 1
 
 
 @dataclass
@@ -142,6 +198,8 @@ class CegisStats:
     generator_time: float = 0.0
     verifier_time: float = 0.0
     verifier_calls: int = 0
+    #: portfolio checks cancelled after a round's winner finished
+    cancelled_checks: int = 0
 
     @property
     def total_time(self) -> float:

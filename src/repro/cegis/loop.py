@@ -81,6 +81,14 @@ class CegisLoop:
         self.options = options or CegisOptions()
         self.checkpoint = checkpoint
         self._verifier_takes_deadline = _accepts_deadline(verifier)
+        # portfolio rounds need batch support on BOTH sides (see
+        # BatchGenerator / BatchVerifier in .interfaces); otherwise a
+        # jobs>1 request silently falls back to sequential rounds
+        self._batched = (
+            self.options.jobs > 1
+            and hasattr(generator, "propose_batch")
+            and hasattr(verifier, "verify_batch")
+        )
         # full histories, tracked only when checkpointing
         self._cex_log: list = []
         self._blocked_log: list = []
@@ -123,32 +131,33 @@ class CegisLoop:
                 break
             stats.iterations += 1
 
+            batch_size = self.options.jobs if self._batched else 1
             with tr.span("cegis.generate", level=DEBUG, iter=stats.iterations) as span:
                 t0 = time.perf_counter()
-                candidate = self.generator.propose()
+                if batch_size > 1:
+                    candidates = list(self.generator.propose_batch(batch_size))
+                else:
+                    candidate = self.generator.propose()
+                    candidates = [] if candidate is None else [candidate]
                 dt = time.perf_counter() - t0
                 span.set_duration(dt)
             stats.generator_time += dt
-            if candidate is None:
+            if not candidates:
                 outcome.exhausted = True
                 outcome.stop_reason = StopReason.EXHAUSTED
                 tr.event("cegis.exhausted", iter=stats.iterations)
                 break
-            tr.event("cegis.propose", level=DEBUG, iter=stats.iterations,
-                     candidate=str(candidate))
+            for c in candidates:
+                tr.event("cegis.propose", level=DEBUG, iter=stats.iterations,
+                         candidate=str(c))
 
-            kwargs = {}
-            if self._verifier_takes_deadline and deadline is not None:
-                kwargs["deadline"] = deadline
-            with tr.span("cegis.verify", level=DEBUG, iter=stats.iterations) as span:
+            with tr.span("cegis.verify", level=DEBUG, iter=stats.iterations,
+                         batch=len(candidates)) as span:
                 t0 = time.perf_counter()
-                result = self.verifier.find_counterexample(
-                    candidate, worst_case=opts.worst_case_cex, **kwargs
-                )
+                candidate, result = self._verify(candidates, deadline, stats)
                 dt = time.perf_counter() - t0
                 span.set_duration(dt)
             stats.verifier_time += dt
-            stats.verifier_calls += 1
 
             if result.verified:
                 outcome.solutions.append(candidate)
@@ -196,6 +205,34 @@ class CegisLoop:
         self._done(tr, outcome)
         return outcome
 
+    def _verify(self, candidates, deadline, stats):
+        """One verification round: portfolio race when batched, a single
+        ``find_counterexample`` call otherwise.
+
+        Returns ``(candidate, result)`` where ``candidate`` is the one
+        the result judges.  In a batched round the losers were cancelled
+        and stay un-judged — they remain proposable by the generator.
+        """
+        if self._batched:
+            verdict = self.verifier.verify_batch(
+                candidates,
+                worst_case=self.options.worst_case_cex,
+                deadline=deadline,
+            )
+            stats.verifier_calls += max(verdict.launched, 1)
+            stats.cancelled_checks += verdict.cancelled
+            idx = 0 if verdict.winner is None else verdict.winner
+            return candidates[idx], verdict.result
+        kwargs = {}
+        if self._verifier_takes_deadline and deadline is not None:
+            kwargs["deadline"] = deadline
+        candidate = candidates[0]
+        result = self.verifier.find_counterexample(
+            candidate, worst_case=self.options.worst_case_cex, **kwargs
+        )
+        stats.verifier_calls += 1
+        return candidate, result
+
     # -- checkpointing --------------------------------------------------------
 
     def _restore(self, tr, outcome: CegisOutcome):
@@ -221,6 +258,7 @@ class CegisLoop:
         stats.generator_time = float(st.get("generator_time", 0.0))
         stats.verifier_time = float(st.get("verifier_time", 0.0))
         stats.verifier_calls = int(st.get("verifier_calls", 0))
+        stats.cancelled_checks = int(st.get("cancelled_checks", 0))
         tr.event(
             "cegis.resume",
             iterations=stats.iterations,

@@ -120,6 +120,23 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         "--cross-check", action="store_true",
         help="advisory: replay each solution on the discrete simulator",
     )
+    g = p.add_argument_group("performance")
+    g.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="portfolio width: verify N candidates concurrently in "
+             "isolated workers; the first conclusive verdict wins the "
+             "round (default: 1, sequential)",
+    )
+    g.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="content-addressed query cache shared across runs and "
+             "portfolio workers (conclusive verdicts only)",
+    )
+    g.add_argument(
+        "--incremental", action="store_true",
+        help="keep one incremental solver session across verifier calls "
+             "(in-process verifier only; implied off under --isolate/--jobs)",
+    )
 
 
 def _add_cfg_args(p: argparse.ArgumentParser) -> None:
@@ -141,6 +158,8 @@ def _runtime_options(args):
         solver_timeout=getattr(args, "solver_timeout", 60.0),
         solver_mem_mb=getattr(args, "solver_mem_mb", None),
         cross_check=getattr(args, "cross_check", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        incremental=getattr(args, "incremental", False),
     )
 
 
@@ -181,6 +200,7 @@ def cmd_synthesize(args) -> int:
         max_iterations=args.max_iterations,
         time_budget=args.time_budget,
         verbose=args.verbose,
+        jobs=args.jobs or 1,
     )
     result = run_synthesis(query, _runtime_options(args))
     return _print_synthesis_result(result, query.cfg)
@@ -195,6 +215,7 @@ def cmd_resume(args) -> int:
             _runtime_options(args),
             time_budget=args.time_budget,
             max_iterations=args.max_iterations,
+            jobs=args.jobs,
         )
     except CheckpointError as exc:
         raise SystemExit(f"cannot resume: {exc}")

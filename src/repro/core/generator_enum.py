@@ -112,6 +112,11 @@ class EnumerativeGenerator:
             return None
         return self._survivors[0]
 
+    def propose_batch(self, k: int) -> list[CandidateCCA]:
+        """Up to ``k`` distinct survivors (for portfolio verification);
+        none are blocked by being proposed."""
+        return list(self._survivors[:k])
+
     def add_counterexample(self, trace: CexTrace) -> None:
         self._traces.append(trace)
         self._survivors = [

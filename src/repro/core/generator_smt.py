@@ -182,14 +182,38 @@ class SmtGenerator:
         gamma = model.value(self.gamma_var)
         return CandidateCCA(alphas, betas, gamma)
 
-    def block(self, candidate: CandidateCCA) -> None:
-        """Exclude exactly this hole assignment (all-solutions mode)."""
+    def propose_batch(self, k: int) -> list[CandidateCCA]:
+        """Up to ``k`` *distinct* candidates for one portfolio round.
+
+        Diversity is forced with temporary blocking constraints inside a
+        pushed frame, popped before returning — so no candidate is
+        permanently excluded by having been proposed (only
+        :meth:`block` does that)."""
+        batch: list[CandidateCCA] = []
+        self.solver.push()
+        try:
+            for _ in range(max(k, 1)):
+                candidate = self.propose()
+                if candidate is None:
+                    break
+                batch.append(candidate)
+                self.solver.add(Not(self._assignment_term(candidate)))
+        finally:
+            self.solver.pop()
+        return batch
+
+    def _assignment_term(self, candidate: CandidateCCA) -> Term:
+        """The conjunction pinning the holes to this candidate."""
         parts = [
             a.eq(RealVal(v)) for a, v in zip(self.alpha_vars, candidate.alphas)
         ] + [
             b.eq(RealVal(v)) for b, v in zip(self.beta_vars, candidate.betas)
         ] + [self.gamma_var.eq(RealVal(candidate.gamma))]
-        self.solver.add(Not(And(*parts)))
+        return And(*parts)
+
+    def block(self, candidate: CandidateCCA) -> None:
+        """Exclude exactly this hole assignment (all-solutions mode)."""
+        self.solver.add(Not(self._assignment_term(candidate)))
 
 
 def _const_bool(value: bool) -> Term:

@@ -21,8 +21,10 @@ from ..cegis import (
     CegisLoop,
     CegisOptions,
     CegisOutcome,
+    Generator,
     PruningMode,
     StopReason,
+    Verifier,
 )
 from .generator_enum import EnumerativeGenerator
 from .generator_smt import SmtGenerator
@@ -47,6 +49,9 @@ class SynthesisQuery:
     max_solutions: Optional[int] = None
     time_budget: Optional[float] = None
     verbose: bool = False
+    #: portfolio width: >1 verifies batches of candidates concurrently
+    #: (see :class:`repro.engine.PortfolioVerifier`)
+    jobs: int = 1
 
 
 @dataclass
@@ -81,8 +86,14 @@ class SynthesisResult:
         return self.solutions[0] if self.solutions else None
 
 
-def make_generator(query: SynthesisQuery):
-    """Instantiate the configured generator backend."""
+def make_generator(query: SynthesisQuery) -> Generator:
+    """Instantiate the configured generator backend.
+
+    Both backends satisfy :class:`repro.cegis.Generator` (and its
+    :class:`~repro.cegis.BatchGenerator` extension) — the protocols in
+    :mod:`repro.cegis.interfaces` are the contract; nothing here
+    re-declares it.
+    """
     if query.generator == "enum":
         return EnumerativeGenerator(query.spec, query.cfg, query.pruning)
     return SmtGenerator(query.spec, query.cfg, query.pruning)
@@ -91,20 +102,28 @@ def make_generator(query: SynthesisQuery):
 def synthesize(
     query: SynthesisQuery,
     *,
-    verifier=None,
+    verifier: Optional[Verifier] = None,
     checkpoint: Optional[CegisCheckpoint] = None,
 ) -> SynthesisResult:
     """Run the CEGIS loop for a query.
 
-    ``verifier`` substitutes the plain :class:`CcacVerifier` (the
-    fault-tolerant runtime passes an isolated and/or resilient wrapper);
-    ``checkpoint`` enables per-iteration crash-safe state persistence
-    (see :mod:`repro.runtime.checkpoint`).
+    ``verifier`` substitutes the default (any
+    :class:`repro.cegis.Verifier`; the fault-tolerant runtime passes an
+    isolated and/or resilient wrapper); ``checkpoint`` enables
+    per-iteration crash-safe state persistence (see
+    :mod:`repro.runtime.checkpoint`).  With ``query.jobs > 1`` and no
+    explicit verifier, a :class:`repro.engine.PortfolioVerifier` races
+    batches of candidates across worker processes.
     """
     start = time.perf_counter()
     generator = make_generator(query)
     if verifier is None:
-        verifier = CcacVerifier(query.cfg)
+        if query.jobs > 1:
+            from ..engine import PortfolioVerifier
+
+            verifier = PortfolioVerifier(query.cfg, jobs=query.jobs)
+        else:
+            verifier = CcacVerifier(query.cfg)
     options = CegisOptions(
         worst_case_cex=query.worst_case_cex,
         find_all=query.find_all,
@@ -112,6 +131,7 @@ def synthesize(
         max_solutions=query.max_solutions,
         time_budget=query.time_budget,
         verbose=query.verbose,
+        jobs=query.jobs,
     )
     outcome: CegisOutcome = CegisLoop(
         generator, verifier, options, checkpoint=checkpoint

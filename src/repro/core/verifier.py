@@ -27,6 +27,7 @@ are never converted to ``unknown``.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional
@@ -34,7 +35,7 @@ from typing import Optional
 from ..ccac import CcacModel, CexTrace, ModelConfig, negated_desired
 from ..obs import DEBUG, tracer
 from ..runtime.validate import validate_counterexample, validate_model
-from ..smt import Or, Real, RealVal, Solver, Term, sat, unknown
+from ..smt import CheckOptions, Or, Real, RealVal, Solver, SolverSession, Term, sat, unknown
 from ..smt.optimize import maximize
 from .template import CandidateCCA
 
@@ -55,30 +56,81 @@ class VerificationResult:
 
 
 class CcacVerifier:
-    """Stateless verifier; each call builds a fresh solver instance."""
+    """The per-candidate CCAC verifier.
+
+    Two operating modes:
+
+    * **fresh** (default): each call builds a fresh solver over the full
+      encoding — stateless, trivially correct, and what the original
+      reproduction did.
+    * **incremental** (``incremental=True``): one long-lived
+      :class:`~repro.smt.SolverSession` holds the candidate-independent
+      CCAC encoding (environment + negated desired property); each call
+      push/pops only the candidate's template constraints.  The CNF
+      conversion, theory atoms, and learned clauses are amortized across
+      every candidate the verifier ever sees.
+
+    Either mode accepts a ``cache`` (``QueryCacheProtocol``-shaped, e.g.
+    :class:`repro.engine.cache.QueryCache`): conclusive subquery verdicts
+    are content-addressed and reused, which pays off under worst-case
+    binary search and across portfolio workers sharing a ``cache_dir``.
+    """
 
     def __init__(
         self,
         cfg: ModelConfig,
         wce_precision: Fraction = Fraction(1, 8),
         validate: bool = True,
+        incremental: bool = False,
+        cache=None,
     ):
         self.cfg = cfg
         self.wce_precision = wce_precision
         self.validate = validate
+        self.incremental = incremental
+        self.cache = cache
         self.calls = 0
         self.total_time = 0.0
+        self._session: Optional[SolverSession] = None
+        self._net: Optional[CcacModel] = None
 
-    def _base_solver(self, candidate: CandidateCCA) -> tuple[Solver, CcacModel]:
-        net = CcacModel(self.cfg, prefix="v")
-        solver = Solver()
-        solver.add(*net.constraints())
-        solver.add(*candidate.constraints_for(net))
-        solver.add(negated_desired(net))
-        return solver, net
+    def _ensure_session(self) -> tuple[SolverSession, CcacModel]:
+        """The long-lived session holding the candidate-independent base."""
+        if self._session is None:
+            self._net = CcacModel(self.cfg, prefix="v")
+            base = list(self._net.constraints())
+            base.append(negated_desired(self._net))
+            self._session = SolverSession(base, cache=self.cache)
+        return self._session, self._net
+
+    @contextmanager
+    def _candidate_scope(self, candidate: CandidateCCA):
+        """Yields ``(solver_like, net)`` with the full per-candidate
+        encoding asserted; incremental mode reuses the shared base."""
+        if self.incremental:
+            session, net = self._ensure_session()
+            with session.scope(*candidate.constraints_for(net)):
+                yield session, net
+        else:
+            net = CcacModel(self.cfg, prefix="v")
+            base = list(net.constraints())
+            base.extend(candidate.constraints_for(net))
+            base.append(negated_desired(net))
+            if self.cache is not None:
+                yield SolverSession(base, cache=self.cache), net
+            else:
+                solver = Solver()
+                solver.add(*base)
+                yield solver, net
+
+    @staticmethod
+    def _solver_checks(solver) -> int:
+        """Underlying SMT check count (sessions wrap the raw solver)."""
+        stats = getattr(getattr(solver, "solver", solver), "stats", None)
+        return getattr(stats, "checks", 0)
 
     def _extract_trace(
-        self, solver: Solver, net: CcacModel, model, candidate: CandidateCCA
+        self, solver, net: CcacModel, model, candidate: CandidateCCA
     ) -> CexTrace:
         """Build the counterexample trace, independently validating both
         the SAT model and the extracted trace first (when enabled)."""
@@ -105,53 +157,55 @@ class CcacVerifier:
         """
         start = time.perf_counter()
         self.calls += 1
+        opts = CheckOptions(max_conflicts=max_conflicts, deadline=deadline)
         tr = tracer()
         with tr.span(
             "verifier.find_cex", level=DEBUG,
             candidate=str(candidate), worst_case=worst_case,
+            incremental=self.incremental,
         ) as span:
-            solver, net = self._base_solver(candidate)
-            inconclusive = False
-            if worst_case:
-                model, inconclusive = self._solve_worst_case(
-                    solver, net, max_conflicts, deadline
-                )
-            else:
-                outcome = solver.check(max_conflicts=max_conflicts, deadline=deadline)
-                if outcome is unknown:
-                    model, inconclusive = None, True
-                elif outcome is sat:
-                    model = solver.model()
-                else:
-                    model = None
-            result = (
-                None
-                if model is None
-                else self._extract_trace(solver, net, model, candidate)
+            # in incremental mode the session's stats are cumulative;
+            # report this call's delta like the fresh-solver path does
+            base_checks = (
+                self._solver_checks(self._session)
+                if self._session is not None
+                else 0
             )
+            with self._candidate_scope(candidate) as (solver, net):
+                inconclusive = False
+                if worst_case:
+                    model, inconclusive = self._solve_worst_case(solver, net, opts)
+                else:
+                    outcome = solver.check(opts)
+                    if outcome is unknown:
+                        model, inconclusive = None, True
+                    elif outcome is sat:
+                        model = solver.model()
+                    else:
+                        model = None
+                result = (
+                    None
+                    if model is None
+                    else self._extract_trace(solver, net, model, candidate)
+                )
+                checks = self._solver_checks(solver) - base_checks
             elapsed = time.perf_counter() - start
             self.total_time += elapsed
             span.set(
                 verified=result is None and not inconclusive,
                 unknown=inconclusive,
-                solver_checks=solver.stats.checks,
+                solver_checks=checks,
             )
         return VerificationResult(
             candidate=candidate,
             verified=result is None and not inconclusive,
             counterexample=result,
             wall_time=elapsed,
-            solver_checks=solver.stats.checks,
+            solver_checks=checks,
             unknown=inconclusive,
         )
 
-    def _solve_worst_case(
-        self,
-        solver: Solver,
-        net: CcacModel,
-        max_conflicts: Optional[int],
-        deadline: Optional[float] = None,
-    ):
+    def _solve_worst_case(self, solver, net: CcacModel, opts: CheckOptions):
         """Maximize ``min_t (u_t - l_t)`` over counterexample traces.
 
         ``u_t - l_t = (C*t - W_t) - S_t`` at steps where the waste grew
@@ -177,8 +231,7 @@ class CcacVerifier:
             lo=Fraction(0),
             hi=hi,
             precision=self.wce_precision,
-            max_conflicts=max_conflicts,
-            deadline=deadline,
+            options=opts,
         )
         if not opt.feasible or opt.model is None:
             return None, opt.unknown

@@ -1,0 +1,155 @@
+"""Content-addressed SMT query cache.
+
+Queries are keyed by the canonical hash of their assertion set
+(:func:`repro.smt.terms.canonical_hash`): term interning plus
+commutative-argument normalization make the key independent of assertion
+order and term construction order, and — because it is built from names
+and values rather than object identities — independent of the process
+that computed it.  Repeated generator/verifier subqueries, which are
+common under range pruning (closely related certificate queries differ
+only in a few bounds), are answered without a solve.
+
+Two layers:
+
+* an in-memory table (bounded, FIFO eviction) for hits within a run;
+* an optional on-disk layer (``cache_dir``; one JSON file per key,
+  written atomically) shared across runs *and across portfolio worker
+  processes* — workers populate it concurrently and later candidates
+  benefit.
+
+Only conclusive verdicts are stored.  ``sat`` entries carry the full
+variable assignment so the model can be reconstructed (variables are
+interned by name, so ``Real(name)``/``Bool(name)`` recover the exact
+term keys); a reconstructed model goes through the same independent
+validation (:mod:`repro.runtime.validate`) as a freshly solved one, so a
+corrupt cache entry surfaces as a :class:`SoundnessError`, never as a
+silently wrong verdict.  ``unknown`` is never cached — it describes a
+budget, not the formula.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Optional
+
+from ..obs import metrics
+from ..smt.solver import Model, Result, sat, unsat
+from ..smt.terms import Bool, Real
+
+#: bump when the canonical serialization or the entry format changes;
+#: part of every key so stale disk entries can never be misread
+CACHE_VERSION = 1
+
+
+def _encode_model(model: Model) -> dict:
+    bools, reals = model.assignment()
+    return {
+        "bools": {t.name: bool(v) for t, v in bools.items() if t.name},
+        "reals": {t.name: str(v) for t, v in reals.items() if t.name},
+    }
+
+
+def _decode_model(data: dict) -> Model:
+    bools = {Bool(name): bool(v) for name, v in data.get("bools", {}).items()}
+    reals = {Real(name): Fraction(v) for name, v in data.get("reals", {}).items()}
+    return Model(bools, reals)
+
+
+class QueryCache:
+    """In-memory + optional on-disk cache of conclusive SMT verdicts.
+
+    Satisfies the :class:`repro.smt.session.QueryCacheProtocol`; plug it
+    into a :class:`~repro.smt.session.SolverSession` (or a
+    :class:`~repro.core.verifier.CcacVerifier` via ``cache=``).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, max_entries: int = 4096):
+        self.cache_dir = cache_dir
+        self.max_entries = max_entries
+        self._mem: OrderedDict[str, tuple[Result, Optional[Model]]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"q{CACHE_VERSION}-{key}.json")
+
+    def lookup(self, key: str) -> Optional[tuple[Result, Optional[Model]]]:
+        """Stored ``(result, model)`` for ``key``, or None on a miss."""
+        entry = self._mem.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        if self.cache_dir:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                metrics().counter("engine.cache.disk_hits").inc()
+                self._remember(key, entry)
+                return entry
+        self.misses += 1
+        return None
+
+    def store(self, key: str, result: Result, model: Optional[Model]) -> None:
+        """Record a conclusive verdict (callers must not pass unknown)."""
+        if result is not sat and result is not unsat:
+            raise ValueError(f"only conclusive verdicts are cacheable: {result}")
+        self._remember(key, (result, model))
+        if self.cache_dir:
+            self._write_disk(key, result, model)
+
+    def _remember(self, key: str, entry: tuple[Result, Optional[Model]]) -> None:
+        self._mem[key] = entry
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _read_disk(self, key: str) -> Optional[tuple[Result, Optional[Model]]]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as f:
+                data = json.load(f)
+            result = Result(data["result"])
+            model = _decode_model(data["model"]) if data.get("model") else None
+            if result is sat and model is None:
+                return None  # sat without a model is useless to callers
+            return result, model
+        except (OSError, ValueError, KeyError):
+            return None  # unreadable/corrupt entry == miss
+
+    def _write_disk(self, key: str, result: Result, model: Optional[Model]) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "result": result.value,
+            "model": _encode_model(model) if model is not None else None,
+        }
+        path = self._path(key)
+        try:
+            # atomic publish: concurrent portfolio workers may race on the
+            # same key; rename is atomic so readers see old-or-new, never torn
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # cache write failure is never an error
+
+    def stats(self) -> dict:
+        """Hit/miss counters (also exported via repro.obs metrics)."""
+        return {
+            "entries": len(self._mem),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }

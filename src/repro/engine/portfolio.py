@@ -1,0 +1,316 @@
+"""Parallel portfolio verification: many candidates, first verdict wins.
+
+The CEGIS loop spends nearly all wall-clock time inside verifier SMT
+checks, and a single check pins one core.  A *portfolio* round evaluates
+several candidate CCAs concurrently in isolated worker processes
+(reusing the :mod:`repro.runtime.workers` spawn/cap machinery) and
+cancels the losers the moment one worker returns a *conclusive* result —
+a counterexample to feed the generator, or a verified candidate.  This
+is the CC-Fuzz observation (Ray & Seshan 2022) applied to synthesis:
+stress-search over CCA behaviours scales near-linearly with workers
+because any one discovered trace advances the loop.
+
+Cancellation is safe for soundness: a cancelled worker's verdict is
+simply never used, and candidates whose verification was cancelled stay
+in the generator's space to be re-proposed later.  A
+:class:`SoundnessError` raised in *any* worker — even one about to be
+cancelled — aborts the whole round and propagates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Optional, Sequence
+
+from ..obs import DEBUG, metrics, tracer
+from ..runtime.errors import SoundnessError, WorkerError
+from ..runtime.workers import WorkerLimits, WorkerReport, reap_worker, spawn_worker
+
+__all__ = ["PortfolioOutcome", "PortfolioVerifier", "run_portfolio"]
+
+
+@dataclass
+class PortfolioOutcome:
+    """Result of one portfolio race."""
+
+    #: index of the task whose result won the race (None: nobody accepted)
+    winner: Optional[int]
+    #: the winning result (None when winner is None)
+    result: Any
+    #: indices of tasks cancelled while still running
+    cancelled: list[int]
+    #: per-index reports for tasks that finished on their own
+    reports: dict[int, WorkerReport] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+
+def run_portfolio(
+    tasks: Sequence[tuple],
+    *,
+    accept: Optional[Callable[[Any], bool]] = None,
+    wall_time: Optional[float] = None,
+    memory_mb: Optional[int] = None,
+    kill_grace: float = 1.0,
+) -> PortfolioOutcome:
+    """Race ``tasks`` (``(fn, args)`` or ``(fn, args, kwargs)`` tuples)
+    in parallel isolated workers; first accepted result wins.
+
+    ``accept(result)`` decides whether a completed result ends the race
+    (default: any ok result does).  Losers are terminated immediately —
+    SIGTERM, then SIGKILL after ``kill_grace`` — and *joined* before
+    returning, so no zombie workers outlive the call.  ``wall_time``
+    bounds the whole race; on expiry every still-running worker is
+    killed and reported with status ``timeout``.
+
+    Raises :class:`SoundnessError` if any worker reports one (soundness
+    is never racy), and :class:`WorkerError` if every task errored.
+    """
+    accept = accept or (lambda _result: True)
+    start = time.perf_counter()
+    deadline = None if wall_time is None else start + wall_time
+    workers: dict[int, tuple] = {}  # index -> (proc, conn)
+    outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
+    try:
+        for i, task in enumerate(tasks):
+            fn, args = task[0], task[1]
+            kwargs = task[2] if len(task) > 2 else None
+            workers[i] = spawn_worker(fn, args, kwargs, memory_mb)
+        pending = dict(workers)
+        while pending and outcome.winner is None:
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0:
+                    break
+            conns = {conn: i for i, (_p, conn) in pending.items()}
+            ready = _wait_connections(list(conns), timeout=timeout)
+            if not ready:
+                break  # race-level timeout
+            for conn in ready:
+                i = conns[conn]
+                proc, _ = pending.pop(i)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "crash", f"worker died with exit code {proc.exitcode}"
+                if status == "soundness":
+                    raise SoundnessError(payload)
+                if status == "ok":
+                    report = WorkerReport(
+                        status="ok", result=payload,
+                        wall_time=time.perf_counter() - start,
+                    )
+                    outcome.reports[i] = report
+                    if accept(payload):
+                        outcome.winner = i
+                        outcome.result = payload
+                        break
+                else:
+                    outcome.reports[i] = WorkerReport(
+                        status=status, detail=str(payload),
+                        wall_time=time.perf_counter() - start,
+                    )
+        # anything still pending lost the race (or hit the deadline)
+        for i, (proc, conn) in pending.items():
+            if outcome.winner is not None:
+                outcome.cancelled.append(i)
+            else:
+                outcome.reports[i] = WorkerReport(
+                    status="timeout",
+                    detail=f"portfolio race exceeded {wall_time:.1f}s" if wall_time else "timeout",
+                )
+    finally:
+        for proc, conn in workers.values():
+            reap_worker(proc, conn, kill_grace)
+    outcome.cancelled.sort()
+    outcome.wall_time = time.perf_counter() - start
+    if outcome.winner is None and outcome.reports and all(
+        r.status == "error" for r in outcome.reports.values()
+    ):
+        raise WorkerError(
+            "; ".join(r.detail for r in outcome.reports.values())
+        )
+    return outcome
+
+
+# -- the portfolio CCAC verifier ---------------------------------------------
+
+
+def _verify_candidate_task(
+    cfg, precision, candidate, worst_case, time_limit, validate, cache_dir
+):
+    """Runs inside a worker: one fresh verifier, one candidate.
+
+    ``cache_dir`` (when set) plugs a shared on-disk
+    :class:`~repro.engine.cache.QueryCache` into the verifier, so
+    concurrent workers pool their conclusive subquery verdicts.
+    """
+    from ..core.verifier import CcacVerifier
+    from .cache import QueryCache
+
+    cache = QueryCache(cache_dir) if cache_dir else None
+    verifier = CcacVerifier(
+        cfg, wce_precision=precision, validate=validate, cache=cache
+    )
+    deadline = None if time_limit is None else time.perf_counter() + time_limit
+    return verifier.find_counterexample(
+        candidate, worst_case=worst_case, deadline=deadline
+    )
+
+
+def _conclusive(result) -> bool:
+    """Does this verification result advance the CEGIS loop?"""
+    return bool(
+        getattr(result, "verified", False)
+        or getattr(result, "counterexample", None) is not None
+    )
+
+
+class PortfolioVerifier:
+    """Batch-capable verifier racing candidates across worker processes.
+
+    Implements both :class:`repro.cegis.interfaces.Verifier` (single
+    candidate, one isolated worker) and
+    :class:`repro.cegis.interfaces.BatchVerifier`
+    (:meth:`verify_batch`: race a batch, first conclusive verdict wins,
+    losers cancelled).  ``cache_dir`` gives every worker a shared
+    on-disk query cache.
+    """
+
+    def __init__(
+        self,
+        cfg,
+        jobs: int = 2,
+        wce_precision: Fraction = Fraction(1, 8),
+        limits: WorkerLimits = WorkerLimits(),
+        validate: bool = True,
+        cache_dir: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (got {jobs})")
+        self.cfg = cfg
+        self.jobs = jobs
+        self.wce_precision = Fraction(wce_precision)
+        self.limits = limits
+        self.validate = validate
+        self.cache_dir = cache_dir
+        self.calls = 0
+        self.rounds = 0
+        self.cancelled = 0
+        self.total_time = 0.0
+        self.degradations: list[dict] = []
+
+    def _task(self, candidate, worst_case: bool, budget: Optional[float]):
+        return (
+            _verify_candidate_task,
+            (
+                self.cfg,
+                self.wce_precision,
+                candidate,
+                worst_case,
+                budget,
+                self.validate,
+                self.cache_dir,
+            ),
+        )
+
+    def _budget(self, deadline: Optional[float]) -> tuple[Optional[float], Optional[float]]:
+        """(soft in-worker budget, hard watchdog) for one round."""
+        budget = self.limits.wall_time
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return None, None
+            budget = min(budget, remaining)
+        watchdog = budget * 1.25 + self.limits.kill_grace
+        return budget, watchdog
+
+    def verify_batch(self, candidates, worst_case: bool = False, deadline=None):
+        """Race ``candidates``; returns a
+        :class:`repro.cegis.interfaces.BatchVerdict`.
+
+        The verdict's winner is the first worker to return a conclusive
+        result (counterexample found or candidate verified); the rest
+        are cancelled and their candidates stay un-judged.  When no
+        worker is conclusive (all unknown / killed / expired) the
+        verdict has ``winner=None`` and a degraded unknown result.
+        """
+        from ..cegis.interfaces import BatchVerdict
+        from ..core.verifier import VerificationResult
+
+        start = time.perf_counter()
+        candidates = list(candidates)
+        self.rounds += 1
+        self.calls += len(candidates)
+        budget, watchdog = self._budget(deadline)
+        tr = tracer()
+        if budget is None:
+            outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
+        else:
+            outcome = run_portfolio(
+                [self._task(c, worst_case, budget) for c in candidates],
+                accept=_conclusive,
+                wall_time=watchdog,
+                memory_mb=self.limits.memory_mb,
+                kill_grace=self.limits.kill_grace,
+            )
+        self.cancelled += len(outcome.cancelled)
+        self.total_time += time.perf_counter() - start
+        reg = metrics()
+        reg.counter("engine.portfolio.rounds").inc()
+        reg.counter("engine.portfolio.launched").inc(len(candidates))
+        reg.counter("engine.portfolio.cancelled").inc(len(outcome.cancelled))
+        for report in outcome.reports.values():
+            if report.status not in ("ok",):
+                self.degradations.append(
+                    {
+                        "kind": "portfolio_worker_lost",
+                        "status": report.status,
+                        "detail": report.detail,
+                    }
+                )
+                reg.counter("runtime.worker_kills").inc()
+        if tr.enabled:
+            tr.event(
+                "engine.portfolio.round",
+                level=DEBUG,
+                size=len(candidates),
+                winner=outcome.winner,
+                cancelled=len(outcome.cancelled),
+                wall_time=round(outcome.wall_time, 4),
+            )
+        if outcome.winner is not None:
+            return BatchVerdict(
+                winner=outcome.winner,
+                result=outcome.result,
+                launched=len(candidates),
+                cancelled=len(outcome.cancelled),
+            )
+        # nobody conclusive: honest degraded unknown for the first candidate
+        result = VerificationResult(
+            candidate=candidates[0],
+            verified=False,
+            counterexample=None,
+            wall_time=outcome.wall_time,
+            solver_checks=0,
+            unknown=True,
+            degraded=True,
+        )
+        return BatchVerdict(
+            winner=None,
+            result=result,
+            launched=len(candidates),
+            cancelled=len(outcome.cancelled),
+        )
+
+    def find_counterexample(self, candidate, worst_case: bool = False, deadline=None):
+        """Single-candidate path (a batch of one, same isolation)."""
+        verdict = self.verify_batch([candidate], worst_case=worst_case, deadline=deadline)
+        return verdict.result
+
+    def verify(self, candidate) -> bool:
+        """Convenience wrapper mirroring :meth:`CcacVerifier.verify`."""
+        return self.find_counterexample(candidate).verified

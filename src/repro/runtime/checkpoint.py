@@ -36,6 +36,7 @@ STAT_FIELDS = (
     "generator_time",
     "verifier_time",
     "verifier_calls",
+    "cancelled_checks",
 )
 
 

@@ -160,3 +160,59 @@ class ResilientVerifier:
 
     def verify(self, candidate) -> bool:
         return self.find_counterexample(candidate).verified
+
+    # -- batched rounds (only exposed when the base is batch-capable) ---------
+
+    def __getattr__(self, name):
+        # hasattr(wrapper, "verify_batch") must mirror the base: the
+        # CEGIS loop feature-detects batch support, and advertising it
+        # over a non-batch base would break portfolio fallback
+        if name == "verify_batch" and hasattr(self.base, "verify_batch"):
+            return self._verify_batch
+        raise AttributeError(name)
+
+    def _verify_batch(self, candidates, worst_case: bool = False, deadline=None):
+        """One portfolio round under the same degradation ladder."""
+        self.calls += 1
+        degraded_call = False
+        want_wce = worst_case and not self._wce_disabled
+        if worst_case and self._wce_disabled:
+            degraded_call = True
+        verdict = self.base.verify_batch(
+            candidates, worst_case=want_wce, deadline=deadline
+        )
+        inconclusive = verdict.winner is None and getattr(
+            verdict.result, "unknown", False
+        )
+        if want_wce and inconclusive:
+            # rung 1, batch edition: nobody finished the worst-case
+            # search -> race again with the plain search
+            self._wce_failures += 1
+            self._degrade(
+                "wce_fallback",
+                "worst-case portfolio round inconclusive; "
+                "falling back to plain search",
+                failures=self._wce_failures,
+            )
+            degraded_call = True
+            verdict = self.base.verify_batch(
+                candidates, worst_case=False, deadline=deadline
+            )
+            if not self._wce_disabled and self._wce_failures >= self.wce_fail_limit:
+                self._wce_disabled = True
+                self._degrade(
+                    "wce_disabled",
+                    f"disabling worst-case search after "
+                    f"{self._wce_failures} failures",
+                )
+        if getattr(verdict.result, "unknown", False):
+            self._unknown_streak += 1
+            degraded_call = True
+            if self._unknown_streak >= self.unknown_threshold:
+                if self._step_precision():
+                    self._unknown_streak = 0
+        else:
+            self._unknown_streak = 0
+        if degraded_call:
+            _mark_degraded(verdict.result)
+        return verdict

@@ -67,6 +67,13 @@ class RuntimeOptions:
     #: advisory: run every solution through the discrete simulator and
     #: attach the reports to ``SynthesisResult.cross_checks``
     cross_check: bool = False
+    #: directory of the shared on-disk query cache (None disables it);
+    #: portfolio workers and successive runs pool conclusive verdicts
+    cache_dir: Optional[str] = None
+    #: keep one incremental solver session across verifier calls
+    #: (in-process verifier only; isolated/portfolio workers are fresh
+    #: per call by design)
+    incremental: bool = False
 
 
 def make_checkpoint_store(query, path: str) -> CheckpointStore:
@@ -91,7 +98,23 @@ def _build_verifier(query, options: RuntimeOptions):
     from ..core.verifier import CcacVerifier
 
     parts = []
-    if options.isolate:
+    jobs = int(getattr(query, "jobs", 1))
+    if jobs > 1:
+        from ..engine import PortfolioVerifier
+
+        base = PortfolioVerifier(
+            query.cfg,
+            jobs=jobs,
+            wce_precision=options.wce_precision,
+            limits=WorkerLimits(
+                wall_time=options.solver_timeout,
+                memory_mb=options.solver_mem_mb,
+                retries=options.retries,
+            ),
+            validate=options.validate,
+            cache_dir=options.cache_dir,
+        )
+    elif options.isolate:
         base = IsolatedVerifier(
             query.cfg,
             wce_precision=options.wce_precision,
@@ -103,10 +126,17 @@ def _build_verifier(query, options: RuntimeOptions):
             validate=options.validate,
         )
     else:
+        cache = None
+        if options.cache_dir:
+            from ..engine import QueryCache
+
+            cache = QueryCache(options.cache_dir)
         base = CcacVerifier(
             query.cfg,
             wce_precision=options.wce_precision,
             validate=options.validate,
+            incremental=options.incremental,
+            cache=cache,
         )
     parts.append(base)
     verifier = base
@@ -152,13 +182,15 @@ def resume_synthesis(
     options: Optional[RuntimeOptions] = None,
     time_budget: Optional[float] = None,
     max_iterations: Optional[int] = None,
+    jobs: Optional[int] = None,
 ):
     """Continue a checkpointed run (``ccmatic resume``).
 
     The original query is reconstructed from the checkpoint's embedded
-    metadata; ``time_budget`` / ``max_iterations`` optionally override
-    the stored volatile knobs (they are excluded from the fingerprint,
-    so extending a budget on resume is legal).  Raises
+    metadata; ``time_budget`` / ``max_iterations`` / ``jobs`` optionally
+    override the stored volatile knobs (they are excluded from the
+    fingerprint, so extending a budget or changing the portfolio width
+    on resume is legal).  Raises
     :class:`CheckpointError` when the file carries no query metadata and
     :class:`CheckpointMismatchError` when the state belongs to a
     different query than its metadata claims.
@@ -181,6 +213,8 @@ def resume_synthesis(
         overrides["time_budget"] = time_budget
     if max_iterations is not None:
         overrides["max_iterations"] = max_iterations
+    if jobs is not None:
+        overrides["jobs"] = jobs
     if overrides:
         query = replace(query, **overrides)
     options = options or RuntimeOptions()

@@ -162,6 +162,7 @@ def encode_query(query) -> dict:
         "max_iterations": query.max_iterations,
         "max_solutions": query.max_solutions,
         "time_budget": query.time_budget,
+        "jobs": query.jobs,
     }
 
 
@@ -179,6 +180,9 @@ def decode_query(data: dict):
         max_iterations=int(data["max_iterations"]),
         max_solutions=data["max_solutions"],
         time_budget=data["time_budget"],
+        # volatile like the budgets: absent in old checkpoints, and a
+        # resumed run may legally change it
+        jobs=int(data.get("jobs", 1)),
     )
 
 

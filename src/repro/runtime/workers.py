@@ -30,7 +30,14 @@ from typing import Any, Optional
 from ..obs import WARN, metrics, tracer
 from .errors import SoundnessError, WorkerError
 
-__all__ = ["IsolatedVerifier", "WorkerLimits", "WorkerReport", "run_isolated"]
+__all__ = [
+    "IsolatedVerifier",
+    "WorkerLimits",
+    "WorkerReport",
+    "run_isolated",
+    "spawn_worker",
+    "reap_worker",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,43 @@ def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
         conn.close()
 
 
+def spawn_worker(
+    fn,
+    args: tuple = (),
+    kwargs: Optional[dict] = None,
+    memory_mb: Optional[int] = None,
+):
+    """Start one capped worker; returns ``(process, connection)``.
+
+    The caller owns the lifecycle: poll/recv on the connection, then
+    :func:`reap_worker`.  This is the spawn primitive shared by
+    :func:`run_isolated` (one worker, blocking) and the parallel
+    portfolio (:mod:`repro.engine.portfolio`: many workers, first
+    conclusive result wins).
+    """
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_entry,
+        args=(child_conn, fn, args, kwargs, memory_mb),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
+
+
+def reap_worker(proc, conn, kill_grace: float = 1.0) -> None:
+    """Terminate (if needed) and join one worker, closing its pipe."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(kill_grace)
+        if proc.is_alive():
+            proc.kill()
+    proc.join(5.0)
+    conn.close()
+
+
 def run_isolated(
     fn,
     args: tuple = (),
@@ -110,16 +154,8 @@ def run_isolated(
     abort usually wins and the watchdog is the backstop.  Raises
     :class:`SoundnessError` if the worker reported one.
     """
-    ctx = _mp_context()
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(
-        target=_child_entry,
-        args=(child_conn, fn, args, kwargs, memory_mb),
-        daemon=True,
-    )
     start = time.perf_counter()
-    proc.start()
-    child_conn.close()
+    proc, parent_conn = spawn_worker(fn, args, kwargs, memory_mb)
     status, payload = "crash", ""
     got_message = False
     try:
@@ -133,13 +169,7 @@ def run_isolated(
             status = "timeout"
             payload = f"worker exceeded {wall_time:.1f}s wall clock"
     finally:
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(kill_grace)
-            if proc.is_alive():
-                proc.kill()
-        proc.join(5.0)
-        parent_conn.close()
+        reap_worker(proc, parent_conn, kill_grace)
     elapsed = time.perf_counter() - start
     if not got_message and status != "timeout":
         # hard death without a report: OOM-killer or native abort

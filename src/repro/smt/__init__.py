@@ -32,7 +32,8 @@ from .errors import (
 )
 from .maxsat import MaxSatResult, MaxSatSolver
 from .optimize import OptimizeResult, maximize, minimize
-from .solver import Model, Result, Solver, check_formulas, sat, unknown, unsat
+from .session import SessionStats, SolverSession
+from .solver import CheckOptions, Model, Result, Solver, check_formulas, sat, unknown, unsat
 from .terms import (
     FALSE,
     TRUE,
@@ -52,17 +53,21 @@ from .terms import (
     RealVal,
     Sum,
     Term,
+    canonical_hash,
+    canonical_key,
     evaluate,
     substitute,
 )
 
 __all__ = [
-    "Add", "And", "Bool", "BoolVal", "BudgetExceededError", "Eq", "FALSE",
-    "FreshBool", "FreshReal", "Iff", "Implies", "Ite", "MaxSatResult",
-    "MaxSatSolver", "Model", "NonLinearError", "Not", "OptimizeResult",
-    "Or", "Real", "RealVal", "Result", "SmtError", "Solver", "SortError",
-    "Sum", "TRUE", "Term", "UnknownResultError", "at_most_one",
-    "bool_indicator", "check_formulas", "encode_abs", "encode_max",
-    "encode_min", "evaluate", "exactly_one", "maximize", "minimize", "sat",
-    "select_product", "selected_constant", "substitute", "unknown", "unsat",
+    "Add", "And", "Bool", "BoolVal", "BudgetExceededError", "CheckOptions",
+    "Eq", "FALSE", "FreshBool", "FreshReal", "Iff", "Implies", "Ite",
+    "MaxSatResult", "MaxSatSolver", "Model", "NonLinearError", "Not",
+    "OptimizeResult", "Or", "Real", "RealVal", "Result", "SessionStats",
+    "SmtError", "Solver", "SolverSession", "SortError", "Sum", "TRUE",
+    "Term", "UnknownResultError", "at_most_one", "bool_indicator",
+    "canonical_hash", "canonical_key", "check_formulas", "encode_abs",
+    "encode_max", "encode_min", "evaluate", "exactly_one", "maximize",
+    "minimize", "sat", "select_product", "selected_constant", "substitute",
+    "unknown", "unsat",
 ]

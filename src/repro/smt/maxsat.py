@@ -16,7 +16,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from .encodings import bool_indicator
-from .solver import Model, Solver, sat
+from .solver import CheckOptions, Model, Solver, _UNSET, _coerce_check_options, sat
 from .terms import FreshBool, FreshReal, Or, RealVal, Sum, Term
 
 
@@ -28,6 +28,11 @@ class MaxSatResult:
     cost: Optional[Fraction]  # total weight of violated soft constraints
     model: Optional[Model]
     satisfied: list[bool]  # per-soft-constraint satisfaction flags
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "MaxSatResult is not a boolean; test .feasible explicitly"
+        )
 
 
 class MaxSatSolver:
@@ -49,10 +54,21 @@ class MaxSatSolver:
         self.solver.add(bool_indicator(relax, indicator))
         self._softs.append((formula, Fraction(weight), indicator))
 
-    def solve(self, max_conflicts: Optional[int] = None) -> MaxSatResult:
-        """Minimize total relaxation cost by binary search on the cost sum."""
+    def solve(
+        self,
+        options: Optional[CheckOptions] = None,
+        *,
+        max_conflicts=_UNSET,
+    ) -> MaxSatResult:
+        """Minimize total relaxation cost by binary search on the cost sum.
+
+        Per-probe budgets go through ``options``
+        (:class:`~repro.smt.solver.CheckOptions`); the ``max_conflicts``
+        keyword is a deprecated shim.
+        """
+        opts = _coerce_check_options(options, max_conflicts, _UNSET, "MaxSatSolver.solve")
         if not self._softs:
-            outcome = self.solver.check(max_conflicts=max_conflicts)
+            outcome = self.solver.check(opts)
             if outcome is not sat:
                 return MaxSatResult(False, None, None, [])
             return MaxSatResult(True, Fraction(0), self.solver.model(), [])
@@ -60,7 +76,7 @@ class MaxSatSolver:
         cost_term = Sum(
             RealVal(w) * ind for (_f, w, ind) in self._softs
         )
-        outcome = self.solver.check(max_conflicts=max_conflicts)
+        outcome = self.solver.check(opts)
         if outcome is not sat:
             return MaxSatResult(False, None, None, [])
         best_model = self.solver.model()
@@ -72,7 +88,7 @@ class MaxSatSolver:
             mid = (lo + hi) / 2
             self.solver.push()
             self.solver.add(cost_term <= mid)
-            outcome = self.solver.check(max_conflicts=max_conflicts)
+            outcome = self.solver.check(opts)
             if outcome is sat:
                 model = self.solver.model()
                 achieved = model.value(cost_term)

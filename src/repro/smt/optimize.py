@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import Optional
 
 from ..obs import DEBUG, tracer
-from .solver import Model, Result, Solver, sat, unknown, unsat
+from .solver import CheckOptions, Model, Result, _UNSET, _coerce_check_options, sat, unknown, unsat
 from .terms import Term
 
 
@@ -35,17 +35,35 @@ class OptimizeResult:
     probes: int
     unknown: bool = False
 
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        # A dataclass instance is always truthy, so `if opt:` silently
+        # meant "always" — never "feasible".  Mirror Result.__bool__.
+        raise TypeError(
+            "OptimizeResult is not a boolean; test .feasible (and .unknown) "
+            "explicitly"
+        )
+
 
 def maximize(
-    solver: Solver,
+    solver,
     objective: Term,
     lo: Fraction,
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
-    max_conflicts: Optional[int] = None,
-    deadline: Optional[float] = None,
+    options: Optional[CheckOptions] = None,
+    *,
+    max_conflicts=_UNSET,
+    deadline=_UNSET,
 ) -> OptimizeResult:
     """Maximize ``objective`` over the solver's current assertions.
+
+    ``solver`` is anything with the incremental interface
+    (``push``/``pop``/``add``/``check``/``model``) — a raw
+    :class:`~repro.smt.solver.Solver` or a
+    :class:`~repro.smt.session.SolverSession` (probes issued through a
+    session hit its query cache).  Per-probe budgets go through
+    ``options`` (:class:`CheckOptions`); the ``max_conflicts``/
+    ``deadline`` keywords are deprecated shims.
 
     ``lo`` must be a value for which feasibility is *unknown or likely*;
     ``hi`` an upper limit of the search.  The solver is used through
@@ -55,6 +73,7 @@ def maximize(
     rather than unsat).  Each binary-search step is emitted as an
     ``opt.probe`` event when tracing is enabled.
     """
+    opts = _coerce_check_options(options, max_conflicts, deadline, "maximize")
     lo = Fraction(lo)
     hi = Fraction(hi)
     probes = 0
@@ -65,7 +84,7 @@ def maximize(
         probes += 1
         solver.push()
         solver.add(objective >= value)
-        outcome = solver.check(max_conflicts=max_conflicts, deadline=deadline)
+        outcome = solver.check(opts)
         model = solver.model() if outcome is sat else None
         solver.pop()
         if tr.enabled:
@@ -102,16 +121,20 @@ def maximize(
 
 
 def minimize(
-    solver: Solver,
+    solver,
     objective: Term,
     lo: Fraction,
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
-    max_conflicts: Optional[int] = None,
-    deadline: Optional[float] = None,
+    options: Optional[CheckOptions] = None,
+    *,
+    max_conflicts=_UNSET,
+    deadline=_UNSET,
 ) -> OptimizeResult:
     """Minimize ``objective`` (dual of :func:`maximize`)."""
-    result = maximize(solver, -objective, -hi, -lo, precision, max_conflicts, deadline)
+    opts = _coerce_check_options(options, max_conflicts, deadline, "minimize")
+    result = maximize(solver, -objective, -hi, -lo, precision, opts)
+    # NB: test fields explicitly — OptimizeResult refuses truthiness
     if result.best_value is not None:
         return OptimizeResult(
             result.feasible, -result.best_value, result.model, result.probes,

@@ -98,6 +98,8 @@ class SatSolver:
         self.propagations = 0
         self.restarts = 0
         self.theory_checks = 0
+        self.simplify_removed = 0
+        self.learned_retained = 0
         self._theory_qhead = 0
         self._theory_dirty = False
         self._model: list[int] = []
@@ -496,6 +498,54 @@ class SatSolver:
             self._model = [self.values[v] if v else 0 for v in range(self.nvars + 1)]
         self.cancel_until(0)
         return result
+
+    def simplify(self) -> int:
+        """Drop clauses satisfied at the root level; keep the rest.
+
+        The incremental push/pop layer disables a popped frame's guard by
+        asserting its negation as a root-level unit, which permanently
+        satisfies every clause guarded by that frame.  Those clauses (and
+        any learned clause that came to mention the dead guard) are dead
+        weight on the watchlists; this removes them.  Learned clauses
+        *not* satisfied at the root are retained verbatim — they were
+        derived from guarded clauses plus theory lemmas, both of which
+        remain part of the clause system, so they stay logically implied
+        after any number of pops (see DESIGN.md, "Clause retention across
+        pops").
+
+        Must be called at decision level 0 (always true between solves).
+        Returns the number of clauses removed.
+        """
+        assert self.decision_level == 0, "simplify only at the root level"
+        if not self.ok:
+            return 0
+
+        def root_satisfied(clause: Clause) -> bool:
+            for lit in clause.lits:
+                if self.value_lit(lit) == 1 and self.levels[abs(lit)] == 0:
+                    return True
+            return False
+
+        locked = {
+            id(self.reasons[abs(l)])
+            for l in self.trail
+            if self.reasons[abs(l)] is not None
+        }
+        removed: set[int] = set()
+        for pool in (self.clauses, self.learned):
+            kept: list[Clause] = []
+            for c in pool:
+                if id(c) not in locked and root_satisfied(c):
+                    removed.add(id(c))
+                else:
+                    kept.append(c)
+            pool[:] = kept
+        if removed:
+            for wl in self.watches.values():
+                wl[:] = [c for c in wl if id(c) not in removed]
+        self.simplify_removed += len(removed)
+        self.learned_retained = len(self.learned)
+        return len(removed)
 
     def _reduce_db(self) -> None:
         self.learned.sort(key=lambda c: c.activity)

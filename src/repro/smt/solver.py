@@ -21,10 +21,11 @@ never invalidated).
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from fractions import Fraction
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from ..obs import DEBUG, metrics, tracer
 from .cnf import TseitinEncoder
@@ -49,6 +50,75 @@ class Result(Enum):
 sat = Result.SAT
 unsat = Result.UNSAT
 unknown = Result.UNKNOWN
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Options of one satisfiability check.
+
+    This frozen dataclass is the one way to configure a check — it
+    replaces the kwarg pile that ``Solver.check`` had started to grow.
+    Pass it to :meth:`Solver.check` / :meth:`SolverSession.check`::
+
+        s.check(CheckOptions(max_conflicts=10_000))
+
+    ``deadline`` is a ``time.perf_counter()`` timestamp; the search
+    aborts with :data:`unknown` once it has passed (checked at each
+    conflict, like ``max_conflicts``).
+    """
+
+    #: give up (-> unknown) after this many conflicts; None = unbounded
+    max_conflicts: Optional[int] = None
+    #: give up (-> unknown) past this ``time.perf_counter()`` timestamp
+    deadline: Optional[float] = None
+
+    def with_deadline(self, deadline: Optional[float]) -> "CheckOptions":
+        """A copy with ``deadline`` replaced (options are immutable)."""
+        return replace(self, deadline=deadline)
+
+
+_UNSET = object()
+
+
+def _coerce_check_options(
+    options,
+    max_conflicts,
+    deadline,
+    where: str,
+) -> CheckOptions:
+    """Shared deprecation shim: fold legacy kwargs into a CheckOptions.
+
+    ``options`` may also be a bare int (the historical positional
+    ``max_conflicts``).  Legacy use emits a :class:`DeprecationWarning`;
+    mixing both styles in one call is an error.
+    """
+    if isinstance(options, int):
+        warnings.warn(
+            f"{where}(max_conflicts) positional argument is deprecated; "
+            f"pass CheckOptions(max_conflicts=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = CheckOptions(max_conflicts=options)
+    legacy = {}
+    if max_conflicts is not _UNSET:
+        legacy["max_conflicts"] = max_conflicts
+    if deadline is not _UNSET:
+        legacy["deadline"] = deadline
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                f"{where}: pass either CheckOptions or the deprecated "
+                f"keyword arguments, not both"
+            )
+        warnings.warn(
+            f"{where}({', '.join(sorted(legacy))}=...) keyword arguments are "
+            f"deprecated; pass CheckOptions instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return CheckOptions(**legacy)
+    return options if options is not None else CheckOptions()
 
 
 class Model:
@@ -157,12 +227,21 @@ class Solver:
         self._assertions.append([])
 
     def pop(self) -> None:
-        """Discard the most recent frame and its assertions."""
+        """Discard the most recent frame and its assertions.
+
+        The frame's guard is permanently disabled by a root-level unit,
+        which keeps every learned clause valid; the clauses that unit
+        satisfies (the popped frame's encoding, and any learned clause
+        that depends on it) are then garbage-collected from the clause
+        database while the still-valid learned clauses are retained (see
+        :meth:`repro.smt.sat.SatSolver.simplify`).
+        """
         if not self._frames:
             raise IndexError("pop without matching push")
         guard = self._frames.pop()
         self._assertions.pop()
         self.sat_core.add_clause([-guard])
+        self.sat_core.simplify()
         self._last_result = None
 
     # -- solving --------------------------------------------------------------
@@ -172,15 +251,25 @@ class Solver:
 
     def check(
         self,
-        max_conflicts: Optional[int] = None,
-        deadline: Optional[float] = None,
+        options: Union[CheckOptions, int, None] = None,
+        *,
+        max_conflicts=_UNSET,
+        deadline=_UNSET,
     ) -> Result:
         """Decide satisfiability of the current assertion stack.
 
-        ``deadline`` is a ``time.perf_counter()`` timestamp; the search
-        aborts with :data:`unknown` once it has passed (checked at each
-        conflict, like ``max_conflicts``).
+        Configuration goes through a single :class:`CheckOptions` value::
+
+            s.check()                                     # defaults
+            s.check(CheckOptions(max_conflicts=10_000))   # budgeted
+
+        The historical ``max_conflicts``/``deadline`` keyword (and
+        positional-int) forms still work behind a
+        :class:`DeprecationWarning` shim.
         """
+        opts = _coerce_check_options(options, max_conflicts, deadline, "Solver.check")
+        max_conflicts = opts.max_conflicts
+        deadline = opts.deadline
         core = self.sat_core
         base_conflicts = core.conflicts
         base_decisions = core.decisions
@@ -291,8 +380,10 @@ class Solver:
         return self._model
 
 
-def check_formulas(formulas: Iterable[Term], max_conflicts: Optional[int] = None) -> Result:
+def check_formulas(
+    formulas: Iterable[Term], options: Optional[CheckOptions] = None
+) -> Result:
     """One-shot satisfiability check of a conjunction of formulas."""
     s = Solver()
     s.add(*formulas)
-    return s.check(max_conflicts=max_conflicts)
+    return s.check(options)

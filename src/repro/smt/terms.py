@@ -498,6 +498,79 @@ def _rebuild(t: Term, args: tuple[Term, ...]) -> Term:
     raise AssertionError(f"unexpected kind {k}")
 
 
+#: kinds whose argument order does not affect meaning; their children are
+#: sorted during canonical serialization so construction order cannot
+#: change a query's cache key
+_COMMUTATIVE_KINDS = frozenset({Kind.AND, Kind.OR, Kind.ADD, Kind.IFF, Kind.EQ})
+
+#: id(term) -> canonical serialization.  Terms are interned for the life
+#: of the process (``Term._table`` holds strong references), so ids are
+#: stable and this memo can never alias two distinct terms.
+_canonical_memo: dict[int, str] = {}
+
+
+def canonical_key(term: Term) -> str:
+    """A content-addressed serialization of ``term``.
+
+    Properties the query cache relies on:
+
+    * **injective** — structurally distinct terms serialize differently
+      (sorts, names, and exact rational values are all included);
+    * **order-insensitive** — arguments of commutative connectives
+      (``And``/``Or``/``Add``/``Iff``/``==``) are sorted, so
+      ``And(a, b)`` and ``And(b, a)`` share a key;
+    * **process-independent** — built from names and values only (no
+      ``id()``/``hash()``), so keys agree across worker processes and
+      survive on-disk caching.
+    """
+    hit = _canonical_memo.get(id(term))
+    if hit is not None:
+        return hit
+    # iterative post-order: children serialized before parents
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in _canonical_memo:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.args:
+                if id(child) not in _canonical_memo:
+                    stack.append((child, False))
+            continue
+        k = node.kind
+        if k is Kind.CONST:
+            key = f"(c {node.sort.value} {node.value})"
+        elif k is Kind.VAR:
+            key = f"(v {node.sort.value} {node.name})"
+        else:
+            parts = [_canonical_memo[id(a)] for a in node.args]
+            if k in _COMMUTATIVE_KINDS:
+                parts.sort()
+            coeff = f" {node.value}" if k is Kind.SCALE and node.value is not None else ""
+            key = f"({k.value}{coeff} {' '.join(parts)})"
+        _canonical_memo[id(node)] = key
+    return _canonical_memo[id(term)]
+
+
+def canonical_hash(terms: Iterable[Term]) -> str:
+    """Content hash of an assertion *set*.
+
+    The keys of the individual assertions are deduplicated and sorted, so
+    neither assertion order nor repetition changes the hash: two solver
+    states with the same set of constraints — however they were built —
+    address the same cache entry.
+    """
+    import hashlib
+
+    keys = sorted({canonical_key(t) for t in terms})
+    h = hashlib.sha256()
+    for k in keys:
+        h.update(k.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
 def evaluate(term: Term, env: Mapping[Term, object]):
     """Evaluate a term under a full assignment ``env`` (vars -> bool/Fraction).
 

@@ -1,0 +1,152 @@
+"""The redesigned public API: CheckOptions, deprecation shims, __all__,
+and the result-enum truthiness guards."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.smt import CheckOptions, Real, Solver, SolverSession, sat, unknown, unsat
+
+pytestmark = pytest.mark.engine
+
+
+# -- CheckOptions -------------------------------------------------------------
+
+
+def test_check_options_is_frozen():
+    opts = CheckOptions(max_conflicts=5)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        opts.max_conflicts = 10
+
+
+def test_check_takes_options_object():
+    x = Real("api_x")
+    s = Solver()
+    s.add(x >= 0, x <= 1)
+    assert s.check(CheckOptions()) is sat
+    s.add(x >= 2)
+    assert s.check(CheckOptions(max_conflicts=10_000)) is unsat
+
+
+def test_legacy_kwargs_warn_but_work():
+    x = Real("api_y")
+    s = Solver()
+    s.add(x >= 0)
+    with pytest.warns(DeprecationWarning):
+        assert s.check(max_conflicts=10_000) is sat
+    with pytest.warns(DeprecationWarning):
+        assert s.check(deadline=None) is sat
+
+
+def test_legacy_positional_int_warns():
+    x = Real("api_z")
+    s = Solver()
+    s.add(x >= 0)
+    with pytest.warns(DeprecationWarning):
+        assert s.check(10_000) is sat
+
+
+def test_mixing_options_and_kwargs_is_an_error():
+    s = Solver()
+    with pytest.raises(TypeError):
+        s.check(CheckOptions(), max_conflicts=5)
+
+
+def test_options_object_does_not_warn():
+    x = Real("api_w")
+    s = Solver()
+    s.add(x >= 0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert s.check(CheckOptions(max_conflicts=10_000)) is sat
+
+
+def test_with_deadline_helper():
+    opts = CheckOptions(max_conflicts=7)
+    bounded = opts.with_deadline(123.0)
+    assert bounded.deadline == 123.0
+    assert bounded.max_conflicts == 7
+    assert opts.deadline is None  # original untouched
+
+
+# -- truthiness guards --------------------------------------------------------
+
+
+def test_optimize_result_truthiness_is_an_error():
+    from fractions import Fraction
+
+    from repro.smt.optimize import maximize
+
+    x = Real("tg_x")
+    s = Solver()
+    s.add(x >= 0, x <= 4)
+    result = maximize(s, x, lo=Fraction(0), hi=Fraction(8))
+    assert result.feasible
+    with pytest.raises(TypeError):
+        bool(result)
+    with pytest.raises(TypeError):
+        if result:  # pragma: no cover - the guard raises first
+            pass
+
+
+def test_maxsat_result_truthiness_is_an_error():
+    from repro.smt.maxsat import MaxSatSolver
+
+    p = Real("ms_x")
+    solver = MaxSatSolver()
+    solver.add_hard(p >= 0)
+    solver.add_soft(p >= 5, weight=1)
+    result = solver.solve()
+    with pytest.raises(TypeError):
+        bool(result)
+
+
+# -- the stable top-level surface ---------------------------------------------
+
+
+def test_top_level_all_resolves():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_top_level_names_are_canonical():
+    import repro
+    from repro.cegis import CegisLoop
+    from repro.core.synthesizer import synthesize
+    from repro.smt import Solver as SmtSolver
+
+    assert repro.CegisLoop is CegisLoop
+    assert repro.synthesize is synthesize
+    assert repro.Solver is SmtSolver
+
+
+def test_top_level_verify(fast_cfg):
+    import repro
+    from repro.core import constant_cwnd, rocc
+
+    assert repro.verify(rocc(3), fast_cfg).verified
+    refuted = repro.verify(constant_cwnd(1, 3), fast_cfg)
+    assert not refuted.verified
+    assert refuted.counterexample is not None
+
+
+def test_migrated_callers_emit_no_deprecation_warnings(fast_cfg):
+    """The in-repo call sites all use CheckOptions now; a full verifier
+    call (including the worst-case binary search through maximize) must
+    not trip the legacy shims."""
+    from repro.core import constant_cwnd
+    from repro.core.verifier import CcacVerifier
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        CcacVerifier(fast_cfg).find_counterexample(
+            constant_cwnd(1, 3), worst_case=True
+        )
+
+
+def test_session_is_exported_from_smt():
+    from repro.smt import SessionStats, SolverSession  # noqa: F401
+    from repro.smt.terms import canonical_hash, canonical_key  # noqa: F401

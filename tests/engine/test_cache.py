@@ -1,0 +1,148 @@
+"""QueryCache + canonical hashing: key stability, disk layer, safety rails."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import CACHE_VERSION, QueryCache
+from repro.smt import (
+    And,
+    Bool,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    sat,
+    unknown,
+    unsat,
+)
+from repro.smt.solver import Model
+from repro.smt.terms import canonical_hash, canonical_key
+
+pytestmark = pytest.mark.engine
+
+
+# -- canonical keys -----------------------------------------------------------
+
+
+def test_key_ignores_assertion_order():
+    x, y = Real("ck_x"), Real("ck_y")
+    a, b = x >= 0, y <= 5
+    assert canonical_hash([a, b]) == canonical_hash([b, a])
+
+
+def test_key_ignores_commutative_argument_order():
+    x, y, z = Real("cc_x"), Real("cc_y"), Real("cc_z")
+    p, q = Bool("cc_p"), Bool("cc_q")
+    assert canonical_key(And(p, q)) == canonical_key(And(q, p))
+    assert canonical_key(Or(p, q)) == canonical_key(Or(q, p))
+    assert canonical_key(x + y + z >= 0) == canonical_key(z + y + x >= 0)
+
+
+def test_key_stable_across_construction_orders():
+    """Building structurally identical assertion sets in different orders
+    (and with duplicated members) yields the same hash."""
+    def build(reversed_order: bool):
+        x, y = Real("so_x"), Real("so_y")
+        formulas = [x >= 0, y >= 0, And(x <= 3, y <= 4), Or(x.eq(1), y.eq(2))]
+        if reversed_order:
+            formulas = list(reversed(formulas))
+        return canonical_hash(formulas + [formulas[0]])  # dup is dropped
+
+    assert build(False) == build(True)
+
+
+def test_key_distinguishes_different_formulas():
+    x = Real("kd_x")
+    assert canonical_hash([x >= 0]) != canonical_hash([x >= 1])
+    assert canonical_hash([x >= 0]) != canonical_hash([x <= 0])
+
+
+def test_key_distinguishes_noncommutative_order():
+    x, y = Real("nc_x"), Real("nc_y")
+    assert canonical_key(x - y) != canonical_key(y - x)
+
+
+# -- the cache proper ---------------------------------------------------------
+
+
+def test_memory_roundtrip():
+    cache = QueryCache()
+    x = Real("mr_x")
+    model = Model({}, {x: Fraction(3, 2)})
+    cache.store("k1", sat, model)
+    cache.store("k2", unsat, None)
+    result, m = cache.lookup("k1")
+    assert result is sat and m.value(x) == Fraction(3, 2)
+    result, m = cache.lookup("k2")
+    assert result is unsat and m is None
+    assert cache.lookup("missing") is None
+    assert cache.stats()["hits"] == 2
+
+
+def test_unknown_is_never_cacheable():
+    cache = QueryCache()
+    with pytest.raises(ValueError):
+        cache.store("k", unknown, None)
+
+
+def test_disk_roundtrip(tmp_path):
+    """A second cache instance over the same directory sees the entry —
+    this is exactly how portfolio workers share verdicts."""
+    x = Real("dr_x")
+    p = Bool("dr_p")
+    writer = QueryCache(str(tmp_path))
+    writer.store("deadbeef", sat, Model({p: True}, {x: Fraction(-7, 3)}))
+    writer.store("cafe", unsat, None)
+
+    reader = QueryCache(str(tmp_path))
+    result, model = reader.lookup("deadbeef")
+    assert result is sat
+    assert model.value(x) == Fraction(-7, 3)
+    assert model.value(p) is True
+    result, model = reader.lookup("cafe")
+    assert result is unsat and model is None
+    assert reader.disk_hits == 2
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = QueryCache(str(tmp_path))
+    path = tmp_path / f"q{CACHE_VERSION}-bad.json"
+    path.write_text("{not json at all")
+    assert cache.lookup("bad") is None
+    path.write_text('{"result": "sat", "model": null}')  # sat without model
+    assert cache.lookup("bad") is None
+
+
+def test_eviction_bounds_memory():
+    cache = QueryCache(max_entries=4)
+    for i in range(10):
+        cache.store(f"k{i}", unsat, None)
+    assert len(cache) == 4
+    assert cache.lookup("k9") is not None
+    assert cache.lookup("k0") is None
+
+
+def test_end_to_end_verifier_speedup(fast_cfg):
+    """Repeating a verification through the cache must be conclusively
+    faster (the acceptance criterion is >= 2x; real hits are ~100x)."""
+    import time
+
+    from repro.core import constant_cwnd
+    from repro.core.verifier import CcacVerifier
+
+    cache = QueryCache()
+    verifier = CcacVerifier(fast_cfg, cache=cache)
+    cand = constant_cwnd(1, 3)
+
+    t0 = time.perf_counter()
+    first = verifier.find_counterexample(cand)
+    cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    second = verifier.find_counterexample(cand)
+    warm = time.perf_counter() - t0
+
+    assert first.verified == second.verified
+    assert cache.hits >= 1
+    assert warm * 2 <= cold

@@ -1,0 +1,146 @@
+"""Portfolio races: first conclusive verdict wins, losers die, no zombies."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.engine import PortfolioOutcome, PortfolioVerifier, run_portfolio
+from repro.runtime.errors import SoundnessError, WorkerError
+
+pytestmark = [pytest.mark.engine, pytest.mark.runtime]
+
+
+# top-level so they are picklable by the fork start method
+def _fast(value):
+    return value
+
+
+def _slow(value, delay=30.0):
+    time.sleep(delay)
+    return value
+
+
+def _boom():
+    raise RuntimeError("worker exploded")
+
+
+def _soundness():
+    raise SoundnessError("fabricated model")
+
+
+def _no_zombies():
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_fast_task_beats_sleepers():
+    """The race returns as soon as one worker is conclusive; the sleepers
+    are cancelled rather than awaited (30s sleeps, sub-30s wall)."""
+    start = time.perf_counter()
+    outcome = run_portfolio(
+        [(_slow, ("a",)), (_fast, ("b",)), (_slow, ("c",))],
+        wall_time=25.0,
+    )
+    wall = time.perf_counter() - start
+    assert outcome.winner == 1
+    assert outcome.result == "b"
+    assert outcome.cancelled == [0, 2]
+    assert wall < 20.0
+    assert _no_zombies()
+
+
+def test_accept_filters_results():
+    """A result the acceptor rejects does not win the race."""
+    outcome = run_portfolio(
+        [(_fast, ("reject",)), (_fast, ("take",))],
+        accept=lambda r: r == "take",
+        wall_time=25.0,
+    )
+    assert outcome.result == "take"
+    assert _no_zombies()
+
+
+def test_all_errors_raises_worker_error():
+    with pytest.raises(WorkerError):
+        run_portfolio([(_boom, ()), (_boom, ())], wall_time=25.0)
+    assert _no_zombies()
+
+
+def test_soundness_error_propagates():
+    """Soundness is never racy: a SoundnessError in any worker aborts
+    the whole round even if another worker would have won."""
+    with pytest.raises(SoundnessError):
+        run_portfolio(
+            [(_soundness, ()), (_slow, ("x",))],
+            wall_time=25.0,
+        )
+    assert _no_zombies()
+
+
+def test_race_timeout_reports_all_workers():
+    outcome = run_portfolio([(_slow, ("a", 30.0))], wall_time=1.0)
+    assert outcome.winner is None
+    assert outcome.reports[0].status == "timeout"
+    assert _no_zombies()
+
+
+def test_verifier_batch_verdicts_match_sequential(fast_cfg):
+    """The portfolio verifier's winning verdict agrees with a plain
+    in-process verification of the same candidate."""
+    from repro.core import constant_cwnd, rocc
+    from repro.core.verifier import CcacVerifier
+
+    candidates = [constant_cwnd(1, 3), rocc(3)]
+    portfolio = PortfolioVerifier(fast_cfg, jobs=2)
+    verdict = portfolio.verify_batch(candidates)
+    assert verdict.winner is not None
+    assert verdict.launched == 2
+
+    sequential = CcacVerifier(fast_cfg).find_counterexample(
+        candidates[verdict.winner]
+    )
+    assert verdict.result.verified == sequential.verified
+    assert (verdict.result.counterexample is None) == (
+        sequential.counterexample is None
+    )
+    assert _no_zombies()
+
+
+def test_single_candidate_path(fast_cfg):
+    from repro.core import rocc
+
+    portfolio = PortfolioVerifier(fast_cfg, jobs=2)
+    result = portfolio.find_counterexample(rocc(3))
+    assert result.verified
+    assert _no_zombies()
+
+
+def test_jobs_validation(fast_cfg):
+    with pytest.raises(ValueError):
+        PortfolioVerifier(fast_cfg, jobs=0)
+
+
+def test_synthesis_verdict_identical_across_jobs(fast_cfg):
+    """jobs=1 and jobs=3 reach the same verdict on the same query (the
+    winning solutions are independently proven, so verdict-level equality
+    is the right equivalence)."""
+    from repro.core import SynthesisQuery, synthesize, table1_spaces
+    from repro.ccac import ModelConfig
+
+    cfg = ModelConfig(T=5)
+    spec = table1_spaces()["no_cwnd_small"]
+    results = {}
+    for jobs in (1, 3):
+        query = SynthesisQuery(
+            spec=spec, cfg=cfg, generator="enum",
+            worst_case_cex=False, jobs=jobs,
+        )
+        results[jobs] = synthesize(query)
+    assert results[1].found == results[3].found
+    assert results[1].exhausted == results[3].exhausted
+    assert _no_zombies()
