@@ -3,23 +3,32 @@
 Runs three workloads against :mod:`repro.engine` and writes a single
 ``BENCH_engine.json`` with the numbers:
 
-1. **cache** — a repeated-query workload (the same verification queries
+1. **compile** — the staged compile pipeline vs the raw encode path on
+   the per-candidate verification queries: clause/atom counts before and
+   after, solve-time deltas, and verdict parity.  Gates on a >= 25%
+   median clause-count reduction, a wall-clock win, and zero verdict
+   divergence.
+2. **cache** — a repeated-query workload (the same verification queries
    issued twice through a content-addressed :class:`QueryCache`); the
    warm pass must be at least 2x faster than the cold pass.
-2. **incremental** — the same candidate set verified by a fresh-solver
+3. **incremental** — the same candidate set verified by a fresh-solver
    verifier and an incremental-session verifier
    (``CcacVerifier(incremental=True)``); the verdicts must be identical
    candidate by candidate.
-3. **portfolio** — one synthesis query run with ``jobs=1`` and
+4. **portfolio** — one synthesis query run with ``jobs=1`` and
    ``jobs=4``; the verdicts (found / exhausted) must be identical.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_bench.py [--quick] [--out PATH]
+                                                     [--no-compile-pipeline]
 
 ``--quick`` scales the workloads down for CI smoke runs (~1 minute);
-the default is laptop scale.  Exit status is non-zero when any
-equivalence or speedup assertion fails, so CI can gate on it.
+the default is laptop scale.  ``--no-compile-pipeline`` runs the cache /
+incremental / portfolio workloads over the raw encode path (CI uploads
+both reports side by side); the compile workload always measures both
+paths explicitly.  Exit status is non-zero when any equivalence or
+speedup assertion fails, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -35,8 +44,9 @@ sys.path.insert(
 )
 
 from fractions import Fraction  # noqa: E402
+from statistics import median  # noqa: E402
 
-from repro.ccac import ModelConfig  # noqa: E402
+from repro.ccac import CcacModel, ModelConfig, negated_desired  # noqa: E402
 from repro.core import (  # noqa: E402
     SynthesisQuery,
     constant_cwnd,
@@ -46,6 +56,10 @@ from repro.core import (  # noqa: E402
 from repro.core.verifier import CcacVerifier  # noqa: E402
 from repro.engine import QueryCache  # noqa: E402
 from repro.runtime import RuntimeOptions, run_synthesis  # noqa: E402
+from repro.smt import Solver, compile_query, set_pipeline_enabled  # noqa: E402
+from repro.smt.cnf import TseitinEncoder  # noqa: E402
+from repro.smt.compile import ENV_FLAG, _SatSink, _TheorySink  # noqa: E402
+from repro.smt.preprocess import preprocess  # noqa: E402
 
 
 def _candidates(history: int, n: int) -> list:
@@ -54,6 +68,83 @@ def _candidates(history: int, n: int) -> list:
     for g in range(n - 1):
         cands.append(constant_cwnd(Fraction(g), history))
     return cands[:n]
+
+
+def _raw_cnf_size(formulas) -> tuple[int, int]:
+    """(clauses, theory atoms) of the legacy encode path: preprocess
+    straight into Tseitin, no pipeline."""
+    sat_sink, theory_sink = _SatSink(), _TheorySink()
+    encoder = TseitinEncoder(sat_sink, theory_sink)
+    for f in formulas:
+        encoder.assert_formula(preprocess(f))
+    return len(sat_sink.clauses), len(theory_sink.atoms)
+
+
+def bench_compile(cfg: ModelConfig, candidates: list) -> dict:
+    """Pipeline vs raw on the per-candidate verification queries."""
+    net = CcacModel(cfg, prefix="v")
+    base = list(net.constraints()) + [negated_desired(net)]
+
+    rows = []
+    reductions = []
+    divergences = 0
+    pipeline_s = 0.0
+    raw_s = 0.0
+    for cand in candidates:
+        formulas = base + list(cand.constraints_for(net))
+
+        raw_clauses, raw_atoms = _raw_cnf_size(formulas)
+        compiled = compile_query(tuple(formulas))
+        cnf = compiled.cnf()
+        reduction = (
+            (raw_clauses - len(cnf.clauses)) / raw_clauses if raw_clauses else 0.0
+        )
+        reductions.append(reduction)
+
+        t0 = time.perf_counter()
+        s_pipe = Solver(compile_pipeline=True)
+        s_pipe.add(*formulas)
+        v_pipe = s_pipe.check()
+        pipe_t = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        s_raw = Solver(compile_pipeline=False)
+        s_raw.add(*formulas)
+        v_raw = s_raw.check()
+        raw_t = time.perf_counter() - t0
+
+        pipeline_s += pipe_t
+        raw_s += raw_t
+        if v_pipe is not v_raw:
+            divergences += 1
+        rows.append({
+            "candidate": str(cand),
+            "clauses_raw": raw_clauses,
+            "clauses_compiled": len(cnf.clauses),
+            "atoms_raw": raw_atoms,
+            "atoms_compiled": len(cnf.atoms),
+            "clause_reduction": round(reduction, 4),
+            "vars_eliminated": compiled.stats.vars_eliminated,
+            "verdict_raw": v_raw.value,
+            "verdict_compiled": v_pipe.value,
+            "solve_raw_s": round(raw_t, 4),
+            "solve_compiled_s": round(pipe_t, 4),
+        })
+
+    med = median(reductions) if reductions else 0.0
+    speedup = raw_s / pipeline_s if pipeline_s > 0 else float("inf")
+    return {
+        "queries": len(candidates),
+        "median_clause_reduction": round(med, 4),
+        "raw_s": round(raw_s, 4),
+        "pipeline_s": round(pipeline_s, 4),
+        "speedup": round(speedup, 2),
+        "verdict_divergences": divergences,
+        "per_query": rows,
+        # gates: >= 25% median clause reduction, a wall-clock win, and
+        # verdict parity on every query
+        "ok": med >= 0.25 and speedup >= 1.0 and divergences == 0,
+    }
 
 
 def bench_cache(cfg: ModelConfig, candidates: list) -> dict:
@@ -151,7 +242,16 @@ def main(argv=None) -> int:
         "--out", default="BENCH_engine.json", metavar="PATH",
         help="where to write the JSON report (default: %(default)s)",
     )
+    parser.add_argument(
+        "--no-compile-pipeline", action="store_true",
+        help="run the cache/incremental/portfolio workloads over the raw "
+             "encode path (for before/after comparison in CI)",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_compile_pipeline:
+        os.environ[ENV_FLAG] = "1"  # portfolio workers inherit the flag
+        set_pipeline_enabled(False)
 
     if args.quick:
         cfg = ModelConfig(T=5, history=3)
@@ -166,9 +266,19 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "T": cfg.T,
         "candidates": n_cands,
+        "compile_pipeline": not args.no_compile_pipeline,
     }
     print(f"engine bench (T={cfg.T}, {n_cands} candidates, "
-          f"{'quick' if args.quick else 'full'} scale)")
+          f"{'quick' if args.quick else 'full'} scale, "
+          f"pipeline={'off' if args.no_compile_pipeline else 'on'})")
+
+    report["compile"] = bench_compile(cfg, candidates)
+    k = report["compile"]
+    print(f"  compile:     median clause reduction="
+          f"{k['median_clause_reduction']:.0%} "
+          f"solve raw={k['raw_s']}s pipeline={k['pipeline_s']}s "
+          f"speedup={k['speedup']}x divergences={k['verdict_divergences']}  "
+          f"[{'ok' if k['ok'] else 'FAIL'}]")
 
     report["cache"] = bench_cache(cfg, candidates)
     c = report["cache"]
@@ -187,7 +297,9 @@ def main(argv=None) -> int:
           f"jobs4={p['jobs_4']['wall_s']}s identical={p['verdicts_identical']}  "
           f"[{'ok' if p['ok'] else 'FAIL'}]")
 
-    report["ok"] = all(report[k]["ok"] for k in ("cache", "incremental", "portfolio"))
+    report["ok"] = all(
+        report[k]["ok"] for k in ("compile", "cache", "incremental", "portfolio")
+    )
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
     print(f"wrote {args.out}  [{'ok' if report['ok'] else 'FAIL'}]")

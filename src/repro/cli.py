@@ -137,6 +137,15 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="keep one incremental solver session across verifier calls "
              "(in-process verifier only; implied off under --isolate/--jobs)",
     )
+    _add_pipeline_arg(g)
+
+
+def _add_pipeline_arg(p) -> None:
+    p.add_argument(
+        "--no-compile-pipeline", action="store_true",
+        help="escape hatch: skip the staged compile pipeline and encode "
+             "raw preprocessed terms (slower; for debugging/benchmarks)",
+    )
 
 
 def _add_cfg_args(p: argparse.ArgumentParser) -> None:
@@ -341,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
     p.add_argument("--wce", action="store_true")
     _add_cfg_args(p)
+    _add_pipeline_arg(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("sweep", help="solution counts vs thresholds", parents=[obs])
@@ -349,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
     p.add_argument("--T", type=int, default=7)
     p.add_argument("--time-budget", type=float, default=None)
+    _add_pipeline_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("simulate", help="run CCAs on the simulator", parents=[obs])
@@ -358,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("assumption", help="weakest sufficient assumption", parents=[obs])
     p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
     _add_cfg_args(p)
+    _add_pipeline_arg(p)
     p.set_defaults(func=cmd_assumption)
 
     p = sub.add_parser("report", help="per-phase breakdown of a JSONL trace")
@@ -405,6 +417,15 @@ def _configure_observability(args, argv) -> list:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_compile_pipeline", False):
+        # set both the process override and the environment flag, so
+        # forked/spawned portfolio workers inherit the escape hatch
+        import os
+
+        from .smt.compile import ENV_FLAG, set_pipeline_enabled
+
+        os.environ[ENV_FLAG] = "1"
+        set_pipeline_enabled(False)
     tr = tracer()
     sinks = _configure_observability(args, argv)
     try:

@@ -93,34 +93,50 @@ class CcacVerifier:
         self.total_time = 0.0
         self._session: Optional[SolverSession] = None
         self._net: Optional[CcacModel] = None
+        self._base: Optional[tuple[Term, ...]] = None
+
+    def _ensure_net(self) -> tuple[CcacModel, tuple[Term, ...]]:
+        """The candidate-independent encoding, built once per verifier.
+
+        Terms are immutable and interned, so the same environment terms
+        are shared by every per-candidate solver; because the compile
+        memo (:mod:`repro.smt.compile`) keys on term identity, the
+        shared-environment compile work is done once, not per candidate.
+        """
+        if self._net is None:
+            self._net = CcacModel(self.cfg, prefix="v")
+            base = list(self._net.constraints())
+            base.append(negated_desired(self._net))
+            self._base = tuple(base)
+        return self._net, self._base
 
     def _ensure_session(self) -> tuple[SolverSession, CcacModel]:
         """The long-lived session holding the candidate-independent base."""
         if self._session is None:
-            self._net = CcacModel(self.cfg, prefix="v")
-            base = list(self._net.constraints())
-            base.append(negated_desired(self._net))
+            net, base = self._ensure_net()
             self._session = SolverSession(base, cache=self.cache)
         return self._session, self._net
 
     @contextmanager
     def _candidate_scope(self, candidate: CandidateCCA):
         """Yields ``(solver_like, net)`` with the full per-candidate
-        encoding asserted; incremental mode reuses the shared base."""
+        encoding asserted; incremental mode reuses the shared base.
+        Fresh mode asserts the shared base and the candidate delta as
+        separate batches so the base compile is memo-amortized."""
         if self.incremental:
             session, net = self._ensure_session()
             with session.scope(*candidate.constraints_for(net)):
                 yield session, net
         else:
-            net = CcacModel(self.cfg, prefix="v")
-            base = list(net.constraints())
-            base.extend(candidate.constraints_for(net))
-            base.append(negated_desired(net))
+            net, base = self._ensure_net()
             if self.cache is not None:
-                yield SolverSession(base, cache=self.cache), net
+                session = SolverSession(base, cache=self.cache)
+                session.add(*candidate.constraints_for(net))
+                yield session, net
             else:
                 solver = Solver()
                 solver.add(*base)
+                solver.add(*candidate.constraints_for(net))
                 yield solver, net
 
     @staticmethod

@@ -41,8 +41,11 @@ from ..smt.solver import Model, Result, sat, unsat
 from ..smt.terms import Bool, Real
 
 #: bump when the canonical serialization or the entry format changes;
-#: part of every key so stale disk entries can never be misread
-CACHE_VERSION = 1
+#: part of every key so stale disk entries can never be misread.
+#: v2: keys hash the *post-compile* assertion form (the simplified,
+#: atom-canonicalized formulas from :mod:`repro.smt.compile`), not the
+#: raw assertion set — see ``SolverSession.check``.
+CACHE_VERSION = 2
 
 
 def _encode_model(model: Model) -> dict:

@@ -13,7 +13,15 @@ shares *no search code* with the solver —
   vouch for itself.
 * :func:`validate_model` evaluates every *raw* asserted formula (before
   preprocessing) under the model's variable assignment; a single False
-  raises :class:`~repro.runtime.errors.SoundnessError`.
+  raises :class:`~repro.runtime.errors.SoundnessError`.  Because the
+  check runs on the raw formulas while the solver encodes the
+  *compiled* form (:mod:`repro.smt.compile`), it also soundness-checks
+  the compile pipeline itself: variables the pipeline eliminated appear
+  in the model via the reconstruction map
+  (:meth:`repro.smt.compile.CompiledQuery.reconstruct` — the solver
+  extends its models with the recorded definitions), so any unsound
+  simplification, inlining, or bounds fix shows up as a failed raw
+  evaluation here.
 * :func:`validate_counterexample` replays a trace against the CCAC
   environment constraints numerically, re-derives the candidate's cwnd
   trajectory from its coefficients, and confirms the trace actually

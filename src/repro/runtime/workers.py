@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import Any, Optional
 
 from ..obs import WARN, metrics, tracer
+from ..smt.terms import interned_scope
 from .errors import SoundnessError, WorkerError
 
 __all__ = [
@@ -90,7 +91,13 @@ def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
         except (ImportError, ValueError, OSError):
             pass  # platform without rlimits: watchdog still applies
     try:
-        result = fn(*args, **(kwargs or {}))
+        # Scope the term intern table: a forked child inherits the
+        # parent's interned terms, and verification builds large per-task
+        # DAGs on top.  The scope releases the task's term churn as soon
+        # as the work is done (results crossing the pipe are plain data,
+        # never Term objects, so nothing escapes the scope).
+        with interned_scope():
+            result = fn(*args, **(kwargs or {}))
         conn.send(("ok", result))
     except SoundnessError as exc:
         conn.send(("soundness", str(exc)))

@@ -4,6 +4,8 @@ This package replaces Z3 in the CCmatic reproduction (no solver wheel is
 available offline).  It provides:
 
 * a hash-consed term language (:mod:`repro.smt.terms`),
+* a staged compile pipeline — simplify → normalize → CNF — shared by
+  every consumer (:mod:`repro.smt.compile`, :mod:`repro.smt.rewrite`),
 * Tseitin CNF conversion (:mod:`repro.smt.cnf`),
 * a CDCL SAT core with theory hooks (:mod:`repro.smt.sat`),
 * an exact-arithmetic incremental Simplex for LRA
@@ -22,6 +24,15 @@ from .encodings import (
     exactly_one,
     select_product,
     selected_constant,
+)
+from .compile import (
+    CompiledQuery,
+    CompileOptions,
+    CompileStats,
+    compile_query,
+    pipeline_disabled,
+    pipeline_enabled,
+    set_pipeline_enabled,
 )
 from .errors import (
     BudgetExceededError,
@@ -55,19 +66,26 @@ from .terms import (
     Term,
     canonical_hash,
     canonical_key,
+    clear_interned,
     evaluate,
+    intern_stats,
+    interned_count,
+    interned_scope,
     substitute,
 )
 
 __all__ = [
     "Add", "And", "Bool", "BoolVal", "BudgetExceededError", "CheckOptions",
+    "CompileOptions", "CompileStats", "CompiledQuery",
     "Eq", "FALSE", "FreshBool", "FreshReal", "Iff", "Implies", "Ite",
     "MaxSatResult", "MaxSatSolver", "Model", "NonLinearError", "Not",
     "OptimizeResult", "Or", "Real", "RealVal", "Result", "SessionStats",
     "SmtError", "Solver", "SolverSession", "SortError", "Sum", "TRUE",
     "Term", "UnknownResultError", "at_most_one", "bool_indicator",
-    "canonical_hash", "canonical_key", "check_formulas", "encode_abs",
-    "encode_max", "encode_min", "evaluate", "exactly_one", "maximize",
-    "minimize", "sat", "select_product", "selected_constant", "substitute",
-    "unknown", "unsat",
+    "canonical_hash", "canonical_key", "check_formulas", "clear_interned",
+    "compile_query", "encode_abs", "encode_max", "encode_min", "evaluate",
+    "exactly_one", "intern_stats", "interned_count", "interned_scope",
+    "maximize", "minimize", "pipeline_disabled", "pipeline_enabled", "sat",
+    "select_product", "selected_constant", "set_pipeline_enabled",
+    "substitute", "unknown", "unsat",
 ]

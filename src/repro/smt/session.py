@@ -21,10 +21,12 @@ every pop (see :meth:`repro.smt.sat.SatSolver.simplify` and DESIGN.md,
 Sessions optionally consult a **content-addressed query cache** (any
 object with ``lookup(key)``/``store(key, result, model)``; see
 :class:`repro.engine.cache.QueryCache`).  The key is the canonical hash
-of the *active assertion set* (:func:`repro.smt.terms.canonical_hash`),
-so structurally identical queries — regardless of assertion order or
-term construction order — are answered without a solve.  ``unknown``
-results are never cached (they describe a budget, not the formula).
+(:func:`repro.smt.terms.canonical_hash`) of the active assertion set in
+its *post-compile* form (:meth:`repro.smt.solver.Solver.compiled_assertions`),
+so queries that differ only in assertion order, term construction order,
+folded structure, or atom spelling are answered without a solve.
+``unknown`` results are never cached (they describe a budget, not the
+formula).
 """
 
 from __future__ import annotations
@@ -87,8 +89,9 @@ class SolverSession:
         base: Iterable[Term] = (),
         *,
         cache: Optional[QueryCacheProtocol] = None,
+        compile_pipeline: Optional[bool] = None,
     ):
-        self.solver = Solver()
+        self.solver = Solver(compile_pipeline=compile_pipeline)
         self.cache = cache
         self.stats = SessionStats()
         self._cached: Optional[tuple[Result, Optional[Model]]] = None
@@ -154,7 +157,9 @@ class SolverSession:
         self.stats.checks += 1
         key = None
         if self.cache is not None:
-            key = canonical_hash(self.assertions())
+            # Key on the compiled form: semantically identical queries
+            # that differ pre-simplification share an entry.
+            key = canonical_hash(self.solver.compiled_assertions())
             hit = self.cache.lookup(key)
             if hit is not None:
                 self.stats.cache_hits += 1

@@ -29,10 +29,12 @@ from typing import Iterable, Optional, Union
 
 from ..obs import DEBUG, metrics, tracer
 from .cnf import TseitinEncoder
+from .compile import CompileOptions, compile_query, pipeline_enabled
 from .errors import UnknownResultError
+from .linarith import LinExpr
 from .preprocess import preprocess
 from .sat import SatSolver
-from .terms import Sort, Term, evaluate
+from .terms import Kind, Sort, Term, evaluate, interned_count, substitute
 from .theory import LraTheory
 
 
@@ -195,9 +197,22 @@ class SolverStats:
 
 
 class Solver:
-    """Incremental DPLL(T) solver for QF-LRA + booleans."""
+    """Incremental DPLL(T) solver for QF-LRA + booleans.
 
-    def __init__(self):
+    Assertions normally go through the staged compile pipeline
+    (:mod:`repro.smt.compile`) before hitting the CNF encoder; pass
+    ``compile_pipeline=False`` (or set the ``REPRO_NO_COMPILE_PIPELINE``
+    environment flag / CLI escape hatch) to encode raw preprocessed
+    terms instead.  :meth:`assertions` always returns the raw formulas
+    as asserted; :meth:`compiled_assertions` returns what was encoded.
+    """
+
+    def __init__(
+        self,
+        *,
+        compile_pipeline: Optional[bool] = None,
+        compile_options: Optional[CompileOptions] = None,
+    ):
         self.theory = LraTheory()
         self.sat_core = SatSolver(self.theory)
         self.encoder = TseitinEncoder(self.sat_core, self.theory)
@@ -206,25 +221,73 @@ class Solver:
         self._last_result: Optional[Result] = None
         self._model: Optional[Model] = None
         self.stats = SolverStats()
+        self._pipeline = (
+            pipeline_enabled() if compile_pipeline is None else compile_pipeline
+        )
+        self._compile_options = compile_options
+        #: compiled (encoded) formulas, one list per frame
+        self._compiled: list[list[Term]] = [[]]
+        #: eliminated var -> resolved defining term (never references
+        #: another eliminated var), for model reconstruction
+        self._elim: dict[Term, Term] = {}
+        self._elim_stack: list[dict[Term, Term]] = []
+        #: variables already present in the encoding; later delta
+        #: compiles must not eliminate them (soundness: ``add(x <= 2)``
+        #: then ``add(x == 3)`` has to constrain the *same* x).  Never
+        #: shrinks on pop — the encoder's literal cache outlives frames.
+        self._frozen: set[Term] = set()
 
     # -- assertions -----------------------------------------------------------
 
     def add(self, *formulas: Term) -> None:
         """Assert one or more boolean terms."""
         guard = self._frames[-1] if self._frames else None
-        for f in formulas:
-            self._assertions[-1].append(f)
-            self.encoder.assert_formula(preprocess(f), guard)
         self._last_result = None
+        if not self._pipeline:
+            for f in formulas:
+                self._assertions[-1].append(f)
+                self.encoder.assert_formula(preprocess(f), guard)
+            return
+        # Delta compile: earlier eliminations are substituted into the
+        # incoming formulas first, so a query never mentions a variable
+        # that no longer exists in the encoding.
+        inputs = tuple(
+            substitute(f, self._elim) if self._elim else f for f in formulas
+        )
+        compiled = compile_query(
+            inputs, options=self._compile_options, frozen=self._frozen
+        )
+        self._assertions[-1].extend(formulas)
+        self._compiled[-1].extend(compiled.formulas)
+        for f in compiled.formulas:
+            self.encoder.assert_formula(f, guard)
+            for node in f.iter_dag():
+                if node.kind is Kind.VAR:
+                    self._frozen.add(node)
+        if compiled.eliminated:
+            new = dict(compiled.eliminated)
+            for v in list(self._elim):
+                self._elim[v] = substitute(self._elim[v], new)
+            self._elim.update(new)
 
     def assertions(self) -> list[Term]:
-        """All currently active assertions (across frames)."""
+        """All currently active assertions (across frames), as asserted."""
         return [f for frame in self._assertions for f in frame]
+
+    def compiled_assertions(self) -> list[Term]:
+        """The active *compiled* formulas — the post-pipeline form that
+        was actually encoded (equals :meth:`assertions` when the
+        pipeline is off).  This is what cache keys hash."""
+        if not self._pipeline:
+            return self.assertions()
+        return [f for frame in self._compiled for f in frame]
 
     def push(self) -> None:
         """Open a new assertion frame."""
         self._frames.append(self.sat_core.new_var())
         self._assertions.append([])
+        self._compiled.append([])
+        self._elim_stack.append(dict(self._elim))
 
     def pop(self) -> None:
         """Discard the most recent frame and its assertions.
@@ -240,6 +303,9 @@ class Solver:
             raise IndexError("pop without matching push")
         guard = self._frames.pop()
         self._assertions.pop()
+        self._compiled.pop()
+        if self._elim_stack:
+            self._elim = self._elim_stack.pop()
         self.sat_core.add_clause([-guard])
         self.sat_core.simplify()
         self._last_result = None
@@ -338,6 +404,7 @@ class Solver:
             reg.counter("smt.restarts").inc(st.last_check_restarts)
             reg.counter("smt.pivots").inc(st.last_check_pivots)
             reg.gauge("smt.clauses").set(len(core.clauses))
+            reg.gauge("smt.terms.interned").set(interned_count())
             reg.histogram("smt.check_time").observe(elapsed)
 
         if outcome is None:
@@ -371,6 +438,16 @@ class Solver:
             term: self.theory.model_value(term)
             for term in self.theory.var_of_term
         }
+        # Reconstruct variables the compile pipeline eliminated, so the
+        # model satisfies the *raw* assertions too (runtime.validate
+        # replays those).  Definitions are resolved — they reference only
+        # surviving variables — so one linear evaluation each suffices.
+        for var, defn in self._elim.items():
+            expr = LinExpr.from_term(defn)
+            value = expr.const
+            for v, c in expr.coeffs.items():
+                value += c * reals.get(v, Fraction(0))
+            reals[var] = value
         return Model(bools, reals)
 
     def model(self) -> Model:

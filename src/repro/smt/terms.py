@@ -73,6 +73,9 @@ class Term:
     __slots__ = ("kind", "sort", "args", "name", "value", "_hash")
 
     _table: dict = {}
+    #: intern-table accounting (exported via :func:`intern_stats`)
+    _hits: int = 0
+    _misses: int = 0
 
     def __new__(
         cls,
@@ -85,7 +88,9 @@ class Term:
         key = (kind, sort, tuple(id(a) for a in args), name, value)
         cached = cls._table.get(key)
         if cached is not None:
+            cls._hits += 1
             return cached
+        cls._misses += 1
         self = object.__new__(cls)
         self.kind = kind
         self.sort = sort
@@ -503,9 +508,11 @@ def _rebuild(t: Term, args: tuple[Term, ...]) -> Term:
 #: change a query's cache key
 _COMMUTATIVE_KINDS = frozenset({Kind.AND, Kind.OR, Kind.ADD, Kind.IFF, Kind.EQ})
 
-#: id(term) -> canonical serialization.  Terms are interned for the life
-#: of the process (``Term._table`` holds strong references), so ids are
-#: stable and this memo can never alias two distinct terms.
+#: id(term) -> canonical serialization.  Terms are interned for as long
+#: as the intern table holds them (``Term._table`` keeps strong
+#: references), so ids are stable and this memo can never alias two
+#: distinct terms; :func:`clear_interned` / :func:`interned_scope` clear
+#: or restore it in lockstep with the table.
 _canonical_memo: dict[int, str] = {}
 
 
@@ -569,6 +576,102 @@ def canonical_hash(terms: Iterable[Term]) -> str:
         h.update(k.encode("utf-8"))
         h.update(b"\n")
     return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Intern-table management
+# ---------------------------------------------------------------------------
+#
+# ``Term._table`` holds a strong reference to every term ever built, so a
+# long-lived process (portfolio runs, incremental sessions, sweeps) grows
+# monotonically.  The hooks below make that growth observable
+# (:func:`intern_stats`) and reclaimable at *quiescent points* —
+# moments where no live ``Solver``/``TseitinEncoder``/compile memo still
+# relies on term identity, e.g. the start of an isolated engine worker or
+# the boundary between independent synthesis runs.
+
+#: callbacks invoked whenever the intern table is cleared or restored, so
+#: id-keyed side caches (the canonical-key memo here, the compile memo in
+#: :mod:`repro.smt.compile`) can drop entries that may alias recycled ids
+_intern_listeners: list = []
+
+
+def register_intern_listener(callback) -> None:
+    """Register a zero-arg callback run on :func:`clear_interned` /
+    :func:`interned_scope` restore (for invalidating id-keyed caches)."""
+    _intern_listeners.append(callback)
+
+
+def _notify_intern_listeners() -> None:
+    for cb in _intern_listeners:
+        cb()
+
+
+def interned_count() -> int:
+    """Number of live interned terms."""
+    return len(Term._table)
+
+
+def intern_stats() -> dict:
+    """Intern-table accounting: size plus cumulative hit/miss counts."""
+    return {
+        "interned": len(Term._table),
+        "hits": Term._hits,
+        "misses": Term._misses,
+    }
+
+
+def clear_interned() -> int:
+    """Drop every interned term except the ``TRUE``/``FALSE`` singletons.
+
+    Returns the number of entries dropped.  **Only safe at quiescent
+    points**: terms created before the clear stay valid Python objects,
+    but a structurally identical term built afterwards is a *new* object,
+    so ``is``-identity (and any id-keyed cache) across the boundary is
+    meaningless.  Do not call while a ``Solver``, ``SolverSession``, or
+    ``CompiledQuery`` you intend to keep using is alive.
+    """
+    dropped = len(Term._table)
+    Term._table.clear()
+    _canonical_memo.clear()
+    for t in (TRUE, FALSE):
+        # re-register the module-level singletons: builders compare
+        # against them with ``is``, so they must stay the interned copy
+        Term._table[(t.kind, t.sort, (), t.name, t.value)] = t
+        dropped -= 1
+    _notify_intern_listeners()
+    return dropped
+
+
+class _InternedScope:
+    """Context manager: bound intern-table growth to a scope.
+
+    On exit the table (and the canonical-key memo) is restored to its
+    entry snapshot, so every term created inside the scope becomes
+    collectable.  Pre-existing terms keep their identity throughout.
+    Used by engine workers (:mod:`repro.runtime.workers`) so one
+    worker's term churn cannot grow the table for the rest of the run.
+    Terms created inside the scope must not outlive it.
+    """
+
+    def __enter__(self):
+        self._table = dict(Term._table)
+        self._memo = dict(_canonical_memo)
+        return self
+
+    def __exit__(self, *exc):
+        Term._table.clear()
+        Term._table.update(self._table)
+        _canonical_memo.clear()
+        _canonical_memo.update(self._memo)
+        _notify_intern_listeners()
+        return False
+
+
+def interned_scope() -> _InternedScope:
+    """Scope whose term allocations are released on exit (see
+    :class:`_InternedScope` for the safety contract)."""
+    return _InternedScope()
 
 
 def evaluate(term: Term, env: Mapping[Term, object]):

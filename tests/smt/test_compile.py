@@ -1,0 +1,264 @@
+"""Unit tests for the staged compile pipeline (repro.smt.compile)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.runtime.validate import validate_model
+from repro.smt import (
+    And,
+    Bool,
+    FALSE,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Solver,
+    SolverSession,
+    canonical_hash,
+    compile_query,
+    pipeline_disabled,
+    pipeline_enabled,
+    sat,
+    set_pipeline_enabled,
+    unsat,
+)
+from repro.smt.compile import CompileOptions
+from repro.smt.rewrite import aux_ite_name, simplify
+from repro.smt.terms import intern_stats, interned_count, interned_scope
+
+x, y, z = Real("cx"), Real("cy"), Real("cz")
+p, q = Bool("cp"), Bool("cq")
+
+
+class TestRewrite:
+    def test_duplicate_conjuncts_collapse(self):
+        f = And(x <= 1, x <= 1, p)
+        assert simplify(f) is And(x <= 1, p)
+
+    def test_complementary_literals_fold(self):
+        assert simplify(And(p, Not(p))) is FALSE
+        assert simplify(Or(p, Not(p))) is simplify(Not(FALSE))
+
+    def test_absorption(self):
+        assert simplify(And(p, Or(p, q))) is p
+        assert simplify(Or(p, And(p, q))) is p
+
+    def test_reflexive_atoms(self):
+        assert simplify(And(x <= x, p)) is p
+        assert simplify(Or(x < x, q)) is q
+
+
+class TestCompile:
+    def test_atom_sharing_across_spellings(self):
+        # x <= y, 0 <= y - x, and 2x - 2y <= 0 are one half-space
+        cq = compile_query((x <= y, RealVal(0) <= y - x, 2 * x - 2 * y <= 0))
+        assert len(cq.formulas) == 1
+        assert len(cq.atom_table()) == 1
+
+    def test_post_simplification_keys_agree(self):
+        a = compile_query((x <= y, p))
+        b = compile_query((RealVal(0) <= y - x, p))
+        assert a.key == b.key
+        # ... while the raw assertion sets hash differently
+        assert canonical_hash([x <= y, p]) != canonical_hash(
+            [RealVal(0) <= y - x, p]
+        )
+
+    def test_definition_inlining_and_reconstruction(self):
+        cq = compile_query((x.eq(y + 1), y.eq(2), x + z <= 10))
+        assert dict(cq.eliminated) == {x: RealVal(3), y: RealVal(2)}
+        assert cq.formulas == (z <= 7,)
+        values = cq.reconstruct({z: Fraction(1)})
+        assert values[x] == 3 and values[y] == 2
+
+    def test_bounds_conflict_is_false(self):
+        cq = compile_query((x <= 2, x >= 3))
+        assert cq.is_false()
+
+    def test_bounds_point_fix_eliminates(self):
+        cq = compile_query((x <= 2, x >= 2, x + y <= 5))
+        assert dict(cq.eliminated) == {x: RealVal(2)}
+        assert cq.formulas == (y <= 3,)
+
+    def test_redundant_bounds_pruned(self):
+        cq = compile_query((x <= 5, x <= 3, x <= 7, x >= 0, x >= -2))
+        # only the tightest upper and lower bound survive
+        assert len(cq.atom_table()) == 2
+
+    def test_ite_lifting_is_deterministic(self):
+        ite = Ite(p, x, y)
+        f = ite <= 3
+        name = aux_ite_name(ite)
+        assert name.startswith("ite@")
+        a = compile_query((f,))
+        b = compile_query((f, p))  # different input tuple, no memo hit
+        names_a = {t.name for fm in a.formulas for t in fm.iter_dag() if t.is_var()}
+        names_b = {t.name for fm in b.formulas for t in fm.iter_dag() if t.is_var()}
+        assert name in names_a and name in names_b
+
+    def test_frozen_variable_is_pinned_not_eliminated(self):
+        cq = compile_query((x.eq(3), x + y <= 5), frozen=[x])
+        assert cq.eliminated == ()
+        # x is still constrained in the output (the pin)
+        vars_out = {t for f in cq.formulas for t in f.iter_dag() if t.is_var()}
+        assert x in vars_out
+
+    def test_memo_returns_same_object(self):
+        fs = (x <= y, y <= z)
+        assert compile_query(fs) is compile_query(fs)
+
+    def test_compile_idempotent(self):
+        cq = compile_query((x.eq(y + 1), Or(p, x <= 2), y >= 0))
+        again = compile_query(cq.formulas)
+        assert again.formulas == cq.formulas
+        assert again.eliminated == ()
+
+    def test_stats_shrink(self):
+        cq = compile_query((x.eq(y), y.eq(2), x <= 5, x <= 7))
+        st = cq.stats
+        assert st.nodes_after < st.nodes_before
+        assert st.atoms_after < st.atoms_before
+        assert st.vars_eliminated == 2
+
+    def test_options_disable_stages(self):
+        opts = CompileOptions(inline_defs=False, propagate_bounds=False)
+        cq = compile_query((x.eq(2), x + y <= 5), options=opts)
+        assert cq.eliminated == ()
+
+
+class TestSolverIntegration:
+    def test_delta_add_cannot_unsoundly_eliminate(self):
+        # x is encoded by the first add; the second must constrain the
+        # same x, not substitute it away
+        s = Solver()
+        s.add(x <= 2)
+        s.add(x.eq(3))
+        assert s.check() is unsat
+
+    def test_delta_add_reverse_order(self):
+        s = Solver()
+        s.add(x.eq(3))  # x eliminated here
+        s.add(x <= 2)  # rewritten through the elimination map -> 3 <= 2
+        assert s.check() is unsat
+
+    def test_model_reconstructs_eliminated_vars(self):
+        s = Solver()
+        s.add(x.eq(y + 1), y.eq(2), x + z <= 10)
+        assert s.check() is sat
+        m = s.model()
+        assert m.value(x) == 3 and m.value(y) == 2
+        # the raw (pre-compile) assertions hold under the model
+        validate_model(s.assertions(), m, context="test")
+
+    def test_push_pop_restores_eliminations(self):
+        s = Solver()
+        s.add(y <= 10)
+        s.push()
+        s.add(y.eq(20))
+        assert s.check() is unsat
+        s.pop()
+        s.add(y >= 0)
+        assert s.check() is sat
+
+    def test_compiled_assertions_differ_from_raw(self):
+        s = Solver()
+        s.add(x.eq(2), x + y <= 5)
+        assert s.assertions() == [x.eq(2), x + y <= 5]
+        assert s.compiled_assertions() == [y <= 3]
+
+    def test_raw_path_unchanged(self):
+        s = Solver(compile_pipeline=False)
+        s.add(x.eq(2), x + y <= 5)
+        assert s.compiled_assertions() == s.assertions()
+        assert s.check() is sat
+
+    def test_bool_structure_parity(self):
+        fs = (Or(p, x <= 1), Implies(p, y >= 2), Iff(q, Not(p)), y + x <= 4)
+        a = Solver()
+        a.add(*fs)
+        b = Solver(compile_pipeline=False)
+        b.add(*fs)
+        assert a.check() is b.check()
+
+    def test_false_detection_skips_search(self):
+        s = Solver()
+        s.add(x <= 1, x >= 2)
+        assert s.check() is unsat
+
+
+class _DictCache:
+    def __init__(self):
+        self.store_ = {}
+        self.lookups = 0
+
+    def lookup(self, key):
+        self.lookups += 1
+        return self.store_.get(key)
+
+    def store(self, key, result, model):
+        self.store_[key] = (result, model)
+
+
+class TestSessionCacheKeys:
+    def test_semantically_equal_queries_share_entry(self):
+        cache = _DictCache()
+        s1 = SolverSession([x <= y, p], cache=cache)
+        assert s1.check() is sat
+        # different spelling of the same half-space: cache hit
+        s2 = SolverSession([RealVal(0) <= y - x, p], cache=cache)
+        assert s2.check() is sat
+        assert s2.stats.cache_hits == 1
+        assert s2.stats.solved == 0
+
+    def test_scope_keys_are_per_delta(self):
+        cache = _DictCache()
+        sess = SolverSession([y >= 0], cache=cache)
+        with sess.scope(y <= 5):
+            assert sess.check() is sat
+        with sess.scope(y <= 5):
+            assert sess.check() is sat
+        assert sess.stats.cache_hits == 1
+
+
+class TestPipelineSwitch:
+    def test_context_manager(self):
+        assert pipeline_enabled()
+        with pipeline_disabled():
+            assert not pipeline_enabled()
+            s = Solver()
+            assert s._pipeline is False
+        assert pipeline_enabled()
+
+    def test_set_override_roundtrip(self):
+        set_pipeline_enabled(False)
+        try:
+            assert not pipeline_enabled()
+        finally:
+            set_pipeline_enabled(None)
+        assert pipeline_enabled()
+
+
+class TestInternManagement:
+    def test_stats_shape(self):
+        st = intern_stats()
+        assert set(st) == {"interned", "hits", "misses"}
+        assert st["interned"] == interned_count() > 0
+
+    def test_scope_releases_terms(self):
+        before = interned_count()
+        with interned_scope():
+            for i in range(50):
+                Real(f"scoped_{i}") <= i
+            assert interned_count() > before
+        assert interned_count() == before
+
+    def test_solving_inside_scope(self):
+        with interned_scope():
+            s = Solver()
+            a, b = Real("scope_a"), Real("scope_b")
+            s.add(a.eq(b + 1), b >= 0)
+            assert s.check() is sat

@@ -1,0 +1,23 @@
+"""Differential fuzz of the compile pipeline (pytest wrapper around
+scripts/smt_fuzz.py).  Deselect with ``-m 'not fuzz'``."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "smt_fuzz.py"
+_spec = importlib.util.spec_from_file_location("smt_fuzz", _SCRIPT)
+smt_fuzz = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(smt_fuzz)
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.mark.parametrize("seed", [11, 1300, 777000])
+def test_compiled_vs_raw_parity(seed):
+    assert smt_fuzz.run(n=40, seed=seed, depth=3) == 0
+
+
+def test_deeper_formulas():
+    assert smt_fuzz.run(n=15, seed=424242, depth=4) == 0

@@ -2,7 +2,9 @@
 
 import time
 
-from repro.smt import Real, Solver, sat, unknown, unsat
+import pytest
+
+from repro.smt import CheckOptions, Real, Solver, sat, unknown, unsat
 
 
 def _hard_instance(solver: Solver, n: int = 9, prefix: str = "ph") -> None:
@@ -64,15 +66,24 @@ class TestDeadline:
     def test_expired_deadline_returns_unknown(self):
         s = Solver()
         _hard_instance(s, n=8, prefix="dl1")
-        assert s.check(deadline=time.perf_counter()) is unknown
+        assert s.check(CheckOptions(deadline=time.perf_counter())) is unknown
 
     def test_generous_deadline_solves(self):
         s = Solver()
         x = Real("dl_easy")
         s.add(x >= 1)
-        assert s.check(deadline=time.perf_counter() + 60.0) is sat
+        assert s.check(CheckOptions(deadline=time.perf_counter() + 60.0)) is sat
 
     def test_max_conflicts_still_works(self):
         s = Solver()
         _hard_instance(s, n=8, prefix="dl2")
-        assert s.check(max_conflicts=1) is unknown
+        assert s.check(CheckOptions(max_conflicts=1)) is unknown
+
+    def test_legacy_kwargs_warn_but_work(self):
+        # the deprecated shim stays functional for external callers —
+        # but it must warn, and repro-internal use is an error (see
+        # filterwarnings in pyproject.toml)
+        s = Solver()
+        _hard_instance(s, n=8, prefix="dl3")
+        with pytest.warns(DeprecationWarning):
+            assert s.check(max_conflicts=1) is unknown

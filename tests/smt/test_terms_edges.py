@@ -1,0 +1,155 @@
+"""Edge cases of substitute / canonical_key / evaluate that the compile
+pipeline leans on (satellite of the compile-pipeline refactor)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    And,
+    Bool,
+    Ite,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    canonical_key,
+    evaluate,
+    substitute,
+)
+from repro.smt.linarith import LinExpr, normalize_atom
+from repro.smt.terms import Kind, Mul, Neg
+
+x, y, z = Real("ex"), Real("ey"), Real("ez")
+p, q = Bool("ep"), Bool("eq")
+
+
+class TestSubstitute:
+    def test_nested_real_ite(self):
+        f = Ite(p, Ite(q, x, y), z) <= 3
+        g = substitute(f, {x: RealVal(1), z: y})
+        assert g is (Ite(p, Ite(q, RealVal(1), y), y) <= 3)
+
+    def test_bool_ite_branches(self):
+        f = Ite(p, q, Not(q))
+        g = substitute(f, {q: p})
+        # then-branch collapses: Ite(p, p, not p)
+        assert g is Ite(p, p, Not(p))
+
+    def test_substitute_under_scale_keeps_coefficient(self):
+        f = 3 * x + y <= 10
+        g = substitute(f, {x: z})
+        assert g is (3 * z + y <= 10)
+
+    def test_substitute_rebuilds_through_folding(self):
+        # substituting a constant lets the builders fold the atom away
+        f = x <= RealVal(5)
+        g = substitute(f, {x: RealVal(3)})
+        assert g.kind is Kind.CONST and g.value is True
+
+    def test_simultaneous_not_sequential(self):
+        # x -> y and y -> x swap, not chain
+        f = x + 2 * y <= 0
+        g = substitute(f, {x: y, y: x})
+        assert g is (y + 2 * x <= 0)
+
+
+class TestCanonicalKey:
+    def test_nary_flattening_same_key(self):
+        nested = And(p, And(q, x <= 1))
+        flat = And(p, q, x <= 1)
+        assert nested is flat  # builder flattens
+        assert canonical_key(nested) == canonical_key(flat)
+
+    def test_commutative_order_insensitive(self):
+        assert canonical_key(And(p, q)) == canonical_key(And(q, p))
+        assert canonical_key(x + y) == canonical_key(y + x)
+        assert canonical_key(Or(p, q)) == canonical_key(Or(q, p))
+
+    def test_noncommutative_order_sensitive(self):
+        assert canonical_key(x <= y) != canonical_key(y <= x)
+        assert canonical_key(x < y) != canonical_key(x <= y)
+
+    def test_scale_coefficient_in_key(self):
+        assert canonical_key(2 * x) != canonical_key(3 * x)
+        # Neg(Scale(2, x)) and Scale(-2, x) are structurally distinct —
+        # canonical_key is injective on structure; it is linarith (and
+        # hence the pipeline's atom canonicalization) that unifies them
+        assert canonical_key(Neg(Mul(2, x))) != canonical_key(Mul(-2, x))
+        assert LinExpr.from_term(Neg(Mul(2, x))).coeffs == LinExpr.from_term(
+            Mul(-2, x)
+        ).coeffs
+        assert normalize_atom(Neg(Mul(2, x)) <= y) == normalize_atom(Mul(-2, x) <= y)
+
+    def test_exact_rational_values(self):
+        assert canonical_key(RealVal(Fraction(1, 3))) != canonical_key(
+            RealVal(Fraction(1, 2))
+        )
+
+
+class TestEvaluate:
+    def test_nested_real_and_bool_ite(self):
+        f = Ite(p, Ite(q, x, y), z)
+        env = {p: True, q: False, x: 1, y: 7, z: 9}
+        assert evaluate(f, env) == 7
+        g = Ite(Ite(p, q, Not(q)), x, y)
+        assert evaluate(g, {p: False, q: False, x: 2, y: 5}) == 2
+
+    def test_neg_of_scale(self):
+        f = Neg(Mul(3, x))
+        assert f.kind is Kind.NEG
+        assert evaluate(f, {x: Fraction(2)}) == -6
+        # linarith agrees
+        assert LinExpr.from_term(f).coeffs == {x: Fraction(-3)}
+
+    def test_nonlinear_scale_product(self):
+        f = Mul(x, y)  # structurally allowed, value=None
+        assert f.value is None
+        assert evaluate(f, {x: Fraction(3), y: Fraction(4)}) == 12
+
+    def test_nary_and_or(self):
+        f = And(p, q, x <= 1)
+        assert evaluate(f, {p: True, q: True, x: 0}) is True
+        assert evaluate(f, {p: True, q: False, x: 0}) is False
+        g = Or(p, q, x <= 1)
+        assert evaluate(g, {p: False, q: False, x: 5}) is False
+
+
+class TestAtomNormalization:
+    def test_strict_vs_nonstrict(self):
+        le = normalize_atom(x <= y)
+        lt = normalize_atom(x < y)
+        assert le.strict is False and lt.strict is True
+        assert le.expr == lt.expr and le.bound == lt.bound
+
+    def test_ge_gt_are_lower_atoms(self):
+        ge = normalize_atom(x >= 3)  # builder rewrites to 3 <= x
+        assert ge.upper is False and ge.bound == 3
+        assert ge == normalize_atom(RealVal(3) <= x)
+        gt = normalize_atom(x > 3)
+        assert gt.upper is False and gt.strict is True
+
+    def test_negative_lead_coefficient_flips_direction(self):
+        # -x <= -3  normalizes to  x >= 3  (lower atom, lead coeff +1)
+        atom = normalize_atom(Neg(x) <= RealVal(-3))
+        assert atom.upper is False
+        assert atom.bound == 3
+        assert atom.expr == ((x, Fraction(1)),)
+
+    def test_scaled_spellings_share_atom(self):
+        a = normalize_atom(2 * x + 2 * y <= 6)
+        b = normalize_atom(x + y <= 3)
+        assert a == b
+
+    def test_negate_roundtrip(self):
+        a = normalize_atom(x < y)
+        assert a.negate().negate() == a
+        assert a.negate().strict is False
+        assert a.negate().upper is not a.upper
+
+    def test_holds_strictness(self):
+        a = normalize_atom(x < RealVal(2))
+        assert a.holds({x: Fraction(1)})
+        assert not a.holds({x: Fraction(2)})
+        b = normalize_atom(x <= RealVal(2))
+        assert b.holds({x: Fraction(2)})
