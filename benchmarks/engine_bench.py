@@ -195,6 +195,45 @@ def bench_incremental(cfg: ModelConfig, candidates: list) -> dict:
     }
 
 
+def bench_proof(cfg: ModelConfig, candidates: list) -> dict:
+    """Proof-mode overhead: the same verification workload with and
+    without certified UNSAT verdicts (DRAT + Farkas production plus the
+    independent check; see :mod:`repro.trust`).  Gates on identical
+    verdicts, every verified verdict certified, and <= 2.5x overhead."""
+    plain = CcacVerifier(cfg)
+    t0 = time.perf_counter()
+    plain_verdicts = [plain.find_counterexample(c).verified for c in candidates]
+    plain_s = time.perf_counter() - t0
+
+    certified = CcacVerifier(cfg, certify=True)
+    t0 = time.perf_counter()
+    results = [certified.find_counterexample(c) for c in candidates]
+    certify_s = time.perf_counter() - t0
+    certify_verdicts = [r.verified for r in results]
+
+    all_certified = all(r.certified for r in results if r.verified)
+    proof_steps = [r.certificate.steps for r in results if r.certified]
+    check_s = sum(r.certificate.check_time for r in results if r.certified)
+    overhead = certify_s / plain_s if plain_s > 0 else float("inf")
+    return {
+        "queries": len(candidates),
+        "plain_s": round(plain_s, 4),
+        "certify_s": round(certify_s, 4),
+        "overhead": round(overhead, 2),
+        "check_s": round(check_s, 4),
+        "verified": sum(plain_verdicts),
+        "certified": certified.certified,
+        "proof_steps": proof_steps,
+        "verdicts_identical": plain_verdicts == certify_verdicts,
+        # gates: verdict parity, no uncertified "verified", bounded cost
+        "ok": (
+            plain_verdicts == certify_verdicts
+            and all_certified
+            and overhead <= 2.5
+        ),
+    }
+
+
 def bench_portfolio(cfg: ModelConfig, budget: float) -> dict:
     """jobs=1 vs jobs=4 on one synthesis query: identical verdicts."""
     spec = table1_spaces()["no_cwnd_small"]
@@ -291,6 +330,12 @@ def main(argv=None) -> int:
           f"speedup={i['speedup']}x identical={i['verdicts_identical']}  "
           f"[{'ok' if i['ok'] else 'FAIL'}]")
 
+    report["proof"] = bench_proof(cfg, candidates)
+    pr = report["proof"]
+    print(f"  proof:       plain={pr['plain_s']}s certify={pr['certify_s']}s "
+          f"overhead={pr['overhead']}x certified={pr['certified']}/{pr['verified']}  "
+          f"[{'ok' if pr['ok'] else 'FAIL'}]")
+
     report["portfolio"] = bench_portfolio(cfg, budget)
     p = report["portfolio"]
     print(f"  portfolio:   jobs1={p['jobs_1']['wall_s']}s "
@@ -298,7 +343,8 @@ def main(argv=None) -> int:
           f"[{'ok' if p['ok'] else 'FAIL'}]")
 
     report["ok"] = all(
-        report[k]["ok"] for k in ("compile", "cache", "incremental", "portfolio")
+        report[k]["ok"]
+        for k in ("compile", "cache", "incremental", "proof", "portfolio")
     )
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)

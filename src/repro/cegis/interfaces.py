@@ -200,6 +200,9 @@ class CegisStats:
     verifier_calls: int = 0
     #: portfolio checks cancelled after a round's winner finished
     cancelled_checks: int = 0
+    #: verified verdicts whose UNSAT proof was independently checked
+    #: (see :mod:`repro.trust`; nonzero only under ``certify`` runs)
+    certified_verdicts: int = 0
 
     @property
     def total_time(self) -> float:

@@ -161,6 +161,8 @@ class CegisLoop:
 
             if result.verified:
                 outcome.solutions.append(candidate)
+                if getattr(result, "certified", False):
+                    stats.certified_verdicts += 1
                 tr.event(
                     "cegis.solution",
                     iter=stats.iterations,
@@ -259,6 +261,7 @@ class CegisLoop:
         stats.verifier_time = float(st.get("verifier_time", 0.0))
         stats.verifier_calls = int(st.get("verifier_calls", 0))
         stats.cancelled_checks = int(st.get("cancelled_checks", 0))
+        stats.certified_verdicts = int(st.get("certified_verdicts", 0))
         tr.event(
             "cegis.resume",
             iterations=stats.iterations,

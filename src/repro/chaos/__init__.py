@@ -1,0 +1,38 @@
+"""repro.chaos: deterministic fault injection and recovery policies.
+
+The chaos harness answers "does a kill/corruption/ENOSPC at *this*
+moment lose work or produce a wrong answer?" with a replayable
+experiment: arm a :class:`ChaosConfig` (a seed plus fault specs), run
+the normal synthesis entry points, and assert the run still converges
+to a correct — in proof mode, *certified* — result.
+
+See ``scripts/chaos_smoke.py`` for the end-to-end smoke and
+``tests/chaos/`` for the targeted crash-consistency tests.
+"""
+
+from .faults import (
+    ENV_VAR,
+    ChaosConfig,
+    FaultInjector,
+    FaultSpec,
+    chaos_point,
+    current_injector,
+    install,
+    maybe_install_from_env,
+    uninstall,
+)
+from .supervisor import full_jitter_backoff, quarantine_file
+
+__all__ = [
+    "ENV_VAR",
+    "ChaosConfig",
+    "FaultInjector",
+    "FaultSpec",
+    "chaos_point",
+    "current_injector",
+    "full_jitter_backoff",
+    "install",
+    "maybe_install_from_env",
+    "quarantine_file",
+    "uninstall",
+]

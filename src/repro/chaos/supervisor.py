@@ -1,0 +1,62 @@
+"""Recovery policies the runtime uses when faults (injected or real) land.
+
+Two primitives:
+
+* :func:`full_jitter_backoff` — the AWS "full jitter" schedule:
+  ``uniform(0, min(cap, base * 2**attempt))``.  Retrying workers sleep
+  this long so a burst of kills (one bad query fanned out to a
+  portfolio) does not stampede back in lockstep.
+* :func:`quarantine_file` — move a corrupt artifact (cache entry,
+  checkpoint) into a ``quarantine/`` sibling directory instead of
+  deleting it, so the evidence survives for post-mortem while the hot
+  path never trips over it again.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from random import Random
+from typing import Optional
+
+from ..obs import WARN, metrics, tracer
+
+
+def full_jitter_backoff(
+    base: float, attempt: int, cap: float = 30.0, rng: Optional[Random] = None
+) -> float:
+    """Sleep duration before retry ``attempt`` (0-based), full jitter."""
+    ceiling = min(cap, base * (2 ** attempt))
+    if ceiling <= 0:
+        return 0.0
+    if rng is None:
+        rng = Random()
+    return rng.uniform(0.0, ceiling)
+
+
+def quarantine_file(path: str, quarantine_dir: str, reason: str) -> Optional[str]:
+    """Move ``path`` into ``quarantine_dir``; returns the new path.
+
+    Best-effort: returns None (and the caller carries on) when the move
+    itself fails — a quarantine must never crash the run it protects.
+    """
+    try:
+        os.makedirs(quarantine_dir, exist_ok=True)
+        dest = os.path.join(quarantine_dir, os.path.basename(path))
+        if os.path.exists(dest):
+            dest = f"{dest}.{int(time.time() * 1000)}"
+        os.replace(path, dest)
+    except OSError:
+        return None
+    metrics().counter("chaos.quarantined").inc()
+    tr = tracer()
+    if tr.enabled:
+        tr.event(
+            "chaos.quarantine",
+            level=WARN,
+            msg=f"[chaos] quarantined {os.path.basename(path)}: {reason}",
+            path=path,
+            dest=dest,
+            reason=reason,
+        )
+    return dest

@@ -10,7 +10,11 @@ Commands:
   assumption for a CCA;
 * ``report``     — per-phase breakdown of a JSONL trace;
 * ``resume``     — continue a synthesis run from its ``--checkpoint``
-  file after a crash or kill.
+  file after a crash or kill (``--from-backup`` recovers from a
+  corrupt latest checkpoint);
+* ``certify``    — verify named CCAs with proof production on: every
+  UNSAT verdict carries a DRAT+Farkas certificate replayed by the
+  independent checker (:mod:`repro.trust`).
 
 ``synthesize`` runs under the fault-tolerant runtime
 (:mod:`repro.runtime`): ``--checkpoint`` persists crash-safe state every
@@ -120,6 +124,12 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         "--cross-check", action="store_true",
         help="advisory: replay each solution on the discrete simulator",
     )
+    g.add_argument(
+        "--certify", action="store_true",
+        help="produce and independently check an UNSAT proof for every "
+             "verified verdict (DRAT + Farkas certificates; see "
+             "`ccmatic certify` for the standalone workload)",
+    )
     g = p.add_argument_group("performance")
     g.add_argument(
         "--jobs", type=_positive_int, default=None, metavar="N",
@@ -169,6 +179,7 @@ def _runtime_options(args):
         cross_check=getattr(args, "cross_check", False),
         cache_dir=getattr(args, "cache_dir", None),
         incremental=getattr(args, "incremental", False),
+        certify=getattr(args, "certify", False),
     )
 
 
@@ -182,6 +193,9 @@ def _print_synthesis_result(result, cfg) -> int:
     if result.degradations:
         kinds = ", ".join(sorted({d.get("kind", "?") for d in result.degradations}))
         print(f"degraded: {len(result.degradations)} event(s) [{kinds}]")
+    if result.certified_verdicts:
+        print(f"certified: {result.certified_verdicts} verified verdict(s) "
+              f"carry independently checked UNSAT proofs")
     if not result.solutions:
         print("no solution found")
         return 1
@@ -216,6 +230,8 @@ def cmd_synthesize(args) -> int:
 
 
 def cmd_resume(args) -> int:
+    import os
+
     from .runtime import CheckpointError, resume_synthesis
 
     try:
@@ -225,24 +241,69 @@ def cmd_resume(args) -> int:
             time_budget=args.time_budget,
             max_iterations=args.max_iterations,
             jobs=args.jobs,
+            from_backup=args.from_backup,
         )
     except CheckpointError as exc:
-        raise SystemExit(f"cannot resume: {exc}")
+        msg = f"cannot resume: {exc}"
+        if not args.from_backup and os.path.exists(args.checkpoint_file + ".bak"):
+            msg += "\na backup checkpoint exists; retry with --from-backup"
+        raise SystemExit(msg)
     return _print_synthesis_result(result, result.query.cfg)
+
+
+def _describe_certificate(summary) -> str:
+    return (
+        f"proof checked: {summary.steps} steps "
+        f"({summary.inputs} inputs, {summary.rup_additions} RUP additions, "
+        f"{summary.theory_lemmas} Farkas lemmas) "
+        f"in {summary.check_time:.2f}s"
+    )
 
 
 def cmd_verify(args) -> int:
     cand = _named_cca(args.cca)
-    verifier = CcacVerifier(_cfg(args))
+    verifier = CcacVerifier(_cfg(args), certify=getattr(args, "certify", False))
     res = verifier.find_counterexample(cand, worst_case=args.wce)
     print(f"{cand.pretty()}")
     if res.verified:
         print(f"VERIFIED in {res.wall_time:.2f}s (no admissible trace violates the property)")
+        if res.certified:
+            print(_describe_certificate(res.certificate))
+        elif getattr(args, "certify", False):
+            print("NOT CERTIFIED (verdict inconclusive in proof mode)")
+            return 2
         return 0
     tr = res.counterexample
     print(f"COUNTEREXAMPLE in {res.wall_time:.2f}s:")
     print(tr)
     return 1
+
+
+def cmd_certify(args) -> int:
+    """The standard certification workload: verify named CCAs with proof
+    production on; every UNSAT verdict must survive the independent
+    checker.  Exit 0 only when each CCA reached a conclusive verdict and
+    every verified one carries a checked certificate."""
+    failures = 0
+    for name in args.ccas:
+        cand = _named_cca(name)
+        verifier = CcacVerifier(_cfg(args), certify=True)
+        res = verifier.find_counterexample(cand, worst_case=args.wce)
+        print(f"{name}: {cand.pretty()}")
+        if res.verified:
+            if res.certified:
+                print(f"  CERTIFIED in {res.wall_time:.2f}s; "
+                      f"{_describe_certificate(res.certificate)}")
+            else:
+                print(f"  VERIFIED but NOT CERTIFIED in {res.wall_time:.2f}s")
+                failures += 1
+        elif res.counterexample is not None:
+            print(f"  COUNTEREXAMPLE in {res.wall_time:.2f}s "
+                  f"(nothing to certify; trace independently validated)")
+        else:
+            print(f"  UNKNOWN in {res.wall_time:.2f}s")
+            failures += 1
+    return 0 if failures == 0 else 1
 
 
 def cmd_sweep(args) -> int:
@@ -349,9 +410,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="verify a named CCA", parents=[obs])
     p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
     p.add_argument("--wce", action="store_true")
+    p.add_argument("--certify", action="store_true",
+                   help="independently check an UNSAT proof of the verdict")
     _add_cfg_args(p)
     _add_pipeline_arg(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "certify",
+        help="verify named CCAs with independently checked UNSAT proofs",
+        parents=[obs],
+    )
+    p.add_argument("ccas", nargs="*", default=["rocc", "eq3"],
+                   help="CCAs to certify (default: rocc eq3); "
+                        "rocc | eq3 | const:<gamma>")
+    p.add_argument("--wce", action="store_true",
+                   help="certify under worst-case counterexample search")
+    _add_cfg_args(p)
+    _add_pipeline_arg(p)
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser("sweep", help="solution counts vs thresholds", parents=[obs])
     p.add_argument("kind", choices=["util", "delay"])
@@ -386,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the stored iteration cap")
     p.add_argument("--time-budget", type=_positive_float, default=None,
                    help="fresh time budget for the resumed run")
+    p.add_argument("--from-backup", action="store_true",
+                   help="recover from a corrupt checkpoint: set it aside "
+                        "and resume from the kept previous generation "
+                        "(<file>.bak)")
     _add_runtime_args(p)
     p.set_defaults(func=cmd_resume)
 

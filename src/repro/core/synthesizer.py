@@ -69,6 +69,9 @@ class SynthesisResult:
     timed_out: bool
     #: why the run stopped (see :class:`repro.cegis.StopReason`)
     stop_reason: Optional[StopReason] = None
+    #: verified verdicts carrying an independently checked UNSAT proof
+    #: (see :mod:`repro.trust`; nonzero only under certify runs)
+    certified_verdicts: int = 0
     #: True when restored from a checkpoint rather than started fresh
     resumed: bool = False
     #: recorded degradation events (see :mod:`repro.runtime.degrade`)
@@ -148,6 +151,7 @@ def synthesize(
         timed_out=outcome.timed_out,
         stop_reason=outcome.stop_reason,
         resumed=outcome.resumed,
+        certified_verdicts=outcome.stats.certified_verdicts,
         degradations=list(getattr(verifier, "degradations", ())),
     )
 

@@ -53,6 +53,11 @@ class VerificationResult:
     #: True when the runtime weakened the search to produce this result
     #: (see :mod:`repro.runtime.degrade` / :mod:`repro.runtime.workers`)
     degraded: bool = False
+    #: True when the verified UNSAT verdict carries an independently
+    #: checked proof (see :mod:`repro.trust`); ``certificate`` holds the
+    #: picklable :class:`~repro.trust.certify.CertificateSummary`
+    certified: bool = False
+    certificate: Optional[object] = None
 
 
 class CcacVerifier:
@@ -83,13 +88,16 @@ class CcacVerifier:
         validate: bool = True,
         incremental: bool = False,
         cache=None,
+        certify: bool = False,
     ):
         self.cfg = cfg
         self.wce_precision = wce_precision
         self.validate = validate
         self.incremental = incremental
         self.cache = cache
+        self.certify = certify
         self.calls = 0
+        self.certified = 0
         self.total_time = 0.0
         self._session: Optional[SolverSession] = None
         self._net: Optional[CcacModel] = None
@@ -114,7 +122,9 @@ class CcacVerifier:
         """The long-lived session holding the candidate-independent base."""
         if self._session is None:
             net, base = self._ensure_net()
-            self._session = SolverSession(base, cache=self.cache)
+            self._session = SolverSession(
+                base, cache=self.cache, produce_proofs=self.certify
+            )
         return self._session, self._net
 
     @contextmanager
@@ -130,11 +140,13 @@ class CcacVerifier:
         else:
             net, base = self._ensure_net()
             if self.cache is not None:
-                session = SolverSession(base, cache=self.cache)
+                session = SolverSession(
+                    base, cache=self.cache, produce_proofs=self.certify
+                )
                 session.add(*candidate.constraints_for(net))
                 yield session, net
             else:
-                solver = Solver()
+                solver = Solver(produce_proofs=self.certify)
                 solver.add(*base)
                 solver.add(*candidate.constraints_for(net))
                 yield solver, net
@@ -204,6 +216,13 @@ class CcacVerifier:
                     if model is None
                     else self._extract_trace(solver, net, model, candidate)
                 )
+                summary = None
+                if self.certify and model is None and not inconclusive:
+                    # snapshot + check the proof while the candidate frame
+                    # is still active (pop would disable its guard)
+                    summary, inconclusive = self._certify_unsat(
+                        solver, worst_case, opts
+                    )
                 checks = self._solver_checks(solver) - base_checks
             elapsed = time.perf_counter() - start
             self.total_time += elapsed
@@ -211,6 +230,7 @@ class CcacVerifier:
                 verified=result is None and not inconclusive,
                 unknown=inconclusive,
                 solver_checks=checks,
+                certified=summary is not None,
             )
         return VerificationResult(
             candidate=candidate,
@@ -219,7 +239,33 @@ class CcacVerifier:
             wall_time=elapsed,
             solver_checks=checks,
             unknown=inconclusive,
+            certified=summary is not None,
+            certificate=summary,
         )
+
+    def _certify_unsat(self, solver, worst_case: bool, opts: CheckOptions):
+        """Independently check the proof of the current UNSAT verdict.
+
+        Returns ``(summary, inconclusive)``.  In worst-case mode the
+        binary search ends by popping its probe frames, so the solver's
+        last verdict is not the final UNSAT — one extra plain check
+        re-derives it under the active frames (with the proof still
+        accumulating); if budgets expire there the result degrades to an
+        honest ``unknown`` rather than an uncertified "verified".
+
+        A proof that fails to check raises
+        :class:`~repro.runtime.errors.SoundnessError` — like independent
+        model validation, certification gaps are never degraded.
+        """
+        from ..trust.certify import certify_certificate
+        from ..smt import unsat
+
+        if worst_case and solver.check(opts) is not unsat:
+            return None, True
+        cert = solver.certificate()
+        summary = certify_certificate(cert)
+        self.certified += 1
+        return summary, False
 
     def _solve_worst_case(self, solver, net: CcacModel, opts: CheckOptions):
         """Maximize ``min_t (u_t - l_t)`` over counterexample traces.

@@ -36,6 +36,8 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Optional
 
+from ..chaos.faults import chaos_point
+from ..chaos.supervisor import quarantine_file
 from ..obs import metrics
 from ..smt.solver import Model, Result, sat, unsat
 from ..smt.terms import Bool, Real
@@ -120,16 +122,32 @@ class QueryCache:
     # -- disk layer ----------------------------------------------------------
 
     def _read_disk(self, key: str) -> Optional[tuple[Result, Optional[Model]]]:
+        path = self._path(key)
+        chaos_point("cache.read", path=path)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as f:
+            with open(path, "r", encoding="utf-8") as f:
                 data = json.load(f)
+        except OSError:
+            return None  # no entry (or unreadable file): a plain miss
+        except ValueError as exc:
+            self._quarantine(path, f"invalid JSON: {exc}")
+            return None
+        try:
             result = Result(data["result"])
             model = _decode_model(data["model"]) if data.get("model") else None
-            if result is sat and model is None:
-                return None  # sat without a model is useless to callers
-            return result, model
-        except (OSError, ValueError, KeyError):
-            return None  # unreadable/corrupt entry == miss
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            self._quarantine(path, f"malformed entry: {exc}")
+            return None
+        if result is sat and model is None:
+            return None  # sat without a model is useless to callers
+        return result, model
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a corrupt entry aside (never an exception, never a retry)."""
+        metrics().counter("engine.cache.quarantined").inc()
+        quarantine_file(
+            path, os.path.join(self.cache_dir, "quarantine"), reason
+        )
 
     def _write_disk(self, key: str, result: Result, model: Optional[Model]) -> None:
         payload = {
@@ -144,6 +162,7 @@ class QueryCache:
             fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 json.dump(payload, f)
+            chaos_point("cache.write", path=tmp)
             os.replace(tmp, path)
         except OSError:
             pass  # cache write failure is never an error

@@ -140,20 +140,24 @@ def run_portfolio(
 
 
 def _verify_candidate_task(
-    cfg, precision, candidate, worst_case, time_limit, validate, cache_dir
+    cfg, precision, candidate, worst_case, time_limit, validate, cache_dir,
+    certify=False,
 ):
     """Runs inside a worker: one fresh verifier, one candidate.
 
     ``cache_dir`` (when set) plugs a shared on-disk
     :class:`~repro.engine.cache.QueryCache` into the verifier, so
     concurrent workers pool their conclusive subquery verdicts.
+    ``certify`` makes the worker's verifier proof-producing; the result
+    carries a picklable certificate summary back across the pipe.
     """
     from ..core.verifier import CcacVerifier
     from .cache import QueryCache
 
     cache = QueryCache(cache_dir) if cache_dir else None
     verifier = CcacVerifier(
-        cfg, wce_precision=precision, validate=validate, cache=cache
+        cfg, wce_precision=precision, validate=validate, cache=cache,
+        certify=certify,
     )
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     return verifier.find_counterexample(
@@ -188,6 +192,7 @@ class PortfolioVerifier:
         limits: WorkerLimits = WorkerLimits(),
         validate: bool = True,
         cache_dir: Optional[str] = None,
+        certify: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1 (got {jobs})")
@@ -197,6 +202,7 @@ class PortfolioVerifier:
         self.limits = limits
         self.validate = validate
         self.cache_dir = cache_dir
+        self.certify = certify
         self.calls = 0
         self.rounds = 0
         self.cancelled = 0
@@ -214,6 +220,7 @@ class PortfolioVerifier:
                 budget,
                 self.validate,
                 self.cache_dir,
+                self.certify,
             ),
         )
 

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..chaos.faults import chaos_point
 from ..obs import DEBUG, tracer
 from .errors import CheckpointError, CheckpointMismatchError
 
@@ -37,6 +39,7 @@ STAT_FIELDS = (
     "verifier_time",
     "verifier_calls",
     "cancelled_checks",
+    "certified_verdicts",
 )
 
 
@@ -87,41 +90,70 @@ class CheckpointStore:
 
     # -- reading --------------------------------------------------------------
 
+    @property
+    def backup_path(self) -> str:
+        """The previous checkpoint, kept on every save (``<path>.bak``)."""
+        return self.path + ".bak"
+
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
-    def load(self) -> Optional[CheckpointState]:
+    def has_backup(self) -> bool:
+        return os.path.exists(self.backup_path)
+
+    def load(self, from_backup: bool = False) -> Optional[CheckpointState]:
         """Decoded state, or None when no checkpoint exists yet.
 
         Raises :class:`CheckpointMismatchError` when the stored query
         fingerprint differs from this store's — resuming would corrupt
-        the run — and :class:`CheckpointError` on a damaged file.
+        the run — and :class:`CheckpointError` (naming the failing
+        field) on a damaged file.  ``from_backup=True`` reads the
+        previous checkpoint (``<path>.bak``) instead, the recovery path
+        when the latest file is corrupt.
         """
-        if not self.exists():
+        path = self.backup_path if from_backup else self.path
+        if not os.path.exists(path):
             return None
-        raw = self._read_raw(self.path)
+        raw = self._read_raw(path)
         stored = raw.get("fingerprint", "")
         if self.fingerprint and stored != self.fingerprint:
             raise CheckpointMismatchError(
-                f"checkpoint {self.path!r} belongs to a different query "
+                f"checkpoint {path!r} belongs to a different query "
                 f"(stored fingerprint {stored[:12]}..., "
                 f"expected {self.fingerprint[:12]}...)"
             )
-        try:
-            return CheckpointState(
-                fingerprint=stored,
-                stats={k: raw.get("stats", {}).get(k, 0) for k in STAT_FIELDS},
-                solutions=[self._decode_candidate(c) for c in raw.get("solutions", [])],
-                counterexamples=[self._decode_cex(c) for c in raw.get("counterexamples", [])],
-                blocked=[self._decode_candidate(c) for c in raw.get("blocked", [])],
-                stop_reason=raw.get("stop_reason"),
-                meta=raw.get("meta", {}),
-                saved_at=raw.get("saved_at", 0.0),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise CheckpointError(
-                f"checkpoint {self.path!r} could not be decoded: {exc}"
-            ) from exc
+
+        def decode(fld: str, fn):
+            # per-field decode so a diagnostic can name what is damaged
+            try:
+                return fn(raw.get(fld))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint {path!r} field {fld!r} could not be "
+                    f"decoded: {exc}"
+                ) from exc
+
+        return CheckpointState(
+            fingerprint=stored,
+            stats=decode(
+                "stats", lambda v: {k: (v or {}).get(k, 0) for k in STAT_FIELDS}
+            ),
+            solutions=decode(
+                "solutions",
+                lambda v: [self._decode_candidate(c) for c in (v or [])],
+            ),
+            counterexamples=decode(
+                "counterexamples",
+                lambda v: [self._decode_cex(c) for c in (v or [])],
+            ),
+            blocked=decode(
+                "blocked",
+                lambda v: [self._decode_candidate(c) for c in (v or [])],
+            ),
+            stop_reason=raw.get("stop_reason"),
+            meta=raw.get("meta", {}),
+            saved_at=raw.get("saved_at", 0.0),
+        )
 
     @staticmethod
     def _read_raw(path: str) -> dict:
@@ -130,7 +162,9 @@ class CheckpointStore:
                 raw = json.load(f)
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-        except json.JSONDecodeError as exc:
+        except ValueError as exc:
+            # JSONDecodeError and UnicodeDecodeError both subclass
+            # ValueError; a bitflipped file can produce either
             raise CheckpointError(
                 f"checkpoint {path!r} is not valid JSON (torn write without "
                 f"atomic replace?): {exc}"
@@ -141,6 +175,27 @@ class CheckpointStore:
                 f"{raw.get('version') if isinstance(raw, dict) else type(raw).__name__!r}"
             )
         return raw
+
+    def _keep_backup(self) -> None:
+        """Hardlink (or copy) the current checkpoint to ``<path>.bak``.
+
+        Runs just before the atomic replace: after a save the previous
+        generation survives as the backup, so a checkpoint corrupted on
+        disk later never costs more than one save interval of work.
+        Best-effort — a backup failure must not fail the save.
+        """
+        if not os.path.exists(self.path):
+            return
+        bak = self.backup_path
+        try:
+            if os.path.exists(bak):
+                os.unlink(bak)
+            os.link(self.path, bak)
+        except OSError:
+            try:
+                shutil.copyfile(self.path, bak)
+            except OSError:
+                pass
 
     @staticmethod
     def read_meta(path: str) -> tuple[str, dict]:
@@ -189,6 +244,8 @@ class CheckpointStore:
                 json.dump(payload, f)
                 f.flush()
                 os.fsync(f.fileno())
+            chaos_point("checkpoint.write", path=tmp)
+            self._keep_backup()
             os.replace(tmp, self.path)
         except OSError as exc:
             raise CheckpointError(

@@ -17,6 +17,8 @@ cannot be (the fingerprint would refuse the state).
 
 from __future__ import annotations
 
+import os
+import shutil
 from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import Optional
@@ -74,6 +76,10 @@ class RuntimeOptions:
     #: (in-process verifier only; isolated/portfolio workers are fresh
     #: per call by design)
     incremental: bool = False
+    #: produce and independently check an UNSAT proof for every verified
+    #: verdict (see :mod:`repro.trust`); a proof that fails to check
+    #: raises :class:`~repro.runtime.errors.SoundnessError`
+    certify: bool = False
 
 
 def make_checkpoint_store(query, path: str) -> CheckpointStore:
@@ -113,6 +119,7 @@ def _build_verifier(query, options: RuntimeOptions):
             ),
             validate=options.validate,
             cache_dir=options.cache_dir,
+            certify=options.certify,
         )
     elif options.isolate:
         base = IsolatedVerifier(
@@ -124,6 +131,7 @@ def _build_verifier(query, options: RuntimeOptions):
                 retries=options.retries,
             ),
             validate=options.validate,
+            certify=options.certify,
         )
     else:
         cache = None
@@ -137,6 +145,7 @@ def _build_verifier(query, options: RuntimeOptions):
             validate=options.validate,
             incremental=options.incremental,
             cache=cache,
+            certify=options.certify,
         )
     parts.append(base)
     verifier = base
@@ -177,12 +186,32 @@ def run_synthesis(query, options: Optional[RuntimeOptions] = None):
     return result
 
 
+def _promote_backup(path: str) -> None:
+    """Set the damaged checkpoint aside and promote ``<path>.bak``."""
+    bak = path + ".bak"
+    if not os.path.exists(bak):
+        raise CheckpointError(
+            f"no backup checkpoint {bak!r} to resume from (backups are "
+            f"kept from the second save onward)"
+        )
+    if os.path.exists(path):
+        os.replace(path, path + ".corrupt")
+    # copy, not move: the backup stays available if this resume also dies
+    shutil.copyfile(bak, path)
+    tracer().event(
+        "runtime.resume_from_backup",
+        path=path,
+        msg=f"[runtime] promoted backup checkpoint {bak} -> {path}",
+    )
+
+
 def resume_synthesis(
     path: str,
     options: Optional[RuntimeOptions] = None,
     time_budget: Optional[float] = None,
     max_iterations: Optional[int] = None,
     jobs: Optional[int] = None,
+    from_backup: bool = False,
 ):
     """Continue a checkpointed run (``ccmatic resume``).
 
@@ -194,7 +223,14 @@ def resume_synthesis(
     :class:`CheckpointError` when the file carries no query metadata and
     :class:`CheckpointMismatchError` when the state belongs to a
     different query than its metadata claims.
+
+    ``from_backup=True`` recovers from a corrupt latest checkpoint: the
+    damaged file is set aside as ``<path>.corrupt`` and the previous
+    generation (``<path>.bak``, kept on every save) is promoted before
+    resuming — at most one save interval of work is lost.
     """
+    if from_backup:
+        _promote_backup(path)
     fingerprint, meta = CheckpointStore.read_meta(path)
     encoded = meta.get("query")
     if not encoded:

@@ -22,11 +22,14 @@ parent verbatim.  Soundness failures must never be degraded to
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Optional
 
+from ..chaos.faults import chaos_point, maybe_install_from_env
+from ..chaos.supervisor import full_jitter_backoff
 from ..obs import WARN, metrics, tracer
 from ..smt.terms import interned_scope
 from .errors import SoundnessError, WorkerError
@@ -50,6 +53,8 @@ class WorkerLimits:
     retries: int = 1                 # extra attempts after the first failure
     escalation: float = 2.0          # wall-time multiplier per retry
     kill_grace: float = 1.0          # SIGTERM -> SIGKILL grace, seconds
+    backoff_base: float = 0.25       # full-jitter retry backoff base, seconds
+    backoff_cap: float = 5.0         # full-jitter retry backoff ceiling
 
     def budget(self, attempt: int) -> float:
         """Wall-clock budget of the given (0-based) attempt."""
@@ -90,7 +95,12 @@ def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
             resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
         except (ImportError, ValueError, OSError):
             pass  # platform without rlimits: watchdog still applies
+    maybe_install_from_env()
     try:
+        # inside the try: an injected MemoryError reports as "oom", an
+        # injected RuntimeError as "error"; a kill is a hard death the
+        # parent sees as "crash" — exactly like the real faults
+        chaos_point("worker.child")
         # Scope the term intern table: a forked child inherits the
         # parent's interned terms, and verification builds large per-task
         # DAGs on top.  The scope releases the task's term churn as soon
@@ -193,11 +203,15 @@ def run_isolated(
 # -- the isolated CCAC verifier ----------------------------------------------
 
 
-def _verify_task(cfg, precision, candidate, worst_case, time_limit, validate):
+def _verify_task(
+    cfg, precision, candidate, worst_case, time_limit, validate, certify=False
+):
     """Runs inside the worker: one fresh verifier, one call."""
     from ..core.verifier import CcacVerifier
 
-    verifier = CcacVerifier(cfg, wce_precision=precision, validate=validate)
+    verifier = CcacVerifier(
+        cfg, wce_precision=precision, validate=validate, certify=certify
+    )
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     return verifier.find_counterexample(
         candidate, worst_case=worst_case, deadline=deadline
@@ -222,15 +236,20 @@ class IsolatedVerifier:
         wce_precision: Fraction = Fraction(1, 8),
         limits: WorkerLimits = WorkerLimits(),
         validate: bool = True,
+        retry_seed: Optional[int] = None,
+        certify: bool = False,
     ):
         self.cfg = cfg
         self.wce_precision = Fraction(wce_precision)
         self.limits = limits
         self.validate = validate
+        self.certify = certify
         self.calls = 0
         self.total_time = 0.0
         self.kills = 0
         self.degradations: list[dict] = []
+        # seedable so chaos experiments replay the same retry schedule
+        self._retry_rng = random.Random(retry_seed)
 
     def find_counterexample(
         self,
@@ -263,6 +282,7 @@ class IsolatedVerifier:
                     worst_case,
                     budget,
                     self.validate,
+                    self.certify,
                 ),
                 wall_time=watchdog,
                 memory_mb=limits.memory_mb,
@@ -301,6 +321,20 @@ class IsolatedVerifier:
                     ),
                     **event,
                 )
+            if attempt + 1 < attempts:
+                # full-jitter backoff between attempts: a fanned-out bad
+                # query must not stampede back in lockstep.  Deadline-aware:
+                # never sleep past the caller's remaining time budget.
+                delay = full_jitter_backoff(
+                    limits.backoff_base,
+                    attempt,
+                    cap=limits.backoff_cap,
+                    rng=self._retry_rng,
+                )
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.perf_counter()))
+                if delay > 0:
+                    time.sleep(delay)
         elapsed = time.perf_counter() - start
         detail = last_report.detail if last_report else "deadline already expired"
         return VerificationResult(

@@ -30,6 +30,15 @@ class TseitinEncoder:
         self._atom_vars: dict[LinAtom, int] = {}
         self._bool_vars: dict[Term, int] = {}
         self._true_lit: int | None = None
+        # Proof mode: when set, remember each aux variable's definition
+        # (connective kind + child literals) so a certificate can justify
+        # the Tseitin clauses without trusting this encoder.
+        self.record_defs = False
+        self._defs: dict[int, tuple[str, tuple[int, ...]]] = {}
+
+    def _def(self, var: int, op: str, child_lits: tuple[int, ...]) -> None:
+        if self.record_defs:
+            self._defs[var] = (op, child_lits)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -93,6 +102,7 @@ class TseitinEncoder:
         if k is Kind.AND:
             lits = [self.literal(a) for a in term.args]
             f = self.sat.new_var()
+            self._def(f, "AND", tuple(lits))
             for l in lits:
                 add([-f, l])
             add([f] + [-l for l in lits])
@@ -100,6 +110,7 @@ class TseitinEncoder:
         if k is Kind.OR:
             lits = [self.literal(a) for a in term.args]
             f = self.sat.new_var()
+            self._def(f, "OR", tuple(lits))
             for l in lits:
                 add([-l, f])
             add([-f] + lits)
@@ -108,6 +119,7 @@ class TseitinEncoder:
             a = self.literal(term.args[0])
             b = self.literal(term.args[1])
             f = self.sat.new_var()
+            self._def(f, "IMPLIES", (a, b))
             add([-f, -a, b])
             add([f, a])
             add([f, -b])
@@ -116,6 +128,7 @@ class TseitinEncoder:
             a = self.literal(term.args[0])
             b = self.literal(term.args[1])
             f = self.sat.new_var()
+            self._def(f, "IFF", (a, b))
             add([-f, -a, b])
             add([-f, a, -b])
             add([f, a, b])
@@ -126,6 +139,7 @@ class TseitinEncoder:
             t = self.literal(term.args[1])
             e = self.literal(term.args[2])
             f = self.sat.new_var()
+            self._def(f, "ITE", (c, t, e))
             add([-f, -c, t])
             add([-f, c, e])
             add([f, -c, -t])

@@ -20,6 +20,8 @@ import heapq
 import time
 from typing import Callable, Optional, Sequence
 
+from ..trust.proof import ProofError
+
 
 class TheoryHook:
     """Interface the SAT core uses to talk to a theory solver.
@@ -39,6 +41,16 @@ class TheoryHook:
 
     def check(self, final: bool) -> Optional[list[int]]:
         raise NotImplementedError
+
+    def take_farkas(self):
+        """Certificate of the most recent conflict (proof mode).
+
+        Theory solvers that participate in proof production return a
+        tuple of ``(literal, Fraction)`` pairs — the Farkas multipliers
+        over the asserted inequalities — consumed once per conflict.
+        The default (no certificate) makes proof mode fail loudly.
+        """
+        return None
 
     def push_level(self) -> None:
         raise NotImplementedError
@@ -103,6 +115,9 @@ class SatSolver:
         self._theory_qhead = 0
         self._theory_dirty = False
         self._model: list[int] = []
+        #: when set (a :class:`repro.trust.proof.ProofLog`), every clause
+        #: addition/derivation/deletion is logged for independent checking
+        self.proof = None
 
     # ------------------------------------------------------------------
     # Variable / clause management
@@ -150,6 +165,15 @@ class SatSolver:
                 continue  # falsified at root: drop
             seen.add(lit)
             out.append(lit)
+        if self.proof is not None:
+            # Ledger: the clause as given is an *input* (the checker must
+            # justify it against the query); the root-shrunk form the
+            # solver actually uses is a *derived* (RUP-checkable) clause.
+            orig = tuple(lits)
+            self.proof.input(orig)
+            shrunk = tuple(out)
+            if shrunk != orig:
+                self.proof.derived(shrunk)
         if not out:
             self.ok = False
             return False
@@ -369,7 +393,16 @@ class SatSolver:
             conflict_lits = self.theory.check(final)
         if conflict_lits is None:
             return None
-        return Clause([-l for l in conflict_lits], learned=True)
+        clause = Clause([-l for l in conflict_lits], learned=True)
+        if self.proof is not None:
+            farkas = self.theory.take_farkas()
+            if not farkas:
+                raise ProofError(
+                    "theory conflict without a Farkas certificate; the "
+                    "theory solver cannot participate in proof mode"
+                )
+            self.proof.theory(tuple(clause.lits), tuple(farkas))
+        return clause
 
     # ------------------------------------------------------------------
     # Main search
@@ -401,6 +434,8 @@ class SatSolver:
         if max_level < self.decision_level:
             self.cancel_until(max_level)
         learnt, bt_level = self.analyze(confl)
+        if self.proof is not None:
+            self.proof.learn(tuple(learnt))
         self.cancel_until(bt_level)
         if len(learnt) == 1:
             self._uncheck_enqueue(learnt[0], None)
@@ -537,6 +572,8 @@ class SatSolver:
             for c in pool:
                 if id(c) not in locked and root_satisfied(c):
                     removed.add(id(c))
+                    if self.proof is not None:
+                        self.proof.delete(tuple(c.lits))
                 else:
                     kept.append(c)
             pool[:] = kept
@@ -556,6 +593,8 @@ class SatSolver:
         for i, c in enumerate(self.learned):
             if i < half and len(c.lits) > 2 and id(c) not in locked:
                 removed.add(id(c))
+                if self.proof is not None:
+                    self.proof.delete(tuple(c.lits))
             else:
                 keep.append(c)
         if not removed:

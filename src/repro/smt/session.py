@@ -90,8 +90,11 @@ class SolverSession:
         *,
         cache: Optional[QueryCacheProtocol] = None,
         compile_pipeline: Optional[bool] = None,
+        produce_proofs: bool = False,
     ):
-        self.solver = Solver(compile_pipeline=compile_pipeline)
+        self.solver = Solver(
+            compile_pipeline=compile_pipeline, produce_proofs=produce_proofs
+        )
         self.cache = cache
         self.stats = SessionStats()
         self._cached: Optional[tuple[Result, Optional[Model]]] = None
@@ -160,7 +163,9 @@ class SolverSession:
             # Key on the compiled form: semantically identical queries
             # that differ pre-simplification share an entry.
             key = canonical_hash(self.solver.compiled_assertions())
-            hit = self.cache.lookup(key)
+            # Proof mode never takes a cached verdict: a stored UNSAT
+            # carries no certificate, and certification is the point.
+            hit = None if self.solver.proof_mode else self.cache.lookup(key)
             if hit is not None:
                 self.stats.cache_hits += 1
                 metrics().counter("engine.cache.hits").inc()
@@ -176,6 +181,11 @@ class SolverSession:
                 key, result, self.solver.model() if result is sat else None
             )
         return result
+
+    def certificate(self):
+        """Checkable proof of the last UNSAT verdict (proof mode only);
+        see :meth:`repro.smt.solver.Solver.certificate`."""
+        return self.solver.certificate()
 
     def model(self) -> Model:
         """The model of the last sat :meth:`check` (cached or solved)."""

@@ -73,7 +73,20 @@ ZERO = DRat(0)
 
 
 class Conflict(list):
-    """A list of explanation tags whose bounds are jointly inconsistent."""
+    """A list of explanation tags whose bounds are jointly inconsistent.
+
+    In proof mode the conflict also carries ``farkas``: a tuple of
+    ``(tag, Fraction)`` pairs giving nonnegative multipliers over the
+    tags' inequalities whose combination is contradictory (the variable
+    parts cancel and the constant is impossible).  The tableau invariant
+    behind it: every simplex variable denotes a fixed linear form over
+    the original problem variables (a slack variable denotes its
+    registered atom's expression, and pivoting preserves row semantics),
+    so multipliers computed in simplex space are valid over the original
+    inequalities the tags assert.
+    """
+
+    farkas = None
 
 
 class Simplex:
@@ -184,7 +197,10 @@ class Simplex:
             return None
         low = self.lower[var]
         if low is not None and bound < low:
-            return Conflict([tag, self.lower_tag[var]])
+            conflict = Conflict([tag, self.lower_tag[var]])
+            # new upper u below existing lower l: 1*(x <= u) + 1*(x >= l)
+            conflict.farkas = ((tag, Fraction(1)), (self.lower_tag[var], Fraction(1)))
+            return conflict
         self._trail.append((var, "U", current, self.upper_tag[var]))
         self.upper[var] = bound
         self.upper_tag[var] = tag
@@ -199,7 +215,9 @@ class Simplex:
             return None
         up = self.upper[var]
         if up is not None and bound > up:
-            return Conflict([tag, self.upper_tag[var]])
+            conflict = Conflict([tag, self.upper_tag[var]])
+            conflict.farkas = ((tag, Fraction(1)), (self.upper_tag[var], Fraction(1)))
+            return conflict
         self._trail.append((var, "L", current, self.lower_tag[var]))
         self.lower[var] = bound
         self.lower_tag[var] = tag
@@ -259,17 +277,25 @@ class Simplex:
             self._pivot_and_update(b, pivot_var, target)
 
     def _explain(self, b: int, below: bool) -> Conflict:
+        # Farkas multipliers: the row says b - sum(a_j * x_j) = 0, so when b is
+        # stuck below its lower bound, 1*(b >= l) plus |a_j| times each
+        # blocking bound on x_j sums to a contradiction (and symmetrically
+        # above).  Multipliers are over the tagged source inequalities.
         row = self.rows[b]
-        tags = []
+        pairs = []
         if below:
-            tags.append(self.lower_tag[b])
+            pairs.append((self.lower_tag[b], Fraction(1)))
             for j, coeff in row.items():
-                tags.append(self.upper_tag[j] if coeff > 0 else self.lower_tag[j])
+                tag = self.upper_tag[j] if coeff > 0 else self.lower_tag[j]
+                pairs.append((tag, abs(coeff)))
         else:
-            tags.append(self.upper_tag[b])
+            pairs.append((self.upper_tag[b], Fraction(1)))
             for j, coeff in row.items():
-                tags.append(self.lower_tag[j] if coeff > 0 else self.upper_tag[j])
-        return Conflict([t for t in tags if t is not None])
+                tag = self.lower_tag[j] if coeff > 0 else self.upper_tag[j]
+                pairs.append((tag, abs(coeff)))
+        conflict = Conflict([t for t, _ in pairs if t is not None])
+        conflict.farkas = tuple((t, c) for t, c in pairs if t is not None)
+        return conflict
 
     def _pivot_and_update(self, b: int, j: int, v: DRat) -> None:
         self.pivots += 1

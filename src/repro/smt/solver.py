@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import Iterable, Optional, Union
 
 from ..obs import DEBUG, metrics, tracer
+from ..trust.proof import NeutralAtom, ProofError, ProofLog, UnsatCertificate
 from .cnf import TseitinEncoder
 from .compile import CompileOptions, compile_query, pipeline_enabled
 from .errors import UnknownResultError
@@ -67,12 +68,20 @@ class CheckOptions:
     ``deadline`` is a ``time.perf_counter()`` timestamp; the search
     aborts with :data:`unknown` once it has passed (checked at each
     conflict, like ``max_conflicts``).
+
+    ``produce_proofs`` arms DRAT/Farkas proof logging so an UNSAT
+    verdict can be certified (:meth:`Solver.certificate`).  It can only
+    be turned on while the solver is still pristine — proofs must cover
+    every clause from the start — otherwise the check raises
+    :class:`~repro.trust.proof.ProofError`.
     """
 
     #: give up (-> unknown) after this many conflicts; None = unbounded
     max_conflicts: Optional[int] = None
     #: give up (-> unknown) past this ``time.perf_counter()`` timestamp
     deadline: Optional[float] = None
+    #: log a checkable proof (DRAT clauses + Farkas lemmas) of UNSAT results
+    produce_proofs: bool = False
 
     def with_deadline(self, deadline: Optional[float]) -> "CheckOptions":
         """A copy with ``deadline`` replaced (options are immutable)."""
@@ -212,6 +221,7 @@ class Solver:
         *,
         compile_pipeline: Optional[bool] = None,
         compile_options: Optional[CompileOptions] = None,
+        produce_proofs: bool = False,
     ):
         self.theory = LraTheory()
         self.sat_core = SatSolver(self.theory)
@@ -236,6 +246,19 @@ class Solver:
         #: then ``add(x == 3)`` has to constrain the *same* x).  Never
         #: shrinks on pop — the encoder's literal cache outlives frames.
         self._frozen: set[Term] = set()
+        #: proof mode: the formulas actually handed to the CNF encoder
+        #: (compiled or preprocessed), one list per frame — certificates
+        #: name these, not the raw assertions
+        self._encoded: list[list[Term]] = [[]]
+        self._disabled_guards: list[int] = []
+        self._proof: Optional[ProofLog] = None
+        if produce_proofs:
+            self._arm_proofs()
+
+    def _arm_proofs(self) -> None:
+        self._proof = ProofLog()
+        self.sat_core.proof = self._proof
+        self.encoder.record_defs = True
 
     # -- assertions -----------------------------------------------------------
 
@@ -246,7 +269,9 @@ class Solver:
         if not self._pipeline:
             for f in formulas:
                 self._assertions[-1].append(f)
-                self.encoder.assert_formula(preprocess(f), guard)
+                p = preprocess(f)
+                self._encoded[-1].append(p)
+                self.encoder.assert_formula(p, guard)
             return
         # Delta compile: earlier eliminations are substituted into the
         # incoming formulas first, so a query never mentions a variable
@@ -259,6 +284,7 @@ class Solver:
         )
         self._assertions[-1].extend(formulas)
         self._compiled[-1].extend(compiled.formulas)
+        self._encoded[-1].extend(compiled.formulas)
         for f in compiled.formulas:
             self.encoder.assert_formula(f, guard)
             for node in f.iter_dag():
@@ -287,6 +313,7 @@ class Solver:
         self._frames.append(self.sat_core.new_var())
         self._assertions.append([])
         self._compiled.append([])
+        self._encoded.append([])
         self._elim_stack.append(dict(self._elim))
 
     def pop(self) -> None:
@@ -304,6 +331,8 @@ class Solver:
         guard = self._frames.pop()
         self._assertions.pop()
         self._compiled.pop()
+        self._encoded.pop()
+        self._disabled_guards.append(guard)
         if self._elim_stack:
             self._elim = self._elim_stack.pop()
         self.sat_core.add_clause([-guard])
@@ -337,6 +366,14 @@ class Solver:
         max_conflicts = opts.max_conflicts
         deadline = opts.deadline
         core = self.sat_core
+        if opts.produce_proofs and self._proof is None:
+            if core.nvars != 0 or core.clauses:
+                raise ProofError(
+                    "produce_proofs requested on a solver that has already "
+                    "encoded clauses; proofs must cover every clause from "
+                    "the start (construct with Solver(produce_proofs=True))"
+                )
+            self._arm_proofs()
         base_conflicts = core.conflicts
         base_decisions = core.decisions
         base_propagations = core.propagations
@@ -455,6 +492,59 @@ class Solver:
         if self._model is None:
             raise UnknownResultError("no model available (last check not sat)")
         return self._model
+
+    # -- certification ---------------------------------------------------------
+
+    @property
+    def proof_mode(self) -> bool:
+        """Whether this solver is logging a checkable proof."""
+        return self._proof is not None
+
+    def certificate(self) -> UnsatCertificate:
+        """The checkable proof of the last :data:`unsat` verdict.
+
+        Snapshot this *before* mutating the solver further (``pop`` in
+        particular disables the frame the assumptions refer to).  Feed
+        the result to :func:`repro.trust.check_certificate` /
+        :func:`repro.trust.certify_certificate`.
+        """
+        if self._proof is None:
+            raise ProofError(
+                "solver is not in proof mode; pass produce_proofs=True "
+                "at construction or in CheckOptions before any assertion"
+            )
+        if self._last_result is not unsat:
+            raise ProofError(
+                f"no UNSAT verdict to certify (last check: "
+                f"{self._last_result.value if self._last_result is not None else 'none'})"
+            )
+        enc = self.encoder
+        atoms = {
+            var: NeutralAtom(
+                coeffs=tuple((t.name, c) for t, c in atom.expr),
+                bound=atom.bound,
+                strict=atom.strict,
+            )
+            for atom, var in enc._atom_vars.items()
+        }
+        bool_vars = {var: term.name for term, var in enc._bool_vars.items()}
+        frames = [(None, tuple(self._encoded[0]))]
+        frames.extend(
+            (guard, tuple(encoded))
+            for guard, encoded in zip(self._frames, self._encoded[1:])
+        )
+        return UnsatCertificate(
+            steps=tuple(self._proof.steps),
+            nvars=self.sat_core.nvars,
+            atoms=atoms,
+            bool_vars=bool_vars,
+            defs=dict(enc._defs),
+            true_var=enc._true_lit,
+            frames=tuple(frames),
+            disabled_guards=frozenset(self._disabled_guards),
+            assumptions=tuple(self._frames),
+            info={"checks": self.stats.checks},
+        )
 
 
 def check_formulas(

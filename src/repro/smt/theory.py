@@ -31,6 +31,9 @@ class LraTheory(TheoryHook):
         # an action is ("U"|"L", DRat bound)
         self.actions: dict[int, tuple[int, tuple[str, DRat], tuple[str, DRat]]] = {}
         self._model_values: Optional[list[Fraction]] = None
+        # Farkas certificate of the most recent conflict, consumed once by
+        # the SAT core when proof logging is armed (see TheoryHook.take_farkas).
+        self._farkas: Optional[tuple] = None
 
     # -- registration ------------------------------------------------------
 
@@ -68,15 +71,23 @@ class LraTheory(TheoryHook):
             conflict = self.simplex.assert_upper(svar, bound, lit)
         else:
             conflict = self.simplex.assert_lower(svar, bound, lit)
-        return list(conflict) if conflict is not None else None
+        if conflict is None:
+            return None
+        self._farkas = getattr(conflict, "farkas", None)
+        return list(conflict)
 
     def check(self, final: bool) -> Optional[list[int]]:
         conflict = self.simplex.check()
         if conflict is not None:
+            self._farkas = getattr(conflict, "farkas", None)
             return list(conflict)
         if final:
             self._model_values = self.simplex.model()
         return None
+
+    def take_farkas(self) -> Optional[tuple]:
+        farkas, self._farkas = self._farkas, None
+        return farkas
 
     def push_level(self) -> None:
         self.simplex.push_level()

@@ -1,0 +1,58 @@
+"""repro.trust: certified UNSAT verdicts.
+
+The solver's word alone does not back a "verified CCA" claim in this
+package: proof-producing mode (``Solver(produce_proofs=True)`` /
+``CheckOptions(produce_proofs=True)``) makes the CDCL core log a
+DRAT-style clausal proof and the Simplex theory attach Farkas
+certificates to every lemma; :func:`check_certificate` replays that
+proof with an independent checker sharing no solver code beyond the
+term data structure.
+
+This ``__init__`` is lazy (PEP 562): :mod:`repro.smt.solver` imports
+:mod:`repro.trust.proof` while :mod:`repro.trust.certify` imports the
+solver, and eager re-exports would turn that diamond into an import
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "CertificateSummary",
+    "CheckReport",
+    "NeutralAtom",
+    "ProofError",
+    "UnsatCertificate",
+    "certify_certificate",
+    "check_certificate",
+]
+
+_EXPORTS = {
+    "NeutralAtom": ("repro.trust.proof", "NeutralAtom"),
+    "ProofError": ("repro.trust.proof", "ProofError"),
+    "UnsatCertificate": ("repro.trust.proof", "UnsatCertificate"),
+    "CheckReport": ("repro.trust.checker", "CheckReport"),
+    "check_certificate": ("repro.trust.checker", "check_certificate"),
+    "CertificateSummary": ("repro.trust.certify", "CertificateSummary"),
+    "certify_certificate": ("repro.trust.certify", "certify_certificate"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .certify import CertificateSummary, certify_certificate
+    from .checker import CheckReport, check_certificate
+    from .proof import NeutralAtom, ProofError, UnsatCertificate
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

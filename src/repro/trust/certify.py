@@ -1,0 +1,71 @@
+"""Certification entry points: run the checker with observability.
+
+:func:`certify_certificate` is what production callers use (the
+verifier, the CLI): it times the independent check, emits ``trust.*``
+spans and metrics, and returns a small picklable
+:class:`CertificateSummary` that can cross worker-process boundaries —
+the full :class:`~repro.trust.proof.UnsatCertificate` (which holds term
+DAGs) never leaves the process that produced it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..obs import DEBUG, metrics, tracer
+from .checker import check_certificate
+from .proof import UnsatCertificate
+
+
+@dataclass(frozen=True)
+class CertificateSummary:
+    """Evidence that an UNSAT verdict was independently checked.
+
+    All fields are plain numbers so the summary survives pickling across
+    isolated-worker and portfolio process boundaries.
+    """
+
+    checked: bool
+    steps: int
+    inputs: int
+    rup_additions: int
+    theory_lemmas: int
+    deletions: int
+    propagations: int
+    check_time: float
+
+
+def certify_certificate(cert: UnsatCertificate) -> CertificateSummary:
+    """Independently check ``cert``; raises ``SoundnessError`` on any gap."""
+    tr = tracer()
+    with tr.span(
+        "trust.check",
+        level=DEBUG,
+        steps=len(cert.steps),
+        frames=len(cert.frames),
+        atoms=len(cert.atoms),
+    ) as span:
+        start = time.perf_counter()
+        report = check_certificate(cert)
+        elapsed = time.perf_counter() - start
+        span.set(
+            rup_additions=report.rup_additions,
+            theory_lemmas=report.theory_lemmas,
+            check_time=round(elapsed, 6),
+        )
+    reg = metrics()
+    reg.counter("trust.proofs.checked").inc()
+    reg.counter("trust.proofs.steps").inc(report.steps)
+    reg.counter("trust.proofs.theory_lemmas").inc(report.theory_lemmas)
+    reg.histogram("trust.check_time").observe(elapsed)
+    return CertificateSummary(
+        checked=True,
+        steps=report.steps,
+        inputs=report.inputs,
+        rup_additions=report.rup_additions,
+        theory_lemmas=report.theory_lemmas,
+        deletions=report.deletions,
+        propagations=report.propagations,
+        check_time=elapsed,
+    )

@@ -1,0 +1,612 @@
+"""Independent checker for :class:`~repro.trust.proof.UnsatCertificate`.
+
+Trust boundary: this module imports **only** :mod:`repro.smt.terms` (the
+term data structure the query is written in) and the shared error type —
+no SAT core, no Simplex, no CNF encoder.  Everything it needs to agree
+with the solver on (atom normalization, Tseitin clause schemas, unit
+propagation, Farkas arithmetic) is reimplemented here from the written
+definitions, in exact :class:`~fractions.Fraction` arithmetic.  A solver
+bug therefore has to be matched by an *independent* checker bug to slip
+an unsound UNSAT through.
+
+The check has three obligations:
+
+1. **Input justification** — every ``input`` clause in the proof must be
+   derivable from the compiled query by construction: a Tseitin
+   definitional clause, the true-constant unit, an asserted formula's
+   clause carrying its frame's guard tail, any clause satisfied by a
+   disabled (popped) guard, or a guard-disable unit.  The checker
+   re-encodes the certificate's frame formulas itself to build the
+   expected clause set.
+2. **Addition verification** — every ``learn``/``derived`` clause must
+   pass reverse unit propagation (RUP) against the clauses added so far;
+   every ``theory`` lemma must carry a valid Farkas certificate: the
+   nonnegative combination of the inequalities asserted by its literals
+   cancels all variables and leaves an impossible constant.
+3. **The final conflict** — propagating the certificate's assumption
+   literals over the surviving clause database must yield a conflict
+   (the empty clause under assumptions).
+
+Any gap raises :class:`~repro.runtime.errors.SoundnessError` with a
+description of the first failing step.  Soundness direction: the checker
+only confirms *UNSAT*; clauses it fails to see would merely make the
+conflict harder to derive, so there is no completeness obligation on the
+ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..runtime.errors import SoundnessError
+from ..smt.terms import Kind, Sort, Term
+from .proof import NeutralAtom, UnsatCertificate
+
+__all__ = ["CheckReport", "check_certificate"]
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """What a successful check verified (all counters are checked steps)."""
+
+    steps: int
+    inputs: int
+    rup_additions: int
+    theory_lemmas: int
+    deletions: int
+    propagations: int
+
+
+# ---------------------------------------------------------------------------
+# Linear-atom renormalization (independent of repro.smt.linarith)
+# ---------------------------------------------------------------------------
+
+
+def _linearize(term: Term, scale: Fraction, coeffs: dict, const: list) -> None:
+    """Accumulate ``scale * term`` into name-keyed coefficients."""
+    k = term.kind
+    if k is Kind.CONST:
+        const[0] += scale * term.value
+    elif k is Kind.VAR:
+        coeffs[term.name] = coeffs.get(term.name, Fraction(0)) + scale
+    elif k is Kind.ADD:
+        for a in term.args:
+            _linearize(a, scale, coeffs, const)
+    elif k is Kind.NEG:
+        _linearize(term.args[0], -scale, coeffs, const)
+    elif k is Kind.SCALE:
+        if term.value is None:
+            raise SoundnessError(f"non-linear product in certified query: {term!r}")
+        _linearize(term.args[0], scale * term.value, coeffs, const)
+    else:
+        raise SoundnessError(f"not an arithmetic term in certified query: {term!r}")
+
+
+def _normalize_atom(term: Term):
+    """``<=``/``<`` atom -> (upper?, NeutralAtom) or a ground bool.
+
+    Mirrors the *specification* of canonical atoms: ``lhs - rhs`` with
+    zero coefficients dropped, variables sorted by name, scaled so the
+    leading coefficient is ``+1``; ``upper`` records the original
+    direction after scaling.
+    """
+    if term.kind not in (Kind.LE, Kind.LT):
+        raise SoundnessError(f"not an atom: {term!r}")
+    coeffs: dict[str, Fraction] = {}
+    const = [Fraction(0)]
+    _linearize(term.args[0], Fraction(1), coeffs, const)
+    _linearize(term.args[1], Fraction(-1), coeffs, const)
+    coeffs = {n: c for n, c in coeffs.items() if c != 0}
+    bound = -const[0]
+    strict = term.kind is Kind.LT
+    if not coeffs:
+        return (Fraction(0) < bound) if strict else (Fraction(0) <= bound)
+    ordered = sorted(coeffs.items())
+    lead = ordered[0][1]
+    atom = NeutralAtom(
+        coeffs=tuple((n, c / lead) for n, c in ordered),
+        bound=bound / lead,
+        strict=strict,
+    )
+    return (lead > 0), atom
+
+
+# ---------------------------------------------------------------------------
+# Semantic pass: re-encode the compiled query from the certificate tables
+# ---------------------------------------------------------------------------
+
+
+class _Recoder:
+    """Rebuilds the expected clause set of the compiled query."""
+
+    def __init__(self, cert: UnsatCertificate):
+        self.cert = cert
+        nvars = cert.nvars
+        guards = {g for g, _ in cert.frames if g is not None}
+        guards |= set(cert.disabled_guards)
+        semantic: set[int] = set()
+
+        def claim(var: int, role: str) -> None:
+            if not isinstance(var, int) or not 1 <= var <= nvars:
+                raise SoundnessError(f"certificate {role} variable {var!r} out of range")
+            if var in semantic or var in guards:
+                raise SoundnessError(
+                    f"certificate variable {var} claimed twice (as {role})"
+                )
+            semantic.add(var)
+
+        self.atom_inv: dict[tuple, int] = {}
+        for var, atom in cert.atoms.items():
+            claim(var, "atom")
+            key = (atom.coeffs, atom.bound, atom.strict)
+            if key in self.atom_inv:
+                raise SoundnessError(f"duplicate atom table entry for {atom}")
+            self.atom_inv[key] = var
+        self.bool_inv: dict[str, int] = {}
+        for var, name in cert.bool_vars.items():
+            claim(var, "bool")
+            if name in self.bool_inv:
+                raise SoundnessError(f"duplicate boolean variable name {name!r}")
+            self.bool_inv[name] = var
+        self.def_inv: dict[tuple, int] = {}
+        for var, (op, children) in cert.defs.items():
+            claim(var, "definition")
+            for child in children:
+                v = abs(child)
+                if not 1 <= v <= nvars:
+                    raise SoundnessError(f"definition child literal {child} out of range")
+                if v >= var:
+                    raise SoundnessError(
+                        f"definition of {var} references {child}: definitions "
+                        f"must be acyclic (children allocated first)"
+                    )
+                if v in guards:
+                    raise SoundnessError(
+                        f"definition of {var} references guard variable {v}"
+                    )
+            self.def_inv[(op, children)] = var
+        self.true_var = cert.true_var
+        if self.true_var is not None:
+            claim(self.true_var, "true-constant")
+        for g in guards:
+            if not isinstance(g, int) or not 1 <= g <= nvars:
+                raise SoundnessError(f"guard variable {g!r} out of range")
+        active_guards = [g for g, _ in cert.frames if g is not None]
+        if set(active_guards) & set(cert.disabled_guards):
+            raise SoundnessError("a frame is both active and disabled")
+        if tuple(cert.assumptions) != tuple(active_guards):
+            raise SoundnessError(
+                "final-check assumptions do not match the active frame guards"
+            )
+        self.disabled = frozenset(cert.disabled_guards)
+        self._memo: dict[int, int] = {}
+        self.expected: set[frozenset[int]] = set()
+        self._build_expected()
+
+    # -- literal reconstruction (mirrors the Tseitin encoder's mapping) ------
+
+    def lit_of(self, term: Term) -> int:
+        cached = self._memo.get(id(term))
+        if cached is not None:
+            return cached
+        lit = self._lit_of(term)
+        self._memo[id(term)] = lit
+        return lit
+
+    def _true_lit(self) -> int:
+        if self.true_var is None:
+            raise SoundnessError(
+                "query folds to a boolean constant but the certificate has "
+                "no true-constant variable"
+            )
+        return self.true_var
+
+    def _lit_of(self, term: Term) -> int:
+        if term.sort is not Sort.BOOL:
+            raise SoundnessError(f"expected boolean term in query: {term!r}")
+        k = term.kind
+        if k is Kind.CONST:
+            return self._true_lit() if term.value else -self._true_lit()
+        if k is Kind.VAR:
+            var = self.bool_inv.get(term.name)
+            if var is None:
+                raise SoundnessError(
+                    f"boolean variable {term.name!r} missing from certificate"
+                )
+            return var
+        if k in (Kind.LE, Kind.LT):
+            norm = _normalize_atom(term)
+            if isinstance(norm, bool):
+                return self._true_lit() if norm else -self._true_lit()
+            upper, atom = norm
+            if not upper:
+                # lower-form atoms are registered as their negation
+                atom = NeutralAtom(atom.coeffs, atom.bound, not atom.strict)
+            var = self.atom_inv.get((atom.coeffs, atom.bound, atom.strict))
+            if var is None:
+                raise SoundnessError(f"atom {term!r} missing from certificate")
+            return var if upper else -var
+        if k is Kind.NOT:
+            return -self.lit_of(term.args[0])
+        if k in (Kind.AND, Kind.OR, Kind.IMPLIES, Kind.IFF, Kind.ITE):
+            children = tuple(self.lit_of(a) for a in term.args)
+            var = self.def_inv.get((k.name, children))
+            if var is None:
+                raise SoundnessError(
+                    f"no Tseitin definition for {k.name} over {children} "
+                    f"in certificate (subterm {term!r})"
+                )
+            return var
+        raise SoundnessError(f"cannot re-encode term of kind {k}: {term!r}")
+
+    # -- expected clause set --------------------------------------------------
+
+    def _build_expected(self) -> None:
+        add = self.expected.add
+        if self.true_var is not None:
+            add(frozenset((self.true_var,)))
+        for var, (op, children) in self.cert.defs.items():
+            self._def_clauses(var, op, children, add)
+        for guard, formulas in self.cert.frames:
+            tail = (-guard,) if guard is not None else ()
+            for f in formulas:
+                self._top_clauses(f, tail, add)
+
+    def _def_clauses(self, f: int, op: str, lits: tuple[int, ...], add) -> None:
+        """The definitional clauses of ``f <=> op(lits)``."""
+        if op == "AND":
+            for l in lits:
+                add(frozenset((-f, l)))
+            add(frozenset((f,) + tuple(-l for l in lits)))
+        elif op == "OR":
+            for l in lits:
+                add(frozenset((-l, f)))
+            add(frozenset((-f,) + lits))
+        elif op == "IMPLIES":
+            if len(lits) != 2:
+                raise SoundnessError(f"IMPLIES definition with {len(lits)} children")
+            a, b = lits
+            add(frozenset((-f, -a, b)))
+            add(frozenset((f, a)))
+            add(frozenset((f, -b)))
+        elif op == "IFF":
+            if len(lits) != 2:
+                raise SoundnessError(f"IFF definition with {len(lits)} children")
+            a, b = lits
+            add(frozenset((-f, -a, b)))
+            add(frozenset((-f, a, -b)))
+            add(frozenset((f, a, b)))
+            add(frozenset((f, -a, -b)))
+        elif op == "ITE":
+            if len(lits) != 3:
+                raise SoundnessError(f"ITE definition with {len(lits)} children")
+            c, t, e = lits
+            add(frozenset((-f, -c, t)))
+            add(frozenset((-f, c, e)))
+            add(frozenset((f, -c, -t)))
+            add(frozenset((f, c, -e)))
+        else:
+            raise SoundnessError(f"unknown definition connective {op!r}")
+
+    def _top_clauses(self, term: Term, tail: tuple[int, ...], add) -> None:
+        """Clauses of one asserted formula (mirrors top-level flattening:
+        AND splits, OR becomes one clause, IMPLIES becomes one clause)."""
+        k = term.kind
+        if k is Kind.AND:
+            for a in term.args:
+                self._top_clauses(a, tail, add)
+            return
+        if k is Kind.OR:
+            add(frozenset(tuple(self.lit_of(a) for a in term.args) + tail))
+            return
+        if k is Kind.IMPLIES:
+            a, b = term.args
+            add(frozenset((-self.lit_of(a), self.lit_of(b)) + tail))
+            return
+        add(frozenset((self.lit_of(term),) + tail))
+
+    def justify_input(self, lits: tuple[int, ...]) -> None:
+        """Raise unless the input clause is grounded in the query."""
+        fs = frozenset(lits)
+        if fs in self.expected:
+            return
+        for l in lits:
+            if l < 0 and -l in self.disabled:
+                return  # satisfied once the popped guard is forced off
+        raise SoundnessError(
+            f"input clause {sorted(fs)} is not part of the compiled query "
+            f"(not definitional, not an asserted formula's clause, and not "
+            f"covered by a disabled guard)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Clause database with unit propagation (the RUP engine)
+# ---------------------------------------------------------------------------
+
+
+class _Clause:
+    __slots__ = ("lits", "deleted")
+
+    def __init__(self, lits: list[int]):
+        self.lits = lits
+        self.deleted = False
+
+
+class _ClauseDb:
+    """Two-watched-literal propagation over the replayed clause set.
+
+    The root trail is persistent (units are consequences and never
+    retract); RUP checks and the final assumption check stack transient
+    assignments on top and roll back to the root mark.
+    """
+
+    def __init__(self, nvars: int):
+        self.nvars = nvars
+        self.values = [0] * (nvars + 1)  # 0 unassigned, +1 true, -1 false
+        self.trail: list[int] = []
+        self.qhead = 0
+        self.watches: dict[int, list[_Clause]] = {}
+        self.by_key: dict[tuple[int, ...], list[_Clause]] = {}
+        self.root_conflict = False
+        self.propagations = 0
+
+    def _value(self, lit: int) -> int:
+        v = self.values[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _check_lits(self, lits) -> list[int]:
+        out = []
+        seen = set()
+        for lit in lits:
+            if not isinstance(lit, int) or lit == 0 or abs(lit) > self.nvars:
+                raise SoundnessError(f"proof literal {lit!r} out of range")
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        return out
+
+    def _enqueue(self, lit: int) -> bool:
+        """Assign ``lit`` true; returns False on conflict."""
+        val = self._value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        self.values[abs(lit)] = 1 if lit > 0 else -1
+        self.trail.append(lit)
+        return True
+
+    def add_clause(self, lits) -> None:
+        """Insert a (justified or verified) clause and propagate."""
+        if self.root_conflict:
+            return
+        lits = self._check_lits(lits)
+        present = set(lits)
+        if any(-l in present for l in lits):
+            return  # tautology: no propagation power, skip
+        if not lits:
+            self.root_conflict = True
+            return
+        # order two non-false literals first: the watch invariant
+        nonfalse = [l for l in lits if self._value(l) != -1]
+        false = [l for l in lits if self._value(l) == -1]
+        clause = _Clause(nonfalse[:2] + false + nonfalse[2:])
+        self.by_key.setdefault(tuple(sorted(lits)), []).append(clause)
+        if not nonfalse:
+            self.root_conflict = True
+            return
+        if len(clause.lits) >= 2:
+            self._attach(clause)
+        if len(nonfalse) == 1:
+            # unit under the current trail (or a unit clause)
+            if not self._enqueue(nonfalse[0]) or self._propagate():
+                self.root_conflict = True
+
+    def _attach(self, clause: _Clause) -> None:
+        self.watches.setdefault(-clause.lits[0], []).append(clause)
+        self.watches.setdefault(-clause.lits[1], []).append(clause)
+
+    def _propagate(self) -> bool:
+        """Unit propagation; returns True iff a conflict was found."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            watchlist = self.watches.get(p)
+            if not watchlist:
+                continue
+            i = j = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                if clause.deleted:
+                    continue  # lazy removal
+                self.propagations += 1
+                lits = clause.lits
+                if lits[0] == -p:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    watchlist[j] = clause
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches.setdefault(-lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchlist[j] = clause
+                j += 1
+                if self._value(first) == -1:
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    self.qhead = len(self.trail)
+                    return True
+                self._enqueue(first)
+            del watchlist[j:]
+        return False
+
+    def _undo_to(self, mark: int) -> None:
+        for lit in self.trail[mark:]:
+            self.values[abs(lit)] = 0
+        del self.trail[mark:]
+        self.qhead = mark
+
+    def rup_check(self, lits) -> None:
+        """Verify ``lits`` by reverse unit propagation; raise on failure."""
+        if self.root_conflict:
+            return  # everything follows from a root contradiction
+        lits = self._check_lits(lits)
+        mark = len(self.trail)
+        confirmed = False
+        for lit in lits:
+            val = self._value(lit)
+            if val == 1:
+                confirmed = True  # satisfied by the trail: a consequence
+                break
+            if val == 0:
+                self.values[abs(lit)] = -1 if lit > 0 else 1
+                self.trail.append(-lit)
+        if not confirmed:
+            confirmed = self._propagate()
+        self._undo_to(mark)
+        if not confirmed:
+            raise SoundnessError(
+                f"clause {sorted(lits)} is not RUP-derivable at this proof step"
+            )
+
+    def delete(self, lits) -> None:
+        key = tuple(sorted(self._check_lits(lits)))
+        bucket = self.by_key.get(key)
+        if not bucket:
+            # deleting an unknown clause cannot hurt soundness; ignore
+            return
+        bucket.pop().deleted = True
+
+    def final_conflict(self, assumptions) -> None:
+        """Demand a conflict when the assumption literals are asserted."""
+        if self.root_conflict:
+            return
+        mark = len(self.trail)
+        conflicted = False
+        for lit in self._check_lits(assumptions):
+            if not self._enqueue(lit) or self._propagate():
+                conflicted = True
+                break
+        self._undo_to(mark)
+        if not conflicted:
+            raise SoundnessError(
+                "the proof does not derive a conflict under the final "
+                "check's assumptions — the UNSAT verdict is not certified"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Farkas certificate verification
+# ---------------------------------------------------------------------------
+
+
+def _check_farkas(
+    atoms: dict[int, NeutralAtom], lits: tuple[int, ...], farkas
+) -> None:
+    """Verify a theory lemma: its literals' negations must carry a valid
+    Farkas contradiction.
+
+    Each ``(literal, coefficient)`` pair asserts the literal's
+    inequality; converted to ``<=`` form and combined with the
+    nonnegative coefficients, all variables must cancel and the
+    resulting constant must be negative — or zero with a strict
+    inequality at positive coefficient (``0 < 0``)."""
+    if not farkas:
+        raise SoundnessError("theory lemma without a Farkas certificate")
+    tags = [t for t, _ in farkas]
+    if frozenset(-t for t in tags) != frozenset(lits):
+        raise SoundnessError(
+            f"theory lemma {sorted(lits)} does not negate its Farkas "
+            f"premises {sorted(tags)}"
+        )
+    combo: dict[str, Fraction] = {}
+    const = Fraction(0)
+    strict_active = False
+    for tag, coeff in farkas:
+        coeff = Fraction(coeff)
+        if coeff < 0:
+            raise SoundnessError(f"negative Farkas coefficient {coeff} on {tag}")
+        if coeff == 0:
+            continue
+        atom = atoms.get(abs(tag))
+        if atom is None:
+            raise SoundnessError(
+                f"Farkas premise {tag} is not a theory literal in the certificate"
+            )
+        if tag > 0:
+            sign, bound, strict = 1, atom.bound, atom.strict
+        else:
+            # not (e <= b) is e > b, i.e. -e < -b; strictness flips
+            sign, bound, strict = -1, -atom.bound, not atom.strict
+        for name, a in atom.coeffs:
+            combo[name] = combo.get(name, Fraction(0)) + coeff * a * sign
+        const += coeff * bound
+        if strict:
+            strict_active = True
+    if any(c != 0 for c in combo.values()):
+        residue = {n: c for n, c in combo.items() if c != 0}
+        raise SoundnessError(
+            f"Farkas combination does not cancel: residue {residue}"
+        )
+    if not (const < 0 or (const == 0 and strict_active)):
+        raise SoundnessError(
+            f"Farkas combination is not contradictory (constant {const}, "
+            f"strict={strict_active})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_certificate(cert: UnsatCertificate) -> CheckReport:
+    """Replay ``cert``; returns a report or raises ``SoundnessError``."""
+    recoder = _Recoder(cert)
+    db = _ClauseDb(cert.nvars)
+    inputs = rups = lemmas = deletions = 0
+    for step in cert.steps:
+        kind = step[0]
+        if kind == "input":
+            inputs += 1
+            recoder.justify_input(step[1])
+            db.add_clause(step[1])
+        elif kind in ("derived", "learn"):
+            rups += 1
+            db.rup_check(step[1])
+            db.add_clause(step[1])
+        elif kind == "theory":
+            lemmas += 1
+            _check_farkas(cert.atoms, step[1], step[2])
+            db.add_clause(step[1])
+        elif kind == "delete":
+            deletions += 1
+            db.delete(step[1])
+        else:
+            raise SoundnessError(f"unknown proof step kind {step[0]!r}")
+    db.final_conflict(cert.assumptions)
+    return CheckReport(
+        steps=len(cert.steps),
+        inputs=inputs,
+        rup_additions=rups,
+        theory_lemmas=lemmas,
+        deletions=deletions,
+        propagations=db.propagations,
+    )

@@ -1,0 +1,153 @@
+"""Proof objects: the data that flows from the solver to the checker.
+
+This module is deliberately **pure data** — it imports nothing from the
+solver (only the standard library), so both sides of the trust boundary
+can depend on it without the checker inheriting solver code:
+
+* the SMT stack (:mod:`repro.smt.sat` / :mod:`repro.smt.solver`) appends
+  proof *steps* to a :class:`ProofLog` while it searches;
+* :meth:`repro.smt.solver.Solver.certificate` snapshots the log together
+  with the symbol tables into an :class:`UnsatCertificate`;
+* the independent checker (:mod:`repro.trust.checker`) replays the
+  certificate with its own propagation engine and exact arithmetic.
+
+Proof steps are plain tuples (hot path: one append per learned clause):
+
+``("input", lits)``
+    A problem clause as handed to ``SatSolver.add_clause`` — before the
+    solver's root-level shrinking.  The checker must *justify* it against
+    the compiled query (a Tseitin definition, the true-constant unit, an
+    asserted formula's clause with its guard tail, a clause satisfied by
+    a disabled guard, or a guard-disable unit) rather than trust it.
+
+``("derived", lits)``
+    A clause the solver derived by reverse-unit-propagation-checkable
+    reasoning (root-level clause shrinking, learned units, the empty
+    clause).  Verified by RUP.
+
+``("learn", lits)``
+    A 1UIP learned clause (after minimization).  Verified by RUP.
+
+``("theory", lits, farkas)``
+    A theory lemma contributed by the Simplex solver.  ``farkas`` is a
+    tuple of ``(literal, coefficient)`` pairs: nonnegative rational
+    multipliers over the inequalities asserted by those literals whose
+    combination is contradictory (variables cancel; constant < 0, or
+    == 0 with a strict inequality at positive coefficient).  Verified by
+    exact Farkas arithmetic, *not* RUP — these are the only axioms the
+    theory may introduce.
+
+``("delete", lits)``
+    A clause removed from the solver's database (GC of root-satisfied
+    clauses after a pop, or learned-clause reduction).  The checker
+    drops one matching clause; deletions can only weaken later RUP
+    checks, never unsound them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+
+class ProofError(Exception):
+    """Proof *production* failed (not a soundness violation).
+
+    Raised when proof mode is requested in a state where a complete
+    certificate can no longer be produced — e.g. arming an already-used
+    solver, asking for a certificate after a non-unsat check, or a
+    theory conflict arriving without a Farkas certificate.
+    """
+
+
+@dataclass(frozen=True)
+class NeutralAtom:
+    """A theory atom in solver-independent form: ``sum(c_i * x_i) <= bound``.
+
+    Always the canonical *upper* form (the solver registers atoms that
+    way); ``strict`` makes the comparison ``<``.  Variables are carried
+    by **name** (real variables are interned by name, so names are
+    unique identifiers) and coefficients/bounds are exact
+    :class:`~fractions.Fraction` values.  ``coeffs`` is sorted by name
+    with the leading coefficient ``+1``, mirroring the canonical scaling
+    of :mod:`repro.smt.linarith` — the checker renormalizes atoms from
+    the query text independently and must land on the same key.
+    """
+
+    coeffs: tuple[tuple[str, Fraction], ...]
+    bound: Fraction
+    strict: bool
+
+
+class ProofLog:
+    """Append-only step log; one per proof-producing solver."""
+
+    __slots__ = ("steps", "inputs", "rup_additions", "theory_lemmas", "deletions")
+
+    def __init__(self):
+        self.steps: list[tuple] = []
+        self.inputs = 0
+        self.rup_additions = 0
+        self.theory_lemmas = 0
+        self.deletions = 0
+
+    def input(self, lits: tuple[int, ...]) -> None:
+        self.inputs += 1
+        self.steps.append(("input", lits))
+
+    def derived(self, lits: tuple[int, ...]) -> None:
+        self.rup_additions += 1
+        self.steps.append(("derived", lits))
+
+    def learn(self, lits: tuple[int, ...]) -> None:
+        self.rup_additions += 1
+        self.steps.append(("learn", lits))
+
+    def theory(self, lits: tuple[int, ...], farkas: tuple) -> None:
+        self.theory_lemmas += 1
+        self.steps.append(("theory", lits, farkas))
+
+    def delete(self, lits: tuple[int, ...]) -> None:
+        self.deletions += 1
+        self.steps.append(("delete", lits))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class UnsatCertificate:
+    """Everything the independent checker needs to confirm an UNSAT verdict.
+
+    The *semantic* tables tie SAT variables back to the compiled query:
+    ``atoms`` maps theory variables to solver-independent inequalities,
+    ``bool_vars`` maps boolean variables to their names, ``defs`` maps
+    each Tseitin auxiliary variable to its connective and child
+    literals, and ``frames`` carries the compiled formulas of every
+    assertion frame *active at the check* together with its guard
+    variable (``None`` for the root frame).  ``disabled_guards`` are the
+    guards of popped frames; ``assumptions`` are the guard literals the
+    final check assumed.
+    """
+
+    #: the proof steps, in solver order (see module docstring)
+    steps: tuple[tuple, ...]
+    #: SAT variable count at certificate time (1-based variables)
+    nvars: int
+    #: theory SAT var -> its inequality
+    atoms: dict[int, NeutralAtom]
+    #: boolean SAT var -> variable name
+    bool_vars: dict[int, str]
+    #: Tseitin aux var -> (connective kind name, child literals)
+    defs: dict[int, tuple[str, tuple[int, ...]]]
+    #: the variable asserted true at the root for constant folding
+    true_var: Optional[int]
+    #: active frames: (guard var or None, compiled formulas) in stack order
+    frames: tuple[tuple[Optional[int], tuple], ...]
+    #: guards of frames popped before the check
+    disabled_guards: frozenset[int]
+    #: assumption literals of the final (unsat) check
+    assumptions: tuple[int, ...]
+    #: informational counters (not part of the checked content)
+    info: dict = field(default_factory=dict, compare=False)

@@ -1,0 +1,255 @@
+"""Crash consistency under injected faults: a SIGKILL mid-write or a
+corrupted file must never lose more than one save interval of work and
+must never produce a wrong (let alone silently wrong) verdict."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.chaos import ChaosConfig, FaultSpec, install, uninstall
+from repro.engine import QueryCache
+from repro.runtime import CheckpointError, CheckpointStore
+from repro.smt import Model, sat, unsat
+
+pytestmark = pytest.mark.chaos
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    uninstall()
+    yield
+    uninstall()
+
+
+def _run_killed(code: str, env_extra: dict) -> subprocess.CompletedProcess:
+    """Run ``code`` in a child that the chaos harness SIGKILLs."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra)
+    proc = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"child was supposed to die by SIGKILL, got rc={proc.returncode}; "
+        f"stderr:\n{proc.stderr}"
+    )
+    return proc
+
+
+class TestCheckpointKill:
+    def test_kill_during_checkpoint_write_preserves_previous_state(self, tmp_path):
+        """SIGKILL between serialize and atomic replace: the surviving
+        checkpoint must be the complete previous generation."""
+        ckpt = str(tmp_path / "run.ckpt")
+        chaos = ChaosConfig(
+            seed=1,
+            # second write dies; the first must survive untouched
+            specs=(FaultSpec("checkpoint.write", "kill", count=1),),
+        ).to_json()
+        # arm only after the first save: count=1 fires on the first
+        # visit, so delayed installation targets the second write
+        code = f"""
+        from repro.chaos import ChaosConfig, install
+        from repro.runtime import CheckpointStore
+        store = CheckpointStore({ckpt!r}, fingerprint="fp")
+        store.save(stats={{"iterations": 1}}, solutions=[],
+                   counterexamples=["c1"], blocked=[])
+        install(ChaosConfig.from_json({chaos!r}))
+        store.save(stats={{"iterations": 2}}, solutions=[],
+                   counterexamples=["c1", "c2"], blocked=[])
+        raise SystemExit("unreachable: the second save should have died")
+        """
+        _run_killed(code, {})
+        store = CheckpointStore(ckpt, fingerprint="fp")
+        state = store.load()
+        assert state is not None
+        assert state.stats["iterations"] == 1
+        assert state.counterexamples == ["c1"]
+
+    def test_kill_leaves_backup_of_generation_n_minus_1(self, tmp_path):
+        """After >= 2 successful saves, a kill mid-write leaves both the
+        latest checkpoint and its .bak intact."""
+        ckpt = str(tmp_path / "run.ckpt")
+        chaos = ChaosConfig(
+            seed=1, specs=(FaultSpec("checkpoint.write", "kill", count=1),)
+        ).to_json()
+        code = f"""
+        from repro.chaos import ChaosConfig, install
+        from repro.runtime import CheckpointStore
+        store = CheckpointStore({ckpt!r}, fingerprint="fp")
+        for i in (1, 2):
+            store.save(stats={{"iterations": i}}, solutions=[],
+                       counterexamples=[], blocked=[])
+        install(ChaosConfig.from_json({chaos!r}))
+        store.save(stats={{"iterations": 3}}, solutions=[],
+                   counterexamples=[], blocked=[])
+        """
+        _run_killed(code, {})
+        store = CheckpointStore(ckpt, fingerprint="fp")
+        assert store.load().stats["iterations"] == 2
+        assert store.has_backup()
+        assert store.load(from_backup=True).stats["iterations"] == 1
+
+
+class TestCheckpointCorruption:
+    def _seed_store(self, tmp_path) -> CheckpointStore:
+        store = CheckpointStore(str(tmp_path / "run.ckpt"), fingerprint="fp")
+        for i in (1, 2):
+            store.save(
+                stats={"iterations": i}, solutions=[], counterexamples=[], blocked=[]
+            )
+        return store
+
+    def test_truncated_checkpoint_names_the_damage(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        size = os.path.getsize(store.path)
+        with open(store.path, "r+b") as f:
+            f.truncate(size // 2)
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            store.load()
+        # the previous generation still loads
+        assert store.load(from_backup=True).stats["iterations"] == 1
+
+    def test_damaged_field_is_named(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        with open(store.path) as f:
+            raw = json.load(f)
+        raw["counterexamples"] = 42  # not a list
+        with open(store.path, "w") as f:
+            json.dump(raw, f)
+        with pytest.raises(CheckpointError, match="'counterexamples'"):
+            store.load()
+
+    def test_bitflipped_checkpoint_never_loads_silently(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        install(
+            ChaosConfig(seed=3, specs=(FaultSpec("victim", "bitflip"),))
+        )
+        from repro.chaos import chaos_point
+
+        chaos_point("victim", path=store.path)
+        try:
+            state = store.load()
+        except CheckpointError:
+            return  # named, diagnosable failure: the contract
+        # a flip that lands in a value can still parse — but then it must
+        # decode to *some* state, never crash unhandled; fingerprint and
+        # per-field decoding guard the semantic fields
+        assert state is None or state.stats is not None
+
+
+class TestCacheCommitKill:
+    def _query_key(self) -> str:
+        return "k" * 16
+
+    def test_kill_during_cache_commit_never_leaves_a_torn_entry(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        chaos = ChaosConfig(
+            seed=1, specs=(FaultSpec("cache.write", "kill"),)
+        ).to_json()
+        code = f"""
+        from repro.chaos import ChaosConfig, install
+        from repro.engine import QueryCache
+        from repro.smt import unsat
+        install(ChaosConfig.from_json({chaos!r}))
+        cache = QueryCache({cache_dir!r})
+        cache.store({self._query_key()!r}, unsat, None)
+        """
+        _run_killed(code, {})
+        # the kill landed after the tmp file was written but before the
+        # atomic publish: the cache sees a miss, never a torn entry
+        cache = QueryCache(cache_dir)
+        assert cache.lookup(self._query_key()) is None
+        entries = [f for f in os.listdir(cache_dir) if f.endswith(".json")]
+        assert entries == []
+
+    def test_interrupted_commit_is_recoverable(self, tmp_path):
+        """After the kill, a fresh process re-solves and commits fine."""
+        cache_dir = str(tmp_path / "cache")
+        chaos = ChaosConfig(
+            seed=1, specs=(FaultSpec("cache.write", "kill", count=1),)
+        ).to_json()
+        code = f"""
+        from repro.chaos import ChaosConfig, install
+        from repro.engine import QueryCache
+        from repro.smt import unsat
+        install(ChaosConfig.from_json({chaos!r}))
+        cache = QueryCache({cache_dir!r})
+        cache.store({self._query_key()!r}, unsat, None)
+        """
+        _run_killed(code, {})
+        cache = QueryCache(cache_dir)
+        cache.store(self._query_key(), unsat, None)
+        assert cache.lookup(self._query_key()) == (unsat, None)
+
+
+class TestCacheCorruptionQuarantine:
+    def _entry_path(self, cache: QueryCache, key: str) -> str:
+        return cache._path(key)
+
+    def test_invalid_json_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = QueryCache(cache_dir)
+        key = "deadbeef"
+        cache.store(key, unsat, None)
+        path = self._entry_path(cache, key)
+        with open(path, "w") as f:
+            f.write("{torn")
+        fresh = QueryCache(cache_dir)  # no in-memory copy
+        assert fresh.lookup(key) is None  # a miss, not an exception
+        assert not os.path.exists(path)
+        qdir = os.path.join(cache_dir, "quarantine")
+        assert os.listdir(qdir)  # the evidence survives
+
+    def test_malformed_entry_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = QueryCache(cache_dir)
+        key = "cafebabe"
+        cache.store(key, unsat, None)
+        path = self._entry_path(cache, key)
+        with open(path, "w") as f:
+            json.dump({"version": 2, "result": "maybe"}, f)
+        fresh = QueryCache(cache_dir)
+        assert fresh.lookup(key) is None
+        assert not os.path.exists(path)
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = QueryCache(cache_dir)
+        key = "feedface"
+        cache.store(key, sat, Model({}, {}))
+        path = self._entry_path(cache, key)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size // 2)
+        fresh = QueryCache(cache_dir)
+        assert fresh.lookup(key) is None
+        assert not os.path.exists(path)
+
+    def test_chaos_bitflip_on_read_path_never_raises(self, tmp_path):
+        """Arm a bitflip on every cache read: lookups must degrade to
+        misses or quarantines, never exceptions or wrong verdicts."""
+        cache_dir = str(tmp_path / "cache")
+        seeded = QueryCache(cache_dir)
+        keys = [f"key{i:04d}" for i in range(20)]
+        for key in keys:
+            seeded.store(key, unsat, None)
+        install(ChaosConfig(seed=7, specs=(FaultSpec("cache.read", "bitflip"),)))
+        victim = QueryCache(cache_dir)
+        for key in keys:
+            entry = victim.lookup(key)
+            assert entry is None or entry == (unsat, None)

@@ -1,0 +1,170 @@
+"""The fault injector itself: deterministic, bounded, env-propagated."""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    FaultInjector,
+    FaultSpec,
+    chaos_point,
+    current_injector,
+    full_jitter_backoff,
+    install,
+    maybe_install_from_env,
+    quarantine_file,
+    uninstall,
+)
+from repro.chaos.faults import ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestFaultSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", kind="meteor")
+
+    def test_config_json_round_trip(self):
+        cfg = ChaosConfig(
+            seed=7,
+            specs=(
+                FaultSpec("cache.read", "bitflip", probability=0.5, count=2),
+                FaultSpec("worker.child", "stall", delay=0.1),
+            ),
+        )
+        assert ChaosConfig.from_json(cfg.to_json()) == cfg
+
+
+class TestDeterminism:
+    def _decisions(self, seed: int, visits: int) -> list[int]:
+        inj = FaultInjector(
+            ChaosConfig(seed=seed, specs=(FaultSpec("p", "error", probability=0.4),))
+        )
+        fired = []
+        for v in range(visits):
+            try:
+                inj.fire("p")
+            except RuntimeError:
+                fired.append(v)
+        return fired
+
+    def test_same_seed_same_schedule(self):
+        assert self._decisions(11, 50) == self._decisions(11, 50)
+
+    def test_different_seed_different_schedule(self):
+        assert self._decisions(11, 50) != self._decisions(12, 50)
+
+    def test_count_bounds_firings(self):
+        inj = FaultInjector(
+            ChaosConfig(seed=1, specs=(FaultSpec("p", "error", count=2),))
+        )
+        errors = 0
+        for _ in range(10):
+            try:
+                inj.fire("p")
+            except RuntimeError:
+                errors += 1
+        assert errors == 2
+        assert inj.visits["p"] == 10
+
+
+class TestInstallation:
+    def test_chaos_point_is_noop_when_uninstalled(self):
+        chaos_point("anything", path="/nonexistent")  # must not raise
+
+    def test_env_install(self, monkeypatch):
+        cfg = ChaosConfig(seed=9, specs=(FaultSpec("p", "error"),))
+        monkeypatch.setenv(ENV_VAR, cfg.to_json())
+        inj = maybe_install_from_env()
+        assert inj is not None and inj.config == cfg
+        assert current_injector() is inj
+
+    def test_in_process_install_wins_over_env(self, monkeypatch):
+        mine = install(ChaosConfig(seed=1))
+        monkeypatch.setenv(
+            ENV_VAR, ChaosConfig(seed=2, specs=(FaultSpec("p", "error"),)).to_json()
+        )
+        assert maybe_install_from_env() is mine
+
+    def test_malformed_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        assert maybe_install_from_env() is None
+        monkeypatch.setenv(ENV_VAR, '{"specs": [{"point": "p"}]}')
+        assert maybe_install_from_env() is None
+
+    def test_disk_full_fault(self):
+        install(ChaosConfig(seed=1, specs=(FaultSpec("p", "disk_full"),)))
+        with pytest.raises(OSError):
+            chaos_point("p")
+
+
+class TestCorruptionFaults:
+    def test_truncate_halves_the_file(self, tmp_path):
+        target = tmp_path / "victim.json"
+        target.write_bytes(b"x" * 100)
+        install(ChaosConfig(seed=1, specs=(FaultSpec("p", "truncate"),)))
+        chaos_point("p", path=str(target))
+        assert target.stat().st_size == 50
+
+    def test_bitflip_changes_one_byte(self, tmp_path):
+        target = tmp_path / "victim.json"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        install(ChaosConfig(seed=1, specs=(FaultSpec("p", "bitflip"),)))
+        chaos_point("p", path=str(target))
+        mutated = target.read_bytes()
+        assert len(mutated) == len(original)
+        assert sum(a != b for a, b in zip(original, mutated)) == 1
+
+
+class TestBackoff:
+    def test_full_jitter_stays_in_envelope(self):
+        rng = random.Random(5)
+        for attempt in range(8):
+            delay = full_jitter_backoff(0.25, attempt, cap=5.0, rng=rng)
+            assert 0.0 <= delay <= min(5.0, 0.25 * 2**attempt)
+
+    def test_cap_binds(self):
+        rng = random.Random(5)
+        assert all(
+            full_jitter_backoff(1.0, 30, cap=2.0, rng=rng) <= 2.0 for _ in range(20)
+        )
+
+    def test_seeded_backoff_replays(self):
+        a = [full_jitter_backoff(0.5, i, rng=random.Random(42)) for i in range(5)]
+        b = [full_jitter_backoff(0.5, i, rng=random.Random(42)) for i in range(5)]
+        assert a == b
+
+
+class TestQuarantine:
+    def test_moves_file_aside(self, tmp_path):
+        victim = tmp_path / "bad.json"
+        victim.write_text("{corrupt")
+        dest = quarantine_file(str(victim), str(tmp_path / "quarantine"), "test")
+        assert dest is not None
+        assert not victim.exists()
+        with open(dest) as f:
+            assert f.read() == "{corrupt"
+
+    def test_collision_gets_distinct_name(self, tmp_path):
+        qdir = str(tmp_path / "quarantine")
+        first = tmp_path / "bad.json"
+        first.write_text("one")
+        d1 = quarantine_file(str(first), qdir, "test")
+        second = tmp_path / "bad.json"
+        second.write_text("two")
+        d2 = quarantine_file(str(second), qdir, "test")
+        assert d1 != d2
+
+    def test_missing_source_is_not_an_error(self, tmp_path):
+        assert (
+            quarantine_file(str(tmp_path / "gone.json"), str(tmp_path / "q"), "test")
+            is None
+        )

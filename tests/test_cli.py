@@ -17,8 +17,8 @@ class TestParser:
             if isinstance(a, argparse._SubParsersAction)
         ][0]
         assert set(subactions.choices) == {
-            "synthesize", "verify", "sweep", "simulate", "assumption",
-            "report", "resume",
+            "synthesize", "verify", "certify", "sweep", "simulate",
+            "assumption", "report", "resume",
         }
 
     def test_unknown_cca_rejected(self):

@@ -1,0 +1,144 @@
+"""The checker must reject tampered certificates — one bit of damage, one
+:class:`SoundnessError`.  These tests are the trust story's teeth: if any
+of them passes silently the checker is rubber-stamping."""
+
+import dataclasses
+from fractions import Fraction
+
+import pytest
+
+from repro.runtime.errors import SoundnessError
+from repro.trust import NeutralAtom, check_certificate
+
+
+def _with_steps(cert, steps):
+    return dataclasses.replace(cert, steps=tuple(steps))
+
+
+def _find(cert, kind):
+    for i, step in enumerate(cert.steps):
+        if step[0] == kind:
+            return i, step
+    pytest.skip(f"certificate has no {kind!r} step")
+
+
+class TestClauseTampering:
+    def test_mutated_input_clause_is_rejected(self, certificate):
+        i, step = _find(certificate, "input")
+        # claim a clause the query never asserted
+        lits = tuple(-l for l in step[1]) or (1,)
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i] + (("input", lits),) + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_foreign_input_clause_is_rejected(self, certificate):
+        # a unit clause on a negated variable: the fixture query asserts
+        # no negated-literal formula at the top, so no frame justifies it
+        foreign = ("input", (-1,))
+        assert foreign[1] not in {s[1] for s in certificate.steps if s[0] == "input"}
+        bad = _with_steps(certificate, (foreign,) + certificate.steps)
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_weakened_learned_clause_is_rejected(self, certificate):
+        # dropping every literal claims the empty clause outright;
+        # RUP must refuse unless propagation really closes the gap
+        i, step = _find(certificate, "learn")
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i] + (("learn", ()),) + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_truncated_proof_is_rejected(self, certificate):
+        # without its tail the proof never reaches the root conflict
+        bad = _with_steps(certificate, certificate.steps[: len(certificate.steps) // 2])
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_empty_proof_is_rejected(self, certificate):
+        with pytest.raises(SoundnessError):
+            check_certificate(_with_steps(certificate, ()))
+
+
+class TestFarkasTampering:
+    def test_scaled_coefficient_is_rejected(self, certificate):
+        i, step = _find(certificate, "theory")
+        farkas = step[2]
+        assert len(farkas) >= 2
+        lit0, coeff0 = farkas[0]
+        bad_farkas = ((lit0, coeff0 * 7),) + tuple(farkas[1:])
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i]
+            + (("theory", step[1], bad_farkas),)
+            + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_negative_multiplier_is_rejected(self, certificate):
+        i, step = _find(certificate, "theory")
+        farkas = step[2]
+        lit0, coeff0 = farkas[0]
+        bad_farkas = ((lit0, -coeff0),) + tuple(farkas[1:])
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i]
+            + (("theory", step[1], bad_farkas),)
+            + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_dropped_multiplier_is_rejected(self, certificate):
+        i, step = _find(certificate, "theory")
+        farkas = step[2]
+        assert len(farkas) >= 2
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i]
+            + (("theory", step[1], tuple(farkas[1:])),)
+            + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_missing_farkas_is_rejected(self, certificate):
+        i, step = _find(certificate, "theory")
+        bad = _with_steps(
+            certificate,
+            certificate.steps[:i]
+            + (("theory", step[1], ()),)
+            + certificate.steps[i + 1:],
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+
+class TestTableTampering:
+    def test_shifted_atom_bound_is_rejected(self, certificate):
+        var, atom = next(iter(certificate.atoms.items()))
+        atoms = dict(certificate.atoms)
+        atoms[var] = NeutralAtom(atom.coeffs, atom.bound + Fraction(1), atom.strict)
+        bad = dataclasses.replace(certificate, atoms=atoms)
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_forged_assumption_is_rejected(self, certificate):
+        bad = dataclasses.replace(
+            certificate, assumptions=certificate.assumptions + (certificate.nvars,)
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
+
+    def test_out_of_range_variable_is_rejected(self, certificate):
+        bad = _with_steps(
+            certificate, (("derived", (certificate.nvars + 5,)),) + certificate.steps
+        )
+        with pytest.raises(SoundnessError):
+            check_certificate(bad)
