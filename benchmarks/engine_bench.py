@@ -22,6 +22,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/engine_bench.py [--quick] [--out PATH]
                                                      [--no-compile-pipeline]
+                                                     [--append-history PATH]
 
 ``--quick`` scales the workloads down for CI smoke runs (~1 minute);
 the default is laptop scale.  ``--no-compile-pipeline`` runs the cache /
@@ -29,6 +30,11 @@ incremental / portfolio workloads over the raw encode path (CI uploads
 both reports side by side); the compile workload always measures both
 paths explicitly.  Exit status is non-zero when any equivalence or
 speedup assertion fails, so CI can gate on it.
+
+``--out`` refuses to overwrite a committed *trajectory* file (a
+``{"history": [...]}`` document; see :mod:`repro.obs.trajectory`) —
+write the single-run report elsewhere and fold it into the history with
+``--append-history BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -286,7 +292,24 @@ def main(argv=None) -> int:
         help="run the cache/incremental/portfolio workloads over the raw "
              "encode path (for before/after comparison in CI)",
     )
+    parser.add_argument(
+        "--append-history", metavar="PATH", default=None,
+        help="additionally append a git-sha-stamped summary of this run "
+             "to the trajectory file at PATH (e.g. BENCH_engine.json)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs import trajectory as traj
+
+    if traj.is_trajectory(args.out):
+        print(
+            f"refusing to overwrite {args.out}: it is a committed benchmark "
+            f"trajectory (history), not a single-run report.\n"
+            f"Write the report elsewhere (--out report.json) and fold it in "
+            f"with --append-history {args.out}.",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.no_compile_pipeline:
         os.environ[ENV_FLAG] = "1"  # portfolio workers inherit the flag
@@ -349,6 +372,10 @@ def main(argv=None) -> int:
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
     print(f"wrote {args.out}  [{'ok' if report['ok'] else 'FAIL'}]")
+    if args.append_history:
+        entry = traj.append_entry(args.append_history, report)
+        print(f"appended {entry['git_sha']} ({len(entry['metrics'])} metrics) "
+              f"to {args.append_history}")
     return 0 if report["ok"] else 1
 
 

@@ -1,0 +1,102 @@
+"""Benchmark trajectory maintenance: fold engine_bench runs into history.
+
+``BENCH_engine.json`` is a committed, append-only history of
+``engine_bench`` runs (see :mod:`repro.obs.trajectory`).  This wrapper
+appends a single-run report to it and shows the recorded trajectory::
+
+    PYTHONPATH=src python benchmarks/trajectory.py append report.json \
+        [--history BENCH_engine.json] [--git-sha SHA]
+    PYTHONPATH=src python benchmarks/trajectory.py show \
+        [--history BENCH_engine.json]
+
+``append`` is what CI (and ``engine_bench --append-history``) uses after
+a bench run; ``show`` renders the history as one line per entry so a
+reviewer can eyeball the trend without opening the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs.trajectory import (  # noqa: E402
+    TRACKED_TIMINGS,
+    append_entry,
+    load_history,
+)
+
+
+def cmd_append(args) -> int:
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read report {args.report!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(report, dict) or "bench" not in report:
+        print(f"{args.report!r} does not look like a bench report",
+              file=sys.stderr)
+        return 2
+    entry = append_entry(args.history, report, git_sha=args.git_sha)
+    print(f"appended {entry['git_sha']} "
+          f"({'quick' if entry['quick'] else 'full'}, "
+          f"{len(entry['metrics'])} metrics, ok={entry['ok']}) "
+          f"to {args.history}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    try:
+        trajectory = load_history(args.history)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    history = trajectory.get("history", [])
+    if not history:
+        print(f"{args.history}: empty trajectory")
+        return 0
+    print(f"{args.history}: {len(history)} entries "
+          f"(bench={trajectory.get('bench', '?')})")
+    shown = [t for t in TRACKED_TIMINGS
+             if any(t in e.get("metrics", {}) for e in history)]
+    for entry in history:
+        metrics = entry.get("metrics", {})
+        cells = " ".join(
+            f"{t.split('.', 1)[1]}={metrics[t]:g}s"
+            for t in shown if t in metrics
+        )
+        print(f"  {entry.get('ts') or '-':>20}  {entry.get('git_sha', '?'):>14}  "
+              f"{'quick' if entry.get('quick') else 'full ':<5} "
+              f"ok={str(entry.get('ok')):<5} {cells}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="fold a bench report into the history")
+    p_append.add_argument("report", help="single-run engine_bench JSON report")
+    p_append.add_argument("--history", default="BENCH_engine.json",
+                          help="trajectory file (default: %(default)s)")
+    p_append.add_argument("--git-sha", default=None,
+                          help="override the recorded sha (default: HEAD)")
+    p_append.set_defaults(func=cmd_append)
+
+    p_show = sub.add_parser("show", help="render the history, one line per entry")
+    p_show.add_argument("--history", default="BENCH_engine.json",
+                        help="trajectory file (default: %(default)s)")
+    p_show.set_defaults(func=cmd_show)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

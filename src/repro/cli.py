@@ -8,7 +8,13 @@ Commands:
 * ``simulate``   — run CCAs on the discrete-time simulator;
 * ``assumption`` — synthesize the weakest sufficient environment
   assumption for a CCA;
-* ``report``     — per-phase breakdown of a JSONL trace;
+* ``report``     — per-phase breakdown of a JSONL trace (worker lanes,
+  cache and certify attribution; ``--perfetto out.json`` additionally
+  exports a Chrome/Perfetto ``trace_event`` file with one lane per
+  worker);
+* ``bench-diff`` — gate a fresh ``engine_bench`` report against the
+  committed ``BENCH_engine.json`` trajectory (nonzero exit beyond
+  ``--max-regress``);
 * ``resume``     — continue a synthesis run from its ``--checkpoint``
   file after a crash or kill (``--from-backup`` recovers from a
   corrupt latest checkpoint);
@@ -28,6 +34,12 @@ Global observability flags (accepted before or after the subcommand):
   (spans, events, and a final metrics snapshot);
 * ``--log-level {quiet,info,debug}`` — live console rendering of events
   (``info``) and span timings (``debug``).
+
+A flight recorder (bounded ring buffer of the most recent trace
+records) is always on: a :class:`SoundnessError`, an exhausted worker
+escalation, or an unhandled crash dumps ``flightrec-*.jsonl`` next to
+the checkpoint (or into the working directory) for post-mortem
+``ccmatic report``.
 """
 
 from __future__ import annotations
@@ -365,6 +377,63 @@ def cmd_report(args) -> int:
         print(render_trace_report(args.trace_file))
     except OSError as exc:
         raise SystemExit(f"cannot read trace {args.trace_file!r}: {exc}")
+    perfetto = getattr(args, "perfetto", None)
+    if perfetto:
+        from .obs.export import export_perfetto
+
+        try:
+            info = export_perfetto(args.trace_file, perfetto)
+        except OSError as exc:
+            raise SystemExit(f"cannot write perfetto export: {exc}")
+        print(
+            f"\nperfetto export: {perfetto} ({info['spans']} spans, "
+            f"{info['lanes']} lanes; open at https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    """Diff a fresh engine_bench report against the committed trajectory."""
+    import json
+
+    from .obs.trajectory import latest_comparable, load_history, regressions
+
+    try:
+        with open(args.current, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except ValueError as exc:
+        raise SystemExit(f"cannot parse bench report {args.current!r}: {exc}")
+    try:
+        trajectory = load_history(args.baseline)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load baseline {args.baseline!r}: {exc}")
+    baseline = latest_comparable(trajectory, report.get("quick"))
+    if baseline is None:
+        print(f"no baseline history in {args.baseline}; nothing to diff")
+        return 0
+    failures, rows = regressions(report, baseline, args.max_regress)
+    print(
+        f"bench-diff: {args.current} vs {args.baseline} "
+        f"(baseline sha {baseline.get('git_sha', '?')}, "
+        f"gate {args.max_regress:.0f}%)"
+    )
+    for row in rows:
+        if row["kind"] == "timing":
+            print(
+                f"  {row['metric']:28s} {row['baseline']:9.3f}s -> "
+                f"{row['current']:9.3f}s  {row['delta_pct']:+7.1f}%"
+            )
+        else:
+            base = f"{row['baseline']:.2f}x" if row["baseline"] else "?"
+            print(
+                f"  {row['metric']:28s} {base:>10s} -> "
+                f"{row['current']:9.2f}x"
+            )
+    if failures:
+        names = ", ".join(f["metric"] for f in failures)
+        print(f"REGRESSION: {len(failures)} gate(s) breached [{names}]")
+        return 1
+    print("ok: within the regression gate")
     return 0
 
 
@@ -451,8 +520,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="per-phase breakdown of a JSONL trace")
     p.add_argument("trace_file", type=_readable_file,
-                   help="trace captured with --trace")
+                   help="trace captured with --trace (or a flight-recorder "
+                        "dump)")
+    p.add_argument("--perfetto", metavar="PATH", default=None,
+                   help="additionally export a Chrome/Perfetto trace_event "
+                        "JSON with one lane per worker")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="gate an engine_bench report against the committed trajectory",
+    )
+    p.add_argument("current", type=_readable_file,
+                   help="fresh engine_bench report JSON")
+    p.add_argument("--baseline", default="BENCH_engine.json", metavar="PATH",
+                   help="committed trajectory to diff against "
+                        "(default: %(default)s)")
+    p.add_argument("--max-regress", type=_positive_float, default=25.0,
+                   metavar="PCT",
+                   help="fail when a tracked timing regresses more than "
+                        "PCT%% (default: %(default)s)")
+    p.set_defaults(func=cmd_bench_diff)
 
     p = sub.add_parser(
         "resume", help="continue a checkpointed synthesis run", parents=[obs]
@@ -496,6 +584,21 @@ def _configure_observability(args, argv) -> list:
     return sinks
 
 
+def _configure_flight_recorder(args) -> None:
+    """Arm the always-on flight recorder; dumps land next to the
+    checkpoint when the run has one, else in the working directory."""
+    import os
+
+    from .obs import ensure_flight_recorder, set_dump_dir
+
+    checkpoint = getattr(args, "checkpoint", None) or getattr(
+        args, "checkpoint_file", None
+    )
+    dump_dir = os.path.dirname(os.path.abspath(checkpoint)) if checkpoint else "."
+    set_dump_dir(dump_dir)
+    ensure_flight_recorder()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "no_compile_pipeline", False):
@@ -508,9 +611,24 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[ENV_FLAG] = "1"
         set_pipeline_enabled(False)
     tr = tracer()
+    _configure_flight_recorder(args)
     sinks = _configure_observability(args, argv)
     try:
         return args.func(args)
+    except (SystemExit, KeyboardInterrupt, BrokenPipeError):
+        # intentional exits are not crashes; a broken pipe just means
+        # the consumer (e.g. `| head`) went away
+        raise
+    except BaseException:
+        # the black box: an unhandled crash (including a SoundnessError
+        # that escaped the runtime) dumps the last trace records before
+        # the traceback reaches the user
+        from .obs import dump_flight
+
+        path = dump_flight("crash")
+        if path:
+            print(f"flight recorder dumped to {path}", file=sys.stderr)
+        raise
     finally:
         if sinks:
             tr.emit_metrics(metrics().snapshot())

@@ -26,6 +26,8 @@ from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Callable, Optional, Sequence
 
 from ..obs import DEBUG, metrics, tracer
+from ..obs.flight import dump_flight
+from ..obs.relay import TraceContext, drain_telemetry, merge_frame
 from ..runtime.errors import SoundnessError, WorkerError
 from ..runtime.workers import WorkerLimits, WorkerReport, reap_worker, spawn_worker
 
@@ -45,6 +47,9 @@ class PortfolioOutcome:
     #: per-index reports for tasks that finished on their own
     reports: dict[int, WorkerReport] = field(default_factory=dict)
     wall_time: float = 0.0
+    #: telemetry frames received per task index (merged by run_portfolio;
+    #: kept for callers that want per-worker attribution)
+    telemetry: dict[int, list] = field(default_factory=dict)
 
 
 def run_portfolio(
@@ -69,62 +74,105 @@ def run_portfolio(
     is never racy), and :class:`WorkerError` if every task errored.
     """
     accept = accept or (lambda _result: True)
+    tr = tracer()
     start = time.perf_counter()
     deadline = None if wall_time is None else start + wall_time
     workers: dict[int, tuple] = {}  # index -> (proc, conn)
     outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
-    try:
-        for i, task in enumerate(tasks):
-            fn, args = task[0], task[1]
-            kwargs = task[2] if len(task) > 2 else None
-            workers[i] = spawn_worker(fn, args, kwargs, memory_mb)
-        pending = dict(workers)
-        while pending and outcome.winner is None:
-            timeout = None
-            if deadline is not None:
-                timeout = deadline - time.perf_counter()
-                if timeout <= 0:
-                    break
-            conns = {conn: i for i, (_p, conn) in pending.items()}
-            ready = _wait_connections(list(conns), timeout=timeout)
-            if not ready:
-                break  # race-level timeout
-            for conn in ready:
-                i = conns[conn]
-                proc, _ = pending.pop(i)
-                try:
-                    status, payload = conn.recv()
-                except (EOFError, OSError):
-                    status, payload = "crash", f"worker died with exit code {proc.exitcode}"
-                if status == "soundness":
-                    raise SoundnessError(payload)
-                if status == "ok":
-                    report = WorkerReport(
-                        status="ok", result=payload,
-                        wall_time=time.perf_counter() - start,
-                    )
-                    outcome.reports[i] = report
-                    if accept(payload):
-                        outcome.winner = i
-                        outcome.result = payload
+    with tr.span("engine.portfolio.race", size=len(tasks)) as race:
+        anchor = getattr(race, "span_id", None)
+        anchor_depth = getattr(race, "depth", 0)
+        try:
+            for i, task in enumerate(tasks):
+                fn, args = task[0], task[1]
+                kwargs = task[2] if len(task) > 2 else None
+                workers[i] = spawn_worker(
+                    fn, args, kwargs, memory_mb,
+                    trace_ctx=TraceContext(
+                        trace_id=tr.trace_id,
+                        parent_span=anchor,
+                        worker_id=f"w{i}",
+                    ),
+                )
+            pending = dict(workers)
+            while pending and outcome.winner is None:
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.perf_counter()
+                    if timeout <= 0:
                         break
+                conns = {conn: i for i, (_p, conn) in pending.items()}
+                ready = _wait_connections(list(conns), timeout=timeout)
+                if not ready:
+                    break  # race-level timeout
+                for conn in ready:
+                    i = conns[conn]
+                    proc, _ = pending[i]
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        msg = ("crash", f"worker died with exit code {proc.exitcode}")
+                    if (
+                        isinstance(msg, tuple) and len(msg) == 2
+                        and msg[0] == "telemetry"
+                    ):
+                        # the final status message follows on this pipe;
+                        # leave the worker pending until it arrives
+                        outcome.telemetry.setdefault(i, []).append(msg[1])
+                        continue
+                    pending.pop(i)
+                    status, payload = msg
+                    if status == "soundness":
+                        # merge what already arrived so the black box
+                        # carries the offending worker's final spans
+                        for frames in outcome.telemetry.values():
+                            for frame in frames:
+                                merge_frame(
+                                    frame, anchor_span=anchor,
+                                    anchor_depth=anchor_depth,
+                                )
+                        outcome.telemetry.clear()
+                        dump_flight("soundness")
+                        raise SoundnessError(payload)
+                    if status == "ok":
+                        report = WorkerReport(
+                            status="ok", result=payload,
+                            wall_time=time.perf_counter() - start,
+                        )
+                        outcome.reports[i] = report
+                        if accept(payload):
+                            outcome.winner = i
+                            outcome.result = payload
+                            break
+                    else:
+                        outcome.reports[i] = WorkerReport(
+                            status=status, detail=str(payload),
+                            wall_time=time.perf_counter() - start,
+                        )
+            # anything still pending lost the race (or hit the deadline);
+            # a loser that finished just after the winner may have its
+            # telemetry sitting in the pipe — keep it, drop its verdict
+            for i, (proc, conn) in pending.items():
+                drain_telemetry(conn, outcome.telemetry.setdefault(i, []))
+                if not outcome.telemetry[i]:
+                    del outcome.telemetry[i]
+                if outcome.winner is not None:
+                    outcome.cancelled.append(i)
                 else:
                     outcome.reports[i] = WorkerReport(
-                        status=status, detail=str(payload),
-                        wall_time=time.perf_counter() - start,
+                        status="timeout",
+                        detail=f"portfolio race exceeded {wall_time:.1f}s" if wall_time else "timeout",
                     )
-        # anything still pending lost the race (or hit the deadline)
-        for i, (proc, conn) in pending.items():
-            if outcome.winner is not None:
-                outcome.cancelled.append(i)
-            else:
-                outcome.reports[i] = WorkerReport(
-                    status="timeout",
-                    detail=f"portfolio race exceeded {wall_time:.1f}s" if wall_time else "timeout",
-                )
-    finally:
-        for proc, conn in workers.values():
-            reap_worker(proc, conn, kill_grace)
+        finally:
+            for proc, conn in workers.values():
+                reap_worker(proc, conn, kill_grace)
+        for i, frames in sorted(outcome.telemetry.items()):
+            for frame in frames:
+                merge_frame(frame, anchor_span=anchor, anchor_depth=anchor_depth)
+        race.set(
+            winner=outcome.winner,
+            relayed=sum(len(f) for f in outcome.telemetry.values()),
+        )
     outcome.cancelled.sort()
     outcome.wall_time = time.perf_counter() - start
     if outcome.winner is None and outcome.reports and all(
@@ -297,6 +345,12 @@ class PortfolioVerifier:
                 cancelled=len(outcome.cancelled),
             )
         # nobody conclusive: honest degraded unknown for the first candidate
+        if outcome.reports and all(
+            r.status in ("timeout", "oom", "crash")
+            for r in outcome.reports.values()
+        ):
+            # the entire round was killed — preserve the black box
+            dump_flight("portfolio-lost")
         result = VerificationResult(
             candidate=candidates[0],
             verified=False,

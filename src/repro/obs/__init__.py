@@ -17,6 +17,18 @@ solver cost attribution).  Three pieces:
   short-lived ``Solver`` instances.
 * :mod:`repro.obs.report` — parse a JSONL trace back into a per-phase
   time/iteration breakdown (``ccmatic report``).
+* :mod:`repro.obs.relay` — cross-process telemetry: worker children
+  buffer their spans/events/metric deltas and ship them back over the
+  result pipe as one advisory frame; the parent merges them under the
+  span that launched the worker, tagged with the worker id.
+* :mod:`repro.obs.flight` — an always-attachable ring-buffer sink (the
+  flight recorder) dumped to ``flightrec-*.jsonl`` on soundness errors,
+  exhausted worker escalations, and unhandled CLI crashes.
+* :mod:`repro.obs.export` — Perfetto/Chrome ``trace_event`` export of a
+  JSONL trace (``ccmatic report --perfetto``), one lane per worker.
+* :mod:`repro.obs.trajectory` — the committed ``BENCH_*.json`` history:
+  append git-sha-stamped benchmark runs, diff against the last snapshot
+  (``ccmatic bench-diff``), gate CI on regressions.
 
 Capture a trace from the CLI with ``ccmatic synthesize --trace out.jsonl``
 and inspect it with ``ccmatic report out.jsonl``.
@@ -33,7 +45,15 @@ from .events import (
     Tracer,
     tracer,
 )
+from .flight import (
+    FlightRecorder,
+    dump_flight,
+    ensure_flight_recorder,
+    flight_recorder,
+    set_dump_dir,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .relay import TraceContext, merge_frame
 
 __all__ = [
     "DEBUG",
@@ -41,13 +61,20 @@ __all__ = [
     "WARN",
     "ConsoleSink",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
     "Sink",
     "Span",
+    "TraceContext",
     "Tracer",
+    "dump_flight",
+    "ensure_flight_recorder",
+    "flight_recorder",
+    "merge_frame",
     "metrics",
+    "set_dump_dir",
     "tracer",
 ]

@@ -34,6 +34,7 @@ import json
 import sys
 import threading
 import time
+import uuid
 from typing import Optional, TextIO
 
 #: severity levels (a strict subset of the stdlib logging scale)
@@ -199,6 +200,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 0
         self.enabled = False
+        #: stable identifier of this tracer's stream; carried across
+        #: process boundaries by the worker telemetry relay so child
+        #: frames can be matched to the run that spawned them
+        self.trace_id = uuid.uuid4().hex[:16]
 
     # -- sink management ------------------------------------------------------
 
@@ -229,6 +234,17 @@ class Tracer:
     def current_span_id(self) -> Optional[int]:
         stack = self._stack()
         return stack[-1].span_id if stack else None
+
+    def allocate_ids(self, n: int) -> int:
+        """Reserve ``n`` consecutive span ids; returns the first.
+
+        Used by the telemetry relay to re-number spans shipped back from
+        worker processes without colliding with locally opened spans.
+        """
+        with self._lock:
+            first = self._next_id + 1
+            self._next_id += n
+        return first
 
     def span(self, name: str, level: int = INFO, **attrs):
         """Open a nestable span; returns a context manager."""

@@ -1,0 +1,153 @@
+"""Perfetto / Chrome ``trace_event`` export of a JSONL trace.
+
+``ccmatic report out.jsonl --perfetto trace.json`` converts the span
+records of a ``--trace`` capture into the Trace Event Format that
+https://ui.perfetto.dev and ``chrome://tracing`` open directly:
+
+* every span becomes a complete (``"ph": "X"``) event with microsecond
+  timestamps, its dotted-name prefix as the category, and its attributes
+  under ``args``;
+* every point event becomes a thread-scoped instant (``"ph": "i"``);
+* records carry one *lane* (``tid``) per worker — the ``worker`` tag the
+  telemetry relay stamps on records shipped back from forked workers —
+  with the parent process's own records on lane 0, so a ``--jobs N``
+  portfolio run renders as N+1 parallel tracks;
+* lanes are named via ``thread_name`` metadata events and ordered
+  main-first via ``thread_sort_index``.
+
+Timestamps are rebased to the earliest record so the viewer opens at
+t=0 instead of the Unix epoch.  Malformed lines are skipped (counted),
+matching :func:`repro.obs.report.parse_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, TextIO, Union
+
+from .report import iter_records
+
+__all__ = ["export_perfetto", "to_perfetto"]
+
+#: lane of records with no worker tag (the parent process itself)
+MAIN_LANE = "main"
+
+
+def _lane_of(rec: dict) -> str:
+    attrs = rec.get("attrs")
+    if isinstance(attrs, dict):
+        worker = attrs.get("worker")
+        if worker is not None:
+            return str(worker)
+    return MAIN_LANE
+
+
+def to_perfetto(lines: Iterable[str]) -> dict:
+    """Build a Trace Event Format dict from JSONL trace lines."""
+    spans: list[dict] = []
+    instants: list[dict] = []
+    lanes: dict[str, int] = {MAIN_LANE: 0}
+    base_ts: float | None = None
+
+    def lane_id(rec: dict) -> int:
+        lane = _lane_of(rec)
+        if lane not in lanes:
+            lanes[lane] = len(lanes)
+        return lanes[lane]
+
+    records, malformed = [], 0
+    for rec in iter_records(lines):
+        if rec is None:
+            malformed += 1
+            continue
+        kind = rec.get("type")
+        if kind not in ("span", "event"):
+            continue
+        try:
+            ts = float(rec.get("ts", 0.0))
+        except (TypeError, ValueError):
+            malformed += 1
+            continue
+        if base_ts is None or ts < base_ts:
+            base_ts = ts
+        records.append(rec)
+    base_ts = base_ts or 0.0
+
+    for rec in records:
+        ts_us = (float(rec["ts"]) - base_ts) * 1e6
+        name = str(rec.get("name", "?"))
+        category = name.split(".", 1)[0]
+        attrs = rec.get("attrs")
+        args = {
+            str(k): v for k, v in attrs.items()
+        } if isinstance(attrs, dict) else {}
+        if rec.get("type") == "span":
+            try:
+                dur_us = max(0.0, float(rec.get("dur", 0.0)) * 1e6)
+            except (TypeError, ValueError):
+                dur_us = 0.0
+            spans.append({
+                "name": name,
+                "cat": category,
+                "ph": "X",
+                "ts": round(ts_us, 3),
+                "dur": round(dur_us, 3),
+                "pid": 0,
+                "tid": lane_id(rec),
+                "args": args,
+            })
+        else:
+            instants.append({
+                "name": name,
+                "cat": category,
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": round(ts_us, 3),
+                "pid": 0,
+                "tid": lane_id(rec),
+                "args": args,
+            })
+
+    meta_events = []
+    for lane, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        meta_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": lane if lane == MAIN_LANE else f"worker {lane}"},
+        })
+        meta_events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    meta_events.append({
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": "ccmatic"},
+    })
+
+    return {
+        "traceEvents": meta_events + spans + instants,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.export",
+            "lanes": len(lanes),
+            "spans": len(spans),
+            "instants": len(instants),
+            "malformed_lines_skipped": malformed,
+        },
+    }
+
+
+def export_perfetto(
+    trace: Union[str, TextIO], out_path: str
+) -> dict:
+    """Convert a JSONL trace file to a Perfetto JSON file.
+
+    Returns the export's ``otherData`` summary (lane/span counts).
+    """
+    if hasattr(trace, "read"):
+        doc = to_perfetto(trace)
+    else:
+        with open(trace, "r", encoding="utf-8") as f:
+            doc = to_perfetto(f)
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return doc["otherData"]

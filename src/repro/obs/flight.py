@@ -1,0 +1,150 @@
+"""Always-on flight recorder: the last N trace records, dumped on disaster.
+
+A :class:`FlightRecorder` is a sink holding a bounded ring buffer of
+every record the tracer emits — spans, events, metrics snapshots, and
+telemetry relayed from workers.  Appending to the ring is the only
+steady-state cost; no I/O happens until :meth:`FlightRecorder.dump`.
+Because it is a plain sink, attaching it enables the tracer, so
+instrumented code keeps emitting even when no ``--trace`` file was
+requested: when a run dies, the black box has the final approach.
+
+Dump triggers (wired by the runtime and the CLI):
+
+* a :class:`~repro.runtime.errors.SoundnessError` surfacing from a
+  worker or the in-process verifier;
+* a worker kill escalation exhausting its retries (OOM/timeout/crash);
+* an unhandled CLI crash.
+
+Dumps land in ``<dump_dir>/flightrec-<reason>-<pid>-<seq>.jsonl`` —
+``dump_dir`` defaults to the checkpoint directory when the run has one
+(set via :func:`set_dump_dir`) — and are ordinary JSONL traces:
+``ccmatic report`` parses them like any ``--trace`` output.  Library
+use without a configured directory keeps :func:`dump_flight` a no-op,
+so embedding code never finds surprise files in its cwd.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from .events import DEBUG, Sink, tracer
+
+__all__ = [
+    "FlightRecorder",
+    "dump_flight",
+    "ensure_flight_recorder",
+    "flight_recorder",
+    "set_dump_dir",
+]
+
+#: default ring capacity; at the trace's record sizes this is a few MiB
+#: resident and covers minutes of a busy synthesis run
+DEFAULT_CAPACITY = 8192
+
+
+class FlightRecorder(Sink):
+    """Bounded ring-buffer sink; near-zero cost until :meth:`dump`."""
+
+    level = DEBUG
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.seen = 0          # total records ever emitted through us
+        self.dumps: list[str] = []  # paths written so far
+        self._seq = 0
+
+    def emit(self, record: dict) -> None:
+        self.seen += 1
+        self._ring.append(record)
+
+    def snapshot(self) -> list:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def dump(self, path: Optional[str] = None, reason: str = "manual",
+             dump_dir: Optional[str] = None) -> Optional[str]:
+        """Write the ring to a JSONL file; returns the path (or None).
+
+        With neither ``path`` nor a dump directory configured this is a
+        no-op: the recorder never invents a location.  Write failures
+        are swallowed — the flight recorder must not add a second
+        failure to whatever emergency triggered the dump.
+        """
+        if path is None:
+            directory = dump_dir if dump_dir is not None else _DUMP_DIR
+            if directory is None:
+                return None
+            with self._lock:
+                self._seq += 1
+                seq = self._seq
+            path = os.path.join(
+                directory,
+                f"flightrec-{reason}-{os.getpid()}-{seq}.jsonl",
+            )
+        records = self.snapshot()
+        header = {
+            "type": "meta",
+            "ts": time.time(),
+            "lvl": DEBUG,
+            "flight_recorder": True,
+            "reason": reason,
+            "captured": len(records),
+            "seen": self.seen,
+        }
+        try:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(json.dumps(header, default=str) + "\n")
+                for rec in records:
+                    f.write(json.dumps(rec, default=str) + "\n")
+        except (OSError, TypeError, ValueError):
+            return None
+        self.dumps.append(path)
+        return path
+
+
+# -- process-global recorder ---------------------------------------------------
+
+_RECORDER: Optional[FlightRecorder] = None
+_DUMP_DIR: Optional[str] = None
+
+
+def flight_recorder() -> Optional[FlightRecorder]:
+    """The installed recorder, if :func:`ensure_flight_recorder` ran."""
+    return _RECORDER
+
+
+def ensure_flight_recorder(capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    """Install (or return) the process-global recorder, attached to the
+    global tracer.  Idempotent; re-attaches if something removed it."""
+    global _RECORDER
+    if _RECORDER is None:
+        _RECORDER = FlightRecorder(capacity)
+    tr = tracer()
+    if _RECORDER not in tr.sinks:
+        tr.add_sink(_RECORDER)
+    return _RECORDER
+
+
+def set_dump_dir(path: Optional[str]) -> None:
+    """Where automatic dumps land; None disables them (library default)."""
+    global _DUMP_DIR
+    _DUMP_DIR = path
+
+
+def dump_flight(reason: str) -> Optional[str]:
+    """Dump the global recorder if installed and a dump dir is set."""
+    if _RECORDER is None:
+        return None
+    return _RECORDER.dump(reason=reason)

@@ -164,8 +164,16 @@ def run_synthesis(query, options: Optional[RuntimeOptions] = None):
     stack.
     """
     from ..core.synthesizer import synthesize
+    from ..obs import ensure_flight_recorder, set_dump_dir
 
     options = options or RuntimeOptions()
+    # arm the flight recorder next to the checkpoint so a soundness
+    # error or worker escalation leaves a black box beside the run state
+    if options.checkpoint_path:
+        set_dump_dir(
+            os.path.dirname(os.path.abspath(options.checkpoint_path)) or "."
+        )
+    ensure_flight_recorder()
     verifier, parts = _build_verifier(query, options)
     checkpoint = (
         make_checkpoint_store(query, options.checkpoint_path)

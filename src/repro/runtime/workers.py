@@ -31,6 +31,8 @@ from typing import Any, Optional
 from ..chaos.faults import chaos_point, maybe_install_from_env
 from ..chaos.supervisor import full_jitter_backoff
 from ..obs import WARN, metrics, tracer
+from ..obs.flight import dump_flight
+from ..obs.relay import TraceContext, merge_frame, start_capture
 from ..smt.terms import interned_scope
 from .errors import SoundnessError, WorkerError
 
@@ -80,13 +82,15 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
-    """Worker bootstrap: drop inherited sinks, cap memory, run, report."""
-    tr = tracer()
-    for sink in list(tr.sinks):
-        # a forked child shares the parent's open trace file; writing from
-        # both would interleave records mid-line
-        tr.remove_sink(sink)
+def _child_entry(
+    conn, fn, args, kwargs, memory_mb: Optional[int],
+    trace_ctx: Optional[TraceContext] = None,
+) -> None:
+    """Worker bootstrap: neutralize inherited sinks (the relay supersedes
+    them — writing to the parent's shared trace fd would interleave
+    records mid-line), start telemetry capture, cap memory, run, then
+    ship the telemetry frame followed by the final status message."""
+    capture = start_capture(trace_ctx)
     if memory_mb is not None:
         try:
             import resource
@@ -96,6 +100,15 @@ def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
         except (ImportError, ValueError, OSError):
             pass  # platform without rlimits: watchdog still applies
     maybe_install_from_env()
+
+    def _ship_telemetry() -> None:
+        # advisory by design: a frame that cannot be built or sent is
+        # simply absent; the status message that follows must still go out
+        try:
+            conn.send(("telemetry", capture.finish()))
+        except Exception:  # noqa: BLE001 - never mask the real outcome
+            pass
+
     try:
         # inside the try: an injected MemoryError reports as "oom", an
         # injected RuntimeError as "error"; a kill is a hard death the
@@ -107,13 +120,20 @@ def _child_entry(conn, fn, args, kwargs, memory_mb: Optional[int]) -> None:
         # as the work is done (results crossing the pipe are plain data,
         # never Term objects, so nothing escapes the scope).
         with interned_scope():
-            result = fn(*args, **(kwargs or {}))
+            with tracer().span(
+                "worker.run", task=getattr(fn, "__name__", "?"),
+            ):
+                result = fn(*args, **(kwargs or {}))
+        _ship_telemetry()
         conn.send(("ok", result))
     except SoundnessError as exc:
+        _ship_telemetry()
         conn.send(("soundness", str(exc)))
     except MemoryError:
+        _ship_telemetry()
         conn.send(("oom", f"worker exceeded {memory_mb} MiB"))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        _ship_telemetry()
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
         conn.close()
@@ -124,6 +144,7 @@ def spawn_worker(
     args: tuple = (),
     kwargs: Optional[dict] = None,
     memory_mb: Optional[int] = None,
+    trace_ctx: Optional[TraceContext] = None,
 ):
     """Start one capped worker; returns ``(process, connection)``.
 
@@ -132,12 +153,20 @@ def spawn_worker(
     :func:`run_isolated` (one worker, blocking) and the parallel
     portfolio (:mod:`repro.engine.portfolio`: many workers, first
     conclusive result wins).
+
+    ``trace_ctx`` threads the parent's trace id, anchor span, and the
+    worker's lane tag into the child; the child answers with a
+    ``("telemetry", frame)`` message before its final status message
+    (see :mod:`repro.obs.relay`).  When None, a default context is built
+    from the calling thread's innermost open span.
     """
+    if trace_ctx is None:
+        trace_ctx = TraceContext.current()
     ctx = _mp_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_child_entry,
-        args=(child_conn, fn, args, kwargs, memory_mb),
+        args=(child_conn, fn, args, kwargs, memory_mb, trace_ctx),
         daemon=True,
     )
     proc.start()
@@ -163,6 +192,7 @@ def run_isolated(
     wall_time: Optional[float] = None,
     memory_mb: Optional[int] = None,
     kill_grace: float = 1.0,
+    worker_id: str = "w0",
 ) -> WorkerReport:
     """One attempt: run ``fn(*args, **kwargs)`` in a fresh capped worker.
 
@@ -170,23 +200,58 @@ def run_isolated(
     deadline into ``fn`` should leave a little headroom so the in-band
     abort usually wins and the watchdog is the backstop.  Raises
     :class:`SoundnessError` if the worker reported one.
+
+    The worker's lifetime appears in the parent trace as a
+    ``runtime.worker`` span tagged ``worker_id``; spans and metric
+    deltas recorded inside the child are relayed back and merged under
+    it (a killed worker simply has no relayed telemetry — the parent
+    span still marks the lane and the loss).
     """
+    tr = tracer()
     start = time.perf_counter()
-    proc, parent_conn = spawn_worker(fn, args, kwargs, memory_mb)
+    frames: list = []
     status, payload = "crash", ""
     got_message = False
-    try:
-        if parent_conn.poll(wall_time):
-            try:
-                status, payload = parent_conn.recv()
+    with tr.span("runtime.worker", worker=worker_id) as wspan:
+        trace_ctx = TraceContext(
+            trace_id=tr.trace_id,
+            parent_span=tr.current_span_id(),
+            worker_id=worker_id,
+        )
+        proc, parent_conn = spawn_worker(
+            fn, args, kwargs, memory_mb, trace_ctx=trace_ctx
+        )
+        deadline = None if wall_time is None else time.monotonic() + wall_time
+        try:
+            while True:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                if not parent_conn.poll(remaining):
+                    status = "timeout"
+                    payload = f"worker exceeded {wall_time:.1f}s wall clock"
+                    break
+                try:
+                    msg = parent_conn.recv()
+                except (EOFError, OSError):
+                    break  # child died before completing the send
+                if (
+                    isinstance(msg, tuple) and len(msg) == 2
+                    and msg[0] == "telemetry"
+                ):
+                    frames.append(msg[1])
+                    continue  # the final status message follows
+                status, payload = msg
                 got_message = True
-            except (EOFError, OSError):
-                got_message = False  # child died before completing the send
-        else:
-            status = "timeout"
-            payload = f"worker exceeded {wall_time:.1f}s wall clock"
-    finally:
-        reap_worker(proc, parent_conn, kill_grace)
+                break
+        finally:
+            reap_worker(proc, parent_conn, kill_grace)
+        wspan.set(status=status)
+        anchor = getattr(wspan, "span_id", None)
+        depth = getattr(wspan, "depth", 0)
+        for frame in frames:
+            merge_frame(frame, anchor_span=anchor, anchor_depth=depth)
     elapsed = time.perf_counter() - start
     if not got_message and status != "timeout":
         # hard death without a report: OOM-killer or native abort
@@ -194,6 +259,7 @@ def run_isolated(
         status = "crash"
         payload = f"worker died with exit code {code}"
     if status == "soundness":
+        dump_flight("soundness")
         raise SoundnessError(payload)
     if status == "ok":
         return WorkerReport(status="ok", result=payload, wall_time=elapsed)
@@ -287,6 +353,7 @@ class IsolatedVerifier:
                 wall_time=watchdog,
                 memory_mb=limits.memory_mb,
                 kill_grace=limits.kill_grace,
+                worker_id=f"w{attempt}",
             )
             last_report = report
             self.total_time += report.wall_time
@@ -337,6 +404,12 @@ class IsolatedVerifier:
                     time.sleep(delay)
         elapsed = time.perf_counter() - start
         detail = last_report.detail if last_report else "deadline already expired"
+        if last_report is not None and last_report.status in (
+            "timeout", "oom", "crash",
+        ):
+            # every retry was killed: the escalation ladder is exhausted
+            # and the run degrades — preserve the black box
+            dump_flight("worker-escalation")
         return VerificationResult(
             candidate=candidate,
             verified=False,

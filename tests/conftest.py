@@ -17,6 +17,24 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolate_flight_recorder():
+    """Keep the process-global flight recorder from leaking across tests.
+
+    CLI entry points arm the recorder and point its dump directory at
+    the cwd; without this reset, a later test that legitimately raises
+    a SoundnessError would scatter ``flightrec-*.jsonl`` into the repo.
+    """
+    import repro.obs.flight as flight
+    from repro.obs import tracer
+
+    saved = flight._RECORDER, flight._DUMP_DIR
+    yield
+    if flight._RECORDER is not None and flight._RECORDER is not saved[0]:
+        tracer().remove_sink(flight._RECORDER)
+    flight._RECORDER, flight._DUMP_DIR = saved
+
+
 @pytest.fixture
 def fast_cfg() -> ModelConfig:
     """Smallest config where the paper's qualitative verdicts hold

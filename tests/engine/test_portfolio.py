@@ -89,6 +89,51 @@ def test_race_timeout_reports_all_workers():
     assert _no_zombies()
 
 
+def _traced(value):
+    from repro.obs import metrics, tracer
+
+    with tracer().span("child.solve"):
+        metrics().counter("test.portfolio.relay").inc(1)
+    return value
+
+
+def test_race_merges_worker_telemetry():
+    """Every finishing worker's spans come back tagged with its lane and
+    anchored under the race span — winner and losers alike."""
+    from repro.obs import Sink, metrics, tracer
+
+    class Rec(Sink):
+        def __init__(self):
+            self.records = []
+
+        def emit(self, record):
+            self.records.append(record)
+
+    tr = tracer()
+    sink = tr.add_sink(Rec())
+    before = metrics().counter("test.portfolio.relay").value
+    try:
+        outcome = run_portfolio(
+            [(_traced, ("a",)), (_traced, ("b",))], wall_time=25.0
+        )
+    finally:
+        tr.remove_sink(sink)
+    assert outcome.winner is not None
+    # the winner's frame always merges; a loser that finished before the
+    # cancel may add its own
+    assert metrics().counter("test.portfolio.relay").value > before
+    race = [r for r in sink.records
+            if r.get("type") == "span" and r["name"] == "engine.portfolio.race"]
+    assert len(race) == 1 and race[0]["attrs"]["relayed"] >= 1
+    winner_tag = f"w{outcome.winner}"
+    runs = [r for r in sink.records
+            if r.get("type") == "span" and r["name"] == "worker.run"
+            and r["attrs"].get("worker") == winner_tag]
+    assert len(runs) == 1
+    assert runs[0]["parent"] == race[0]["id"]
+    assert _no_zombies()
+
+
 def test_verifier_batch_verdicts_match_sequential(fast_cfg):
     """The portfolio verifier's winning verdict agrees with a plain
     in-process verification of the same candidate."""

@@ -1,0 +1,84 @@
+"""Perfetto / Chrome trace_event export of a JSONL trace."""
+
+import io
+import json
+
+from repro.obs import JsonlSink, Tracer
+from repro.obs.export import export_perfetto, to_perfetto
+
+
+def make_lines():
+    tr = Tracer()
+    buf = io.StringIO()
+    tr.add_sink(JsonlSink(buf))
+    with tr.span("cegis.run"):
+        with tr.span("runtime.worker", worker="w0") as s:
+            s.set_duration(0.25)
+        with tr.span("runtime.worker", worker="w1") as s:
+            s.set_duration(0.5)
+        tr.event("cegis.solution", iter=1)
+    buf.seek(0)
+    return buf.read().splitlines()
+
+
+class TestToPerfetto:
+    def test_spans_become_complete_events_in_microseconds(self):
+        doc = to_perfetto(make_lines())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        w1 = next(e for e in xs if e["args"].get("worker") == "w1")
+        assert abs(w1["dur"] - 500_000) < 1_000  # 0.5s in µs
+        assert all(e["ts"] >= 0 for e in xs)  # rebased to t=0
+
+    def test_one_lane_per_worker_plus_main(self):
+        doc = to_perfetto(make_lines())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tids = {e["args"].get("worker", "main"): e["tid"] for e in xs}
+        assert tids["main"] == 0
+        assert len(set(tids.values())) == 3
+        assert doc["otherData"]["lanes"] == 3
+
+    def test_lane_metadata_named_and_ordered(self):
+        doc = to_perfetto(make_lines())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[0] == "main"
+        assert set(names.values()) == {"main", "worker w0", "worker w1"}
+        sorts = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_sort_index"
+        ]
+        assert all(e["tid"] == e["args"]["sort_index"] for e in sorts)
+
+    def test_events_become_instants(self):
+        doc = to_perfetto(make_lines())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["cegis.solution"]
+        assert instants[0]["s"] == "t"
+
+    def test_category_is_dotted_prefix(self):
+        doc = to_perfetto(make_lines())
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"]
+                if e["ph"] == "X"}
+        assert cats["cegis.run"] == "cegis"
+        assert cats["runtime.worker"] == "runtime"
+
+    def test_malformed_lines_skipped_and_counted(self):
+        lines = make_lines() + ["{torn", "42", ""]
+        doc = to_perfetto(lines)
+        assert doc["otherData"]["malformed_lines_skipped"] == 2
+        assert doc["otherData"]["spans"] == 3
+
+
+class TestExportFile:
+    def test_writes_loadable_json(self, tmp_path):
+        src = tmp_path / "trace.jsonl"
+        src.write_text("\n".join(make_lines()) + "\n")
+        out = tmp_path / "perfetto.json"
+        other = export_perfetto(str(src), str(out))
+        doc = json.loads(out.read_text())
+        assert doc["otherData"] == other
+        assert other["spans"] == 3 and other["lanes"] == 3

@@ -1,0 +1,104 @@
+"""The flight recorder: bounded ring, dump-on-demand, library no-op."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    dump_flight,
+    ensure_flight_recorder,
+    flight_recorder,
+    set_dump_dir,
+)
+from repro.obs.report import load_trace
+
+
+@pytest.fixture
+def clean_recorder():
+    """Isolate the process-global recorder/dump-dir state per test."""
+    import repro.obs.flight as flight
+    from repro.obs import tracer
+
+    saved = flight._RECORDER, flight._DUMP_DIR
+    flight._RECORDER, flight._DUMP_DIR = None, None
+    yield flight
+    if flight._RECORDER is not None:
+        tracer().remove_sink(flight._RECORDER)
+    flight._RECORDER, flight._DUMP_DIR = saved
+
+
+class TestRing:
+    def test_keeps_only_last_capacity_records(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(10):
+            rec.emit({"type": "event", "name": f"e{i}"})
+        names = [r["name"] for r in rec.snapshot()]
+        assert names == ["e7", "e8", "e9"]
+        assert rec.seen == 10
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_clear(self):
+        rec = FlightRecorder(capacity=3)
+        rec.emit({"type": "event", "name": "e"})
+        rec.clear()
+        assert rec.snapshot() == []
+
+
+class TestDump:
+    def test_dump_is_a_parseable_trace(self, tmp_path):
+        tr = Tracer()
+        rec = tr.add_sink(FlightRecorder(capacity=100))
+        with tr.span("cegis.run"):
+            with tr.span("cegis.verify") as s:
+                s.set_duration(0.5)
+            tr.event("cegis.counterexample", iter=1)
+        path = rec.dump(reason="test", dump_dir=str(tmp_path))
+        assert path and os.path.exists(path)
+        assert os.path.basename(path).startswith("flightrec-test-")
+        header = json.loads(open(path).readline())
+        assert header["flight_recorder"] is True and header["reason"] == "test"
+        summary = load_trace(path)
+        assert summary.malformed == 0
+        assert "cegis.verify" in summary.spans
+        assert summary.events["cegis.counterexample"] == 1
+
+    def test_dump_without_dir_is_noop(self):
+        rec = FlightRecorder()
+        rec.emit({"type": "event", "name": "e"})
+        assert rec.dump(reason="nowhere") is None
+
+    def test_dump_failure_swallowed(self, tmp_path):
+        rec = FlightRecorder()
+        rec.emit({"type": "event", "name": "e"})
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where a directory should be")
+        assert rec.dump(reason="bad", dump_dir=str(blocked)) is None
+
+
+class TestGlobals:
+    def test_library_default_is_silent(self, clean_recorder):
+        # no recorder installed, no dump dir: dump_flight is a no-op
+        assert flight_recorder() is None
+        assert dump_flight("soundness") is None
+
+    def test_ensure_is_idempotent(self, clean_recorder):
+        a = ensure_flight_recorder()
+        b = ensure_flight_recorder()
+        assert a is b
+
+    def test_dump_flight_uses_configured_dir(self, clean_recorder, tmp_path):
+        from repro.obs import tracer
+
+        ensure_flight_recorder()
+        set_dump_dir(str(tmp_path))
+        tracer().event("chaos.fault", point="worker.child")
+        path = dump_flight("worker-escalation")
+        assert path and path.startswith(str(tmp_path))
+        summary = load_trace(path)
+        assert summary.events.get("chaos.fault") == 1

@@ -75,3 +75,125 @@ class TestRoundTrip:
         summary = parse_trace([])
         out = render_report(summary)
         assert "records: 0" in out
+
+
+class TestTornLines:
+    """A SIGKILLed writer (or the flight recorder dumping mid-disaster)
+    leaves truncated, interleaved, or otherwise damaged lines; every one
+    must be skipped-with-count, never raised."""
+
+    GOOD = '{"type": "event", "name": "ok"}'
+
+    def test_truncated_line_skipped(self):
+        torn = '{"type": "span", "name": "cegis.ver'
+        summary = parse_trace([self.GOOD, torn])
+        assert summary.malformed == 1
+        assert summary.events["ok"] == 1
+
+    def test_interleaved_writes_skipped(self):
+        # two line-buffered writers racing one fd: records fused mid-line
+        fused = '{"type": "event", "na{"type": "span", "name": "x", "dur": 1}'
+        summary = parse_trace([fused, self.GOOD])
+        assert summary.malformed == 1 and summary.records == 1
+
+    def test_non_object_json_lines_skipped(self):
+        summary = parse_trace(["42", "null", '"a string"', "[1, 2]", self.GOOD])
+        assert summary.malformed == 4
+        assert summary.events["ok"] == 1
+
+    def test_structurally_wrong_record_skipped(self):
+        bad_dur = '{"type": "span", "name": "x", "dur": {"oops": true}}'
+        summary = parse_trace([bad_dur, self.GOOD])
+        assert summary.malformed == 1
+        assert "x" not in summary.spans or summary.spans["x"].count == 0
+
+    def test_blank_lines_ignored_silently(self):
+        summary = parse_trace(["", "   ", self.GOOD, "\n"])
+        assert summary.malformed == 0 and summary.records == 1
+
+    def test_partially_written_file_on_disk(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        with open(path, "w") as f:
+            f.write(self.GOOD + "\n")
+            f.write('{"type": "metrics", "snapsho')  # killed mid-write
+        summary = load_trace(str(path))
+        assert summary.malformed == 1 and summary.events["ok"] == 1
+
+    def test_render_reports_malformed_count(self):
+        out = render_report(parse_trace(["{torn", self.GOOD]))
+        assert "1 malformed lines skipped" in out
+
+
+class TestWorkerLanes:
+    def make_lane_trace(self):
+        return [
+            json.dumps(r) for r in [
+                {"type": "span", "name": "cegis.verify", "id": 1,
+                 "parent": None, "depth": 0, "ts": 0.0, "dur": 2.0,
+                 "lvl": 20, "attrs": {}},
+                {"type": "span", "name": "runtime.worker", "id": 2,
+                 "parent": 1, "depth": 1, "ts": 0.0, "dur": 1.9, "lvl": 20,
+                 "attrs": {"worker": "w0", "status": "ok"}},
+                {"type": "span", "name": "worker.run", "id": 3, "parent": 2,
+                 "depth": 2, "ts": 0.0, "dur": 1.5, "lvl": 20,
+                 "attrs": {"worker": "w0"}},
+                {"type": "span", "name": "runtime.worker", "id": 4,
+                 "parent": 1, "depth": 1, "ts": 0.0, "dur": 0.4, "lvl": 20,
+                 "attrs": {"worker": "w1", "status": "timeout"}},
+            ]
+        ]
+
+    def test_lanes_aggregated(self):
+        summary = parse_trace(self.make_lane_trace())
+        assert set(summary.workers) == {"w0", "w1"}
+        w0 = summary.workers["w0"]
+        assert w0.runs == 1 and w0.busy == 1.5 and w0.kills == 0
+        assert summary.workers["w1"].kills == 1
+
+    def test_lanes_rendered_with_occupancy(self):
+        out = render_report(parse_trace(self.make_lane_trace()))
+        assert "workers (2 lanes" in out
+        assert "w0" in out and "w1" in out
+        assert "parallel occupancy" in out
+
+    def test_cache_section_rendered_from_counters(self):
+        lines = [json.dumps({
+            "type": "metrics",
+            "snapshot": {
+                "counters": {"engine.cache.hits": 30,
+                             "engine.cache.misses": 10,
+                             "engine.cache.disk_hits": 5,
+                             "engine.cache.quarantined": 1},
+                "gauges": {}, "histograms": {},
+            },
+        })]
+        out = render_report(parse_trace(lines))
+        assert "cache:" in out
+        assert "hits=30 misses=10 disk_hits=5 quarantined=1" in out
+        assert "hit rate 75.0%" in out
+
+    def test_certify_line_rendered(self):
+        lines = [
+            json.dumps({"type": "span", "name": "cegis.verify", "id": 1,
+                        "parent": None, "depth": 0, "ts": 0.0, "dur": 4.0,
+                        "lvl": 20, "attrs": {}}),
+            json.dumps({"type": "metrics", "snapshot": {
+                "counters": {"trust.proofs.checked": 3},
+                "gauges": {},
+                "histograms": {"trust.check_time":
+                               {"count": 3, "total": 1.0, "mean": 0.33,
+                                "min": 0.1, "max": 0.5}},
+            }}),
+        ]
+        out = render_report(parse_trace(lines))
+        assert "certify: 3 proof(s) independently checked" in out
+        assert "25.0% of verify time" in out
+
+    def test_relay_line_rendered(self):
+        lines = [json.dumps({"type": "metrics", "snapshot": {
+            "counters": {"obs.relay.frames": 4,
+                         "obs.relay.dropped_frames": 1},
+            "gauges": {}, "histograms": {},
+        }})]
+        out = render_report(parse_trace(lines))
+        assert "telemetry relay: 4 frame(s) merged, 1 dropped" in out

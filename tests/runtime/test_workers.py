@@ -45,6 +45,14 @@ def _return_value():
     return {"answer": 42}
 
 
+def _traced_task():
+    from repro.obs import metrics, tracer
+
+    with tracer().span("child.solve"):
+        metrics().counter("test.relay.checks").inc(5)
+    return "traced"
+
+
 class TestRunIsolated:
     def test_ok_result_round_trips(self):
         report = run_isolated(_return_value, wall_time=30)
@@ -128,3 +136,64 @@ class TestIsolatedVerifier:
         iv = IsolatedVerifier(ModelConfig(T=5))
         with pytest.raises(SoundnessError):
             iv.find_counterexample(rocc())
+
+
+class TestTelemetryRelay:
+    """Real-fork relay: child spans and metric deltas reach the parent."""
+
+    def test_child_spans_relayed_with_worker_tag(self, recording_sink):
+        from repro.obs import metrics
+
+        before = metrics().counter("test.relay.checks").value
+        report = run_isolated(_traced_task, wall_time=30, worker_id="w7")
+        assert report.status == "ok" and report.result == "traced"
+        # the child's counter delta merged into the parent registry
+        assert metrics().counter("test.relay.checks").value == before + 5
+        spans = {
+            r["name"]: r for r in recording_sink.records
+            if r.get("type") == "span"
+            and r.get("attrs", {}).get("worker") == "w7"
+        }
+        # parent-side lane span plus the relayed child spans
+        assert {"runtime.worker", "worker.run", "child.solve"} <= set(spans)
+        lane = spans["runtime.worker"]
+        assert lane["attrs"]["status"] == "ok"
+        assert spans["worker.run"]["parent"] == lane["id"]
+        assert spans["child.solve"]["parent"] == spans["worker.run"]["id"]
+
+    def test_killed_worker_dumps_flight_recorder(
+        self, recording_sink, monkeypatch, tmp_path
+    ):
+        """Exhausting retries on a hung worker leaves a parseable black
+        box (the worker-escalation dump)."""
+        import repro.obs.flight as flight
+        import repro.runtime.workers as workers_mod
+        from repro.obs import tracer
+        from repro.obs.report import load_trace
+
+        monkeypatch.setattr(workers_mod, "_verify_task", _sleep_forever)
+        monkeypatch.setattr(IsolatedVerifier, "WATCHDOG_SLACK", 1.0)
+        saved = flight._RECORDER, flight._DUMP_DIR
+        flight._RECORDER, flight._DUMP_DIR = None, None
+        try:
+            flight.ensure_flight_recorder()
+            flight.set_dump_dir(str(tmp_path))
+            iv = IsolatedVerifier(
+                ModelConfig(T=5),
+                limits=WorkerLimits(
+                    wall_time=0.2, retries=1, escalation=1.0, kill_grace=0.3
+                ),
+            )
+            result = iv.find_counterexample(rocc())
+            assert result.unknown and result.degraded
+            dumps = list(tmp_path.glob("flightrec-worker-escalation-*.jsonl"))
+            assert len(dumps) == 1
+            summary = load_trace(str(dumps[0]))
+            assert summary.malformed == 0
+            assert summary.meta and summary.meta.get("flight_recorder")
+            # the lane spans of the killed attempts made it into the ring
+            assert summary.spans["runtime.worker"].count == 2
+        finally:
+            if flight._RECORDER is not None:
+                tracer().remove_sink(flight._RECORDER)
+            flight._RECORDER, flight._DUMP_DIR = saved

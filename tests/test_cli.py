@@ -18,7 +18,7 @@ class TestParser:
         ][0]
         assert set(subactions.choices) == {
             "synthesize", "verify", "certify", "sweep", "simulate",
-            "assumption", "report", "resume",
+            "assumption", "report", "resume", "bench-diff",
         }
 
     def test_unknown_cca_rejected(self):
@@ -143,3 +143,87 @@ class TestObservability:
     def test_report_missing_file(self, capsys):
         with pytest.raises(SystemExit):
             main(["report", "/nonexistent/trace.jsonl"])
+
+    def test_report_perfetto_export(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        rc = main(["verify", "rocc", "--T", "5", "--trace", str(trace)])
+        capsys.readouterr()
+        assert rc == 0
+        out_json = tmp_path / "perfetto.json"
+        rc = main(["report", str(trace), "--perfetto", str(out_json)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "perfetto export:" in out
+        doc = json.loads(out_json.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "smt.check"
+                   for e in doc["traceEvents"])
+
+
+class TestBenchDiff:
+    REPORT = {
+        "bench": "engine", "quick": True, "ok": True,
+        "compile": {"pipeline_s": 2.0, "raw_s": 4.0, "speedup": 2.0},
+        "cache": {"cold_s": 3.0, "warm_s": 0.5, "speedup": 6.0},
+        "portfolio": {"jobs_1": {"wall_s": 10.0}, "jobs_4": {"wall_s": 4.0}},
+    }
+
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def baseline(self, tmp_path):
+        from repro.obs.trajectory import append_entry
+
+        history = str(tmp_path / "BENCH_engine.json")
+        append_entry(history, self.REPORT, git_sha="base123")
+        return history
+
+    def test_within_gate_exits_zero(self, capsys, tmp_path):
+        current = self.write(tmp_path, "current.json", self.REPORT)
+        rc = main(["bench-diff", current, "--baseline", self.baseline(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "within the regression gate" in out
+        assert "base123" in out
+
+    def test_thirty_percent_regression_exits_nonzero(self, capsys, tmp_path):
+        slow = json.loads(json.dumps(self.REPORT))
+        slow["portfolio"]["jobs_4"]["wall_s"] = 4.0 * 1.35
+        current = self.write(tmp_path, "current.json", slow)
+        rc = main(["bench-diff", current, "--baseline", self.baseline(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION" in out
+        assert "portfolio.jobs_4.wall_s" in out
+
+    def test_max_regress_flag_widens_gate(self, capsys, tmp_path):
+        slow = json.loads(json.dumps(self.REPORT))
+        slow["portfolio"]["jobs_4"]["wall_s"] = 4.0 * 1.35
+        current = self.write(tmp_path, "current.json", slow)
+        rc = main(["bench-diff", current,
+                   "--baseline", self.baseline(tmp_path),
+                   "--max-regress", "50"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_empty_baseline_passes_with_notice(self, capsys, tmp_path):
+        current = self.write(tmp_path, "current.json", self.REPORT)
+        rc = main(["bench-diff", current,
+                   "--baseline", str(tmp_path / "missing.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no baseline" in out.lower()
+
+    def test_committed_baseline_is_a_trajectory(self):
+        """The repo ships a real BENCH_engine.json history (satellite of
+        the trajectory work): bench-diff must be able to gate against it."""
+        import os
+
+        from repro.obs.trajectory import is_trajectory, load_history
+
+        path = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
+        assert is_trajectory(path)
+        trajectory = load_history(path)
+        entry = trajectory["history"][-1]
+        assert entry["git_sha"] and entry["metrics"]
