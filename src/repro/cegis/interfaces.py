@@ -203,6 +203,11 @@ class CegisStats:
     #: verified verdicts whose UNSAT proof was independently checked
     #: (see :mod:`repro.trust`; nonzero only under ``certify`` runs)
     certified_verdicts: int = 0
+    #: adversarial falsification evaluations spent hunting the solutions
+    #: (see :mod:`repro.falsify`; nonzero only under ``--falsify`` runs)
+    falsification_attempts: int = 0
+    #: solutions that survived their falsification budget
+    falsification_survivals: int = 0
 
     @property
     def total_time(self) -> float:

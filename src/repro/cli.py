@@ -137,6 +137,16 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="advisory: replay each solution on the discrete simulator",
     )
     g.add_argument(
+        "--falsify", type=_positive_int, default=0, metavar="BUDGET",
+        help="adversarially falsify every solution with a genetic trace "
+             "search of BUDGET evaluations; an in-fragment violation of "
+             "a verified solution is a soundness error",
+    )
+    g.add_argument(
+        "--falsify-seed", type=int, default=0, metavar="SEED",
+        help="seed of the --falsify search (runs are replayable)",
+    )
+    g.add_argument(
         "--certify", action="store_true",
         help="produce and independently check an UNSAT proof for every "
              "verified verdict (DRAT + Farkas certificates; see "
@@ -192,6 +202,8 @@ def _runtime_options(args):
         cache_dir=getattr(args, "cache_dir", None),
         incremental=getattr(args, "incremental", False),
         certify=getattr(args, "certify", False),
+        falsify=getattr(args, "falsify", 0),
+        falsify_seed=getattr(args, "falsify_seed", 0),
     )
 
 
@@ -210,13 +222,24 @@ def _print_synthesis_result(result, cfg) -> int:
               f"carry independently checked UNSAT proofs")
     if not result.solutions:
         print("no solution found")
+        # None = cross-checking never requested; [] = requested but the
+        # run had no solutions to check — say so rather than staying mute
+        if result.cross_checks == []:
+            print("cross-check: requested but no solutions to check")
         return 1
     for cand in result.solutions:
         report = classify(cand, cfg)
         tag = "RoCC-family" if report.rocc_family else "other"
         print(f"  {report.rule}   [{tag}, {report.history_used} RTTs of history]")
-    for check in result.cross_checks:
+    for check in result.cross_checks or ():
         print(f"  {check.describe()}")
+    if result.falsification_attempts:
+        print(
+            f"falsified: {result.falsification_survivals}/"
+            f"{len(result.solutions)} solution(s) survived "
+            f"{result.falsification_attempts} adversarial trace "
+            f"evaluation(s)"
+        )
     return 0
 
 
@@ -284,6 +307,21 @@ def cmd_verify(args) -> int:
         elif getattr(args, "certify", False):
             print("NOT CERTIFIED (verdict inconclusive in proof mode)")
             return 2
+        budget = getattr(args, "falsify", 0)
+        if budget:
+            from .ccas import TemplateCCA
+            from .falsify import FalsifyBudget, falsify_cca
+
+            cfg = _cfg(args)
+            rep = falsify_cca(
+                lambda: TemplateCCA(cand, cwnd_min=cfg.cwnd_min),
+                cfg,
+                spec=args.cca,
+                budget=FalsifyBudget(evaluations=budget),
+                seed=getattr(args, "falsify_seed", 0),
+                verified=True,
+            )
+            print(f"falsify: {rep.search.describe()}")
         return 0
     tr = res.counterexample
     print(f"COUNTEREXAMPLE in {res.wall_time:.2f}s:")
@@ -316,6 +354,82 @@ def cmd_certify(args) -> int:
             print(f"  UNKNOWN in {res.wall_time:.2f}s")
             failures += 1
     return 0 if failures == 0 else 1
+
+
+def cmd_falsify(args) -> int:
+    """Adversarial falsification: hunt a CCA's property with a seeded
+    genetic trace search (and optionally a cross-validation grid).
+
+    Exit 0 when every CCA survived its budget, 1 when any was falsified.
+    A sim-vs-SMT disagreement (in-fragment violation of a verified CCA)
+    raises :class:`~repro.runtime.errors.SoundnessError` after dumping
+    flight state and committing the minimized corpus case.
+    """
+    from .falsify import (
+        FalsifyBudget,
+        GridSpec,
+        falsify_cca,
+        resolve_cca,
+        run_grid,
+    )
+
+    cfg = _cfg(args)
+    budget = FalsifyBudget(
+        evaluations=args.budget,
+        population=args.population,
+        stop_after=0 if args.exhaustive else 1,
+    )
+    falsified = 0
+    for spec in args.ccas:
+        try:
+            factory, smt_verifiable = resolve_cca(spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        verified = False
+        if smt_verifiable and not args.no_verify:
+            res = CcacVerifier(cfg).find_counterexample(_named_cca(spec))
+            if res.verified:
+                verified = True
+                print(f"{spec}: SMT-verified — an in-fragment violation "
+                      f"now counts as a soundness error")
+            elif res.counterexample is not None:
+                print(f"{spec}: SMT found a counterexample; falsification "
+                      f"is corroboration, not contradiction")
+            else:
+                print(f"{spec}: SMT verdict unknown")
+        report = falsify_cca(
+            factory,
+            cfg,
+            spec=spec,
+            budget=budget,
+            seed=args.seed,
+            ticks=args.ticks,
+            in_fragment=not args.beyond,
+            verified=verified,
+            corpus_dir=args.corpus_dir,
+            write_corpus=not args.no_corpus,
+        )
+        print(report.describe())
+        if not report.survived:
+            falsified += 1
+        if args.grid:
+            manifest_path = None
+            if args.manifest:
+                manifest_path = args.manifest
+                if len(args.ccas) > 1:
+                    import os
+                    import re
+
+                    root, ext = os.path.splitext(args.manifest)
+                    slug = re.sub(r"[^a-z0-9]+", "-", spec.lower()).strip("-")
+                    manifest_path = f"{root}-{slug}{ext or '.json'}"
+            manifest = run_grid(
+                spec, cfg, GridSpec.from_model(cfg, ticks=args.ticks),
+                jobs=args.grid_jobs, manifest_path=manifest_path,
+            )
+            print(f"{spec} grid: {manifest.describe()}"
+                  + (f" -> {manifest_path}" if manifest_path else ""))
+    return 1 if falsified else 0
 
 
 def cmd_sweep(args) -> int:
@@ -481,9 +595,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wce", action="store_true")
     p.add_argument("--certify", action="store_true",
                    help="independently check an UNSAT proof of the verdict")
+    p.add_argument("--falsify", type=_positive_int, default=0,
+                   metavar="BUDGET",
+                   help="after a VERIFIED verdict, hunt it with a genetic "
+                        "trace search of BUDGET evaluations; an "
+                        "in-fragment violation is a soundness error")
+    p.add_argument("--falsify-seed", type=int, default=0, metavar="SEED")
     _add_cfg_args(p)
     _add_pipeline_arg(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "falsify",
+        help="adversarial falsification: genetic trace search + grids",
+        parents=[obs],
+    )
+    p.add_argument("ccas", nargs="+",
+                   help="CCAs to attack: rocc | eq3 | const:<cwnd> | "
+                        "aimd[:<delay-thresh>] | cubic[:<delay-thresh>] | "
+                        "vegas | copa | rocc-native (aimd:8 is the "
+                        "deliberately weakened demo)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search seed; identical seeds replay bit-for-bit")
+    p.add_argument("--budget", type=_positive_int, default=600,
+                   metavar="EVALS",
+                   help="trace evaluations to spend (default: %(default)s)")
+    p.add_argument("--population", type=_positive_int, default=16,
+                   help="genetic population size (default: %(default)s)")
+    p.add_argument("--ticks", type=_positive_int, default=120,
+                   help="target schedule length in RTTs (default: %(default)s)")
+    p.add_argument("--beyond", action="store_true",
+                   help="search beyond the SMT model fragment (rate steps, "
+                        "outages, jitter bursts); violations are model-gap "
+                        "findings, never soundness errors")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="spend the whole budget instead of stopping at the "
+                        "first violation")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the SMT verdict lookup before the hunt")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="do not write minimized violations into the corpus")
+    p.add_argument("--corpus-dir", metavar="PATH", default=None,
+                   help="corpus directory (default: tests/corpus/cases)")
+    p.add_argument("--grid", action="store_true",
+                   help="additionally sweep a link-condition grid across "
+                        "worker processes")
+    p.add_argument("--grid-jobs", type=_positive_int, default=2, metavar="N",
+                   help="grid worker processes (default: %(default)s)")
+    p.add_argument("--manifest", metavar="PATH", default=None,
+                   help="write the grid's experiment manifest JSON to PATH")
+    _add_cfg_args(p)
+    _add_pipeline_arg(p)
+    p.set_defaults(func=cmd_falsify)
 
     p = sub.add_parser(
         "certify",

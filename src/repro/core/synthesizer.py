@@ -76,9 +76,16 @@ class SynthesisResult:
     resumed: bool = False
     #: recorded degradation events (see :mod:`repro.runtime.degrade`)
     degradations: list = field(default_factory=list)
-    #: advisory simulator cross-checks of the solutions (populated when
-    #: :class:`repro.runtime.RuntimeOptions` requests them)
-    cross_checks: list = field(default_factory=list)
+    #: advisory simulator cross-checks of the solutions.  ``None`` means
+    #: cross-checking was never requested; ``[]`` means it was requested
+    #: but there were no solutions to check — reports must distinguish
+    #: "not run" from "ran and had nothing to do"
+    cross_checks: Optional[list] = None
+    #: adversarial falsification evaluations spent on the solutions
+    #: (see :mod:`repro.falsify`; populated by ``--falsify`` runs)
+    falsification_attempts: int = 0
+    #: solutions that survived their falsification budget
+    falsification_survivals: int = 0
 
     @property
     def found(self) -> bool:

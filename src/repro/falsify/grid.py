@@ -1,0 +1,348 @@
+"""Mass sim cross-validation grids: batched sweeps over link conditions.
+
+Where the genetic search hunts for a single damning trace, the grid
+runner maps the whole terrain: the Cartesian product of link rates,
+jitter bounds, adversary policies, and initial standing queues, each
+cell simulated as a constant :class:`TraceSchedule` and judged by the
+:class:`PropertyOracle`.  Cells are chunked across worker processes via
+:func:`repro.runtime.workers.spawn_worker` — the same capped-fork
+primitive the solver portfolio uses — with each worker's spans and
+metric deltas relayed back through :mod:`repro.obs.relay` and merged
+under the grid span, so ``ccmatic report`` attributes grid cost exactly
+like in-process cost.
+
+Every run emits an :class:`ExperimentManifest`: the full axes, seed,
+CCA spec, per-cell records, and a stable JSON encoding — re-running
+``ccmatic falsify --grid`` with the same manifest inputs reproduces the
+records bit-for-bit (exact Fractions, deterministic seeds, no wall-clock
+dependence in any recorded field).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from fractions import Fraction
+from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
+from typing import Optional
+
+from ..obs import metrics, tracer
+from ..obs.relay import TraceContext, drain_telemetry, merge_frame
+from ..runtime.errors import WorkerError
+from ..runtime.workers import reap_worker, spawn_worker
+from .oracle import PropertyOracle
+from .schedule import SEGMENT_POLICIES, constant_schedule, run_schedule
+
+__all__ = ["ExperimentManifest", "GridPoint", "GridSpec", "run_grid"]
+
+MANIFEST_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the sweep: a constant link condition."""
+
+    rate: Fraction
+    jitter: int
+    policy: str
+    initial_queue: Fraction
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": str(self.rate),
+            "jitter": self.jitter,
+            "policy": self.policy,
+            "initial_queue": str(self.initial_queue),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridPoint":
+        return cls(
+            rate=Fraction(data["rate"]),
+            jitter=int(data["jitter"]),
+            policy=str(data["policy"]),
+            initial_queue=Fraction(data["initial_queue"]),
+        )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Axes of a cross-validation sweep."""
+
+    rates: tuple[Fraction, ...]
+    jitters: tuple[int, ...] = (0, 1)
+    policies: tuple[str, ...] = SEGMENT_POLICIES
+    initial_queues: tuple[Fraction, ...] = (Fraction(0),)
+    ticks: int = 80
+    seed: int = 0
+
+    @classmethod
+    def from_model(cls, cfg, ticks: int = 80) -> "GridSpec":
+        """A default sweep bracketing the model's operating point:
+        rates around ``C`` (half, nominal, double), jitter up to the
+        model bound plus one beyond, queues up to the initial box."""
+        C = Fraction(cfg.C)
+        return cls(
+            rates=(C / 2, C, 2 * C),
+            jitters=tuple(range(0, cfg.jitter + 2)),
+            initial_queues=(Fraction(0), Fraction(cfg.initial_queue_max)),
+            ticks=ticks,
+        )
+
+    def points(self) -> list[GridPoint]:
+        """All cells, in a deterministic axis-major order."""
+        return [
+            GridPoint(rate=r, jitter=j, policy=p, initial_queue=q)
+            for r, j, p, q in itertools.product(
+                self.rates, self.jitters, self.policies, self.initial_queues
+            )
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "rates": [str(r) for r in self.rates],
+            "jitters": list(self.jitters),
+            "policies": list(self.policies),
+            "initial_queues": [str(q) for q in self.initial_queues],
+            "ticks": self.ticks,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class ExperimentManifest:
+    """The repeatable record of one grid run."""
+
+    cca: str
+    cfg: dict
+    grid: dict
+    jobs: int
+    records: list = field(default_factory=list)
+    schema: int = MANIFEST_SCHEMA
+    #: wall-clock of the run, informational only (NOT part of the
+    #: reproducible payload)
+    wall_time: float = 0.0
+
+    @property
+    def violations(self) -> list[dict]:
+        return [r for r in self.records if r["violated"]]
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "ExperimentManifest":
+        data = json.loads(Path(path).read_text())
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported manifest schema {data.get('schema')!r}"
+            )
+        return cls(**data)
+
+    def describe(self) -> str:
+        bad = len(self.violations)
+        # only cells with at least one covered window carry a judged
+        # margin; the rest store an advisory fallback
+        judged = [
+            Fraction(r["margin"]) for r in self.records
+            if r.get("covered_windows")
+        ]
+        worst = min(judged, default=Fraction(1))
+        return (
+            f"{len(self.records)} configs, {bad} violating "
+            f"(worst judged margin {float(worst):+.3f} "
+            f"over {len(judged)} judged cells)"
+        )
+
+
+def _cfg_to_dict(cfg) -> dict:
+    return {f.name: str(getattr(cfg, f.name)) for f in dataclass_fields(cfg)}
+
+
+def _cfg_from_dict(data: dict):
+    from ..ccac import ModelConfig
+
+    kwargs = {}
+    for f in dataclass_fields(ModelConfig):
+        if f.name not in data:
+            continue
+        raw = data[f.name]
+        kwargs[f.name] = (
+            int(raw) if f.name in ("T", "D", "jitter", "history")
+            else Fraction(raw)
+        )
+    return ModelConfig(**kwargs)
+
+
+def _grid_task(
+    cca_spec: str, cfg_data: dict, point_dicts: list, ticks: int, seed: int
+) -> list:
+    """Worker body: simulate and judge one chunk of grid cells.
+
+    Module-level so it pickles under the spawn start method too; records
+    are plain JSON-ready dicts (Fractions as strings) because worker
+    results cross a pipe.
+    """
+    from . import resolve_cca
+
+    cfg = _cfg_from_dict(cfg_data)
+    # covered windows only: a "violated" cell means a *model-admissible*
+    # window failed the property — boot transients and states the model
+    # cannot reach (e.g. a huge queue under a tiny window) are terrain,
+    # not findings
+    oracle = PropertyOracle(cfg, covered_only=True)
+    factory, _ = resolve_cca(cca_spec)
+    records = []
+    for data in point_dicts:
+        point = GridPoint.from_dict(data)
+        schedule = constant_schedule(
+            ticks,
+            rate=point.rate,
+            policy=point.policy,
+            jitter=point.jitter,
+            initial_queue=point.initial_queue,
+        )
+        result = run_schedule(factory(), schedule, seed=seed)
+        verdict = oracle.evaluate_result(result)
+        records.append({
+            **point.to_dict(),
+            "in_fragment": schedule.in_fragment(cfg),
+            "violated": verdict.violated,
+            "margin": str(verdict.margin),
+            "utilization": str(result.utilization(warmup=min(10, ticks // 4))),
+            "max_queue": str(result.max_queue()),
+            "windows": verdict.windows,
+            "covered_windows": verdict.covered_windows,
+        })
+    return records
+
+
+def run_grid(
+    cca_spec: str,
+    cfg,
+    grid: GridSpec,
+    jobs: int = 2,
+    manifest_path: Optional[Path] = None,
+    wall_time: Optional[float] = 600.0,
+) -> ExperimentManifest:
+    """Sweep the grid for ``cca_spec``; returns the manifest.
+
+    ``jobs <= 0`` runs in-process (no fork) — handy under debuggers;
+    otherwise cells are split into ``jobs`` contiguous chunks, each in a
+    capped worker, results re-assembled in cell order.  A worker that
+    dies or times out fails the run loudly (:class:`WorkerError`) —
+    a silently missing chunk would make the manifest lie about coverage.
+    """
+    points = grid.points()
+    tr = tracer()
+    reg = metrics()
+    start = time.perf_counter()
+    manifest = ExperimentManifest(
+        cca=cca_spec, cfg=_cfg_to_dict(cfg), grid=grid.to_dict(), jobs=jobs
+    )
+    if jobs <= 0:
+        manifest.records = _grid_task(
+            cca_spec, manifest.cfg, [p.to_dict() for p in points],
+            grid.ticks, grid.seed,
+        )
+    else:
+        jobs = min(jobs, len(points)) or 1
+        bounds = [
+            (len(points) * k // jobs, len(points) * (k + 1) // jobs)
+            for k in range(jobs)
+        ]
+        chunks = [points[lo:hi] for lo, hi in bounds]
+        with tr.span("falsify.grid", cca=cca_spec, cells=len(points),
+                     jobs=jobs) as gspan:
+            anchor = getattr(gspan, "span_id", None)
+            anchor_depth = getattr(gspan, "depth", 0)
+            workers: dict[int, tuple] = {}
+            chunk_records: dict[int, list] = {}
+            telemetry: dict[int, list] = {}
+            try:
+                for k, chunk in enumerate(chunks):
+                    workers[k] = spawn_worker(
+                        _grid_task,
+                        (
+                            cca_spec, manifest.cfg,
+                            [p.to_dict() for p in chunk],
+                            grid.ticks, grid.seed,
+                        ),
+                        trace_ctx=TraceContext(
+                            trace_id=tr.trace_id,
+                            parent_span=anchor,
+                            worker_id=f"g{k}",
+                        ),
+                    )
+                pending = dict(workers)
+                deadline = (
+                    None if wall_time is None else start + wall_time
+                )
+                while pending:
+                    timeout = None
+                    if deadline is not None:
+                        timeout = deadline - time.perf_counter()
+                        if timeout <= 0:
+                            break
+                    conns = {conn: k for k, (_p, conn) in pending.items()}
+                    ready = _wait_connections(list(conns), timeout=timeout)
+                    if not ready:
+                        break
+                    for conn in ready:
+                        k = conns[conn]
+                        proc, _ = pending[k]
+                        try:
+                            msg = conn.recv()
+                        except (EOFError, OSError):
+                            msg = (
+                                "crash",
+                                f"worker died with exit code {proc.exitcode}",
+                            )
+                        if (
+                            isinstance(msg, tuple) and len(msg) == 2
+                            and msg[0] == "telemetry"
+                        ):
+                            telemetry.setdefault(k, []).append(msg[1])
+                            continue
+                        pending.pop(k)
+                        status, payload = msg
+                        if status != "ok":
+                            raise WorkerError(
+                                f"grid worker g{k} failed ({status}): "
+                                f"{payload}"
+                            )
+                        chunk_records[k] = payload
+                if pending:
+                    raise WorkerError(
+                        f"grid run exceeded {wall_time:.1f}s with "
+                        f"{len(pending)} worker(s) outstanding"
+                    )
+            finally:
+                for k, (proc, conn) in workers.items():
+                    drain_telemetry(conn, telemetry.setdefault(k, []))
+                    reap_worker(proc, conn)
+                for k, frames in sorted(telemetry.items()):
+                    for frame in frames:
+                        merge_frame(
+                            frame, anchor_span=anchor,
+                            anchor_depth=anchor_depth,
+                        )
+            manifest.records = [
+                record
+                for k in range(len(chunks))
+                for record in chunk_records[k]
+            ]
+            gspan.set(violations=len(manifest.violations))
+    reg.counter("falsify.grid.cells").inc(len(manifest.records))
+    manifest.wall_time = time.perf_counter() - start
+    if manifest_path is not None:
+        manifest.write(manifest_path)
+    return manifest

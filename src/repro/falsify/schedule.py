@@ -1,0 +1,295 @@
+"""Trace schedules: serializable, replayable network behaviours.
+
+A :class:`TraceSchedule` is the falsifier's genome — a piecewise
+composition of the simulator's workload primitives (rate steps, jitter
+bursts, loss-like outages, queue drains) plus an adversary-policy
+timeline and an initial standing queue.  Schedules are
+
+* **executable** — :func:`run_schedule` compiles one into the per-tick
+  ``capacity`` / ``policy`` / ``jitter`` callables the simulator takes
+  (:class:`repro.sim.JitteryLink` accepts all three as functions);
+* **exactly serializable** — rates and queues are ``Fraction`` values
+  round-tripped as strings, so a schedule written into the regression
+  corpus replays bit-for-bit;
+* **classifiable** — :meth:`TraceSchedule.in_fragment` says whether the
+  behaviour stays inside the SMT model's fragment (constant link rate at
+  the model's ``C``, jitter at most the model's bound).  A property
+  violation found *inside* the fragment on a verified CCA contradicts
+  the solver; one found outside is a model-gap finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+from ..sim.workloads import RateFn, constant_rate
+
+#: policies a schedule segment may select (the simulator's concrete
+#: adversaries; "random" is excluded — schedules are the randomness)
+SEGMENT_POLICIES = ("ideal", "lazy", "max_waste", "aggregate")
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One homogeneous stretch of link behaviour."""
+
+    #: duration in RTT ticks (>= 1)
+    ticks: int
+    #: link rate during the segment (0 models a loss-like outage)
+    rate: Fraction
+    #: adversary policy during the segment
+    policy: str = "ideal"
+    #: jitter bound during the segment (a "jitter burst" is a segment
+    #: with elevated jitter)
+    jitter: int = 1
+
+    def __post_init__(self):
+        if self.ticks < 1:
+            raise ValueError(f"segment needs >= 1 tick, got {self.ticks}")
+        if self.policy not in SEGMENT_POLICIES:
+            raise ValueError(
+                f"unknown segment policy {self.policy!r} "
+                f"(not in {SEGMENT_POLICIES})"
+            )
+        if self.rate < 0 or self.jitter < 0:
+            raise ValueError("segment rate and jitter must be non-negative")
+        object.__setattr__(self, "rate", Fraction(self.rate))
+
+    def to_dict(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "rate": str(self.rate),
+            "policy": self.policy,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Segment":
+        return cls(
+            ticks=int(data["ticks"]),
+            rate=Fraction(data["rate"]),
+            policy=str(data["policy"]),
+            jitter=int(data["jitter"]),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSchedule:
+    """A whole-run network behaviour: segments plus initial conditions."""
+
+    segments: tuple[Segment, ...]
+    #: standing queue at connection start (a pre-filled buffer the CCA
+    #: must drain — the model's adversarial initial queue)
+    initial_queue: Fraction = Fraction(0)
+
+    def __post_init__(self):
+        if not self.segments:
+            raise ValueError("a schedule needs at least one segment")
+        object.__setattr__(self, "segments", tuple(self.segments))
+        object.__setattr__(self, "initial_queue", Fraction(self.initial_queue))
+        if self.initial_queue < 0:
+            raise ValueError("initial queue must be non-negative")
+
+    # -- execution shape ------------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        return sum(s.ticks for s in self.segments)
+
+    def _index_at(self, t: int) -> int:
+        """Index of the segment covering tick ``t`` (ticks are 1-based
+        in the sim; past the end, the last segment persists)."""
+        remaining = max(t - 1, 0)
+        for i, seg in enumerate(self.segments):
+            if remaining < seg.ticks:
+                return i
+            remaining -= seg.ticks
+        return len(self.segments) - 1
+
+    def _segment_at(self, t: int) -> Segment:
+        return self.segments[self._index_at(t)]
+
+    def rate_fn(self) -> RateFn:
+        """Piecewise link rate: each segment is a
+        :func:`~repro.sim.workloads.constant_rate` stretch and the
+        composition is the step pattern."""
+        fns = [constant_rate(seg.rate) for seg in self.segments]
+        return lambda t: fns[self._index_at(t)](t)
+
+    def policy_fn(self):
+        return lambda t: self._segment_at(t).policy
+
+    def jitter_fn(self):
+        return lambda t: self._segment_at(t).jitter
+
+    # -- classification -------------------------------------------------------
+
+    def max_jitter(self) -> int:
+        return max(s.jitter for s in self.segments)
+
+    def in_fragment(self, cfg) -> bool:
+        """Whether every behaviour of this schedule is admissible in the
+        SMT model for ``cfg`` (a :class:`repro.ccac.ModelConfig`).
+
+        The model fixes the link rate at ``C`` and lets the adversary
+        jitter service by at most ``cfg.jitter * D``; policies only pick
+        *which* admissible behaviour happens, so any policy timeline is
+        in-fragment.  Variable rates, outages, and jitter beyond the
+        model bound are outside.
+        """
+        return all(
+            s.rate == cfg.C and s.jitter <= cfg.jitter for s in self.segments
+        ) and self.initial_queue <= cfg.initial_queue_max
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "segments": [s.to_dict() for s in self.segments],
+            "initial_queue": str(self.initial_queue),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSchedule":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schedule schema {data.get('schema')!r}"
+            )
+        return cls(
+            segments=tuple(
+                Segment.from_dict(s) for s in data["segments"]
+            ),
+            initial_queue=Fraction(data["initial_queue"]),
+        )
+
+    def key(self) -> tuple:
+        """Hashable identity for dedup across generations."""
+        return (
+            tuple((s.ticks, s.rate, s.policy, s.jitter) for s in self.segments),
+            self.initial_queue,
+        )
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{s.ticks}t@{s.rate}/{s.policy}"
+            + (f"/j{s.jitter}" if s.jitter != 1 else "")
+            for s in self.segments
+        )
+        q = f" q0={self.initial_queue}" if self.initial_queue else ""
+        return f"[{parts}]{q}"
+
+
+def constant_schedule(
+    ticks: int,
+    rate: Fraction | int = Fraction(1),
+    policy: str = "ideal",
+    jitter: int = 1,
+    initial_queue: Fraction | int = Fraction(0),
+) -> TraceSchedule:
+    """The simplest schedule: one homogeneous segment."""
+    return TraceSchedule(
+        segments=(Segment(ticks=ticks, rate=Fraction(rate), policy=policy,
+                          jitter=jitter),),
+        initial_queue=Fraction(initial_queue),
+    )
+
+
+def run_schedule(cca, schedule: TraceSchedule, seed: int = 0):
+    """Execute ``cca`` against ``schedule``; returns a
+    :class:`repro.sim.SimResult` (exact arithmetic, fully deterministic
+    for deterministic CCAs)."""
+    from ..sim.runner import run_simulation
+
+    return run_simulation(
+        cca,
+        ticks=schedule.ticks,
+        capacity=schedule.rate_fn(),
+        jitter=schedule.jitter_fn(),
+        policy=schedule.policy_fn(),
+        seed=seed,
+        initial_queue=schedule.initial_queue,
+    )
+
+
+# -- mutation space -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleSpace:
+    """The search space the genetic falsifier mutates within.
+
+    ``from_model(cfg)`` builds the *in-fragment* space: rates pinned to
+    the model's ``C``, jitter at most the model bound — violations found
+    here contradict an SMT "verified" verdict.  ``beyond_fragment(cfg)``
+    widens to rate steps, outages, and jitter bursts the SMT encoding
+    cannot express — violations there are model-gap findings.
+    """
+
+    rates: tuple[Fraction, ...]
+    policies: tuple[str, ...] = SEGMENT_POLICIES
+    jitters: tuple[int, ...] = (1,)
+    initial_queues: tuple[Fraction, ...] = (Fraction(0),)
+    max_segments: int = 6
+    min_ticks: int = 40
+    max_ticks: int = 160
+
+    @classmethod
+    def from_model(cls, cfg, ticks: int = 120) -> "ScheduleSpace":
+        """The model-admissible (in-fragment) space for ``cfg``."""
+        queue_limit = cfg.delay_thresh * cfg.C * cfg.D
+        queues = tuple(
+            q for q in (
+                Fraction(0),
+                queue_limit / 2,
+                queue_limit,
+                cfg.initial_queue_max,
+            )
+            if q <= cfg.initial_queue_max
+        )
+        return cls(
+            rates=(Fraction(cfg.C),),
+            jitters=tuple(range(0, cfg.jitter + 1)) or (0,),
+            initial_queues=queues,
+            min_ticks=min(40, ticks),
+            max_ticks=max(ticks, 40),
+        )
+
+    @classmethod
+    def beyond_fragment(cls, cfg, ticks: int = 120) -> "ScheduleSpace":
+        """The widened space: rate dynamics and jitter bursts outside
+        the SMT fragment (plus everything in-fragment)."""
+        base = cls.from_model(cfg, ticks=ticks)
+        C = Fraction(cfg.C)
+        return replace(
+            base,
+            rates=(C / 4, C / 2, C, 2 * C, Fraction(0)),
+            jitters=tuple(sorted(set(base.jitters) | {cfg.jitter * 2 + 1})),
+        )
+
+    def random_segment(self, rng, ticks: int) -> Segment:
+        return Segment(
+            ticks=ticks,
+            rate=rng.choice(self.rates),
+            policy=rng.choice(self.policies),
+            jitter=rng.choice(self.jitters),
+        )
+
+    def random_schedule(self, rng) -> TraceSchedule:
+        """A fresh random individual (used to seed populations)."""
+        n = rng.randint(1, self.max_segments)
+        total = rng.randint(self.min_ticks, self.max_ticks)
+        cuts = sorted(rng.sample(range(1, total), n - 1)) if n > 1 else []
+        lengths = [
+            b - a for a, b in zip([0] + cuts, cuts + [total])
+        ]
+        segments = tuple(
+            self.random_segment(rng, max(1, length)) for length in lengths
+        )
+        return TraceSchedule(
+            segments=segments,
+            initial_queue=rng.choice(self.initial_queues),
+        )

@@ -1,0 +1,310 @@
+"""CC-Fuzz-style genetic search over trace schedules.
+
+The searcher evolves a population of :class:`TraceSchedule` genomes
+toward property violations, in the spirit of CC-Fuzz's genetic trace
+search (arXiv:2207.07300): fitness is the oracle's margin-to-violation,
+selection keeps the closest-to-violating half, and offspring are built
+by seeded mutation (perturb a segment's rate/policy/jitter/duration,
+split, drop, re-queue) and single-point crossover.
+
+Determinism is a hard requirement, not a nicety: every probabilistic
+decision draws from one ``random.Random(seed)`` in a fixed order — the
+same discipline as the chaos harness (:mod:`repro.chaos.faults`) — and
+the budget is counted in *evaluations*, not wall-clock, so a run is
+bit-for-bit reproducible and any found counterexample is replayable
+from ``(seed, generation, index)`` alone via :func:`replay_schedule`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from random import Random
+from typing import Callable, Optional
+
+from ..obs import metrics, tracer
+from .oracle import PropertyOracle, TraceVerdict
+from .schedule import ScheduleSpace, Segment, TraceSchedule
+
+__all__ = [
+    "FalsifyBudget",
+    "FoundViolation",
+    "FalsifyResult",
+    "TraceSearch",
+    "replay_schedule",
+]
+
+
+@dataclass(frozen=True)
+class FalsifyBudget:
+    """Search effort, in deterministic units."""
+
+    #: total trace evaluations (the reproducible budget unit)
+    evaluations: int = 1500
+    population: int = 16
+    max_generations: int = 200
+    #: stop after this many distinct violations (0 = exhaust the budget)
+    stop_after: int = 1
+    #: optional wall-clock safety net, seconds (None = none); ONLY a
+    #: backstop — a run that trips it is not reproducible and says so
+    time_budget: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FoundViolation:
+    """One violating schedule and where the search found it."""
+
+    schedule: TraceSchedule
+    verdict: TraceVerdict
+    seed: int
+    generation: int
+    index: int
+
+
+@dataclass
+class FalsifyResult:
+    """Outcome of one falsification search."""
+
+    survived: bool
+    attempts: int
+    generations: int
+    violations: list[FoundViolation] = field(default_factory=list)
+    best_margin: Fraction = Fraction(1)
+    best_schedule: Optional[TraceSchedule] = None
+    seed: int = 0
+    #: True when the wall-clock backstop cut the (otherwise
+    #: deterministic) run short
+    clock_expired: bool = False
+
+    def describe(self) -> str:
+        if self.survived:
+            return (
+                f"SURVIVED {self.attempts} attempts over "
+                f"{self.generations} generation(s) "
+                f"(seed {self.seed}, best margin "
+                f"{float(self.best_margin):+.3f})"
+            )
+        v = self.violations[0]
+        return (
+            f"FALSIFIED at generation {v.generation} "
+            f"(seed {self.seed}, attempt {self.attempts}): "
+            f"{v.verdict.describe()} on {v.schedule.describe()}"
+        )
+
+
+class TraceSearch:
+    """Seeded genetic search for property-violating schedules.
+
+    ``cca_factory`` builds a fresh CCA per evaluation (the simulator
+    resets state, but a factory keeps hidden state impossible);
+    ``oracle`` judges traces; ``space`` bounds the genome.
+    """
+
+    #: elite fraction kept each generation
+    ELITE = 0.5
+
+    def __init__(
+        self,
+        cca_factory: Callable[[], object],
+        oracle: PropertyOracle,
+        space: ScheduleSpace,
+        budget: FalsifyBudget = FalsifyBudget(),
+        seed: int = 0,
+    ):
+        self.cca_factory = cca_factory
+        self.oracle = oracle
+        self.space = space
+        self.budget = budget
+        self.seed = seed
+
+    # -- mutation operators ---------------------------------------------------
+
+    def _mutate(self, rng: Random, schedule: TraceSchedule) -> TraceSchedule:
+        segments = list(schedule.segments)
+        initial_queue = schedule.initial_queue
+        op = rng.choice(
+            ("rate", "policy", "jitter", "duration", "split", "drop", "queue")
+        )
+        i = rng.randrange(len(segments))
+        seg = segments[i]
+        if op == "rate":
+            segments[i] = Segment(seg.ticks, rng.choice(self.space.rates),
+                                  seg.policy, seg.jitter)
+        elif op == "policy":
+            segments[i] = Segment(seg.ticks, seg.rate,
+                                  rng.choice(self.space.policies), seg.jitter)
+        elif op == "jitter":
+            segments[i] = Segment(seg.ticks, seg.rate, seg.policy,
+                                  rng.choice(self.space.jitters))
+        elif op == "duration":
+            ticks = max(1, seg.ticks + rng.choice((-10, -5, -2, 2, 5, 10)))
+            segments[i] = Segment(ticks, seg.rate, seg.policy, seg.jitter)
+        elif op == "split" and len(segments) < self.space.max_segments \
+                and seg.ticks >= 2:
+            cut = rng.randint(1, seg.ticks - 1)
+            left = Segment(cut, seg.rate, seg.policy, seg.jitter)
+            right = self.space.random_segment(rng, seg.ticks - cut)
+            segments[i:i + 1] = [left, right]
+        elif op == "drop" and len(segments) > 1:
+            del segments[i]
+        elif op == "queue":
+            initial_queue = rng.choice(self.space.initial_queues)
+        mutated = TraceSchedule(tuple(segments), initial_queue)
+        return self._clamp(mutated)
+
+    def _crossover(
+        self, rng: Random, a: TraceSchedule, b: TraceSchedule
+    ) -> TraceSchedule:
+        ca = rng.randint(1, len(a.segments))
+        cb = rng.randint(0, len(b.segments))
+        segments = (a.segments[:ca] + b.segments[cb:])[: self.space.max_segments]
+        child = TraceSchedule(
+            segments or a.segments,
+            rng.choice((a.initial_queue, b.initial_queue)),
+        )
+        return self._clamp(child)
+
+    def _clamp(self, schedule: TraceSchedule) -> TraceSchedule:
+        """Keep total duration inside the space's tick bounds."""
+        total = schedule.ticks
+        if total <= self.space.max_ticks and total >= self.space.min_ticks:
+            return schedule
+        if total > self.space.max_ticks:
+            # trim from the tail
+            budget = self.space.max_ticks
+            kept: list[Segment] = []
+            for seg in schedule.segments:
+                if budget <= 0:
+                    break
+                take = min(seg.ticks, budget)
+                kept.append(Segment(take, seg.rate, seg.policy, seg.jitter))
+                budget -= take
+            return TraceSchedule(tuple(kept), schedule.initial_queue)
+        # too short: stretch the last segment
+        last = schedule.segments[-1]
+        deficit = self.space.min_ticks - total
+        stretched = Segment(last.ticks + deficit, last.rate, last.policy,
+                            last.jitter)
+        return TraceSchedule(
+            schedule.segments[:-1] + (stretched,), schedule.initial_queue
+        )
+
+    # -- the search -----------------------------------------------------------
+
+    def run(self) -> FalsifyResult:
+        rng = Random(self.seed)
+        budget = self.budget
+        reg = metrics()
+        tr = tracer()
+        deadline = (
+            None if budget.time_budget is None
+            else time.monotonic() + budget.time_budget
+        )
+        result = FalsifyResult(
+            survived=True, attempts=0, generations=0, seed=self.seed
+        )
+        seen: set = set()
+
+        def evaluate(schedule, generation, index) -> Optional[TraceVerdict]:
+            if result.attempts >= budget.evaluations:
+                return None
+            result.attempts += 1
+            reg.counter("falsify.attempts").inc()
+            verdict = self.oracle.evaluate(self.cca_factory(), schedule)
+            if verdict.margin < result.best_margin:
+                result.best_margin = verdict.margin
+                result.best_schedule = schedule
+            if verdict.violated and schedule.key() not in seen:
+                seen.add(schedule.key())
+                reg.counter("falsify.violations").inc()
+                result.violations.append(FoundViolation(
+                    schedule=schedule, verdict=verdict, seed=self.seed,
+                    generation=generation, index=index,
+                ))
+                if tr.enabled:
+                    tr.event(
+                        "falsify.violation",
+                        generation=generation,
+                        index=index,
+                        attempt=result.attempts,
+                        margin=float(verdict.margin),
+                        msg=(
+                            f"[falsify] violation at gen {generation} "
+                            f"idx {index}: {verdict.describe()}"
+                        ),
+                    )
+            return verdict
+
+        def done() -> bool:
+            if budget.stop_after and len(result.violations) >= budget.stop_after:
+                return True
+            if result.attempts >= budget.evaluations:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                result.clock_expired = True
+                return True
+            return False
+
+        with tr.span("falsify.search", seed=self.seed,
+                     evaluations=budget.evaluations):
+            # generation 0: fresh random individuals
+            population: list[tuple[TraceSchedule, TraceVerdict]] = []
+            for index in range(budget.population):
+                schedule = self.space.random_schedule(rng)
+                verdict = evaluate(schedule, 0, index)
+                if verdict is None:
+                    break
+                population.append((schedule, verdict))
+                if done():
+                    break
+            result.generations = 1
+
+            while not done() and result.generations < budget.max_generations:
+                generation = result.generations
+                population.sort(key=lambda pair: pair[1].margin)
+                elite = population[: max(2, int(len(population) * self.ELITE))]
+                offspring: list[tuple[TraceSchedule, TraceVerdict]] = []
+                index = 0
+                while len(elite) + len(offspring) < budget.population:
+                    if rng.random() < 0.3 and len(elite) >= 2:
+                        a, b = rng.sample(elite, 2)
+                        child = self._crossover(rng, a[0], b[0])
+                    else:
+                        parent = rng.choice(elite)[0]
+                        child = self._mutate(rng, parent)
+                    verdict = evaluate(child, generation, index)
+                    index += 1
+                    if verdict is None:
+                        break
+                    offspring.append((child, verdict))
+                    if done():
+                        break
+                population = elite + offspring
+                result.generations += 1
+
+        result.survived = not result.violations
+        return result
+
+
+def replay_schedule(
+    cca_factory: Callable[[], object],
+    oracle: PropertyOracle,
+    space: ScheduleSpace,
+    budget: FalsifyBudget,
+    seed: int,
+    generation: int,
+    index: int,
+) -> Optional[FoundViolation]:
+    """Re-derive the violation found at ``(seed, generation, index)``.
+
+    The search is deterministic in its seed and budget, so re-running it
+    reproduces the identical population history; this returns the
+    recorded violation at those coordinates (None if the coordinates
+    hold no violation — e.g. a different budget was supplied).
+    """
+    result = TraceSearch(cca_factory, oracle, space, budget, seed=seed).run()
+    for violation in result.violations:
+        if violation.generation == generation and violation.index == index:
+            return violation
+    return None

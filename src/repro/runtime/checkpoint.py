@@ -40,6 +40,8 @@ STAT_FIELDS = (
     "verifier_calls",
     "cancelled_checks",
     "certified_verdicts",
+    "falsification_attempts",
+    "falsification_survivals",
 )
 
 

@@ -69,6 +69,13 @@ class RuntimeOptions:
     #: advisory: run every solution through the discrete simulator and
     #: attach the reports to ``SynthesisResult.cross_checks``
     cross_check: bool = False
+    #: adversarial falsification budget (trace evaluations) to spend on
+    #: every solution after synthesis; 0 disables.  An in-fragment
+    #: violation of a verified solution raises
+    #: :class:`~repro.runtime.errors.SoundnessError`
+    falsify: int = 0
+    #: seed of the falsification search (replayable)
+    falsify_seed: int = 0
     #: directory of the shared on-disk query cache (None disables it);
     #: portfolio workers and successive runs pool conclusive verdicts
     cache_dir: Optional[str] = None
@@ -185,12 +192,41 @@ def run_synthesis(query, options: Optional[RuntimeOptions] = None):
     for part in parts:
         merged.extend(getattr(part, "degradations", ()))
     result.degradations = merged
-    if options.cross_check and result.solutions:
-        from .validate import cross_validate
+    if options.cross_check:
+        if result.solutions:
+            from .validate import cross_validate
 
-        result.cross_checks = [
-            cross_validate(cand, query.cfg) for cand in result.solutions
-        ]
+            result.cross_checks = [
+                cross_validate(cand, query.cfg) for cand in result.solutions
+            ]
+        else:
+            # requested but nothing to check: record the skip loudly
+            # (an empty list, NOT None — reports distinguish "ran, no
+            # solutions" from "never requested")
+            result.cross_checks = []
+            tracer().event(
+                "runtime.cross_check_skipped",
+                solutions=0,
+                msg="[runtime] cross-check requested but the run found "
+                    "no solutions to check",
+            )
+    if options.falsify > 0 and result.solutions:
+        from ..ccas import TemplateCCA
+        from ..falsify import FalsifyBudget, falsify_cca
+
+        budget = FalsifyBudget(evaluations=options.falsify, stop_after=1)
+        for cand in result.solutions:
+            falsify_cca(
+                lambda cand=cand: TemplateCCA(
+                    cand, cwnd_min=query.cfg.cwnd_min
+                ),
+                query.cfg,
+                spec=cand.pretty(),
+                budget=budget,
+                seed=options.falsify_seed,
+                verified=True,
+                stats=result,
+            )
     return result
 
 

@@ -28,9 +28,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Literal
+from typing import Callable, Literal, Union
 
 AdversaryPolicy = Literal["ideal", "lazy", "max_waste", "aggregate", "random"]
+
+#: a link knob that may vary per tick: a fixed value or ``tick -> value``
+#: (the falsifier's trace schedules drive policy and jitter this way)
+PolicyLike = Union[AdversaryPolicy, Callable[[int], str]]
+JitterLike = Union[int, Callable[[int], int]]
 
 
 @dataclass
@@ -49,12 +54,15 @@ class JitteryLink:
     def __init__(
         self,
         capacity=Fraction(1),
-        jitter: int = 1,
-        policy: AdversaryPolicy = "ideal",
+        jitter: JitterLike = 1,
+        policy: PolicyLike = "ideal",
         seed: int = 0,
     ):
         """``capacity`` is either a constant rate or a callable
-        ``tick -> rate`` (see :mod:`repro.sim.workloads`)."""
+        ``tick -> rate`` (see :mod:`repro.sim.workloads`); ``jitter``
+        and ``policy`` likewise accept per-tick callables so a trace
+        schedule (:mod:`repro.falsify.schedule`) can vary them
+        mid-connection."""
         if callable(capacity):
             self._rate_fn = capacity
             self.C = Fraction(capacity(0))
@@ -86,6 +94,19 @@ class JitteryLink:
             return self.C
         return Fraction(self._rate_fn(t))
 
+    def jitter_at(self, t: int) -> int:
+        """Jitter bound in effect during tick ``t``."""
+        if callable(self.jitter):
+            return max(0, int(self.jitter(t)))
+        return self.jitter
+
+    def policy_at(self, t: int) -> str:
+        """Adversary policy in effect during tick ``t`` (pre-``random``
+        resolution)."""
+        if callable(self.policy):
+            return str(self.policy(t))
+        return self.policy
+
     def capacity_cum(self, t: int) -> Fraction:
         """Cumulative capacity through tick ``t`` (generalizes ``C*t``)."""
         while len(self._cap_cum) <= t:
@@ -99,9 +120,10 @@ class JitteryLink:
     #: burst period of the ACK-aggregation adversary (ticks)
     AGGREGATE_PERIOD = 3
 
-    def _pick_policy(self) -> AdversaryPolicy:
-        if self.policy != "random":
-            return self.policy
+    def _pick_policy(self, t: int) -> str:
+        policy = self.policy_at(t)
+        if policy != "random":
+            return policy
         return self._rng.choice(["ideal", "lazy", "max_waste", "aggregate"])
 
     def step(self, arrivals: Fraction) -> LinkState:
@@ -112,7 +134,7 @@ class JitteryLink:
         t = self.t
         A_t = Fraction(arrivals)
         self.A_hist.append(A_t)
-        policy = self._pick_policy()
+        policy = self._pick_policy(t)
 
         W_prev = self.W_hist[-1]
         cap_t = self.capacity_cum(t)
@@ -124,8 +146,12 @@ class JitteryLink:
         # upper bound from the token bucket
         s_max = min(A_t, cap_t - W_t)
         # lower bound from the jitter constraint
-        back = t - self.jitter
-        if back >= 0:
+        back = t - self.jitter_at(t)
+        if back >= t:
+            # zero jitter: no slack at all — serve everything the bucket
+            # offers this very tick (W_t is not yet in W_hist)
+            s_min = cap_t - W_t
+        elif back >= 0:
             s_min = self.capacity_cum(back) - self.W_hist[back]
         else:
             s_min = Fraction(0)
@@ -159,7 +185,7 @@ class JitteryLink:
                 errors.append(f"token bucket violated at {t}")
             if self.S_hist[t] > self.A_hist[t]:
                 errors.append(f"causality violated at {t}")
-            back = t - self.jitter
+            back = t - self.jitter_at(t)
             if back >= 0 and self.S_hist[t] < min(
                 self.capacity_cum(back) - self.W_hist[back],
                 min(self.A_hist[t], cap_t - self.W_hist[t]),

@@ -13,7 +13,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..ccas.base import CongestionControl
-from .link import AdversaryPolicy, JitteryLink
+from .link import AdversaryPolicy, JitteryLink, JitterLike, PolicyLike
 
 
 @dataclass
@@ -59,12 +59,16 @@ def run_simulation(
     cca: CongestionControl,
     ticks: int = 100,
     capacity: Fraction = Fraction(1),
-    jitter: int = 1,
-    policy: AdversaryPolicy = "ideal",
+    jitter: JitterLike = 1,
+    policy: PolicyLike = "ideal",
     seed: int = 0,
     initial_queue: Fraction = Fraction(0),
 ) -> SimResult:
-    """Run ``cca`` for ``ticks`` RTTs over a jittery link."""
+    """Run ``cca`` for ``ticks`` RTTs over a jittery link.
+
+    ``capacity``, ``jitter``, and ``policy`` each accept either a fixed
+    value or a per-tick callable (see :mod:`repro.sim.workloads` and
+    :mod:`repro.falsify.schedule`)."""
     cca.reset()
     link = JitteryLink(capacity=capacity, jitter=jitter, policy=policy, seed=seed)
     result = SimResult(cca_name=cca.name, ticks=ticks, capacity=link.C)

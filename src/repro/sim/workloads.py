@@ -39,12 +39,23 @@ def periodic_rate(low: Fraction | int, high: Fraction | int, period: int) -> Rat
 def random_walk_rate(
     base: Fraction | int,
     step: Fraction | int,
-    seed: int = 0,
+    rng: random.Random,
     floor: Fraction | int = Fraction(1, 4),
 ) -> RateFn:
     """Cellular-style random-walk capacity (precomputed, deterministic
-    for a given seed)."""
-    rng = random.Random(seed)
+    for a given ``rng``).
+
+    ``rng`` must be an explicit ``random.Random(seed)`` instance: the
+    falsifier replays found counterexamples from ``(seed, generation)``
+    alone, so workload randomness must never touch the module-global RNG
+    (or accept a bare seed that hides which stream is drawn from).
+    """
+    if not isinstance(rng, random.Random):
+        raise TypeError(
+            "random_walk_rate requires an explicit random.Random(seed) "
+            f"instance, got {type(rng).__name__!r}; global-state "
+            "randomness would break counterexample replay"
+        )
     base, step, floor = Fraction(base), Fraction(step), Fraction(floor)
     cache: list[Fraction] = [base]
 
@@ -80,7 +91,7 @@ def standard_workloads(seed: int = 7) -> list[Workload]:
             "periodic competing load",
         ),
         Workload(
-            "cellular", random_walk_rate(1, Fraction(1, 8), seed=seed),
+            "cellular", random_walk_rate(1, Fraction(1, 8), random.Random(seed)),
             "random-walk capacity",
         ),
     ]

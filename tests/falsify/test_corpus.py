@@ -1,0 +1,135 @@
+"""Minimization + corpus case records."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.ccas import AIMD
+from repro.falsify import (
+    CorpusCase,
+    PropertyOracle,
+    Segment,
+    TraceSchedule,
+    constant_schedule,
+    load_cases,
+    make_case,
+    minimize_schedule,
+    write_case,
+)
+
+
+class TestMinimizeSchedule:
+    def test_rejects_non_violating_input(self):
+        with pytest.raises(ValueError):
+            minimize_schedule(lambda s: False, constant_schedule(20))
+
+    def test_shrinks_to_local_minimum(self):
+        """Synthetic predicate: violates iff total duration >= 10.  The
+        minimizer must land exactly on a single 10-tick segment."""
+        def violates(s: TraceSchedule) -> bool:
+            return s.ticks >= 10
+
+        big = TraceSchedule(
+            (
+                Segment(25, Fraction(1), "lazy", 2),
+                Segment(30, Fraction(1), "max_waste", 0),
+            ),
+            initial_queue=Fraction(4),
+        )
+        small = minimize_schedule(violates, big)
+        assert violates(small)
+        assert small.ticks == 10
+        assert len(small.segments) == 1
+        assert small.initial_queue == 0
+        assert small.segments[0].policy == "ideal"
+
+    def test_real_violation_shrinks_and_stays_violating(self):
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+
+        def violates(s: TraceSchedule) -> bool:
+            return oracle.evaluate(AIMD(delay_threshold=Fraction(8)), s).violated
+
+        messy = TraceSchedule(
+            (
+                Segment(30, Fraction(1), "ideal", 1),
+                Segment(40, Fraction(1), "ideal", 0),
+            ),
+            initial_queue=Fraction(4),
+        )
+        assert violates(messy)
+        minimized = minimize_schedule(violates, messy)
+        assert violates(minimized)
+        assert minimized.ticks < messy.ticks
+        assert minimized.initial_queue == 0
+
+    def test_respects_check_budget(self):
+        calls = 0
+
+        def violates(s: TraceSchedule) -> bool:
+            nonlocal calls
+            calls += 1
+            return True
+
+        minimize_schedule(violates, constant_schedule(100), max_checks=10)
+        # the seed check plus at most max_checks candidate probes
+        assert calls <= 11
+
+
+class TestCorpusCase:
+    def _case(self):
+        # the CLI's default window (T=7): an 11-tick run has exactly one
+        # covered window (start=4), matching the committed demo case
+        cfg = ModelConfig(T=7)
+        oracle = PropertyOracle(cfg)
+        schedule = constant_schedule(11, rate=cfg.C, jitter=0)
+        verdict = oracle.evaluate(AIMD(delay_threshold=Fraction(8)), schedule)
+        assert verdict.violated
+        return make_case(
+            "aimd:8", cfg, schedule, verdict,
+            provenance={"seed": 7, "generation": 2, "index": 5,
+                        "origin": "falsified"},
+        )
+
+    def test_auto_name_carries_provenance(self):
+        case = self._case()
+        assert case.name == "aimd-8-s7g2i5"
+
+    def test_round_trip_through_disk(self, tmp_path):
+        case = self._case()
+        path = write_case(case, tmp_path)
+        assert path.name == "aimd-8-s7g2i5.json"
+        loaded = load_cases(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0] == case
+
+    def test_model_config_and_schedule_rebuild_exactly(self):
+        case = self._case()
+        cfg = case.model_config()
+        assert cfg == ModelConfig(T=7)
+        assert case.trace_schedule() == constant_schedule(
+            11, rate=Fraction(1), jitter=0
+        )
+
+    def test_covered_only_tracks_origin(self):
+        case = self._case()
+        assert case.covered_only
+        gap = CorpusCase(
+            name=case.name, cca=case.cca, cfg=case.cfg,
+            schedule=case.schedule,
+            provenance={**case.provenance, "origin": "model-gap"},
+            verdict=case.verdict,
+        )
+        assert not gap.covered_only
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        case = self._case()
+        path = write_case(case, tmp_path)
+        data = path.read_text().replace('"schema": 1', '"schema": 99')
+        path.write_text(data)
+        with pytest.raises(ValueError):
+            load_cases(tmp_path)
+
+    def test_load_empty_dir(self, tmp_path):
+        assert load_cases(tmp_path / "nope") == []

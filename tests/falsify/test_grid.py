@@ -1,0 +1,72 @@
+"""Cross-validation grids: worker fan-out parity, manifests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.falsify import ExperimentManifest, GridSpec, run_grid
+from repro.falsify.grid import GridPoint
+
+pytestmark = pytest.mark.falsify
+
+SMALL = GridSpec(
+    rates=(Fraction(1, 2), Fraction(1)),
+    jitters=(0, 1),
+    policies=("ideal", "lazy"),
+    initial_queues=(Fraction(0),),
+    ticks=30,
+)
+
+
+class TestGridSpec:
+    def test_points_cover_the_product(self):
+        points = SMALL.points()
+        assert len(points) == 2 * 2 * 2 * 1
+        assert len(set(points)) == len(points)
+
+    def test_from_model_brackets_the_operating_point(self):
+        cfg = ModelConfig()
+        spec = GridSpec.from_model(cfg)
+        assert Fraction(cfg.C) in spec.rates
+        assert 2 * cfg.C in spec.rates
+        assert max(spec.jitters) > cfg.jitter
+
+    def test_point_round_trip(self):
+        point = GridPoint(Fraction(3, 2), 2, "lazy", Fraction(4))
+        assert GridPoint.from_dict(point.to_dict()) == point
+
+
+class TestRunGrid:
+    def test_inline_matches_workers(self):
+        """jobs=0 (in-process) and jobs=2 (forked chunks) must produce
+        identical records — the fan-out is pure plumbing."""
+        cfg = ModelConfig()
+        inline = run_grid("rocc", cfg, SMALL, jobs=0)
+        forked = run_grid("rocc", cfg, SMALL, jobs=2)
+        assert inline.records == forked.records
+        assert len(inline.records) == len(SMALL.points())
+
+    def test_verified_rocc_has_no_violating_cells(self):
+        cfg = ModelConfig()
+        manifest = run_grid("rocc", cfg, GridSpec.from_model(cfg, ticks=40),
+                            jobs=0)
+        assert manifest.violations == []
+
+    def test_weakened_aimd_grid_finds_violations(self):
+        cfg = ModelConfig()
+        manifest = run_grid("aimd:8", cfg, GridSpec.from_model(cfg, ticks=40),
+                            jobs=0)
+        bad = manifest.violations
+        assert bad
+        assert any(r["in_fragment"] for r in bad)
+
+    def test_manifest_round_trip(self, tmp_path):
+        cfg = ModelConfig()
+        path = tmp_path / "manifest.json"
+        manifest = run_grid("rocc", cfg, SMALL, jobs=0, manifest_path=path)
+        loaded = ExperimentManifest.load(path)
+        assert loaded.records == manifest.records
+        assert loaded.cca == "rocc"
+        assert loaded.grid == SMALL.to_dict()
+        assert "configs" in loaded.describe()

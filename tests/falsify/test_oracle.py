@@ -1,0 +1,106 @@
+"""The property oracle: windowed relaxed property + proof coverage."""
+
+from fractions import Fraction
+
+from repro.ccac import ModelConfig
+from repro.ccas import AIMD, ConstantCwnd, RoCC
+from repro.falsify import PropertyOracle, constant_schedule, run_schedule
+
+
+class TestWindowedProperty:
+    def test_rocc_holds_on_quiet_link(self):
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        verdict = oracle.evaluate(RoCC(), constant_schedule(60, rate=cfg.C))
+        assert not verdict.violated
+        assert verdict.margin >= 0
+        assert verdict.covered_windows > 0
+
+    def test_weakened_aimd_violates(self):
+        """AIMD with delay_threshold 8 lets the queue climb past the
+        property's bound of 4 while still *increasing* cwnd — exactly
+        the violation of (queue bounded OR cwnd decreased)."""
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        verdict = oracle.evaluate(
+            AIMD(delay_threshold=Fraction(8)),
+            constant_schedule(40, rate=cfg.C, jitter=0),
+        )
+        assert verdict.violated
+        assert verdict.margin < 0
+        assert verdict.witness.max_queue > cfg.delay_thresh * cfg.C * cfg.D
+
+    def test_huge_constant_window_uncovered_not_violating(self):
+        """ConstantCwnd(10) pins a 9-unit standing queue — but a 10-BDP
+        window never re-enters the model's initial box (cwnd > 8), so no
+        window is covered and no disagreement can be raised."""
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        verdict = oracle.evaluate(
+            ConstantCwnd(Fraction(10)), constant_schedule(40, rate=cfg.C)
+        )
+        assert verdict.covered_windows == 0
+        assert not verdict.violated
+        assert verdict.margin <= 0  # advisory fallback margin still orders
+
+    def test_margin_sign_matches_verdict(self):
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        ok = oracle.evaluate(RoCC(), constant_schedule(50, rate=cfg.C, policy="lazy"))
+        assert (ok.margin < 0) == ok.violated
+
+
+class TestCoverage:
+    def test_boot_windows_never_covered(self):
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        result = run_schedule(RoCC(), constant_schedule(40, rate=cfg.C))
+        for start in range(cfg.history):
+            assert not oracle._covered(result, start)
+
+    def test_steady_full_pipe_windows_covered(self):
+        """With the pipe kept full on an ideal link, the token bucket is
+        tight and RoCC's cwnd stays in the box: steady windows must be
+        covered, otherwise the falsifier would be blind in-fragment."""
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        result = run_schedule(RoCC(), constant_schedule(60, rate=cfg.C))
+        assert any(
+            oracle._covered(result, start)
+            for start in range(cfg.history, 60 - cfg.T)
+        )
+
+    def test_banked_tokens_break_coverage(self):
+        """A sender that cannot fill a double-rate link leaves unused
+        tokens; shifted windows could then burst beyond a fresh token
+        bucket, so the proof does not cover them."""
+        cfg = ModelConfig()
+        oracle = PropertyOracle(cfg)
+        result = run_schedule(
+            ConstantCwnd(Fraction(1)), constant_schedule(40, rate=2 * cfg.C)
+        )
+        assert all(
+            not oracle._covered(result, start)
+            for start in range(cfg.history, 40 - cfg.T)
+        )
+
+    def test_oversized_queue_breaks_coverage(self):
+        cfg = ModelConfig(initial_queue_max=Fraction(2))
+        oracle = PropertyOracle(cfg)
+        # standing queue of 6 with a 7-unit window: queue stays > 2
+        result = run_schedule(
+            ConstantCwnd(Fraction(7)),
+            constant_schedule(40, rate=cfg.C, initial_queue=Fraction(6)),
+        )
+        assert all(
+            not oracle._covered(result, start)
+            for start in range(cfg.history, 40 - cfg.T)
+        )
+
+    def test_covered_only_false_counts_every_window(self):
+        cfg = ModelConfig()
+        schedule = constant_schedule(40, rate=cfg.C)
+        strict = PropertyOracle(cfg, covered_only=True).evaluate(RoCC(), schedule)
+        loose = PropertyOracle(cfg, covered_only=False).evaluate(RoCC(), schedule)
+        assert loose.windows == strict.windows
+        assert loose.margin <= strict.margin

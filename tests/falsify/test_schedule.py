@@ -1,0 +1,111 @@
+"""Trace schedules: validation, execution shape, serialization, space."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.falsify import (
+    ScheduleSpace,
+    Segment,
+    TraceSchedule,
+    constant_schedule,
+    run_schedule,
+)
+from repro.falsify.schedule import SEGMENT_POLICIES
+
+
+class TestSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(ticks=0, rate=Fraction(1))
+        with pytest.raises(ValueError):
+            Segment(ticks=5, rate=Fraction(-1))
+        with pytest.raises(ValueError):
+            Segment(ticks=5, rate=Fraction(1), policy="random")
+        with pytest.raises(ValueError):
+            Segment(ticks=5, rate=Fraction(1), jitter=-1)
+
+    def test_round_trip_exact(self):
+        seg = Segment(ticks=7, rate=Fraction(1, 3), policy="lazy", jitter=2)
+        assert Segment.from_dict(seg.to_dict()) == seg
+
+
+class TestTraceSchedule:
+    def test_needs_a_segment(self):
+        with pytest.raises(ValueError):
+            TraceSchedule(segments=())
+
+    def test_piecewise_dispatch(self):
+        sched = TraceSchedule((
+            Segment(3, Fraction(2), "ideal", 0),
+            Segment(2, Fraction(1, 2), "lazy", 1),
+        ))
+        rate, policy, jitter = sched.rate_fn(), sched.policy_fn(), sched.jitter_fn()
+        # ticks are 1-based in the simulator
+        assert [rate(t) for t in (1, 3, 4, 5)] == [
+            Fraction(2), Fraction(2), Fraction(1, 2), Fraction(1, 2),
+        ]
+        assert policy(1) == "ideal" and policy(4) == "lazy"
+        assert jitter(3) == 0 and jitter(4) == 1
+        # past the end, the last segment persists
+        assert rate(99) == Fraction(1, 2) and policy(99) == "lazy"
+
+    def test_round_trip_exact(self):
+        sched = TraceSchedule(
+            (Segment(4, Fraction(3, 7), "max_waste", 2), Segment(9, Fraction(0))),
+            initial_queue=Fraction(5, 2),
+        )
+        assert TraceSchedule.from_dict(sched.to_dict()) == sched
+        assert sched.key() == TraceSchedule.from_dict(sched.to_dict()).key()
+
+    def test_in_fragment_classification(self):
+        cfg = ModelConfig()
+        assert constant_schedule(20, rate=cfg.C).in_fragment(cfg)
+        assert not constant_schedule(20, rate=cfg.C * 2).in_fragment(cfg)
+        assert not constant_schedule(20, rate=cfg.C, jitter=cfg.jitter + 1).in_fragment(cfg)
+        assert not constant_schedule(
+            20, rate=cfg.C, initial_queue=cfg.initial_queue_max + 1
+        ).in_fragment(cfg)
+
+    def test_run_schedule_executes(self):
+        from repro.ccas import RoCC
+
+        sched = constant_schedule(30, rate=Fraction(1), policy="lazy")
+        result = run_schedule(RoCC(), sched)
+        assert result.ticks == 30
+        assert len(result.S) == 31
+        assert result.utilization(warmup=10) > Fraction(1, 2)
+
+
+class TestScheduleSpace:
+    def test_from_model_is_in_fragment(self):
+        cfg = ModelConfig()
+        space = ScheduleSpace.from_model(cfg)
+        rng = random.Random(3)
+        for _ in range(50):
+            assert space.random_schedule(rng).in_fragment(cfg)
+
+    def test_beyond_fragment_widens(self):
+        cfg = ModelConfig()
+        space = ScheduleSpace.beyond_fragment(cfg)
+        assert Fraction(0) in space.rates          # outages
+        assert 2 * cfg.C in space.rates            # rate steps
+        assert max(space.jitters) > cfg.jitter     # jitter bursts
+
+    def test_random_schedule_respects_bounds(self):
+        space = ScheduleSpace.beyond_fragment(ModelConfig(), ticks=60)
+        rng = random.Random(11)
+        for _ in range(100):
+            sched = space.random_schedule(rng)
+            assert space.min_ticks <= sched.ticks <= space.max_ticks
+            assert 1 <= len(sched.segments) <= space.max_segments
+            for seg in sched.segments:
+                assert seg.policy in SEGMENT_POLICIES
+
+    def test_random_schedule_is_seed_deterministic(self):
+        space = ScheduleSpace.beyond_fragment(ModelConfig())
+        a = [space.random_schedule(random.Random(7)).key() for _ in range(1)]
+        b = [space.random_schedule(random.Random(7)).key() for _ in range(1)]
+        assert a == b

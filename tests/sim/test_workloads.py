@@ -1,7 +1,9 @@
 """Tests for link-rate workloads and variable-rate simulation."""
 
+import random
 from fractions import Fraction
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ccas import RoCC
@@ -30,11 +32,24 @@ class TestRateFunctions:
         assert r(0) == 2 and r(2) == 1 and r(4) == 2
 
     def test_random_walk_deterministic_and_floored(self):
-        r1 = random_walk_rate(1, Fraction(1, 2), seed=5)
-        r2 = random_walk_rate(1, Fraction(1, 2), seed=5)
+        r1 = random_walk_rate(1, Fraction(1, 2), random.Random(5))
+        r2 = random_walk_rate(1, Fraction(1, 2), random.Random(5))
         values = [r1(t) for t in range(50)]
         assert values == [r2(t) for t in range(50)]
         assert all(v >= Fraction(1, 4) for v in values)
+
+    def test_random_walk_rejects_bare_seed(self):
+        """Replayability: the walk must draw from an explicit stream, so
+        passing a bare int (the old seed parameter, or an accidental
+        reliance on the module-global RNG) is a TypeError."""
+        with pytest.raises(TypeError, match="random.Random"):
+            random_walk_rate(1, Fraction(1, 2), 5)
+
+    def test_random_walk_does_not_touch_global_rng(self):
+        state = random.getstate()
+        r = random_walk_rate(1, Fraction(1, 2), random.Random(5))
+        [r(t) for t in range(50)]
+        assert random.getstate() == state
 
     def test_standard_workloads_named(self):
         names = {w.name for w in standard_workloads()}
@@ -59,7 +74,9 @@ class TestVariableRateLink:
     @given(seed=st.integers(0, 100))
     @settings(max_examples=20, deadline=None)
     def test_service_never_exceeds_cumulative_capacity(self, seed):
-        link = JitteryLink(capacity=random_walk_rate(1, Fraction(1, 4), seed=seed))
+        link = JitteryLink(
+            capacity=random_walk_rate(1, Fraction(1, 4), random.Random(seed))
+        )
         A = Fraction(0)
         for i in range(25):
             A += Fraction(1)

@@ -18,7 +18,7 @@ class TestParser:
         ][0]
         assert set(subactions.choices) == {
             "synthesize", "verify", "certify", "sweep", "simulate",
-            "assumption", "report", "resume", "bench-diff",
+            "assumption", "report", "resume", "bench-diff", "falsify",
         }
 
     def test_unknown_cca_rejected(self):
@@ -88,6 +88,79 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "wastes at most" in out
+
+
+class TestCrossCheck:
+    def test_synthesize_cross_check_prints_sim_verdicts(self, capsys):
+        rc = main([
+            "synthesize", "--space", "no_cwnd_small", "--wce",
+            "--T", "5", "--time-budget", "300", "--cross-check",
+        ])
+        out = capsys.readouterr().out
+        if rc == 0:
+            assert "sim[" in out
+
+    def test_cross_check_without_solutions_says_so(self, capsys):
+        """One iteration of the bare small space cannot verify a
+        solution; --cross-check must announce the skip, not stay mute."""
+        rc = main([
+            "synthesize", "--space", "no_cwnd_small", "--T", "5",
+            "--max-iterations", "1", "--cross-check",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no solution found" in out
+        assert "cross-check: requested but no solutions to check" in out
+
+
+@pytest.mark.falsify
+class TestFalsifyCommand:
+    def test_weakened_aimd_falsified(self, capsys):
+        rc = main([
+            "falsify", "aimd:8", "--T", "7", "--budget", "400",
+            "--no-corpus",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FALSIFIED" in out
+        assert "minimized" in out
+
+    def test_verified_rocc_survives(self, capsys):
+        rc = main([
+            "falsify", "rocc", "--no-verify", "--T", "5",
+            "--budget", "80", "--ticks", "60",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SURVIVED" in out
+
+    def test_corpus_case_written(self, capsys, tmp_path):
+        corpus = tmp_path / "cases"
+        rc = main([
+            "falsify", "aimd:8", "--T", "7", "--budget", "400",
+            "--corpus-dir", str(corpus),
+        ])
+        capsys.readouterr()
+        assert rc == 1
+        assert list(corpus.glob("*.json"))
+
+    def test_grid_manifest_written(self, capsys, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        rc = main([
+            "falsify", "rocc", "--no-verify", "--T", "5",
+            "--budget", "40", "--ticks", "40",
+            "--grid", "--grid-jobs", "2", "--manifest", str(manifest),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "grid:" in out
+        assert manifest.exists()
+        doc = json.loads(manifest.read_text())
+        assert doc["records"]
+
+    def test_unknown_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["falsify", "bbr", "--no-verify", "--budget", "10"])
 
 
 class TestObservability:
