@@ -17,6 +17,11 @@ Runs three workloads against :mod:`repro.engine` and writes a single
    candidate by candidate.
 4. **portfolio** — one synthesis query run with ``jobs=1`` and
    ``jobs=4``; the verdicts (found / exhausted) must be identical.
+5. **service** — the same batch-verification workload dispatched
+   through a persistent :class:`repro.service.WorkerPool` (fork once,
+   warm incremental verifiers) vs ``run_portfolio`` (fork per batch);
+   the pooled path must be >= 1.3x faster end to end, pool start/stop
+   included, with identical verdicts batch by batch.
 
 Usage::
 
@@ -277,6 +282,72 @@ def bench_portfolio(cfg: ModelConfig, budget: float) -> dict:
     }
 
 
+def bench_service(cfg: ModelConfig, candidates: list, rounds: int) -> dict:
+    """Pooled vs fork-per-batch dispatch on a repeated verification load.
+
+    Both sides run the *same* ``rounds`` batches over the same
+    candidates with no query cache, so the only difference is dispatch:
+    ``run_portfolio`` pays a fresh fork + base-network encode per task
+    per batch, the :class:`WorkerPool` pays it once per worker and then
+    serves warm incremental verifiers.  Pool start-up and shutdown are
+    inside the pooled timing — the speedup is the amortized one a
+    long-lived ``ccmatic serve`` actually delivers.
+    """
+    from repro.engine.portfolio import (
+        _pooled_verify_candidate_task,
+        _verify_candidate_task,
+        run_portfolio,
+    )
+    from repro.service import WorkerPool
+
+    precision = Fraction(1, 8)
+
+    def _tasks(fn):
+        return [
+            (fn, (cfg, precision, cand, False, None, True, None, False))
+            for cand in candidates
+        ]
+
+    def _verdicts(outcome):
+        return [
+            outcome.reports[i].result.verified
+            for i in range(len(candidates))
+        ]
+
+    wait_all = {"accept": lambda _r: False, "wall_time": 300.0}
+
+    forked_verdicts = []
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        outcome = run_portfolio(_tasks(_verify_candidate_task), **wait_all)
+        forked_verdicts.append(_verdicts(outcome))
+    forked_s = time.perf_counter() - t0
+
+    pooled_verdicts = []
+    t0 = time.perf_counter()
+    with WorkerPool(size=len(candidates)) as pool:
+        for _ in range(rounds):
+            outcome = pool.run_batch(
+                _tasks(_pooled_verify_candidate_task), **wait_all
+            )
+            pooled_verdicts.append(_verdicts(outcome))
+        stats = pool.stats.to_json()
+    pooled_s = time.perf_counter() - t0
+
+    speedup = forked_s / pooled_s if pooled_s > 0 else float("inf")
+    return {
+        "rounds": rounds,
+        "batch": len(candidates),
+        "forked_s": round(forked_s, 4),
+        "pooled_s": round(pooled_s, 4),
+        "speedup": round(speedup, 2),
+        "verdicts_identical": forked_verdicts == pooled_verdicts,
+        "pool": stats,
+        # gates: verdict parity and the pooled dispatch paying for itself
+        "ok": forked_verdicts == pooled_verdicts and speedup >= 1.3,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -317,10 +388,10 @@ def main(argv=None) -> int:
 
     if args.quick:
         cfg = ModelConfig(T=5, history=3)
-        history, n_cands, budget = 3, 4, 60.0
+        history, n_cands, budget, rounds = 3, 4, 60.0, 3
     else:
         cfg = ModelConfig(T=5)
-        history, n_cands, budget = 3, 6, 240.0
+        history, n_cands, budget, rounds = 3, 6, 240.0, 4
     candidates = _candidates(history, n_cands)
 
     report = {
@@ -365,9 +436,17 @@ def main(argv=None) -> int:
           f"jobs4={p['jobs_4']['wall_s']}s identical={p['verdicts_identical']}  "
           f"[{'ok' if p['ok'] else 'FAIL'}]")
 
+    report["service"] = bench_service(cfg, candidates, rounds)
+    s = report["service"]
+    print(f"  service:     forked={s['forked_s']}s pooled={s['pooled_s']}s "
+          f"speedup={s['speedup']}x identical={s['verdicts_identical']}  "
+          f"[{'ok' if s['ok'] else 'FAIL'}]")
+
     report["ok"] = all(
         report[k]["ok"]
-        for k in ("compile", "cache", "incremental", "proof", "portfolio")
+        for k in (
+            "compile", "cache", "incremental", "proof", "portfolio", "service",
+        )
     )
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)

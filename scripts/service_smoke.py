@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI service smoke: the control plane end to end, over real sockets.
+
+Boots a real ``ccmatic serve`` process (ephemeral port, own process
+group), then drives it the way an operator would:
+
+1. **verify via the CLI** — ``ccmatic submit verify rocc --watch`` must
+   stream progress and render the exact ``VERIFIED`` verdict the local
+   ``ccmatic verify`` prints.
+2. **falsify via the client** — a falsify job against the deliberately
+   weakened ``aimd:8`` is submitted with :class:`ServiceClient`, its
+   NDJSON event stream must carry progress records before the terminal
+   ``done``, and the result payload must report the falsification.
+3. **cache** — ``GET /cache/stats`` must show the verify traffic landed
+   in the service-wide query cache.
+4. **shutdown** — ``POST /shutdown`` must end the server with exit code
+   0 and leave *nothing* behind in its process group: no orphaned pool
+   workers, no stray forks.
+
+Run from the repository root:
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.ccac import ModelConfig  # noqa: E402
+from repro.service import ServiceClient, ServiceError, falsify_spec  # noqa: E402
+
+
+def fail(msg: str) -> int:
+    print(f"[service-smoke] FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def start_server(state_dir: str) -> tuple[subprocess.Popen, int]:
+    """``ccmatic serve --port 0`` in its own process group; parse the
+    bound port from its banner line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--state-dir", state_dir, "--pool-size", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_cli_env(), cwd=ROOT, start_new_session=True,
+    )
+    banner = {}
+
+    def _read():
+        banner["line"] = proc.stdout.readline()
+
+    reader = threading.Thread(target=_read, daemon=True)
+    reader.start()
+    reader.join(timeout=90)
+    line = banner.get("line") or ""
+    match = re.search(r"http://[\w.]+:(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"no service banner from `ccmatic serve`: {line!r}")
+    return proc, int(match.group(1))
+
+
+def phase_verify_via_cli(port: int) -> int:
+    """Submit + watch + render through the real CLI."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "submit", "verify", "rocc",
+         "--T", "5", "--port", str(port), "--watch"],
+        capture_output=True, text=True, env=_cli_env(), cwd=ROOT, timeout=300,
+    )
+    if out.returncode != 0:
+        return fail(f"submit verify --watch exited {out.returncode}:\n"
+                    f"{out.stdout}\n{out.stderr}")
+    for needle in ("submitted", "[job] state=done", "VERIFIED"):
+        if needle not in out.stdout:
+            return fail(f"{needle!r} missing from submit --watch output:\n"
+                        f"{out.stdout}")
+    print("[service-smoke] verify: submitted, streamed, VERIFIED via the CLI")
+    return 0
+
+
+def phase_falsify_via_client(client: ServiceClient) -> int:
+    """Submit a falsify job, stream its events, fetch the kill."""
+    spec = falsify_spec("aimd:8", ModelConfig(T=5), budget=2000, seed=0)
+    accepted = client.submit(spec)
+    job_id = accepted["job_id"]
+    streamer = ServiceClient(client.host, client.port, timeout=None)
+    records = list(streamer.events(job_id))
+    if not records or records[-1].get("type") != "job":
+        return fail(f"falsify stream did not end on a job record: {records[-1:]}")
+    if records[-1].get("state") != "done":
+        return fail(f"falsify job ended {records[-1].get('state')!r}: "
+                    f"{records[-1]}")
+    progress = sum(1 for r in records if r.get("type") in ("span", "event"))
+    if progress == 0:
+        return fail("falsify stream carried no progress records")
+    payload = client.result(job_id)
+    if payload.get("survived") is not False:
+        return fail(f"weakened aimd:8 should have been falsified: {payload}")
+    print(f"[service-smoke] falsify: aimd:8 fell after "
+          f"{payload['evaluations']} evaluations "
+          f"({progress} progress records streamed)")
+    return 0
+
+
+def phase_cache_stats(client: ServiceClient) -> int:
+    cache = client.cache_stats()
+    if cache.get("disk_entries", 0) < 1 or cache.get("disk_bytes", 0) <= 0:
+        return fail(f"verify traffic missing from the shared cache: {cache}")
+    print(f"[service-smoke] cache: {cache['disk_entries']} entries, "
+          f"{cache['disk_bytes']} bytes on disk")
+    return 0
+
+
+def phase_clean_shutdown(client: ServiceClient, proc: subprocess.Popen) -> int:
+    try:
+        client.shutdown()
+    except (OSError, ServiceError):
+        pass  # the socket may drop as the server drains
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        os.killpg(proc.pid, signal.SIGKILL)
+        return fail("server did not exit within 60s of POST /shutdown")
+    if code != 0:
+        return fail(f"server exited {code} on clean shutdown")
+    # the serve process led its own process group: if any pool worker
+    # were orphaned it would still be signalable under that pgid
+    deadline = time.time() + 10.0
+    while time.time() < deadline:
+        try:
+            os.killpg(proc.pid, 0)
+        except ProcessLookupError:
+            print("[service-smoke] shutdown: exit 0, process group empty")
+            return 0
+        time.sleep(0.2)
+    os.killpg(proc.pid, signal.SIGKILL)
+    return fail("orphaned processes survived the clean shutdown")
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="service-smoke-")
+    proc, port = start_server(state_dir)
+    print(f"[service-smoke] serving on 127.0.0.1:{port} (state: {state_dir})")
+    client = ServiceClient(port=port, timeout=120.0)
+    try:
+        for phase in (
+            lambda: phase_verify_via_cli(port),
+            lambda: phase_falsify_via_client(client),
+            lambda: phase_cache_stats(client),
+        ):
+            rc = phase()
+            if rc:
+                return rc
+    finally:
+        rc_shutdown = phase_clean_shutdown(client, proc)
+    if rc_shutdown:
+        return rc_shutdown
+    print("[service-smoke] OK: submit, stream, cache and shutdown all clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

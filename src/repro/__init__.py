@@ -21,6 +21,9 @@ between releases.
   generic CEGIS loop (:mod:`repro.cegis`).
 * :class:`QueryCache` / :class:`PortfolioVerifier` — the performance
   engine (:mod:`repro.engine`).
+* :class:`JobSpec` / :func:`execute_job` / :class:`WorkerPool` /
+  :class:`JobServer` / :class:`ServiceClient` — the job-oriented API
+  and the synthesis-as-a-service control plane (:mod:`repro.service`).
 
 Subpackages:
 
@@ -32,6 +35,8 @@ Subpackages:
   synthesis driver, assumption-synthesis queries.
 * :mod:`repro.engine` — parallel portfolio verification, incremental
   sessions, and the content-addressed query cache.
+* :mod:`repro.service` — the HTTP/JSON control plane: durable job
+  queue, persistent worker pool, progress streams, shared cache store.
 * :mod:`repro.ccas`, :mod:`repro.sim` — concrete CCAs and a discrete-time
   simulator for empirical validation.
 * :mod:`repro.netcal` — network-calculus curve algebra.
@@ -40,22 +45,27 @@ Subpackages:
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "CandidateCCA",
     "CegisLoop",
     "CegisOptions",
     "CheckOptions",
+    "JobServer",
+    "JobSpec",
     "ModelConfig",
     "PortfolioVerifier",
     "QueryCache",
     "Result",
+    "ServiceClient",
     "Solver",
     "SolverSession",
     "StopReason",
     "SynthesisQuery",
     "SynthesisResult",
+    "WorkerPool",
+    "execute_job",
     "sat",
     "synthesize",
     "unknown",
@@ -70,15 +80,20 @@ _LAZY = {
     "CegisLoop": "repro.cegis",
     "CegisOptions": "repro.cegis",
     "CheckOptions": "repro.smt",
+    "JobServer": "repro.service",
+    "JobSpec": "repro.service",
     "ModelConfig": "repro.ccac",
     "PortfolioVerifier": "repro.engine",
     "QueryCache": "repro.engine",
     "Result": "repro.smt",
+    "ServiceClient": "repro.service",
     "Solver": "repro.smt",
     "SolverSession": "repro.smt",
     "StopReason": "repro.cegis",
     "SynthesisQuery": "repro.core.synthesizer",
     "SynthesisResult": "repro.core.synthesizer",
+    "WorkerPool": "repro.service",
+    "execute_job": "repro.service",
     "sat": "repro.smt",
     "synthesize": "repro.core.synthesizer",
     "unknown": "repro.smt",

@@ -20,7 +20,23 @@ Commands:
   corrupt latest checkpoint);
 * ``certify``    — verify named CCAs with proof production on: every
   UNSAT verdict carries a DRAT+Farkas certificate replayed by the
-  independent checker (:mod:`repro.trust`).
+  independent checker (:mod:`repro.trust`);
+* ``serve``      — run the synthesis-as-a-service control plane
+  (:mod:`repro.service`): an HTTP/JSON endpoint with a durable job
+  queue, a persistent worker pool and a service-wide query cache;
+* ``submit``     — build the same :class:`~repro.service.jobs.JobSpec`
+  the local commands execute and send it to a running control plane
+  (``submit synthesize|verify|falsify ...``);
+* ``status``     — one job's lifecycle record; ``--watch`` streams its
+  NDJSON progress until it finishes;
+* ``result``     — fetch a finished job's payload and render it exactly
+  as the local command would (same printers, same exit codes).
+
+``synthesize``, ``verify`` and ``falsify`` all build a serializable
+:class:`~repro.service.jobs.JobSpec` and run it through
+:func:`~repro.service.jobs.execute_job` — the same path the server
+takes — so a local run and a submitted run are the same computation
+with a different transport.
 
 ``synthesize`` runs under the fault-tolerant runtime
 (:mod:`repro.runtime`): ``--checkpoint`` persists crash-safe state every
@@ -186,6 +202,73 @@ def _add_cfg_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--delay", type=Fraction, default=Fraction(4), help="delay threshold (RTTs)")
 
 
+def _add_synthesize_args(p: argparse.ArgumentParser) -> None:
+    """The synthesize job surface — shared verbatim by ``synthesize``
+    (local) and ``submit synthesize`` (remote), so both build the exact
+    same :class:`~repro.service.jobs.JobSpec`."""
+    p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
+    p.add_argument("--pruning", choices=["exact", "range"], default="range")
+    p.add_argument("--wce", action="store_true", help="worst-case counterexamples")
+    p.add_argument("--generator", choices=["smt", "enum"], default="enum")
+    p.add_argument("--all", action="store_true", help="enumerate all solutions")
+    p.add_argument("--max-iterations", type=_positive_int, default=100000)
+    p.add_argument("--time-budget", type=_positive_float, default=None)
+    p.add_argument("--verbose", action="store_true")
+    _add_cfg_args(p)
+    _add_runtime_args(p)
+
+
+def _add_verify_args(p: argparse.ArgumentParser) -> None:
+    """The verify job surface — shared by ``verify`` and
+    ``submit verify``."""
+    p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
+    p.add_argument("--wce", action="store_true")
+    p.add_argument("--certify", action="store_true",
+                   help="independently check an UNSAT proof of the verdict")
+    p.add_argument("--falsify", type=_positive_int, default=0,
+                   metavar="BUDGET",
+                   help="after a VERIFIED verdict, hunt it with a genetic "
+                        "trace search of BUDGET evaluations; an "
+                        "in-fragment violation is a soundness error")
+    p.add_argument("--falsify-seed", type=int, default=0, metavar="SEED")
+    _add_cfg_args(p)
+    _add_pipeline_arg(p)
+
+
+def _add_falsify_job_args(p: argparse.ArgumentParser) -> None:
+    """The falsify *job* surface (one CCA, no repo-local corpus/grid
+    flags) — ``submit falsify``'s arguments."""
+    p.add_argument("cca",
+                   help="CCA to attack: rocc | eq3 | const:<cwnd> | "
+                        "aimd[:<delay-thresh>] | cubic[:<delay-thresh>] | "
+                        "vegas | copa | rocc-native")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search seed; identical seeds replay bit-for-bit")
+    p.add_argument("--budget", type=_positive_int, default=600,
+                   metavar="EVALS",
+                   help="trace evaluations to spend (default: %(default)s)")
+    p.add_argument("--population", type=_positive_int, default=16,
+                   help="genetic population size (default: %(default)s)")
+    p.add_argument("--ticks", type=_positive_int, default=120,
+                   help="target schedule length in RTTs (default: %(default)s)")
+    p.add_argument("--beyond", action="store_true",
+                   help="search beyond the SMT model fragment")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="spend the whole budget instead of stopping at the "
+                        "first violation")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the SMT verdict lookup before the hunt")
+    _add_cfg_args(p)
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("control plane")
+    g.add_argument("--host", default="127.0.0.1",
+                   help="control plane host (default: %(default)s)")
+    g.add_argument("--port", type=int, default=8736,
+                   help="control plane port (default: %(default)s)")
+
+
 def _cfg(args) -> ModelConfig:
     return ModelConfig(T=args.T, util_thresh=args.util, delay_thresh=args.delay)
 
@@ -243,12 +326,10 @@ def _print_synthesis_result(result, cfg) -> int:
     return 0
 
 
-def cmd_synthesize(args) -> int:
-    from .runtime import run_synthesis
-
+def _synthesis_query(args) -> SynthesisQuery:
     spaces = table1_spaces()
     spec = spaces[args.space]
-    query = SynthesisQuery(
+    return SynthesisQuery(
         spec=spec,
         cfg=_cfg(args),
         pruning=PruningMode.EXACT if args.pruning == "exact" else PruningMode.RANGE,
@@ -260,8 +341,21 @@ def cmd_synthesize(args) -> int:
         verbose=args.verbose,
         jobs=args.jobs or 1,
     )
-    result = run_synthesis(query, _runtime_options(args))
-    return _print_synthesis_result(result, query.cfg)
+
+
+def cmd_synthesize(args) -> int:
+    from .service.jobs import (
+        decode_synthesis_result,
+        execute_job,
+        synthesis_spec,
+    )
+
+    query = _synthesis_query(args)
+    spec = synthesis_spec(query, _runtime_options(args))
+    payload = execute_job(
+        spec, checkpoint_path=getattr(args, "checkpoint", None)
+    )
+    return _print_synthesis_result(decode_synthesis_result(payload), query.cfg)
 
 
 def cmd_resume(args) -> int:
@@ -287,46 +381,62 @@ def cmd_resume(args) -> int:
 
 
 def _describe_certificate(summary) -> str:
+    """Renders a certificate summary — the live object or its payload
+    dict (a service result round-tripped through JSON)."""
+    if not isinstance(summary, dict):
+        summary = {
+            "steps": summary.steps,
+            "inputs": summary.inputs,
+            "rup_additions": summary.rup_additions,
+            "theory_lemmas": summary.theory_lemmas,
+            "check_time": summary.check_time,
+        }
     return (
-        f"proof checked: {summary.steps} steps "
-        f"({summary.inputs} inputs, {summary.rup_additions} RUP additions, "
-        f"{summary.theory_lemmas} Farkas lemmas) "
-        f"in {summary.check_time:.2f}s"
+        f"proof checked: {summary['steps']} steps "
+        f"({summary['inputs']} inputs, "
+        f"{summary['rup_additions']} RUP additions, "
+        f"{summary['theory_lemmas']} Farkas lemmas) "
+        f"in {summary['check_time']:.2f}s"
     )
 
 
-def cmd_verify(args) -> int:
-    cand = _named_cca(args.cca)
-    verifier = CcacVerifier(_cfg(args), certify=getattr(args, "certify", False))
-    res = verifier.find_counterexample(cand, worst_case=args.wce)
-    print(f"{cand.pretty()}")
-    if res.verified:
-        print(f"VERIFIED in {res.wall_time:.2f}s (no admissible trace violates the property)")
-        if res.certified:
-            print(_describe_certificate(res.certificate))
-        elif getattr(args, "certify", False):
+def _render_verify_payload(payload: dict, certify: bool = False) -> int:
+    """Print a verify job's result payload; local and remote runs share
+    this renderer (and therefore the exact same output and exit codes)."""
+    print(payload["pretty"])
+    if payload["verified"]:
+        print(f"VERIFIED in {payload['wall_time']:.2f}s "
+              f"(no admissible trace violates the property)")
+        if payload.get("certified") and payload.get("certificate"):
+            print(_describe_certificate(payload["certificate"]))
+        elif certify:
             print("NOT CERTIFIED (verdict inconclusive in proof mode)")
             return 2
-        budget = getattr(args, "falsify", 0)
-        if budget:
-            from .ccas import TemplateCCA
-            from .falsify import FalsifyBudget, falsify_cca
-
-            cfg = _cfg(args)
-            rep = falsify_cca(
-                lambda: TemplateCCA(cand, cwnd_min=cfg.cwnd_min),
-                cfg,
-                spec=args.cca,
-                budget=FalsifyBudget(evaluations=budget),
-                seed=getattr(args, "falsify_seed", 0),
-                verified=True,
-            )
-            print(f"falsify: {rep.search.describe()}")
+        if payload.get("falsify"):
+            print(f"falsify: {payload['falsify']}")
         return 0
-    tr = res.counterexample
-    print(f"COUNTEREXAMPLE in {res.wall_time:.2f}s:")
-    print(tr)
+    print(f"COUNTEREXAMPLE in {payload['wall_time']:.2f}s:")
+    print(payload["counterexample_text"])
     return 1
+
+
+def cmd_verify(args) -> int:
+    from .service.jobs import JobSpecError, execute_job, verify_spec
+
+    certify = getattr(args, "certify", False)
+    spec = verify_spec(
+        args.cca,
+        _cfg(args),
+        worst_case=args.wce,
+        certify=certify,
+        falsify=getattr(args, "falsify", 0),
+        falsify_seed=getattr(args, "falsify_seed", 0),
+    )
+    try:
+        payload = execute_job(spec)
+    except JobSpecError as exc:
+        raise SystemExit(str(exc))
+    return _render_verify_payload(payload, certify=certify)
 
 
 def cmd_certify(args) -> int:
@@ -356,6 +466,23 @@ def cmd_certify(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _render_falsify_payload(payload: dict) -> int:
+    """Print a falsify job's result payload (shared local/remote);
+    returns 0 when the CCA survived, 1 when it was falsified."""
+    name = payload["cca"]
+    verdict = payload.get("smt_verdict")
+    if verdict == "verified":
+        print(f"{name}: SMT-verified — an in-fragment violation "
+              f"now counts as a soundness error")
+    elif verdict == "counterexample":
+        print(f"{name}: SMT found a counterexample; falsification "
+              f"is corroboration, not contradiction")
+    elif verdict == "unknown":
+        print(f"{name}: SMT verdict unknown")
+    print(payload["description"])
+    return 0 if payload["survived"] else 1
+
+
 def cmd_falsify(args) -> int:
     """Adversarial falsification: hunt a CCA's property with a seeded
     genetic trace search (and optionally a cross-validation grid).
@@ -365,52 +492,33 @@ def cmd_falsify(args) -> int:
     raises :class:`~repro.runtime.errors.SoundnessError` after dumping
     flight state and committing the minimized corpus case.
     """
-    from .falsify import (
-        FalsifyBudget,
-        GridSpec,
-        falsify_cca,
-        resolve_cca,
-        run_grid,
-    )
+    from .falsify import GridSpec, run_grid
+    from .service.jobs import execute_job, falsify_spec
 
     cfg = _cfg(args)
-    budget = FalsifyBudget(
-        evaluations=args.budget,
-        population=args.population,
-        stop_after=0 if args.exhaustive else 1,
-    )
     falsified = 0
     for spec in args.ccas:
-        try:
-            factory, smt_verifiable = resolve_cca(spec)
-        except ValueError as exc:
-            raise SystemExit(str(exc))
-        verified = False
-        if smt_verifiable and not args.no_verify:
-            res = CcacVerifier(cfg).find_counterexample(_named_cca(spec))
-            if res.verified:
-                verified = True
-                print(f"{spec}: SMT-verified — an in-fragment violation "
-                      f"now counts as a soundness error")
-            elif res.counterexample is not None:
-                print(f"{spec}: SMT found a counterexample; falsification "
-                      f"is corroboration, not contradiction")
-            else:
-                print(f"{spec}: SMT verdict unknown")
-        report = falsify_cca(
-            factory,
+        job = falsify_spec(
+            spec,
             cfg,
-            spec=spec,
-            budget=budget,
+            budget=args.budget,
             seed=args.seed,
             ticks=args.ticks,
-            in_fragment=not args.beyond,
-            verified=verified,
-            corpus_dir=args.corpus_dir,
-            write_corpus=not args.no_corpus,
+            population=args.population,
+            beyond=args.beyond,
+            exhaustive=args.exhaustive,
+            no_verify=args.no_verify,
         )
-        print(report.describe())
-        if not report.survived:
+        try:
+            payload = execute_job(
+                job,
+                corpus_dir=args.corpus_dir,
+                write_corpus=not args.no_corpus,
+            )
+        except ValueError as exc:
+            # unknown CCA spec (resolve_cca) or a malformed job
+            raise SystemExit(str(exc))
+        if _render_falsify_payload(payload):
             falsified += 1
         if args.grid:
             manifest_path = None
@@ -430,6 +538,185 @@ def cmd_falsify(args) -> int:
             print(f"{spec} grid: {manifest.describe()}"
                   + (f" -> {manifest_path}" if manifest_path else ""))
     return 1 if falsified else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the control plane until shutdown (POST /shutdown or Ctrl-C)."""
+    from .service import ServiceConfig, run_server
+
+    run_server(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        pool_size=args.pool_size,
+        memory_mb=args.solver_mem_mb,
+        max_cache_mb=args.max_cache_mb,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+    ))
+    return 0
+
+
+def _service_client(args, stream: bool = False):
+    from .service import ServiceClient
+
+    # watch/stream paths block on a quiet NDJSON socket between events,
+    # so they must not carry the short control-call timeout
+    return ServiceClient(
+        args.host, args.port, timeout=None if stream else 30.0
+    )
+
+
+def _spec_from_args(args):
+    """The submit half of the shared job API: build exactly the spec the
+    local command would execute."""
+    from .service.jobs import falsify_spec, synthesis_spec, verify_spec
+
+    kind = args.job_kind
+    if kind == "synthesize":
+        return synthesis_spec(_synthesis_query(args), _runtime_options(args))
+    if kind == "verify":
+        return verify_spec(
+            args.cca,
+            _cfg(args),
+            worst_case=args.wce,
+            certify=args.certify,
+            falsify=args.falsify,
+            falsify_seed=args.falsify_seed,
+        )
+    return falsify_spec(
+        args.cca,
+        _cfg(args),
+        budget=args.budget,
+        seed=args.seed,
+        ticks=args.ticks,
+        population=args.population,
+        beyond=args.beyond,
+        exhaustive=args.exhaustive,
+        no_verify=args.no_verify,
+    )
+
+
+def _render_stream_record(record: dict) -> None:
+    """One line per NDJSON progress record (``status --watch``)."""
+    rtype = record.get("type")
+    if rtype == "job":
+        line = f"[job] state={record.get('state')}"
+        if record.get("error"):
+            line += f"  error={record['error']}"
+        print(line, flush=True)
+    elif rtype == "event":
+        msg = record.get("msg") or record.get("name", "?")
+        print(f"  {msg}", flush=True)
+    elif rtype == "span":
+        print(f"  {record.get('name')} {float(record.get('dur') or 0):.3f}s",
+              flush=True)
+    # metrics/meta records are noise in a live stream
+
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _watch_job(client, job_id: str) -> None:
+    for record in client.events(job_id):
+        _render_stream_record(record)
+        if record.get("type") == "job" and \
+                record.get("state") in _TERMINAL_STATES:
+            return
+
+
+def _render_result(client, job_id: str) -> int:
+    """Fetch a finished job and render it with the *local* printers —
+    ``ccmatic result`` and the local command produce identical output
+    and exit codes for the same spec."""
+    from .service import ServiceError
+    from .service.jobs import JobSpecError, decode_synthesis_result
+
+    try:
+        record = client.status(job_id)
+        payload = client.result(job_id)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {client.host}:{client.port}: {exc}")
+    kind = record.get("kind")
+    if kind == "synthesize":
+        try:
+            result = decode_synthesis_result(payload)
+        except JobSpecError as exc:
+            raise SystemExit(str(exc))
+        return _print_synthesis_result(result, result.query.cfg)
+    if kind == "verify":
+        certify = bool(
+            record.get("spec", {}).get("params", {}).get("certify")
+        )
+        return _render_verify_payload(payload, certify=certify)
+    return _render_falsify_payload(payload)
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceError
+
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    client = _service_client(args)
+    try:
+        accepted = client.submit(spec)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach a control plane at {args.host}:{args.port} "
+            f"({exc}); start one with `ccmatic serve`"
+        )
+    job_id = accepted["job_id"]
+    print(f"submitted {job_id} ({spec.kind}) "
+          f"spec={accepted.get('spec_fingerprint', '?')[:16]}")
+    if not args.watch:
+        print(f"follow with: ccmatic status {job_id} --watch; "
+              f"fetch with: ccmatic result {job_id}")
+        return 0
+    watcher = _service_client(args, stream=True)
+    _watch_job(watcher, job_id)
+    return _render_result(client, job_id)
+
+
+def cmd_status(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+                return 0
+            for record in sorted(
+                jobs, key=lambda r: r.get("submitted_at") or 0
+            ):
+                print(f"{record['job_id']}  {record['kind']:10s} "
+                      f"{record['state']}")
+            return 0
+        record = client.status(args.job_id)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+    print(f"{record['job_id']}  {record['kind']}  state={record['state']}  "
+          f"spec={record.get('spec_fingerprint', '?')[:16]}")
+    if record.get("error"):
+        print(f"  error: {record['error']}")
+    if args.watch and record["state"] not in _TERMINAL_STATES:
+        watcher = _service_client(args, stream=True)
+        _watch_job(watcher, args.job_id)
+        record = client.status(args.job_id)
+        print(f"[job] final state={record['state']}")
+    return 1 if record["state"] == "failed" else 0
+
+
+def cmd_result(args) -> int:
+    return _render_result(_service_client(args), args.job_id)
 
 
 def cmd_sweep(args) -> int:
@@ -491,6 +778,12 @@ def cmd_report(args) -> int:
         print(render_trace_report(args.trace_file))
     except OSError as exc:
         raise SystemExit(f"cannot read trace {args.trace_file!r}: {exc}")
+    cache_dir = getattr(args, "report_cache_dir", None)
+    if cache_dir:
+        from .obs.report import render_cache_stats
+
+        print()
+        print(render_cache_stats(cache_dir))
     perfetto = getattr(args, "perfetto", None)
     if perfetto:
         from .obs.export import export_perfetto
@@ -578,31 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("synthesize", help="run CEGIS synthesis", parents=[obs])
-    p.add_argument("--space", choices=list(table1_spaces()), default="no_cwnd_small")
-    p.add_argument("--pruning", choices=["exact", "range"], default="range")
-    p.add_argument("--wce", action="store_true", help="worst-case counterexamples")
-    p.add_argument("--generator", choices=["smt", "enum"], default="enum")
-    p.add_argument("--all", action="store_true", help="enumerate all solutions")
-    p.add_argument("--max-iterations", type=_positive_int, default=100000)
-    p.add_argument("--time-budget", type=_positive_float, default=None)
-    p.add_argument("--verbose", action="store_true")
-    _add_cfg_args(p)
-    _add_runtime_args(p)
+    _add_synthesize_args(p)
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser("verify", help="verify a named CCA", parents=[obs])
-    p.add_argument("cca", help="rocc | eq3 | const:<gamma>")
-    p.add_argument("--wce", action="store_true")
-    p.add_argument("--certify", action="store_true",
-                   help="independently check an UNSAT proof of the verdict")
-    p.add_argument("--falsify", type=_positive_int, default=0,
-                   metavar="BUDGET",
-                   help="after a VERIFIED verdict, hunt it with a genetic "
-                        "trace search of BUDGET evaluations; an "
-                        "in-fragment violation is a soundness error")
-    p.add_argument("--falsify-seed", type=int, default=0, metavar="SEED")
-    _add_cfg_args(p)
-    _add_pipeline_arg(p)
+    _add_verify_args(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -688,6 +961,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perfetto", metavar="PATH", default=None,
                    help="additionally export a Chrome/Perfetto trace_event "
                         "JSON with one lane per worker")
+    p.add_argument("--cache-dir", dest="report_cache_dir", metavar="PATH",
+                   default=None,
+                   help="also show the persisted counters of a shared "
+                        "query-cache directory")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -720,6 +997,72 @@ def build_parser() -> argparse.ArgumentParser:
                         "(<file>.bak)")
     _add_runtime_args(p)
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the synthesis-as-a-service control plane",
+        parents=[obs],
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: %(default)s)")
+    p.add_argument("--port", type=int, default=8736,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default: %(default)s)")
+    p.add_argument("--state-dir", default=".ccmatic-service", metavar="DIR",
+                   help="durable state root: job records, the shared "
+                        "query cache, checkpoints (default: %(default)s)")
+    p.add_argument("--pool-size", type=_positive_int, default=2, metavar="N",
+                   help="persistent pooled workers (default: %(default)s)")
+    p.add_argument("--solver-mem-mb", type=_positive_int, default=None,
+                   metavar="MIB", help="per-worker memory cap")
+    p.add_argument("--max-cache-mb", type=_positive_float, default=None,
+                   metavar="MIB",
+                   help="LRU-evict the shared query cache beyond this size")
+    p.add_argument("--max-tasks-per-worker", type=_positive_int, default=64,
+                   metavar="N",
+                   help="recycle a pooled worker after N tasks "
+                        "(default: %(default)s)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running control plane",
+        parents=[obs],
+    )
+    submit_sub = p.add_subparsers(dest="job_kind", required=True)
+    for kind, add_args in (
+        ("synthesize", _add_synthesize_args),
+        ("verify", _add_verify_args),
+        ("falsify", _add_falsify_job_args),
+    ):
+        ps = submit_sub.add_parser(
+            kind, help=f"submit a {kind} job", parents=[obs]
+        )
+        add_args(ps)
+        _add_service_args(ps)
+        ps.add_argument("--watch", action="store_true",
+                        help="stream progress and render the result "
+                             "(exit code matches the local command)")
+        ps.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="job lifecycle on a control plane", parents=[obs]
+    )
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job to inspect (omit to list every job)")
+    p.add_argument("--watch", action="store_true",
+                   help="stream NDJSON progress until the job finishes")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "result",
+        help="fetch a finished job and render it like the local command",
+        parents=[obs],
+    )
+    p.add_argument("job_id", help="a job in state done")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_result)
 
     return parser
 

@@ -213,6 +213,62 @@ def _verify_candidate_task(
     )
 
 
+#: per-process warm state for pooled workers: one incremental verifier,
+#: keyed by its full configuration.  Lives in the *pool child* process
+#: (the task fn is pickled by reference, so this global is the child's
+#: own copy) and is what amortizes base-network encoding, compile work
+#: and learned clauses across the batches a persistent worker serves.
+_WORKER_STATE: dict = {}
+
+
+def _pooled_verify_candidate_task(
+    cfg, precision, candidate, worst_case, time_limit, validate, cache_dir,
+    certify=False,
+):
+    """Runs inside a *persistent* pool worker: warm verifier, one candidate.
+
+    Unlike :func:`_verify_candidate_task` (fresh process, fresh verifier)
+    this keeps one incremental :class:`~repro.core.verifier.CcacVerifier`
+    alive in ``_WORKER_STATE`` across tasks — the base CCAC encoding is
+    asserted once and candidates come and go in push/pop scopes, learned
+    clauses carrying over.  Soundness: any abnormal exit (cancellation
+    via ``TaskCancelled``, solver crash, ``SoundnessError``) drops the
+    warm verifier before re-raising, so a session that might be stuck
+    mid-scope is never reused; the independent model validator checks
+    each verdict regardless.
+    """
+    import json as _json
+
+    from ..core.verifier import CcacVerifier
+    from ..runtime.serialize import encode_config
+    from .cache import QueryCache
+
+    key = (
+        _json.dumps(encode_config(cfg), sort_keys=True),
+        str(precision),
+        bool(validate),
+        str(cache_dir or ""),
+        bool(certify),
+    )
+    verifier = _WORKER_STATE.get(key)
+    if verifier is None:
+        cache = QueryCache(cache_dir) if cache_dir else None
+        verifier = CcacVerifier(
+            cfg, wce_precision=precision, validate=validate, cache=cache,
+            certify=certify, incremental=True,
+        )
+        _WORKER_STATE.clear()  # one warm verifier per worker at a time
+        _WORKER_STATE[key] = verifier
+    deadline = None if time_limit is None else time.perf_counter() + time_limit
+    try:
+        return verifier.find_counterexample(
+            candidate, worst_case=worst_case, deadline=deadline
+        )
+    except BaseException:
+        _WORKER_STATE.pop(key, None)
+        raise
+
+
 def _conclusive(result) -> bool:
     """Does this verification result advance the CEGIS loop?"""
     return bool(
@@ -230,6 +286,16 @@ class PortfolioVerifier:
     (:meth:`verify_batch`: race a batch, first conclusive verdict wins,
     losers cancelled).  ``cache_dir`` gives every worker a shared
     on-disk query cache.
+
+    ``pool`` (duck-typed: anything with
+    ``run_batch(tasks, accept=, wall_time=)`` returning a
+    :class:`PortfolioOutcome`, normally a
+    :class:`repro.service.pool.WorkerPool`) switches dispatch from
+    fork-per-batch to the persistent pool: tasks use
+    :func:`_pooled_verify_candidate_task`, whose warm incremental
+    verifier amortizes encoding/compile/learned-clause work across
+    batches.  The pool's lifecycle belongs to the caller — this class
+    never starts or shuts it down.
     """
 
     def __init__(
@@ -241,6 +307,7 @@ class PortfolioVerifier:
         validate: bool = True,
         cache_dir: Optional[str] = None,
         certify: bool = False,
+        pool=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1 (got {jobs})")
@@ -251,6 +318,7 @@ class PortfolioVerifier:
         self.validate = validate
         self.cache_dir = cache_dir
         self.certify = certify
+        self.pool = pool
         self.calls = 0
         self.rounds = 0
         self.cancelled = 0
@@ -259,7 +327,8 @@ class PortfolioVerifier:
 
     def _task(self, candidate, worst_case: bool, budget: Optional[float]):
         return (
-            _verify_candidate_task,
+            _pooled_verify_candidate_task if self.pool is not None
+            else _verify_candidate_task,
             (
                 self.cfg,
                 self.wce_precision,
@@ -304,6 +373,12 @@ class PortfolioVerifier:
         tr = tracer()
         if budget is None:
             outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
+        elif self.pool is not None:
+            outcome = self.pool.run_batch(
+                [self._task(c, worst_case, budget) for c in candidates],
+                accept=_conclusive,
+                wall_time=watchdog,
+            )
         else:
             outcome = run_portfolio(
                 [self._task(c, worst_case, budget) for c in candidates],

@@ -46,6 +46,7 @@ __all__ = [
     "TraceContext",
     "detach_inherited_sinks",
     "merge_frame",
+    "reset_child_tracing",
     "start_capture",
 ]
 
@@ -137,8 +138,10 @@ class TelemetryCapture:
         ctx: Optional[TraceContext],
         tr: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        task: Optional[str] = None,
     ):
         self.ctx = ctx or TraceContext(trace_id="", worker_id="w?")
+        self.task = task
         self._tracer = tr or tracer()
         self._registry = registry or metrics()
         self._sink = BufferSink()
@@ -153,7 +156,7 @@ class TelemetryCapture:
             self._tracer.remove_sink(self._sink)
         import os
 
-        return {
+        frame = {
             "v": FRAME_VERSION,
             "trace_id": self.ctx.trace_id,
             "worker_id": self.ctx.worker_id,
@@ -162,6 +165,9 @@ class TelemetryCapture:
             "dropped": self._sink.dropped,
             "metrics": _metric_deltas(self._base, self._registry.snapshot()),
         }
+        if self.task is not None:
+            frame["task"] = self.task
+        return frame
 
 
 def start_capture(ctx: Optional[TraceContext]) -> TelemetryCapture:
@@ -176,6 +182,24 @@ def start_capture(ctx: Optional[TraceContext]) -> TelemetryCapture:
     except AttributeError:
         pass
     return TelemetryCapture(ctx, tr=tr)
+
+
+def reset_child_tracing(ctx: Optional[TraceContext] = None) -> None:
+    """Pool-worker boot: detach inherited sinks without starting a capture.
+
+    A persistent pool child (see ``runtime.workers._pool_child``) serves
+    many tasks and builds one :class:`TelemetryCapture` *per task*;
+    arming a 20k-record buffer at boot would only ever collect records
+    that belong to no task.  This does the fork-hygiene half of
+    :func:`start_capture` — neutralize inherited sinks, drop the
+    inherited open-span stack — and nothing else.
+    """
+    tr = tracer()
+    detach_inherited_sinks(tr)
+    try:
+        tr._local.stack = []
+    except AttributeError:
+        pass
 
 
 def _metric_deltas(base: dict, now: dict) -> dict:
@@ -242,7 +266,7 @@ def merge_frame(
         if tr.enabled and frame["records"]:
             _reemit_records(
                 frame["records"], frame["worker_id"], anchor_span,
-                anchor_depth, tr,
+                anchor_depth, tr, task=frame.get("task"),
             )
         registry.counter("obs.relay.frames").inc()
         if frame.get("dropped"):
@@ -279,6 +303,7 @@ def _reemit_records(
     anchor_span: Optional[int],
     anchor_depth: int,
     tr: Tracer,
+    task: Optional[str] = None,
 ) -> None:
     """Re-number and re-emit child records through the parent tracer."""
     span_ids = [
@@ -296,6 +321,8 @@ def _reemit_records(
         attrs = rec.get("attrs")
         rec["attrs"] = dict(attrs) if isinstance(attrs, dict) else {}
         rec["attrs"]["worker"] = worker_id
+        if task is not None:
+            rec["attrs"]["task"] = task
         if kind == "span":
             rec["id"] = remap.get(rec.get("id"), rec.get("id"))
             parent = rec.get("parent")

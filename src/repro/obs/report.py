@@ -300,6 +300,9 @@ def render_report(summary: TraceSummary) -> str:
             f"quarantined={cache_counters.get('engine.cache.quarantined', 0)}"
             + (f" (hit rate {100.0 * hits / lookups:.1f}%)" if lookups else "")
         )
+        evictions = cache_counters.get("engine.cache.evictions", 0)
+        if evictions:
+            out.append(f"  evictions={evictions}")
 
     proofs = summary.counter("trust.proofs.checked")
     if proofs:
@@ -354,3 +357,33 @@ def render_report(summary: TraceSummary) -> str:
 def report(path_or_file: Union[str, TextIO]) -> str:
     """Load a trace and render its report (the ``ccmatic report`` body)."""
     return render_report(load_trace(path_or_file))
+
+
+def render_cache_stats(cache_dir: str) -> str:
+    """Render the persisted counters of a shared cache directory.
+
+    Reads the cheap counter file (plus one directory walk for the true
+    byte total) — the ``ccmatic report --cache-dir`` section for a
+    service-wide store that many runs have written to.
+    """
+    # imported here: engine.cache pulls in repro.obs at module load
+    from ..engine.cache import QueryCache, read_persisted_stats
+
+    totals = read_persisted_stats(cache_dir)
+    usage = QueryCache(cache_dir).disk_usage()
+    hits = int(totals.get("hits", 0))
+    misses = int(totals.get("misses", 0))
+    lookups = hits + misses
+    out = [f"cache store: {cache_dir}"]
+    out.append(
+        f"  hits={hits} misses={misses} "
+        f"disk_hits={int(totals.get('disk_hits', 0))} "
+        f"stores={int(totals.get('stores', 0))} "
+        f"evictions={int(totals.get('evictions', 0))}"
+        + (f" (hit rate {100.0 * hits / lookups:.1f}%)" if lookups else "")
+    )
+    out.append(
+        f"  entries={usage['disk_entries']} "
+        f"bytes={usage['disk_bytes']}"
+    )
+    return "\n".join(out)

@@ -51,6 +51,8 @@ TRACKED_TIMINGS = (
     "proof.certify_s",
     "portfolio.jobs_1.wall_s",
     "portfolio.jobs_4.wall_s",
+    "service.pooled_s",
+    "service.forked_s",
 )
 
 #: guard-rail ratios (higher is better) re-checked by the diff so a
@@ -58,6 +60,7 @@ TRACKED_TIMINGS = (
 TRACKED_RATIOS = (
     "compile.speedup",
     "cache.speedup",
+    "service.speedup",
 )
 
 

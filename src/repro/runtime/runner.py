@@ -87,6 +87,13 @@ class RuntimeOptions:
     #: verdict (see :mod:`repro.trust`); a proof that fails to check
     #: raises :class:`~repro.runtime.errors.SoundnessError`
     certify: bool = False
+    #: runtime-injected persistent worker pool
+    #: (:class:`repro.service.pool.WorkerPool`); portfolio rounds
+    #: (``jobs > 1``) dispatch to it instead of forking per batch.  Never
+    #: serialized — a pool belongs to the process that started it, and
+    #: its lifecycle stays with that owner (this module never shuts one
+    #: down)
+    worker_pool: Optional[object] = None
 
 
 def make_checkpoint_store(query, path: str) -> CheckpointStore:
@@ -127,6 +134,7 @@ def _build_verifier(query, options: RuntimeOptions):
             validate=options.validate,
             cache_dir=options.cache_dir,
             certify=options.certify,
+            pool=options.worker_pool,
         )
     elif options.isolate:
         base = IsolatedVerifier(

@@ -1,0 +1,51 @@
+"""Synthesis-as-a-service: the control plane over the CEGIS engine.
+
+The job-oriented API (:mod:`~repro.service.jobs`) makes every run — CLI
+or HTTP — the same computation: a serializable, fingerprinted
+:class:`JobSpec` executed by :func:`execute_job`.  Around it:
+
+* :class:`WorkerPool` (:mod:`~repro.service.pool`) — persistent fork
+  workers amortizing process boot, intern-table priming and incremental
+  verifier state across batches;
+* :class:`JobServer` (:mod:`~repro.service.server`) — the asyncio
+  HTTP/JSON endpoint with a durable job queue, NDJSON progress streams
+  and the service-wide query cache;
+* :class:`ServiceClient` (:mod:`~repro.service.client`) — the blocking
+  client behind ``ccmatic submit`` / ``status`` / ``result``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    JOBSPEC_VERSION,
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    decode_synthesis_result,
+    encode_synthesis_result,
+    execute_job,
+    falsify_spec,
+    synthesis_spec,
+    verify_spec,
+)
+from .pool import PoolStats, WorkerPool
+from .server import JobServer, ServiceConfig, run_server
+
+__all__ = [
+    "JOBSPEC_VERSION",
+    "JobRecord",
+    "JobServer",
+    "JobSpec",
+    "JobSpecError",
+    "PoolStats",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "WorkerPool",
+    "decode_synthesis_result",
+    "encode_synthesis_result",
+    "execute_job",
+    "falsify_spec",
+    "run_server",
+    "synthesis_spec",
+    "verify_spec",
+]

@@ -1,0 +1,137 @@
+"""Blocking HTTP client for the control plane (stdlib ``http.client``).
+
+The client half of ``ccmatic submit`` / ``status`` / ``result``: small
+synchronous calls against a running :class:`~repro.service.server.JobServer`.
+Progress streaming reads the NDJSON ``/jobs/<id>/events`` body
+incrementally (one parsed record per line), so a watcher renders events
+as the job produces them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional
+
+from .jobs import JobSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the control plane."""
+
+    def __init__(self, status: int, payload: dict):
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"service returned {status}: "
+            f"{payload.get('error', json.dumps(payload))}"
+        )
+
+
+class ServiceClient:
+    """Talks to one ``host:port`` control plane."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8736,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = json.loads(resp.read().decode("utf-8") or "{}")
+            if resp.status >= 400 or (resp.status == 409):
+                raise ServiceError(resp.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError, ValueError):
+            return False
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Submit a spec; returns ``{job_id, state, spec_fingerprint}``."""
+        return self._request("POST", "/jobs", spec.to_json())
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs").get("jobs", [])
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The result payload of a ``done`` job (raises otherwise)."""
+        return self._request("GET", f"/jobs/{job_id}/result")["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def cache_stats(self) -> dict:
+        return self._request("GET", "/cache/stats")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Stream a job's NDJSON progress records until it finishes.
+
+        The final yielded record has ``type == "job"`` with a terminal
+        ``state`` — callers can stop rendering there.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                data = json.loads(resp.read().decode("utf-8") or "{}")
+                raise ServiceError(resp.status, data)
+            buffer = b""
+            while True:
+                chunk = resp.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        yield json.loads(line.decode("utf-8"))
+                    except ValueError:
+                        continue  # torn line at shutdown: skip
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Block until the job reaches a terminal state; returns its
+        record.  Uses the event stream (no polling)."""
+        for record in self.events(job_id, timeout=timeout):
+            if record.get("type") == "job" and record.get("state") in (
+                "done", "failed", "cancelled"
+            ):
+                break
+        return self.status(job_id)

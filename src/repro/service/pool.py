@@ -1,0 +1,519 @@
+"""Persistent worker pool: fork once, serve many verification batches.
+
+`run_portfolio` forks a fresh worker per candidate per batch.  The fork
+itself is cheap on Linux, but everything a fresh child must rebuild is
+not: the intern table is re-primed per task, every verifier re-encodes
+the base CCAC network, and every solver starts with an empty learned
+clause store.  A :class:`WorkerPool` keeps ``size`` long-lived workers
+(:func:`repro.runtime.workers.spawn_pool_worker`) that boot once, run an
+optional *prime* call (warm the intern table, import the heavy modules),
+and then serve ``("task", ...)`` messages over their duplex pipes — so
+per-candidate state like an incremental verifier session survives from
+one batch to the next.
+
+The pool mirrors :func:`repro.engine.portfolio.run_portfolio` semantics
+batch-for-batch (same :class:`PortfolioOutcome`, same first-accepted
+winner, same ``SoundnessError``/``WorkerError`` discipline), with three
+pool-specific behaviours layered on top:
+
+* **keep vs respawn** — a worker that dies mid-task (OOM-killed,
+  SIGKILLed by an operator, crashed) is detected by its broken pipe,
+  its in-flight task is *re-queued* onto a respawned worker (bounded by
+  ``retries`` per task), and the batch continues.  Idle-worker health
+  uses :func:`repro.runtime.workers.probe_worker` — the heartbeat that
+  distinguishes "idle, keep" from "dead, respawn" — never
+  ``reap_worker``, which always destroys.
+* **cooperative cancellation** — losers get ``SIGUSR1`` (the child
+  raises ``TaskCancelled`` between bytecodes; pure-Python solver code
+  has no uninterruptible C loops), and only a worker that fails to
+  acknowledge within ``kill_grace`` is killed and respawned.
+* **recycling** — after ``max_tasks_per_worker`` tasks a worker is
+  retired and replaced, bounding the memory growth that keeping the
+  intern table warm otherwise permits.
+
+Soundness note (see DESIGN "The control plane"): pooled tasks
+deliberately skip the per-task ``interned_scope`` reset that one-shot
+workers use, because warm state *is* the speedup.  A task that is
+cancelled or errors clears its process-global verifier cache before the
+worker serves the next task, so a half-popped solver session is never
+reused — and the independent model validator still checks every verdict
+regardless of which process produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..engine.portfolio import PortfolioOutcome
+from ..obs import DEBUG, metrics, tracer
+from ..obs.flight import dump_flight
+from ..obs.relay import TraceContext, merge_frame
+from ..runtime.errors import SoundnessError, WorkerError
+from ..runtime.workers import (
+    WorkerReport,
+    probe_worker,
+    reap_worker,
+    spawn_pool_worker,
+)
+
+__all__ = ["PoolStats", "WorkerPool"]
+
+try:
+    from multiprocessing.connection import wait as _wait_connections
+except ImportError:  # pragma: no cover
+    _wait_connections = None
+
+
+@dataclass
+class PoolStats:
+    """Cumulative pool counters (exposed at the service ``/stats``)."""
+
+    size: int = 0
+    spawns: int = 0
+    respawns: int = 0
+    recycles: int = 0
+    tasks_done: int = 0
+    retries: int = 0
+    cancelled: int = 0
+    batches: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Lane:
+    """One pool slot: a worker process plus its bookkeeping."""
+
+    lane: int
+    proc: Any
+    conn: Any
+    tasks_served: int = 0
+    #: task token currently executing (None when idle)
+    busy: Optional[str] = None
+    epoch: int = field(default=0)
+
+
+class WorkerPool:
+    """``size`` persistent workers serving verification task batches."""
+
+    def __init__(
+        self,
+        size: int = 2,
+        memory_mb: Optional[int] = None,
+        kill_grace: float = 1.0,
+        max_tasks_per_worker: int = 64,
+        retries: int = 1,
+        prime: Optional[tuple] = None,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1 (got {size})")
+        self.size = size
+        self.memory_mb = memory_mb
+        self.kill_grace = kill_grace
+        self.max_tasks_per_worker = max_tasks_per_worker
+        self.retries = retries
+        self.stats = PoolStats(size=size)
+        self._lanes: list[_Lane] = []
+        self._prime = prime  # (fn, args, kwargs) run on every new worker
+        self._batch_seq = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        if self._started:
+            return self
+        self._lanes = [self._spawn(lane) for lane in range(self.size)]
+        self._started = True
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def set_prime(self, fn, args=(), kwargs=None) -> None:
+        """Warm-up call executed once on each (re)spawned worker."""
+        self._prime = (fn, tuple(args), dict(kwargs or {}))
+        if self._started:
+            for lane in self._lanes:
+                if lane.busy is None:
+                    self._prime_lane(lane)
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite shutdown for idle, cancel for busy."""
+        if not self._started:
+            return
+        for lane in self._lanes:
+            if lane.busy is not None:
+                self._signal_cancel(lane)
+            try:
+                lane.conn.send(("shutdown",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + max(self.kill_grace, 0.1)
+        for lane in self._lanes:
+            lane.proc.join(max(0.0, deadline - time.monotonic()))
+        for lane in self._lanes:
+            reap_worker(lane.proc, lane.conn, self.kill_grace)
+        self._lanes = []
+        self._started = False
+
+    def probe(self, timeout: float = 1.0) -> dict[int, str]:
+        """Heartbeat every idle lane; respawn the dead, keep the idle.
+
+        Busy lanes are judged by ``proc.is_alive()`` only — a worker deep
+        in an exact-arithmetic pivot legitimately ignores its pipe.
+        """
+        verdicts: dict[int, str] = {}
+        for i, lane in enumerate(self._lanes):
+            if lane.busy is not None:
+                verdicts[lane.lane] = "busy" if lane.proc.is_alive() else "dead"
+                continue
+            verdicts[lane.lane] = probe_worker(lane.proc, lane.conn, timeout)
+        for i, lane in enumerate(list(self._lanes)):
+            if verdicts[lane.lane] in ("dead", "stuck") and lane.busy is None:
+                reap_worker(lane.proc, lane.conn, self.kill_grace)
+                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+        return verdicts
+
+    # -- batch execution -----------------------------------------------------
+
+    def run_batch(
+        self,
+        tasks: Sequence[tuple],
+        *,
+        accept: Optional[Callable[[Any], bool]] = None,
+        wall_time: Optional[float] = None,
+    ) -> PortfolioOutcome:
+        """Run ``tasks`` (``(fn, args)`` / ``(fn, args, kwargs)``) across
+        the pool; first accepted result wins, mirroring
+        :func:`~repro.engine.portfolio.run_portfolio`.
+
+        Pass ``accept=lambda r: False`` to wait for *every* task (no
+        winner, all results in ``outcome.reports``).  Raises
+        :class:`SoundnessError` from any worker immediately and
+        :class:`WorkerError` when every task errored.
+        """
+        if not self._started:
+            self.start()
+        self._accept_fn = accept or (lambda _result: True)
+        tr = tracer()
+        start = time.perf_counter()
+        deadline = None if wall_time is None else start + wall_time
+        self._batch_seq += 1
+        self.stats.batches += 1
+        outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
+        queue: deque[int] = deque(range(len(tasks)))
+        attempts = {i: 0 for i in range(len(tasks))}
+        tokens: dict[str, int] = {}  # live token -> task index
+
+        def _token(i: int) -> str:
+            t = f"b{self._batch_seq}:{i}:a{attempts[i]}"
+            tokens[t] = i
+            return t
+
+        with tr.span(
+            "service.pool.batch", size=len(tasks), pool=self.size
+        ) as span:
+            anchor = getattr(span, "span_id", None)
+            anchor_depth = getattr(span, "depth", 0)
+            try:
+                while outcome.winner is None:
+                    self._dispatch(queue, tasks, attempts, _token)
+                    busy = [ln for ln in self._lanes if ln.busy is not None]
+                    if not busy and not queue:
+                        break  # everything judged
+                    timeout = None
+                    if deadline is not None:
+                        timeout = deadline - time.perf_counter()
+                        if timeout <= 0:
+                            break
+                    if not busy:
+                        continue  # dispatch again (fresh respawns)
+                    ready = _wait_connections(
+                        [ln.conn for ln in busy],
+                        timeout=timeout,
+                    )
+                    if not ready:
+                        break  # batch-level timeout
+                    by_conn = {ln.conn: ln for ln in busy}
+                    for conn in ready:
+                        lane = by_conn[conn]
+                        if self._consume(
+                            lane, tokens, queue, attempts, outcome, start,
+                            anchor, anchor_depth,
+                        ):
+                            break  # winner accepted
+                # losers: anything queued or in flight when the race ended
+                if outcome.winner is not None:
+                    self._cancel_busy(outcome, tokens)
+                    for i in queue:
+                        outcome.cancelled.append(i)
+                else:
+                    self._cancel_busy(outcome, tokens, as_timeout=wall_time)
+                    for i in queue:
+                        outcome.reports[i] = WorkerReport(
+                            status="timeout",
+                            detail=(
+                                f"pool batch exceeded {wall_time:.1f}s"
+                                if wall_time else "timeout"
+                            ),
+                        )
+            finally:
+                self._recycle_idle()
+            for i, frames in sorted(outcome.telemetry.items()):
+                for frame in frames:
+                    merge_frame(
+                        frame, anchor_span=anchor, anchor_depth=anchor_depth
+                    )
+            span.set(
+                winner=outcome.winner,
+                relayed=sum(len(f) for f in outcome.telemetry.values()),
+            )
+        outcome.cancelled = sorted(set(outcome.cancelled))
+        outcome.wall_time = time.perf_counter() - start
+        self.stats.cancelled += len(outcome.cancelled)
+        metrics().counter("service.pool.batches").inc()
+        if outcome.winner is None and outcome.reports and all(
+            r.status == "error" for r in outcome.reports.values()
+        ):
+            raise WorkerError(
+                "; ".join(r.detail for r in outcome.reports.values())
+            )
+        return outcome
+
+    # -- internals -----------------------------------------------------------
+
+    def _spawn(self, lane_no: int, respawn: bool = False) -> _Lane:
+        proc, conn = spawn_pool_worker(
+            self.memory_mb,
+            trace_ctx=TraceContext.current(worker_id=f"p{lane_no}"),
+        )
+        self.stats.spawns += 1
+        if respawn:
+            self.stats.respawns += 1
+            metrics().counter("service.pool.respawns").inc()
+        lane = _Lane(lane=lane_no, proc=proc, conn=conn)
+        self._prime_lane(lane)
+        return lane
+
+    def _prime_lane(self, lane: _Lane, timeout: float = 60.0) -> None:
+        if self._prime is None:
+            return
+        fn, args, kwargs = self._prime
+        try:
+            lane.conn.send(("prime", fn, args, kwargs))
+        except (OSError, ValueError, BrokenPipeError):
+            return
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if not lane.conn.poll(deadline - time.monotonic()):
+                    break
+                msg = lane.conn.recv()
+            except (EOFError, OSError):
+                break
+            if isinstance(msg, tuple) and msg and msg[0] == "primed":
+                if msg[1]:
+                    tracer().event(
+                        "service.pool.prime_failed", level=DEBUG,
+                        lane=lane.lane, detail=msg[1],
+                    )
+                return
+            # stale telemetry/pong from a previous life: drop it
+
+    def _dispatch(self, queue, tasks, attempts, make_token) -> None:
+        """Hand queued tasks to idle lanes (respawning dead idles)."""
+        for i, lane in enumerate(self._lanes):
+            if not queue:
+                return
+            if lane.busy is not None:
+                continue
+            if not lane.proc.is_alive():
+                reap_worker(lane.proc, lane.conn, self.kill_grace)
+                lane = self._lanes[i] = self._spawn(lane.lane, respawn=True)
+            idx = queue.popleft()
+            task = tasks[idx]
+            fn, args = task[0], task[1]
+            kwargs = task[2] if len(task) > 2 else None
+            token = make_token(idx)
+            try:
+                lane.conn.send(("task", token, fn, args, kwargs))
+            except (OSError, ValueError, BrokenPipeError):
+                # died between the liveness check and the send; retry the
+                # task on a fresh worker next dispatch round
+                queue.appendleft(idx)
+                reap_worker(lane.proc, lane.conn, self.kill_grace)
+                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+                continue
+            lane.busy = token
+
+    def _consume(
+        self, lane, tokens, queue, attempts, outcome, start,
+        anchor, anchor_depth,
+    ) -> bool:
+        """Read one message from a busy lane.  True = winner accepted."""
+        try:
+            msg = lane.conn.recv()
+        except (EOFError, OSError):
+            self._lane_died(lane, tokens, queue, attempts, outcome)
+            return False
+        if not isinstance(msg, tuple) or not msg:
+            return False
+        if msg[0] == "telemetry" and len(msg) == 2:
+            idx = tokens.get(lane.busy)
+            if idx is not None:
+                outcome.telemetry.setdefault(idx, []).append(msg[1])
+            return False
+        if msg[0] == "pong" or len(msg) != 3:
+            return False  # stale heartbeat / late prime ack
+        status, token, payload = msg
+        idx = tokens.pop(token, None)
+        lane.busy = None
+        lane.tasks_served += 1
+        self.stats.tasks_done += 1
+        if idx is None:
+            return False  # stale result from a cancelled epoch
+        if status == "soundness":
+            for frames in outcome.telemetry.values():
+                for frame in frames:
+                    merge_frame(
+                        frame, anchor_span=anchor, anchor_depth=anchor_depth
+                    )
+            outcome.telemetry.clear()
+            dump_flight("soundness")
+            self._cancel_busy(outcome, tokens)
+            raise SoundnessError(payload)
+        if status == "ok":
+            outcome.reports[idx] = WorkerReport(
+                status="ok", result=payload,
+                wall_time=time.perf_counter() - start,
+            )
+            if outcome.winner is None and self._accept(payload):
+                outcome.winner = idx
+                outcome.result = payload
+                return True
+            return False
+        if status == "oom":
+            # the worker survived (MemoryError caught in-child) but its
+            # warm state is suspect: retire it
+            outcome.reports[idx] = WorkerReport(
+                status="oom", detail=str(payload),
+                wall_time=time.perf_counter() - start,
+            )
+            self._retire(lane)
+            return False
+        outcome.reports[idx] = WorkerReport(
+            status="cancelled" if status == "cancelled" else "error",
+            detail=str(payload),
+            wall_time=time.perf_counter() - start,
+        )
+        return False
+
+    def _lane_died(self, lane, tokens, queue, attempts, outcome) -> None:
+        """Broken pipe mid-task: respawn the lane, re-queue its task."""
+        token = lane.busy
+        idx = tokens.pop(token, None) if token else None
+        i = self._lanes.index(lane)
+        exitcode = lane.proc.exitcode
+        reap_worker(lane.proc, lane.conn, self.kill_grace)
+        self._lanes[i] = self._spawn(lane.lane, respawn=True)
+        if idx is None:
+            return
+        attempts[idx] += 1
+        if attempts[idx] <= self.retries:
+            self.stats.retries += 1
+            metrics().counter("service.pool.task_retries").inc()
+            queue.append(idx)
+        else:
+            outcome.reports[idx] = WorkerReport(
+                status="crash",
+                detail=(
+                    f"worker died {attempts[idx]} times on this task "
+                    f"(last exit code {exitcode})"
+                ),
+            )
+
+    def _signal_cancel(self, lane) -> None:
+        try:
+            os.kill(lane.proc.pid, signal.SIGUSR1)
+        except (ProcessLookupError, OSError):
+            pass
+
+    def _cancel_busy(self, outcome, tokens, as_timeout=None) -> None:
+        """Cancel in-flight tasks; keep workers that acknowledge."""
+        busy = [ln for ln in self._lanes if ln.busy is not None]
+        for lane in busy:
+            self._signal_cancel(lane)
+        deadline = time.monotonic() + max(self.kill_grace, 0.1)
+        for lane in busy:
+            idx = tokens.pop(lane.busy, None)
+            acked = self._await_ack(lane, outcome, idx, deadline)
+            if idx is not None:
+                if as_timeout is not None:
+                    outcome.reports[idx] = WorkerReport(
+                        status="timeout",
+                        detail=f"pool batch exceeded {as_timeout:.1f}s"
+                        if as_timeout else "timeout",
+                    )
+                else:
+                    outcome.cancelled.append(idx)
+            if not acked:
+                i = self._lanes.index(lane)
+                reap_worker(lane.proc, lane.conn, self.kill_grace)
+                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+            else:
+                lane.busy = None
+                lane.tasks_served += 1
+
+    def _await_ack(self, lane, outcome, idx, deadline) -> bool:
+        """Wait for the cancelled task's final message (telemetry kept)."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                if not lane.conn.poll(remaining):
+                    return False
+                msg = lane.conn.recv()
+            except (EOFError, OSError):
+                return False
+            if not isinstance(msg, tuple) or not msg:
+                continue
+            if msg[0] == "telemetry" and len(msg) == 2:
+                if idx is not None:
+                    outcome.telemetry.setdefault(idx, []).append(msg[1])
+                continue
+            if msg[0] == "pong":
+                continue
+            if len(msg) == 3 and msg[1] == lane.busy:
+                return True  # final status (cancelled/ok/error), discarded
+            # anything else: stale, keep draining
+
+    def _retire(self, lane) -> None:
+        i = self._lanes.index(lane)
+        reap_worker(lane.proc, lane.conn, self.kill_grace)
+        self._lanes[i] = self._spawn(lane.lane, respawn=True)
+        self.stats.recycles += 1
+
+    def _recycle_idle(self) -> None:
+        """Replace idle lanes that served their max task quota."""
+        for i, lane in enumerate(self._lanes):
+            if lane.busy is None and lane.tasks_served >= self.max_tasks_per_worker:
+                reap_worker(lane.proc, lane.conn, self.kill_grace)
+                self._lanes[i] = self._spawn(lane.lane)
+                self.stats.recycles += 1
+                metrics().counter("service.pool.recycles").inc()
+
+    # run_batch stores accept here so _consume can reach it without
+    # threading it through every call
+    def _accept(self, payload) -> bool:
+        return self._accept_fn(payload)

@@ -1,0 +1,506 @@
+"""The control plane: an asyncio HTTP/JSON server over the job API.
+
+Stdlib only — the server is a hand-rolled HTTP/1.1 endpoint on
+``asyncio.start_server`` (no framework dependency), speaking JSON for
+control and NDJSON for live progress streams.
+
+Endpoints:
+
+* ``POST /jobs`` — submit a :class:`~repro.service.jobs.JobSpec`;
+  returns ``202`` with the job id and spec fingerprint.
+* ``GET /jobs`` — list every known job (durable across restarts).
+* ``GET /jobs/<id>`` — one job's lifecycle record (sans result body).
+* ``GET /jobs/<id>/result`` — the result payload once ``done``.
+* ``GET /jobs/<id>/events`` — NDJSON: every ``repro.obs`` tracer record
+  emitted while the job runs, then one final ``{"state": ...}`` line.
+* ``POST /jobs/<id>/cancel`` — cancel a *queued* job (running jobs
+  finish; the pool owns in-flight cancellation).
+* ``GET /cache/stats`` — persisted counters + true disk usage of the
+  service-wide query cache.
+* ``GET /stats`` — pool counters and job-state tallies.
+* ``GET /healthz`` — liveness probe.
+* ``POST /shutdown`` — drain and exit cleanly (no orphan workers).
+
+Durability: every job record is one JSON file under
+``<state_dir>/jobs/``, rewritten atomically on each state change.  On
+boot the server re-loads them; jobs that were ``running`` when the
+previous process died are re-queued (their execution is repeatable — a
+JobSpec is a pure description).
+
+Execution: one job at a time, in a thread
+(``asyncio.to_thread``), against the shared :class:`WorkerPool` and the
+service-wide cache — the same :func:`~repro.service.jobs.execute_job`
+path the CLI uses locally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import tracer
+from ..runtime.errors import SoundnessError
+from .jobs import JobRecord, JobSpec, JobSpecError
+from .pool import WorkerPool
+
+__all__ = ["ServiceConfig", "JobServer", "run_server"]
+
+_JSON = {"Content-Type": "application/json"}
+_NDJSON = {"Content-Type": "application/x-ndjson"}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a control plane instance needs to run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8736
+    #: durable state root: job records under ``jobs/``, the shared query
+    #: cache under ``cache/``, checkpoints under ``checkpoints/``
+    state_dir: str = ".ccmatic-service"
+    #: persistent workers serving portfolio rounds
+    pool_size: int = 2
+    #: per-worker memory cap (MiB)
+    memory_mb: Optional[int] = None
+    #: size cap of the shared on-disk query cache (MiB); None = unbounded
+    max_cache_mb: Optional[float] = None
+    #: recycle a pool worker after this many tasks
+    max_tasks_per_worker: int = 64
+
+    @property
+    def cache_dir(self) -> str:
+        return os.path.join(self.state_dir, "cache")
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.state_dir, "jobs")
+
+    @property
+    def checkpoints_dir(self) -> str:
+        return os.path.join(self.state_dir, "checkpoints")
+
+
+def _prime_worker():
+    """Warm a fresh pool worker: import the heavy modules once.
+
+    Runs inside the child.  Importing the verifier stack populates the
+    module cache and the term-interning machinery, so the first real
+    task does not pay cold-import cost.
+    """
+    from ..core import verifier as _verifier  # noqa: F401
+    from ..smt import compile as _compile  # noqa: F401
+
+
+class JobServer:
+    """One control-plane instance (see module docstring)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.jobs: dict[str, JobRecord] = {}
+        self.pool = WorkerPool(
+            size=self.config.pool_size,
+            memory_mb=self.config.memory_mb,
+            max_tasks_per_worker=self.config.max_tasks_per_worker,
+            prime=(_prime_worker, (), {}),
+        )
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._watchers: dict[str, list[asyncio.Queue]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._runner_task: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        os.makedirs(self.config.jobs_dir, exist_ok=True)
+        os.makedirs(self.config.cache_dir, exist_ok=True)
+        os.makedirs(self.config.checkpoints_dir, exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        self._load_jobs()
+        self.pool.start()
+        self._runner_task = asyncio.create_task(self._run_jobs())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        tracer().event(
+            "service.start",
+            host=self.config.host,
+            port=self.port,
+            pool=self.config.pool_size,
+            msg=f"[service] listening on {self.config.host}:{self.port} "
+                f"({self.config.pool_size} pooled workers)",
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._server and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._runner_task is not None:
+            self._runner_task.cancel()
+            try:
+                await self._runner_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._runner_task = None
+        # wake every stream so clients see the end of their job
+        for queues in list(self._watchers.values()):
+            for q in queues:
+                q.put_nowait(None)
+        self.pool.shutdown()
+        tracer().event("service.stop", msg="[service] stopped")
+
+    # -- durable job store ---------------------------------------------------
+
+    def _record_path(self, job_id: str) -> str:
+        return os.path.join(self.config.jobs_dir, f"{job_id}.json")
+
+    def _persist(self, record: JobRecord) -> None:
+        data = json.dumps(record.to_json())
+        fd, tmp = tempfile.mkstemp(dir=self.config.jobs_dir, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(data)
+        os.replace(tmp, self._record_path(record.job_id))
+
+    def _load_jobs(self) -> None:
+        try:
+            names = sorted(os.listdir(self.config.jobs_dir))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.config.jobs_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    record = JobRecord.from_json(json.load(f))
+            except (OSError, ValueError, KeyError, JobSpecError):
+                continue  # a torn or foreign file is not a job
+            self.jobs[record.job_id] = record
+            if record.state in ("queued", "running"):
+                # a job that was mid-flight when the previous process
+                # died is repeatable: its spec is a pure description
+                record.state = "queued"
+                record.started_at = None
+                self._persist(record)
+                self._queue.put_nowait(record.job_id)
+
+    # -- job execution -------------------------------------------------------
+
+    async def _run_jobs(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            record = self.jobs.get(job_id)
+            if record is None or record.state != "queued":
+                continue  # cancelled (or foreign) while queued
+            record.state = "running"
+            record.started_at = time.time()
+            self._persist(record)
+            self._notify(job_id, {"type": "job", "state": "running",
+                                  "job_id": job_id})
+            loop = asyncio.get_running_loop()
+
+            def _progress(rec: dict, job_id=job_id) -> None:
+                # called from the executor thread: hop to the loop
+                loop.call_soon_threadsafe(self._notify, job_id, rec)
+
+            try:
+                result = await asyncio.to_thread(
+                    self._execute, record, _progress
+                )
+                record.result = result
+                record.state = "done"
+                record.error = None
+            except SoundnessError as exc:
+                # a soundness failure is loud everywhere: the job fails
+                # AND the server refuses further work (something is
+                # wrong with the engine, not with this one spec)
+                record.state = "failed"
+                record.error = f"SoundnessError: {exc}"
+                self._finish(record)
+                self._shutdown.set()
+                raise
+            except Exception as exc:  # noqa: BLE001 - job-level fault barrier
+                record.state = "failed"
+                record.error = f"{type(exc).__name__}: {exc}"
+            self._finish(record)
+
+    def _execute(self, record: JobRecord, progress) -> dict:
+        from .jobs import execute_job
+
+        checkpoint = None
+        if record.spec.kind == "synthesize":
+            checkpoint = os.path.join(
+                self.config.checkpoints_dir, f"{record.job_id}.ckpt"
+            )
+        return execute_job(
+            record.spec,
+            pool=self.pool,
+            cache_dir=self.config.cache_dir,
+            checkpoint_path=checkpoint,
+            progress=progress,
+        )
+
+    def _finish(self, record: JobRecord) -> None:
+        record.finished_at = time.time()
+        self._persist(record)
+        if self.config.max_cache_mb is not None:
+            # enforce the service-wide cache cap between jobs (the
+            # executor-side caches track bytes; this applies the LRU cut)
+            from ..engine.cache import QueryCache
+
+            QueryCache(
+                self.config.cache_dir, max_disk_mb=self.config.max_cache_mb
+            )._maybe_evict()
+        self._notify(
+            record.job_id,
+            {"type": "job", "state": record.state,
+             "job_id": record.job_id, "error": record.error},
+        )
+        for q in self._watchers.pop(record.job_id, ()):  # close streams
+            q.put_nowait(None)
+
+    def _notify(self, job_id: str, record: dict) -> None:
+        for q in self._watchers.get(job_id, ()):
+            q.put_nowait(record)
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - one bad request != dead server
+            try:
+                await _respond(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader, writer) -> None:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await _respond(writer, 400, {"error": "malformed request line"})
+            return
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            if ":" in line:
+                name, value = line.split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            body = await reader.readexactly(length)
+        await self._route(method, target.split("?", 1)[0], body, writer)
+
+    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["healthz"]:
+            await _respond(writer, 200, {"ok": True})
+        elif method == "GET" and parts == ["stats"]:
+            await self._get_stats(writer)
+        elif method == "GET" and parts == ["cache", "stats"]:
+            await self._get_cache_stats(writer)
+        elif method == "POST" and parts == ["shutdown"]:
+            await _respond(writer, 200, {"ok": True, "state": "stopping"})
+            self._shutdown.set()
+        elif method == "POST" and parts == ["jobs"]:
+            await self._post_job(body, writer)
+        elif method == "GET" and parts == ["jobs"]:
+            await _respond(writer, 200, {
+                "jobs": [r.to_json(with_result=False)
+                         for r in self.jobs.values()],
+            })
+        elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            await self._get_job(parts[1], writer)
+        elif len(parts) == 3 and parts[0] == "jobs" and method == "GET" \
+                and parts[2] == "result":
+            await self._get_result(parts[1], writer)
+        elif len(parts) == 3 and parts[0] == "jobs" and method == "GET" \
+                and parts[2] == "events":
+            await self._stream_events(parts[1], writer)
+        elif len(parts) == 3 and parts[0] == "jobs" and method == "POST" \
+                and parts[2] == "cancel":
+            await self._cancel_job(parts[1], writer)
+        else:
+            await _respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _post_job(self, body: bytes, writer) -> None:
+        try:
+            spec = JobSpec.from_json(json.loads(body.decode("utf-8")))
+        except (ValueError, JobSpecError) as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        record = JobRecord(spec=spec)
+        self.jobs[record.job_id] = record
+        self._persist(record)
+        self._queue.put_nowait(record.job_id)
+        tracer().event(
+            "service.job_submitted", job=record.job_id, kind=spec.kind,
+            msg=f"[service] job {record.job_id} queued ({spec.kind})",
+        )
+        await _respond(writer, 202, {
+            "job_id": record.job_id,
+            "state": record.state,
+            "spec_fingerprint": spec.fingerprint(),
+        })
+
+    async def _get_job(self, job_id: str, writer) -> None:
+        record = self.jobs.get(job_id)
+        if record is None:
+            await _respond(writer, 404, {"error": f"no job {job_id!r}"})
+            return
+        await _respond(writer, 200, record.to_json(with_result=False))
+
+    async def _get_result(self, job_id: str, writer) -> None:
+        record = self.jobs.get(job_id)
+        if record is None:
+            await _respond(writer, 404, {"error": f"no job {job_id!r}"})
+            return
+        if record.state == "done":
+            await _respond(writer, 200, {"job_id": job_id,
+                                         "result": record.result})
+        elif record.state == "failed":
+            await _respond(writer, 409, {"job_id": job_id, "state": "failed",
+                                         "error": record.error})
+        else:
+            await _respond(writer, 409, {"job_id": job_id,
+                                         "state": record.state,
+                                         "error": "job is not finished"})
+
+    async def _cancel_job(self, job_id: str, writer) -> None:
+        record = self.jobs.get(job_id)
+        if record is None:
+            await _respond(writer, 404, {"error": f"no job {job_id!r}"})
+            return
+        if record.state == "queued":
+            record.state = "cancelled"
+            self._finish(record)
+            await _respond(writer, 200, {"job_id": job_id,
+                                         "state": "cancelled"})
+        else:
+            await _respond(writer, 409, {
+                "job_id": job_id, "state": record.state,
+                "error": "only queued jobs can be cancelled",
+            })
+
+    async def _stream_events(self, job_id: str, writer) -> None:
+        record = self.jobs.get(job_id)
+        if record is None:
+            await _respond(writer, 404, {"error": f"no job {job_id!r}"})
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        terminal = record.state in ("done", "failed", "cancelled")
+        if not terminal:
+            self._watchers.setdefault(job_id, []).append(queue)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        writer.write(_ndjson({"type": "job", "state": record.state,
+                              "job_id": job_id}))
+        await writer.drain()
+        if terminal:
+            return
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    break
+                writer.write(_ndjson(item))
+                await writer.drain()
+        finally:
+            watchers = self._watchers.get(job_id)
+            if watchers and queue in watchers:
+                watchers.remove(queue)
+
+    async def _get_cache_stats(self, writer) -> None:
+        from ..engine.cache import QueryCache, read_persisted_stats
+
+        cache = QueryCache(self.config.cache_dir)
+        payload = dict(read_persisted_stats(self.config.cache_dir))
+        payload.update(cache.disk_usage())
+        payload["cache_dir"] = self.config.cache_dir
+        payload["max_cache_mb"] = self.config.max_cache_mb
+        await _respond(writer, 200, payload)
+
+    async def _get_stats(self, writer) -> None:
+        states: dict[str, int] = {}
+        for record in self.jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        await _respond(writer, 200, {
+            "jobs": states,
+            "queued": self._queue.qsize(),
+            "pool": self.pool.stats.to_json(),
+        })
+
+
+def _ndjson(obj: dict) -> bytes:
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+              404: "Not Found", 409: "Conflict",
+              500: "Internal Server Error"}.get(status, "OK")
+    writer.write(
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode("latin-1") + body
+    )
+    await writer.drain()
+
+
+def run_server(config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point (the ``ccmatic serve`` body)."""
+
+    async def _main() -> None:
+        server = JobServer(config)
+        await server.start()
+        print(f"ccmatic service on http://{server.config.host}:{server.port} "
+              f"(state: {server.config.state_dir})", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

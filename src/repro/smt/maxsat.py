@@ -16,7 +16,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from .encodings import bool_indicator
-from .solver import CheckOptions, Model, Solver, _UNSET, _coerce_check_options, sat
+from .solver import CheckOptions, Model, Solver, _require_options, sat
 from .terms import FreshBool, FreshReal, Or, RealVal, Sum, Term
 
 
@@ -54,19 +54,13 @@ class MaxSatSolver:
         self.solver.add(bool_indicator(relax, indicator))
         self._softs.append((formula, Fraction(weight), indicator))
 
-    def solve(
-        self,
-        options: Optional[CheckOptions] = None,
-        *,
-        max_conflicts=_UNSET,
-    ) -> MaxSatResult:
+    def solve(self, options: Optional[CheckOptions] = None) -> MaxSatResult:
         """Minimize total relaxation cost by binary search on the cost sum.
 
         Per-probe budgets go through ``options``
-        (:class:`~repro.smt.solver.CheckOptions`); the ``max_conflicts``
-        keyword is a deprecated shim.
+        (:class:`~repro.smt.solver.CheckOptions`).
         """
-        opts = _coerce_check_options(options, max_conflicts, _UNSET, "MaxSatSolver.solve")
+        opts = _require_options(options, "MaxSatSolver.solve")
         if not self._softs:
             outcome = self.solver.check(opts)
             if outcome is not sat:

@@ -15,7 +15,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..obs import DEBUG, tracer
-from .solver import CheckOptions, Model, Result, _UNSET, _coerce_check_options, sat, unknown, unsat
+from .solver import CheckOptions, Model, Result, _require_options, sat, unknown, unsat
 from .terms import Term
 
 
@@ -51,9 +51,6 @@ def maximize(
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
     options: Optional[CheckOptions] = None,
-    *,
-    max_conflicts=_UNSET,
-    deadline=_UNSET,
 ) -> OptimizeResult:
     """Maximize ``objective`` over the solver's current assertions.
 
@@ -62,8 +59,7 @@ def maximize(
     :class:`~repro.smt.solver.Solver` or a
     :class:`~repro.smt.session.SolverSession` (probes issued through a
     session hit its query cache).  Per-probe budgets go through
-    ``options`` (:class:`CheckOptions`); the ``max_conflicts``/
-    ``deadline`` keywords are deprecated shims.
+    ``options`` (:class:`CheckOptions`).
 
     ``lo`` must be a value for which feasibility is *unknown or likely*;
     ``hi`` an upper limit of the search.  The solver is used through
@@ -73,7 +69,7 @@ def maximize(
     rather than unsat).  Each binary-search step is emitted as an
     ``opt.probe`` event when tracing is enabled.
     """
-    opts = _coerce_check_options(options, max_conflicts, deadline, "maximize")
+    opts = _require_options(options, "maximize")
     lo = Fraction(lo)
     hi = Fraction(hi)
     probes = 0
@@ -127,12 +123,9 @@ def minimize(
     hi: Fraction,
     precision: Fraction = Fraction(1, 64),
     options: Optional[CheckOptions] = None,
-    *,
-    max_conflicts=_UNSET,
-    deadline=_UNSET,
 ) -> OptimizeResult:
     """Minimize ``objective`` (dual of :func:`maximize`)."""
-    opts = _coerce_check_options(options, max_conflicts, deadline, "minimize")
+    opts = _require_options(options, "minimize")
     result = maximize(solver, -objective, -hi, -lo, precision, opts)
     # NB: test fields explicitly — OptimizeResult refuses truthiness
     if result.best_value is not None:

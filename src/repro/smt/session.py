@@ -33,10 +33,10 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Optional, Protocol, Union
+from typing import Iterable, Optional, Protocol
 
 from ..obs import metrics
-from .solver import CheckOptions, Model, Result, Solver, _UNSET, _coerce_check_options, sat, unknown
+from .solver import CheckOptions, Model, Result, Solver, _require_options, sat, unknown
 from .terms import Term, canonical_hash
 
 
@@ -141,22 +141,14 @@ class SolverSession:
 
     # -- solving -------------------------------------------------------------
 
-    def check(
-        self,
-        options: Union[CheckOptions, int, None] = None,
-        *,
-        max_conflicts=_UNSET,
-        deadline=_UNSET,
-    ) -> Result:
+    def check(self, options: Optional[CheckOptions] = None) -> Result:
         """Decide the active assertion set, consulting the cache first.
 
         A cache hit returns the stored verdict (and, for sat, the stored
         model) without touching the solver; conclusive misses are stored
         back.  ``unknown`` is never cached.
         """
-        opts = _coerce_check_options(
-            options, max_conflicts, deadline, "SolverSession.check"
-        )
+        opts = _require_options(options, "SolverSession.check")
         self.stats.checks += 1
         key = None
         if self.cache is not None:

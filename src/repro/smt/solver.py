@@ -21,11 +21,10 @@ never invalidated).
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from fractions import Fraction
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional
 
 from ..obs import DEBUG, metrics, tracer
 from ..trust.proof import NeutralAtom, ProofError, ProofLog, UnsatCertificate
@@ -88,48 +87,25 @@ class CheckOptions:
         return replace(self, deadline=deadline)
 
 
-_UNSET = object()
+def _require_options(options, where: str) -> CheckOptions:
+    """Check configuration is a :class:`CheckOptions` value, full stop.
 
-
-def _coerce_check_options(
-    options,
-    max_conflicts,
-    deadline,
-    where: str,
-) -> CheckOptions:
-    """Shared deprecation shim: fold legacy kwargs into a CheckOptions.
-
-    ``options`` may also be a bare int (the historical positional
-    ``max_conflicts``).  Legacy use emits a :class:`DeprecationWarning`;
-    mixing both styles in one call is an error.
+    The 1.x compatibility shims (positional-int ``max_conflicts`` and the
+    ``max_conflicts=``/``deadline=`` keywords, deprecated throughout the
+    1.x series) were removed in 2.0; anything that is not a
+    ``CheckOptions`` gets a :class:`TypeError` pointing at the
+    replacement.
     """
-    if isinstance(options, int):
-        warnings.warn(
-            f"{where}(max_conflicts) positional argument is deprecated; "
-            f"pass CheckOptions(max_conflicts=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
+    if options is None:
+        return CheckOptions()
+    if not isinstance(options, CheckOptions):
+        raise TypeError(
+            f"{where} takes a CheckOptions value "
+            f"(got {type(options).__name__}); the 1.x positional/keyword "
+            f"forms were removed in 2.0 — pass "
+            f"CheckOptions(max_conflicts=..., deadline=...) instead"
         )
-        options = CheckOptions(max_conflicts=options)
-    legacy = {}
-    if max_conflicts is not _UNSET:
-        legacy["max_conflicts"] = max_conflicts
-    if deadline is not _UNSET:
-        legacy["deadline"] = deadline
-    if legacy:
-        if options is not None:
-            raise TypeError(
-                f"{where}: pass either CheckOptions or the deprecated "
-                f"keyword arguments, not both"
-            )
-        warnings.warn(
-            f"{where}({', '.join(sorted(legacy))}=...) keyword arguments are "
-            f"deprecated; pass CheckOptions instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return CheckOptions(**legacy)
-    return options if options is not None else CheckOptions()
+    return options
 
 
 class Model:
@@ -344,13 +320,7 @@ class Solver:
     #: emit an ``smt.progress`` event every this many conflicts while tracing
     PROGRESS_EVERY = 512
 
-    def check(
-        self,
-        options: Union[CheckOptions, int, None] = None,
-        *,
-        max_conflicts=_UNSET,
-        deadline=_UNSET,
-    ) -> Result:
+    def check(self, options: Optional[CheckOptions] = None) -> Result:
         """Decide satisfiability of the current assertion stack.
 
         Configuration goes through a single :class:`CheckOptions` value::
@@ -358,11 +328,10 @@ class Solver:
             s.check()                                     # defaults
             s.check(CheckOptions(max_conflicts=10_000))   # budgeted
 
-        The historical ``max_conflicts``/``deadline`` keyword (and
-        positional-int) forms still work behind a
-        :class:`DeprecationWarning` shim.
+        The 1.x ``max_conflicts``/``deadline`` keyword and positional-int
+        forms were removed in 2.0.
         """
-        opts = _coerce_check_options(options, max_conflicts, deadline, "Solver.check")
+        opts = _require_options(options, "Solver.check")
         max_conflicts = opts.max_conflicts
         deadline = opts.deadline
         core = self.sat_core

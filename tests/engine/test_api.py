@@ -29,28 +29,32 @@ def test_check_takes_options_object():
     assert s.check(CheckOptions(max_conflicts=10_000)) is unsat
 
 
-def test_legacy_kwargs_warn_but_work():
+def test_legacy_kwargs_removed():
+    """The 1.x keyword shims are gone in 2.0: plain TypeError, no
+    half-working deprecation path."""
     x = Real("api_y")
     s = Solver()
     s.add(x >= 0)
-    with pytest.warns(DeprecationWarning):
-        assert s.check(max_conflicts=10_000) is sat
-    with pytest.warns(DeprecationWarning):
-        assert s.check(deadline=None) is sat
+    with pytest.raises(TypeError):
+        s.check(max_conflicts=10_000)
+    with pytest.raises(TypeError):
+        s.check(deadline=None)
 
 
-def test_legacy_positional_int_warns():
+def test_legacy_positional_int_removed():
     x = Real("api_z")
     s = Solver()
     s.add(x >= 0)
-    with pytest.warns(DeprecationWarning):
-        assert s.check(10_000) is sat
+    with pytest.raises(TypeError, match="CheckOptions"):
+        s.check(10_000)
 
 
-def test_mixing_options_and_kwargs_is_an_error():
-    s = Solver()
+def test_session_rejects_legacy_forms():
+    session = SolverSession()
+    with pytest.raises(TypeError, match="CheckOptions"):
+        session.check(5_000)
     with pytest.raises(TypeError):
-        s.check(CheckOptions(), max_conflicts=5)
+        session.check(max_conflicts=5)
 
 
 def test_options_object_does_not_warn():

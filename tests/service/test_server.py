@@ -1,0 +1,169 @@
+"""Control-plane end-to-end: submit over HTTP, stream, fetch, shut down."""
+
+import asyncio
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.core import SynthesisQuery, table1_spaces
+from repro.service import (
+    JobServer,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    execute_job,
+    synthesis_spec,
+    verify_spec,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.runtime]
+
+
+def _start_server(tmp_path, **overrides):
+    """Run a JobServer on an ephemeral port in a background thread."""
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"), pool_size=2, **overrides
+    )
+    server = JobServer(config)
+    started = threading.Event()
+    info = {}
+
+    def _run():
+        async def _main():
+            await server.start()
+            info["port"] = server.port
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(60), "server never came up"
+    return server, ServiceClient(port=info["port"], timeout=120.0), thread
+
+
+@pytest.fixture
+def service(tmp_path):
+    server, client, thread = _start_server(tmp_path)
+    yield client
+    try:
+        client.shutdown()
+    except (OSError, ServiceError):
+        pass
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+
+
+def _tiny_query() -> SynthesisQuery:
+    return SynthesisQuery(
+        spec=table1_spaces()["no_cwnd_small"],
+        cfg=ModelConfig(T=5),
+        generator="enum",
+        worst_case_cex=False,
+    )
+
+
+def test_health_and_stats(service):
+    assert service.healthy()
+    stats = service.stats()
+    assert stats["pool"]["size"] == 2
+    assert stats["pool"]["spawns"] >= 2
+
+
+def test_verify_job_end_to_end(service):
+    accepted = service.submit(verify_spec("rocc", ModelConfig(T=5)))
+    assert accepted["state"] == "queued"
+    record = service.wait(accepted["job_id"])
+    assert record["state"] == "done"
+    payload = service.result(accepted["job_id"])
+    assert payload["verified"] is True
+    # the shared cache saw the verify traffic
+    cache = service.cache_stats()
+    assert cache["disk_entries"] >= 1
+    assert cache["disk_bytes"] > 0
+
+
+def test_events_stream_carries_progress_then_terminal(service):
+    accepted = service.submit(verify_spec("rocc", ModelConfig(T=5)))
+    records = list(service.events(accepted["job_id"]))
+    assert records, "stream was empty"
+    assert records[-1]["type"] == "job"
+    assert records[-1]["state"] == "done"
+    assert any(r.get("type") in ("span", "event") for r in records)
+
+
+def test_local_and_submitted_runs_are_identical(service):
+    """Acceptance: `ccmatic synthesize` (local) and submit+result produce
+    payloads with the same semantic fingerprint for the same JobSpec."""
+    spec = synthesis_spec(_tiny_query())
+    local = execute_job(spec)
+    accepted = service.submit(spec)
+    record = service.wait(accepted["job_id"])
+    assert record["state"] == "done", record.get("error")
+    remote = service.result(accepted["job_id"])
+    assert remote["fingerprint"] == local["fingerprint"]
+    assert remote["solutions"] == local["solutions"]
+    assert remote["stop_reason"] == local["stop_reason"]
+
+
+def test_failed_job_reports_its_error(service):
+    # the spec *format* is valid, so submission succeeds; execution then
+    # fails on the unknown CCA and the failure lands in the record
+    accepted = service.submit(verify_spec("bbr", ModelConfig(T=5)))
+    record = service.wait(accepted["job_id"])
+    assert record["state"] == "failed"
+    assert "unknown CCA" in record["error"]
+    with pytest.raises(ServiceError) as err:
+        service.result(accepted["job_id"])
+    assert err.value.status == 409
+
+
+def test_unknown_job_is_404(service):
+    with pytest.raises(ServiceError) as err:
+        service.status("nope")
+    assert err.value.status == 404
+
+
+def test_bad_spec_is_rejected(service):
+    with pytest.raises(ServiceError) as err:
+        service._request("POST", "/jobs", {"version": 99, "kind": "verify",
+                                           "params": {}})
+    assert err.value.status == 400
+    assert "version" in err.value.payload["error"]
+
+
+def test_jobs_survive_a_server_restart(tmp_path):
+    server, client, thread = _start_server(tmp_path)
+    try:
+        accepted = client.submit(verify_spec("rocc", ModelConfig(T=5)))
+        client.wait(accepted["job_id"])
+    finally:
+        client.shutdown()
+        thread.join(timeout=60)
+    # reboot on the same state dir: the finished job is still known
+    server2, client2, thread2 = _start_server(tmp_path)
+    try:
+        record = client2.status(accepted["job_id"])
+        assert record["state"] == "done"
+        payload = client2.result(accepted["job_id"])
+        assert payload["verified"] is True
+    finally:
+        client2.shutdown()
+        thread2.join(timeout=60)
+
+
+def test_clean_shutdown_leaves_no_orphans(tmp_path):
+    server, client, thread = _start_server(tmp_path)
+    accepted = client.submit(verify_spec("rocc", ModelConfig(T=5)))
+    client.wait(accepted["job_id"])
+    client.shutdown()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    deadline = time.time() + 10.0
+    while time.time() < deadline and multiprocessing.active_children():
+        time.sleep(0.1)
+    assert multiprocessing.active_children() == []

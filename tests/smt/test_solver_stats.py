@@ -79,11 +79,10 @@ class TestDeadline:
         _hard_instance(s, n=8, prefix="dl2")
         assert s.check(CheckOptions(max_conflicts=1)) is unknown
 
-    def test_legacy_kwargs_warn_but_work(self):
-        # the deprecated shim stays functional for external callers —
-        # but it must warn, and repro-internal use is an error (see
-        # filterwarnings in pyproject.toml)
+    def test_legacy_kwargs_removed(self):
+        # the 1.x deprecation shim was deleted in 2.0: the keyword form
+        # is a hard TypeError now
         s = Solver()
         _hard_instance(s, n=8, prefix="dl3")
-        with pytest.warns(DeprecationWarning):
-            assert s.check(max_conflicts=1) is unknown
+        with pytest.raises(TypeError):
+            s.check(max_conflicts=1)

@@ -19,6 +19,7 @@ class TestParser:
         assert set(subactions.choices) == {
             "synthesize", "verify", "certify", "sweep", "simulate",
             "assumption", "report", "resume", "bench-diff", "falsify",
+            "serve", "submit", "status", "result",
         }
 
     def test_unknown_cca_rejected(self):
