@@ -22,6 +22,11 @@ Runs three workloads against :mod:`repro.engine` and writes a single
    warm incremental verifiers) vs ``run_portfolio`` (fork per batch);
    the pooled path must be >= 1.3x faster end to end, pool start/stop
    included, with identical verdicts batch by batch.
+6. **matrix** — the candidates x environments verification grid
+   (lossless + finite-buffer lossy) over repeated rounds: pooled
+   dispatch with per-environment warm verifiers vs fork-per-cell;
+   per-cell verdict parity required and the pooled grid must be
+   >= 1.3x faster.
 
 Usage::
 
@@ -282,6 +287,78 @@ def bench_portfolio(cfg: ModelConfig, budget: float) -> dict:
     }
 
 
+def bench_matrix(cfg: ModelConfig, candidates: list, rounds: int) -> dict:
+    """The candidates x environments grid, dispatched the two ways a
+    multi-environment synthesis loop can run it.
+
+    Each CEGIS round re-verifies a fresh batch of candidates against the
+    *same* environment set, so the dispatch question is amortization:
+    fork-per-cell pays a fresh base-network encode for every cell of
+    every round, while the pooled path keys its warm incremental
+    verifiers per environment (`_WORKER_STATE`) and pays each cell's
+    encode once per worker for the whole run.  Per-cell verdicts must be
+    identical and the pooled grid must be >= 1.3x faster end to end,
+    pool start/stop included.
+    """
+    from repro.ccac import lossless_environment, lossy_environment
+    from repro.engine.portfolio import (
+        _pooled_verify_candidate_task,
+        _verify_candidate_task,
+        run_portfolio,
+    )
+    from repro.service import WorkerPool
+
+    environments = [lossless_environment(), lossy_environment(buffer=8)]
+    precision = Fraction(1, 8)
+    cells = [(cand, env) for cand in candidates for env in environments]
+
+    def _tasks(fn):
+        return [
+            (fn, (cfg, precision, cand, False, None, True, None, False,
+                  [env]))
+            for cand, env in cells
+        ]
+
+    def _verdicts(outcome):
+        return [
+            bool(outcome.reports[i].result.verified)
+            for i in range(len(cells))
+        ]
+
+    wait_all = {"accept": lambda _r: False, "wall_time": 300.0}
+
+    forked_verdicts = []
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        outcome = run_portfolio(_tasks(_verify_candidate_task), **wait_all)
+        forked_verdicts.append(_verdicts(outcome))
+    forked_s = time.perf_counter() - t0
+
+    pooled_verdicts = []
+    t0 = time.perf_counter()
+    with WorkerPool(size=2) as pool:
+        for _ in range(rounds):
+            outcome = pool.run_batch(
+                _tasks(_pooled_verify_candidate_task), **wait_all
+            )
+            pooled_verdicts.append(_verdicts(outcome))
+    pooled_s = time.perf_counter() - t0
+
+    speedup = forked_s / pooled_s if pooled_s > 0 else float("inf")
+    return {
+        "rounds": rounds,
+        "cells": len(cells),
+        "environments": [env.key() for env in environments],
+        "forked_s": round(forked_s, 4),
+        "pooled_s": round(pooled_s, 4),
+        "speedup": round(speedup, 2),
+        "verdicts_identical": forked_verdicts == pooled_verdicts,
+        # gates: per-cell verdict parity and the pooled grid paying for
+        # itself
+        "ok": forked_verdicts == pooled_verdicts and speedup >= 1.3,
+    }
+
+
 def bench_service(cfg: ModelConfig, candidates: list, rounds: int) -> dict:
     """Pooled vs fork-per-batch dispatch on a repeated verification load.
 
@@ -442,10 +519,18 @@ def main(argv=None) -> int:
           f"speedup={s['speedup']}x identical={s['verdicts_identical']}  "
           f"[{'ok' if s['ok'] else 'FAIL'}]")
 
+    report["matrix"] = bench_matrix(cfg, candidates, rounds)
+    m = report["matrix"]
+    print(f"  matrix:      forked={m['forked_s']}s "
+          f"pooled={m['pooled_s']}s speedup={m['speedup']}x "
+          f"identical={m['verdicts_identical']}  "
+          f"[{'ok' if m['ok'] else 'FAIL'}]")
+
     report["ok"] = all(
         report[k]["ok"]
         for k in (
-            "compile", "cache", "incremental", "proof", "portfolio", "service",
+            "compile", "cache", "incremental", "proof", "portfolio",
+            "service", "matrix",
         )
     )
     with open(args.out, "w", encoding="utf-8") as f:

@@ -96,6 +96,27 @@ def phase_verify_via_cli(port: int) -> int:
     return 0
 
 
+def phase_verify_matrix_via_cli(port: int) -> int:
+    """Submit one multi-environment verify job: the verdict must hold in
+    every named cell of the CCAC matrix (lossless + adequately buffered
+    lossy), exercising the environment codec across the HTTP boundary."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "submit", "verify", "rocc",
+         "--T", "5", "--env", "lossless", "--env", "lossy:buffer=8",
+         "--port", str(port), "--watch"],
+        capture_output=True, text=True, env=_cli_env(), cwd=ROOT, timeout=300,
+    )
+    if out.returncode != 0:
+        return fail(f"multi-environment submit verify exited "
+                    f"{out.returncode}:\n{out.stdout}\n{out.stderr}")
+    if "VERIFIED" not in out.stdout:
+        return fail(f"multi-environment verify did not render VERIFIED:\n"
+                    f"{out.stdout}")
+    print("[service-smoke] verify-matrix: rocc VERIFIED across "
+          "lossless + lossy:buffer=8 via submit")
+    return 0
+
+
 def phase_falsify_via_client(client: ServiceClient) -> int:
     """Submit a falsify job, stream its events, fetch the kill."""
     spec = falsify_spec("aimd:8", ModelConfig(T=5), budget=2000, seed=0)
@@ -163,6 +184,7 @@ def main() -> int:
     try:
         for phase in (
             lambda: phase_verify_via_cli(port),
+            lambda: phase_verify_matrix_via_cli(port),
             lambda: phase_falsify_via_client(client),
             lambda: phase_cache_stats(client),
         ):

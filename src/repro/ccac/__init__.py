@@ -15,20 +15,51 @@ from .properties import (
     high_utilization,
     negated_desired,
 )
-from .lossy import LossyCcacModel, LossyVerifier, minimum_buffer
-from .multiflow import StarvationResult, StarvationVerifier, TwoFlowModel
+from .lossy import LossyCcacModel, LossyCexTrace, LossyVerifier, minimum_buffer
+from .multiflow import (
+    StarvationResult,
+    StarvationVerifier,
+    TwoFlowCexTrace,
+    TwoFlowModel,
+)
 from .trace import CexTrace, RangeBound
+from .environments import (
+    ENVIRONMENT_VERSION,
+    EnvironmentSpec,
+    default_environments,
+    environment,
+    environment_from_json,
+    lossless_environment,
+    lossy_environment,
+    multiflow_environment,
+    parse_environment,
+    parse_environments,
+    registered_kinds,
+)
 
 __all__ = [
     "CcacModel",
     "CexTrace",
+    "ENVIRONMENT_VERSION",
+    "EnvironmentSpec",
     "ModelConfig",
     "LossyCcacModel",
+    "LossyCexTrace",
     "LossyVerifier",
     "RangeBound",
     "StarvationResult",
     "StarvationVerifier",
+    "TwoFlowCexTrace",
     "TwoFlowModel",
+    "default_environments",
+    "environment",
+    "environment_from_json",
+    "lossless_environment",
+    "lossy_environment",
+    "multiflow_environment",
+    "parse_environment",
+    "parse_environments",
+    "registered_kinds",
     "bounded_queue",
     "cwnd_decreases",
     "cwnd_increases",

@@ -30,19 +30,23 @@ With these semantics the verifier answers the paper's question directly:
 which lossless-synthesized rules survive a finite buffer?  (RoCC needs
 the buffer to cover its steady queue of ~BDP+increment; below that it
 drops every RTT and fails the loss budget.)
+
+:class:`LossyVerifier` is a compatibility wrapper: verification routes
+through :class:`~repro.core.verifier.CcacVerifier` with a ``lossy``
+:class:`~repro.ccac.environments.EnvironmentSpec`, so lossy queries gain
+independent validation, query caching, incremental sessions, and UNSAT
+certification exactly like the lossless path.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
-from ..smt import And, Not, Or, Real, RealVal, Solver, Term, encode_max, sat
+from ..smt import Real, RealVal, Term, encode_max
 from .config import ModelConfig
 from .model import CcacModel
-from .properties import desired_property
 from .trace import CexTrace
 
 
@@ -66,6 +70,8 @@ class LossyCcacModel(CcacModel):
         return self.A[t] - self.L[t]
 
     def loss_constraints(self) -> list[Term]:
+        from ..smt import Or
+
         cfg = self.cfg
         buf = RealVal(self.buffer)
         cons: list[Term] = [self.L[0].eq(0)]
@@ -103,12 +109,81 @@ class LossyCcacModel(CcacModel):
         return cons
 
 
+@dataclass(frozen=True)
+class LossyCexTrace(CexTrace):
+    """A counterexample of the finite-buffer model: the lossless trace
+    fields plus the loss counter and the buffer/threshold it ran under."""
+
+    L: tuple[Fraction, ...] = ()
+    buffer: Fraction = Fraction(0)
+    loss_thresh: Fraction = Fraction(1)
+
+    @classmethod
+    def from_model(cls, model, net: LossyCcacModel) -> "LossyCexTrace":
+        ts = range(net.cfg.T + 1)
+        return cls(
+            cfg=net.cfg,
+            A=tuple(model.value(net.A[t]) for t in ts),
+            S=tuple(model.value(net.S[t]) for t in ts),
+            W=tuple(model.value(net.W[t]) for t in ts),
+            cwnd=tuple(model.value(net.cwnd[t]) for t in ts),
+            S_pre=tuple(model.value(v) for v in net.S_pre),
+            cwnd_pre=tuple(model.value(v) for v in net.cwnd_pre),
+            ack_offset=model.value(net.ack_offset),
+            L=tuple(model.value(net.L[t]) for t in ts),
+            buffer=net.buffer,
+        )
+
+    def delivered(self, t: int) -> Fraction:
+        return self.A[t] - self.L[t]
+
+    def _sender_expected(self, t: int) -> Fraction:
+        # losses detected in the previous RTT free window space
+        return max(
+            self.A[t - 1], self.S[t - 1] + self.L[t - 1] + self.cwnd[t]
+        )
+
+    def check_environment(self) -> list[str]:
+        errors = super().check_environment()
+        if self.L[0] != 0:
+            errors.append(f"L_0 = {self.L[0]} != 0")
+        for t in range(1, self.cfg.T + 1):
+            if self.L[t] < self.L[t - 1]:
+                errors.append(f"L not monotone at {t}")
+            if self.L[t] > self.A[t]:
+                errors.append(f"losses exceed sends at {t}")
+            if self.S[t] > self.delivered(t):
+                errors.append(f"service exceeds non-dropped data at {t}")
+            if self.delivered(t) - self.S[t] > self.buffer:
+                errors.append(f"queue exceeds the buffer at {t}")
+            if (
+                self.L[t] > self.L[t - 1]
+                and self.delivered(t) - self.S[t] < self.buffer
+            ):
+                errors.append(f"drop without a full buffer at {t}")
+        return errors
+
+    def desired_holds(self) -> bool:
+        cfg = self.cfg
+        T = cfg.T
+        loss_ok = self.L[T] <= self.loss_thresh * cfg.C * cfg.D
+        decreased = self.cwnd[T] < self.cwnd[0]
+        return super().desired_holds() and (loss_ok or decreased)
+
+    def __str__(self) -> str:
+        loss = " ".join(f"{float(v):.3f}" for v in self.L)
+        return (
+            super().__str__()
+            + f"\nloss L = [{loss}] buffer={float(self.buffer):.3f}"
+        )
+
+
 @dataclass
 class LossyVerificationResult:
     """Outcome of a lossy-model verification."""
 
     verified: bool
-    counterexample: Optional[CexTrace]
+    counterexample: Optional[LossyCexTrace]
     loss: Optional[tuple[Fraction, ...]]
     wall_time: float
 
@@ -118,38 +193,37 @@ class LossyVerifier:
 
     ``loss_thresh`` bounds acceptable cumulative losses over the trace
     (in C*D units); like the delay leg, it is relaxed by "or the cwnd is
-    already decreasing".
+    already decreasing".  Extra keyword arguments are forwarded to the
+    underlying :class:`~repro.core.verifier.CcacVerifier` (``validate``,
+    ``cache``, ``incremental``, ``certify``, ...).
     """
 
-    def __init__(self, cfg: ModelConfig, buffer: Fraction, loss_thresh: Fraction = Fraction(1)):
+    def __init__(
+        self,
+        cfg: ModelConfig,
+        buffer: Fraction,
+        loss_thresh: Fraction = Fraction(1),
+        **verifier_kwargs,
+    ):
+        from ..core.verifier import CcacVerifier
+        from .environments import lossy_environment
+
         self.cfg = cfg
         self.buffer = Fraction(buffer)
         self.loss_thresh = Fraction(loss_thresh)
-
-    def desired(self, net: LossyCcacModel) -> Term:
-        from .properties import cwnd_decreases
-
-        loss_ok = net.L[self.cfg.T] <= RealVal(self.loss_thresh * self.cfg.C * self.cfg.D)
-        return And(
-            desired_property(net),
-            Or(loss_ok, cwnd_decreases(net)),
+        self.environment = lossy_environment(
+            buffer=self.buffer, loss_thresh=self.loss_thresh
+        )
+        self._verifier = CcacVerifier(
+            cfg, environments=[self.environment], **verifier_kwargs
         )
 
     def find_counterexample(self, candidate) -> LossyVerificationResult:
-        start = time.perf_counter()
-        net = LossyCcacModel(self.cfg, self.buffer)
-        solver = Solver()
-        solver.add(*net.constraints())
-        solver.add(*candidate.constraints_for(net))
-        solver.add(Not(self.desired(net)))
-        outcome = solver.check()
-        if outcome is not sat:
-            return LossyVerificationResult(True, None, None, time.perf_counter() - start)
-        model = solver.model()
-        trace = CexTrace.from_model(model, net)
-        loss = tuple(model.value(v) for v in net.L)
+        result = self._verifier.find_counterexample(candidate)
+        trace = result.counterexample
+        loss = trace.L if trace is not None else None
         return LossyVerificationResult(
-            False, trace, loss, time.perf_counter() - start
+            result.verified, trace, loss, result.wall_time
         )
 
     def verify(self, candidate) -> bool:

@@ -26,11 +26,11 @@ The starvation property checked is the induction-friendly per-flow form:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
-from ..smt import And, Not, Or, Real, RealVal, Solver, Term, encode_max, sat
+from ..smt import And, Not, Or, Real, RealVal, Term, encode_max
 from .config import ModelConfig
 from .model import CcacModel
 from .trace import CexTrace
@@ -187,6 +187,143 @@ class FlowView:
         return self.S_at(t) + self.ack_offset
 
 
+@dataclass(frozen=True)
+class TwoFlowCexTrace:
+    """A starvation counterexample: two per-flow traces sharing one
+    link's waste process, plus the assumption knobs they ran under."""
+
+    cfg: ModelConfig
+    W: tuple[Fraction, ...]
+    flows: tuple[CexTrace, CexTrace]
+    min_share: Fraction = Fraction(0)
+    phi: Fraction = Fraction(1, 4)
+    environment: Optional[object] = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        net: TwoFlowModel,
+        min_share: Fraction = Fraction(0),
+        phi: Fraction = Fraction(1, 4),
+    ) -> "TwoFlowCexTrace":
+        ts = range(net.cfg.T + 1)
+        W = tuple(model.value(net.W[t]) for t in ts)
+        flows = tuple(
+            CexTrace(
+                cfg=net.cfg,
+                A=tuple(model.value(flow["A"][t]) for t in ts),
+                S=tuple(model.value(flow["S"][t]) for t in ts),
+                W=W,
+                cwnd=tuple(model.value(flow["cwnd"][t]) for t in ts),
+                S_pre=tuple(model.value(v) for v in flow["S_pre"]),
+                cwnd_pre=tuple(model.value(v) for v in flow["cwnd_pre"]),
+                ack_offset=model.value(flow["ack_offset"]),
+            )
+            for flow in net.flows
+        )
+        return cls(
+            cfg=net.cfg,
+            W=W,
+            flows=flows,
+            min_share=Fraction(min_share),
+            phi=Fraction(phi),
+        )
+
+    def total_S(self, t: int) -> Fraction:
+        return self.flows[0].S[t] + self.flows[1].S[t]
+
+    def total_A(self, t: int) -> Fraction:
+        return self.flows[0].A[t] + self.flows[1].A[t]
+
+    def throughputs(self) -> tuple[Fraction, Fraction]:
+        T = self.cfg.T
+        return tuple(f.S[T] - f.S[0] for f in self.flows)
+
+    # -- independent numeric replay ------------------------------------
+
+    def check_environment(self) -> list[str]:
+        """Re-validate the two-flow network constraints numerically."""
+        cfg = self.cfg
+        errors: list[str] = []
+        if self.W[0] != 0:
+            errors.append(f"W_0 = {self.W[0]} != 0")
+        for i, flow in enumerate(self.flows, start=1):
+            if flow.S[0] != 0:
+                errors.append(f"flow {i}: S_0 != 0")
+            if not (0 <= flow.A[0] <= cfg.initial_queue_max):
+                errors.append(f"flow {i}: A_0 outside initial queue box")
+            if flow.S_pre and flow.A[0] > flow.S_pre[0] + flow.cwnd[0]:
+                errors.append(f"flow {i}: initial queue exceeds initial window")
+            prev = flow.S[0]
+            for j, s in enumerate(flow.S_pre, start=1):
+                if s > prev:
+                    errors.append(f"flow {i}: pre-history S not monotone at -{j}")
+                if s < -cfg.C * j:
+                    errors.append(f"flow {i}: pre-history S below rate bound at -{j}")
+                prev = s
+            for cw in flow.cwnd_pre:
+                if not (cfg.cwnd_min <= cw <= cfg.initial_cwnd_max):
+                    errors.append(f"flow {i}: pre-history cwnd outside box")
+        for t in range(1, cfg.T + 1):
+            if self.W[t] < self.W[t - 1]:
+                errors.append(f"W not monotone at {t}")
+            tokens = cfg.C * t - self.W[t]
+            if self.total_S(t) > tokens:
+                errors.append(f"aggregate token bucket violated at {t}")
+            if t >= cfg.jitter:
+                back = t - cfg.jitter
+                if self.total_S(t) < cfg.C * back - self.W[back]:
+                    errors.append(f"aggregate lower service violated at {t}")
+            if self.W[t] > self.W[t - 1] and self.total_A(t) > tokens:
+                errors.append(f"waste condition violated at {t}")
+            step_tot = self.total_S(t) - self.total_S(t - 1)
+            for i, flow in enumerate(self.flows, start=1):
+                if flow.A[t] < flow.A[t - 1]:
+                    errors.append(f"flow {i}: A not monotone at {t}")
+                if flow.S[t] < flow.S[t - 1]:
+                    errors.append(f"flow {i}: S not monotone at {t}")
+                if flow.S[t] > flow.A[t]:
+                    errors.append(f"flow {i}: causality violated at {t}")
+                expected = max(
+                    flow.A[t - 1], flow.S[t - 1] + flow.cwnd[t]
+                )
+                if flow.A[t] != expected:
+                    errors.append(f"flow {i}: sender not eager at {t}")
+                if self.min_share > 0:
+                    backlogged = flow.A[t - 1] - flow.S[t - 1] > 0
+                    step_i = flow.S[t] - flow.S[t - 1]
+                    if backlogged and step_i < self.min_share * step_tot:
+                        errors.append(
+                            f"flow {i}: min-share assumption violated at {t}"
+                        )
+        return errors
+
+    def desired_holds(self) -> bool:
+        """No-starvation, computed numerically: each flow reaches
+        ``phi * fair_share`` throughput or its cwnd is still growing."""
+        cfg = self.cfg
+        T = cfg.T
+        fair = cfg.C * cfg.T / 2
+        for flow in self.flows:
+            thr = flow.S[T] - flow.S[0]
+            growing = flow.cwnd[T] > flow.cwnd[0]
+            if thr < self.phi * fair and not growing:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        thr = self.throughputs()
+        parts = [
+            f"two-flow trace (min_share={self.min_share}, phi={self.phi}) "
+            f"throughputs=({float(thr[0]):.3f}, {float(thr[1]):.3f})"
+        ]
+        for i, flow in enumerate(self.flows, start=1):
+            parts.append(f"flow {i}:")
+            parts.append(str(flow))
+        return "\n".join(parts)
+
+
 @dataclass
 class StarvationResult:
     """Outcome of one starvation query."""
@@ -194,32 +331,47 @@ class StarvationResult:
     verified: bool  # True: no admissible trace starves either flow
     throughputs: Optional[tuple[Fraction, Fraction]]
     wall_time: float
+    counterexample: Optional[TwoFlowCexTrace] = None
 
 
 class StarvationVerifier:
     """Checks whether a candidate CCA can be starved when competing with
-    itself under a given scheduling assumption."""
+    itself under a given scheduling assumption.
 
-    def __init__(self, cfg: ModelConfig, min_share: Fraction = Fraction(0)):
+    A compatibility wrapper: the query routes through
+    :class:`~repro.core.verifier.CcacVerifier` with a ``multiflow``
+    :class:`~repro.ccac.environments.EnvironmentSpec`, gaining
+    independent validation, caching, and incremental sessions; extra
+    keyword arguments are forwarded to the underlying verifier.
+    """
+
+    def __init__(
+        self,
+        cfg: ModelConfig,
+        min_share: Fraction = Fraction(0),
+        **verifier_kwargs,
+    ):
         self.cfg = cfg
         self.min_share = Fraction(min_share)
+        self._verifier_kwargs = verifier_kwargs
+        self._verifiers: dict[Fraction, object] = {}
+
+    def _verifier_for(self, phi: Fraction):
+        phi = Fraction(phi)
+        if phi not in self._verifiers:
+            from ..core.verifier import CcacVerifier
+            from .environments import multiflow_environment
+
+            env = multiflow_environment(min_share=self.min_share, phi=phi)
+            self._verifiers[phi] = CcacVerifier(
+                self.cfg, environments=[env], **self._verifier_kwargs
+            )
+        return self._verifiers[phi]
 
     def find_starvation(self, candidate, phi: Fraction) -> StarvationResult:
-        import time
-
-        start = time.perf_counter()
-        model = TwoFlowModel(self.cfg, min_share=self.min_share)
-        solver = Solver()
-        solver.add(*model.constraints())
-        for i in (0, 1):
-            solver.add(*candidate.constraints_for(model.flow_view(i)))
-        solver.add(Not(model.no_starvation(Fraction(phi))))
-        outcome = solver.check()
-        if outcome is not sat:
-            return StarvationResult(True, None, time.perf_counter() - start)
-        m = solver.model()
-        thr = tuple(
-            m.value(model.flows[i]["S"][self.cfg.T]) - m.value(model.flows[i]["S"][0])
-            for i in (0, 1)
+        result = self._verifier_for(phi).find_counterexample(candidate)
+        trace = result.counterexample
+        thr = trace.throughputs() if trace is not None else None
+        return StarvationResult(
+            result.verified, thr, result.wall_time, counterexample=trace
         )
-        return StarvationResult(False, thr, time.perf_counter() - start)

@@ -15,7 +15,7 @@ property, the whole range of candidates is eliminated at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional, Sequence
 
@@ -52,6 +52,11 @@ class CexTrace:
     cwnd_pre: tuple[Fraction, ...] = ()
     # bytes acked before the window started (shift-invariance witness)
     ack_offset: Fraction = Fraction(0)
+    # origin environment (an EnvironmentSpec) when the trace came out of
+    # a multi-environment verification; None for the paper's lossless
+    # fragment.  Not part of trace identity: two equal behaviours are
+    # equal regardless of which matrix cell surfaced them.
+    environment: Optional[object] = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_model(cls, model: Model, net: CcacModel) -> "CexTrace":
@@ -159,10 +164,26 @@ class CexTrace:
                 errors.append(f"causality violated at {t}")
             if self.W[t] > self.W[t - 1] and self.A[t] > cfg.C * t - self.W[t]:
                 errors.append(f"waste condition violated at {t}")
-            expected = max(self.A[t - 1], self.S[t - 1] + self.cwnd[t])
+            expected = self._sender_expected(t)
             if self.A[t] != expected:
                 errors.append(f"sender not eager at {t}: {self.A[t]} != {expected}")
         return errors
+
+    def _sender_expected(self, t: int) -> Fraction:
+        """What the eager window-limited sender must have sent at ``t``
+        (environment subclasses override the recurrence)."""
+        return max(self.A[t - 1], self.S[t - 1] + self.cwnd[t])
+
+    def desired_holds(self) -> bool:
+        """The environment's desired property, computed numerically."""
+        cfg = self.cfg
+        T = cfg.T
+        util_ok = self.S[T] - self.S[0] >= cfg.util_thresh * cfg.C * cfg.T
+        limit = cfg.delay_thresh * cfg.C * cfg.D
+        queue_ok = all(self.queue(t) <= limit for t in range(T + 1))
+        increased = self.cwnd[T] > self.cwnd[0]
+        decreased = self.cwnd[T] < self.cwnd[0]
+        return (util_ok or increased) and (queue_ok or decreased)
 
     def __str__(self) -> str:
         cfg = self.cfg

@@ -191,11 +191,20 @@ class CegisLoop:
                     )
                     break
                 stats.counterexamples += 1
+                env = getattr(result, "environment", None) or getattr(
+                    cex, "environment", None
+                )
+                env_key = env.key() if env is not None else None
                 tr.event(
                     "cegis.counterexample",
                     iter=stats.iterations,
                     candidate=str(candidate),
-                    msg=f"[cegis] iter {stats.iterations}: counterexample for {candidate}",
+                    environment=env_key,
+                    msg=(
+                        f"[cegis] iter {stats.iterations}: counterexample "
+                        f"for {candidate}"
+                        + (f" [{env_key}]" if env_key else "")
+                    ),
                 )
                 self.generator.add_counterexample(cex)
                 if self.checkpoint is not None:

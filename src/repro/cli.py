@@ -188,6 +188,29 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
     _add_pipeline_arg(g)
 
 
+def _environment_arg(text: str):
+    """argparse type: one cell of the CCAC environment matrix."""
+    from .ccac.environments import parse_environment
+
+    try:
+        return parse_environment(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_env_arg(p) -> None:
+    p.add_argument(
+        "--env", action="append", type=_environment_arg, default=None,
+        dest="environments", metavar="NAME[:k=v,...]",
+        help="a cell of the CCAC environment matrix to verify against "
+             "(repeatable): lossless | lossy:buffer=<frac> | "
+             "multiflow:min_share=<frac> | jitter:jitter=<int> | "
+             "thresholds:util_thresh=<frac>.  With several, a candidate "
+             "counts as verified only when every environment agrees "
+             "(default: lossless)",
+    )
+
+
 def _add_pipeline_arg(p) -> None:
     p.add_argument(
         "--no-compile-pipeline", action="store_true",
@@ -215,6 +238,7 @@ def _add_synthesize_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--time-budget", type=_positive_float, default=None)
     p.add_argument("--verbose", action="store_true")
     _add_cfg_args(p)
+    _add_env_arg(p)
     _add_runtime_args(p)
 
 
@@ -232,6 +256,7 @@ def _add_verify_args(p: argparse.ArgumentParser) -> None:
                         "in-fragment violation is a soundness error")
     p.add_argument("--falsify-seed", type=int, default=0, metavar="SEED")
     _add_cfg_args(p)
+    _add_env_arg(p)
     _add_pipeline_arg(p)
 
 
@@ -340,6 +365,7 @@ def _synthesis_query(args) -> SynthesisQuery:
         time_budget=args.time_budget,
         verbose=args.verbose,
         jobs=args.jobs or 1,
+        environments=getattr(args, "environments", None),
     )
 
 
@@ -415,7 +441,9 @@ def _render_verify_payload(payload: dict, certify: bool = False) -> int:
         if payload.get("falsify"):
             print(f"falsify: {payload['falsify']}")
         return 0
-    print(f"COUNTEREXAMPLE in {payload['wall_time']:.2f}s:")
+    env = payload.get("environment")
+    where = f" [environment: {env}]" if env else ""
+    print(f"COUNTEREXAMPLE in {payload['wall_time']:.2f}s{where}:")
     print(payload["counterexample_text"])
     return 1
 
@@ -431,6 +459,7 @@ def cmd_verify(args) -> int:
         certify=certify,
         falsify=getattr(args, "falsify", 0),
         falsify_seed=getattr(args, "falsify_seed", 0),
+        environments=getattr(args, "environments", None),
     )
     try:
         payload = execute_job(spec)
@@ -531,8 +560,21 @@ def cmd_falsify(args) -> int:
                     root, ext = os.path.splitext(args.manifest)
                     slug = re.sub(r"[^a-z0-9]+", "-", spec.lower()).strip("-")
                     manifest_path = f"{root}-{slug}{ext or '.json'}"
+            buffers = ()
+            if args.grid_buffers:
+                from fractions import Fraction
+
+                try:
+                    buffers = tuple(
+                        Fraction(b) for b in args.grid_buffers.split(",")
+                    )
+                except (ValueError, ZeroDivisionError):
+                    raise SystemExit(
+                        f"--grid-buffers: cannot parse {args.grid_buffers!r}"
+                    )
             manifest = run_grid(
-                spec, cfg, GridSpec.from_model(cfg, ticks=args.ticks),
+                spec, cfg,
+                GridSpec.from_model(cfg, ticks=args.ticks, buffers=buffers),
                 jobs=args.grid_jobs, manifest_path=manifest_path,
             )
             print(f"{spec} grid: {manifest.describe()}"
@@ -582,6 +624,7 @@ def _spec_from_args(args):
             certify=args.certify,
             falsify=args.falsify,
             falsify_seed=args.falsify_seed,
+            environments=getattr(args, "environments", None),
         )
     return falsify_spec(
         args.cca,
@@ -915,6 +958,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker processes")
     p.add_argument("--grid-jobs", type=_positive_int, default=2, metavar="N",
                    help="grid worker processes (default: %(default)s)")
+    p.add_argument("--grid-buffers", metavar="B1,B2,...", default=None,
+                   help="also sweep lossy drop-tail cells at these buffer "
+                        "sizes (fractions, e.g. 2,8); lossless cells always "
+                        "run")
     p.add_argument("--manifest", metavar="PATH", default=None,
                    help="write the grid's experiment manifest JSON to PATH")
     _add_cfg_args(p)

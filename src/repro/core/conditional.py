@@ -249,7 +249,10 @@ class ConditionalVerifier:
         solver.add(*candidate.constraints_for(net))
         solver.add(negated_desired(net))
         if worst_case:
-            model, inconclusive = self._inner._solve_worst_case(solver, net, None)
+            state = self._inner._env_states()[0]
+            model, inconclusive = self._inner._solve_worst_case(
+                solver, net, state, None
+            )
         else:
             outcome = solver.check()
             inconclusive = outcome is unknown

@@ -54,7 +54,19 @@ def satisfies_spec(
     cfg: ModelConfig,
     pruning: PruningMode,
 ) -> bool:
-    """Evaluate ``sigma(candidate, trace) = feasible => desired`` exactly."""
+    """Evaluate ``sigma(candidate, trace) = feasible => desired`` exactly.
+
+    Counterexamples from other cells of the environment matrix (lossy,
+    two-flow) are replayed under *their own* semantics — conservative
+    exact replay, see :mod:`repro.ccac.environments` — so a lossy trace
+    can never unsoundly prune lossless-only behaviour.  Lossless-family
+    traces use the trace's own config (a jitter/threshold environment
+    overrides fields of the query config)."""
+    if getattr(trace, "flows", None) is not None or hasattr(trace, "L"):
+        from ..ccac.environments import replay_satisfies
+
+        return replay_satisfies(candidate, trace, pruning)
+    cfg = trace.cfg
     cwnd, A = simulate_on_trace(candidate, trace, cfg)
     T = cfg.T
 

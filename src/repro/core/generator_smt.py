@@ -118,10 +118,26 @@ class SmtGenerator:
         return Sum(parts)
 
     def add_counterexample(self, trace: CexTrace) -> None:
-        """Constrain future proposals to satisfy the spec on this trace."""
+        """Constrain future proposals to satisfy the spec on this trace.
+
+        Counterexamples are applied under their *origin environment's*
+        semantics (a tag carried by the trace): lossless-family traces
+        use the paper's exact/range pruning; lossy and two-flow traces
+        use conservative exact replay (see
+        :mod:`repro.ccac.environments`), so pruning across the matrix
+        stays sound.
+        """
+        if getattr(trace, "flows", None) is not None:
+            self._add_twoflow_counterexample(trace)
+            return
+        if hasattr(trace, "L"):
+            self._add_lossy_counterexample(trace)
+            return
         k = self._trace_count
         self._trace_count += 1
-        cfg = self.cfg
+        # a jitter/threshold environment overrides fields of the query
+        # config; the trace carries the effective one
+        cfg = trace.cfg
         T = cfg.T
 
         cwnd_vars: dict[int, Term] = {t: Real(f"g{k}_cwnd_{t}") for t in range(T + 1)}
@@ -169,6 +185,98 @@ class SmtGenerator:
             Or(And(*queue_parts), cwnd_vars[T] < cwnd_vars[0]),
         )
         self.solver.add(Implies(feasible, desired))
+
+    def _candidate_trajectories(self, k: int, trace, cfg, window_base):
+        """Per-trace cwnd variables plus the send recurrence under a
+        given per-step window base (``S_{t-1}`` lossless,
+        ``S_{t-1} + L_{t-1}`` lossy); returns ``(cwnd_vars, A_vars)``."""
+        T = cfg.T
+        cwnd_vars: dict[int, Term] = {
+            t: Real(f"g{k}_cwnd_{t}") for t in range(T + 1)
+        }
+        floor = RealVal(cfg.cwnd_min)
+        for t in range(T + 1):
+            rule = self._rule_term(k, t, cwnd_vars, trace)
+            self.solver.add(encode_max(cwnd_vars[t], [rule, floor]))
+        A_vars: dict[int, Term] = {
+            t: Real(f"g{k}_A_{t}") for t in range(1, T + 1)
+        }
+        prev: Term = RealVal(trace.A[0])
+        for t in range(1, T + 1):
+            window_point = RealVal(window_base(t)) + cwnd_vars[t]
+            self.solver.add(encode_max(A_vars[t], [prev, window_point]))
+            prev = A_vars[t]
+        return cwnd_vars, A_vars
+
+    def _exact_feasibility(self, trace, cwnd_vars, A_vars, cfg) -> list[Term]:
+        """Exact-replay feasibility: the recorded initial queue fits the
+        candidate's initial window and the recorded sends are reproduced
+        step for step.  Used for non-lossless traces regardless of the
+        requested pruning mode — range intervals are a lossless-only
+        construction, and exact replay is the conservative sound choice
+        (a diverging candidate is simply not pruned by this trace)."""
+        parts: list[Term] = []
+        if trace.S_pre:
+            parts.append(
+                RealVal(trace.A[0]) <= RealVal(trace.S_pre[0]) + cwnd_vars[0]
+            )
+        for t in range(1, cfg.T + 1):
+            parts.append(A_vars[t].eq(RealVal(trace.A[t])))
+        return parts
+
+    def _add_lossy_counterexample(self, trace) -> None:
+        """A finite-buffer counterexample: exact replay under the lossy
+        send recurrence; the desired property gains the loss-budget leg.
+        Because feasibility pins the sends to the recorded trace, the
+        utilization/queue/loss legs are trace constants — only the cwnd
+        comparison legs stay symbolic."""
+        k = self._trace_count
+        self._trace_count += 1
+        cfg = trace.cfg
+        T = cfg.T
+        cwnd_vars, A_vars = self._candidate_trajectories(
+            k, trace, cfg, lambda t: trace.S[t - 1] + trace.L[t - 1]
+        )
+        feasible = And(*self._exact_feasibility(trace, cwnd_vars, A_vars, cfg))
+        limit = cfg.delay_thresh * cfg.C * cfg.D
+        util_ok = trace.S[T] - trace.S[0] >= cfg.util_thresh * cfg.C * cfg.T
+        queue_ok = all(trace.A[t] - trace.S[t] <= limit for t in range(T + 1))
+        loss_ok = trace.L[T] <= trace.loss_thresh * cfg.C * cfg.D
+        increases = cwnd_vars[T] > cwnd_vars[0]
+        decreases = cwnd_vars[T] < cwnd_vars[0]
+        desired = And(
+            Or(_const_bool(util_ok), increases),
+            Or(_const_bool(queue_ok), decreases),
+            Or(_const_bool(loss_ok), decreases),
+        )
+        self.solver.add(Implies(feasible, desired))
+
+    def _add_twoflow_counterexample(self, trace) -> None:
+        """A starvation counterexample: both flows replay the candidate
+        exactly on their own observations; the desired property is
+        per-flow "phi-fair throughput OR cwnd still growing", with the
+        throughputs being trace constants under exact replay."""
+        cfg = trace.cfg
+        T = cfg.T
+        fair = cfg.C * cfg.T / 2
+        feas_parts: list[Term] = []
+        desired_parts: list[Term] = []
+        for flow in trace.flows:
+            k = self._trace_count
+            self._trace_count += 1
+            cwnd_vars, A_vars = self._candidate_trajectories(
+                k, flow, cfg, lambda t, flow=flow: flow.S[t - 1]
+            )
+            feas_parts.extend(
+                self._exact_feasibility(flow, cwnd_vars, A_vars, cfg)
+            )
+            thr_ok = flow.S[T] - flow.S[0] >= trace.phi * fair
+            desired_parts.append(
+                Or(_const_bool(thr_ok), cwnd_vars[T] > cwnd_vars[0])
+            )
+        self.solver.add(
+            Implies(And(*feas_parts), And(*desired_parts))
+        )
 
     # ------------------------------------------------------------------
 

@@ -27,8 +27,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Optional
 
-from ..ccac import CcacModel, ModelConfig, negated_desired
-from ..smt import And, RealVal, Solver, Term, sat, unsat
+from ..ccac import CcacModel, ModelConfig
+from ..ccac.environments import EnvironmentSpec
+from ..smt import And, CheckOptions, RealVal, Term
 from .template import CandidateCCA
 
 
@@ -102,10 +103,28 @@ class AssumptionResult:
     assumption: Optional[str]
     probes: int
     wall_time: float
+    #: probes the solver could not decide within the given
+    #: :class:`~repro.smt.CheckOptions` budget (counted as insufficient)
+    unknown_probes: int = 0
 
     @property
     def found(self) -> bool:
         return self.theta is not None
+
+
+def _probe_verifier(cfg, environment, cache=None):
+    """One incremental verifier shared by all binary-search probes: the
+    environment encoding, CNF conversion, and learned clauses are
+    amortized across probes (each probe is a push/pop of the assumption
+    plus the candidate's template constraints)."""
+    from .verifier import CcacVerifier
+
+    return CcacVerifier(
+        cfg,
+        incremental=True,
+        cache=cache,
+        environments=[environment] if environment is not None else None,
+    )
 
 
 def _holds_under(
@@ -113,16 +132,30 @@ def _holds_under(
     cfg: ModelConfig,
     template: AssumptionTemplate,
     theta: Fraction,
+    verifier=None,
+    options: Optional[CheckOptions] = None,
 ) -> bool:
     """Does the candidate provably meet the property on every trace
-    satisfying the assumption at theta?"""
-    net = CcacModel(cfg, prefix="q")
-    solver = Solver()
-    solver.add(*net.constraints())
-    solver.add(*candidate.constraints_for(net))
-    solver.add(template.build(net, theta))
-    solver.add(negated_desired(net))
-    return solver.check() is unsat
+    satisfying the assumption at theta?
+
+    Routed through :class:`~repro.core.verifier.CcacVerifier` (the
+    assumption rides in as an extra constraint of the candidate frame),
+    so probes share the environment encoding, benefit from a query
+    cache, honour a ``deadline``, and validate any SAT model found.  An
+    inconclusive probe (budget exhausted) counts as *not* sufficient —
+    never a false "holds".
+    """
+    if verifier is None:
+        verifier = _probe_verifier(cfg, None)
+    net = verifier.network()
+    opts = options or CheckOptions()
+    result = verifier.find_counterexample(
+        candidate,
+        max_conflicts=opts.max_conflicts,
+        deadline=opts.deadline,
+        extra_constraints=[template.build(net, theta)],
+    )
+    return result.verified
 
 
 def weakest_sufficient_assumption(
@@ -130,25 +163,46 @@ def weakest_sufficient_assumption(
     cfg: ModelConfig,
     template: AssumptionTemplate,
     precision: Fraction = Fraction(1, 16),
+    environment: Optional[EnvironmentSpec] = None,
+    options: Optional[CheckOptions] = None,
+    cache=None,
 ) -> AssumptionResult:
     """Binary-search the weakest (largest-theta) sufficient assumption.
 
     Querying only for *sufficiency* would trivially return the assumption
     "False" (paper §4.1); restricting to a monotone family and maximizing
     theta is the paper's "weakest sufficient assumption" resolution.
+
+    ``environment`` runs the query in another cell of the CCAC matrix
+    (the assumption template must build over that cell's model
+    variables); ``options`` carries the per-probe solver budget
+    (``deadline`` bounds each probe's wall clock).
     """
     start = time.perf_counter()
     probes = 0
+    unknown_probes = 0
+    verifier = _probe_verifier(cfg, environment, cache=cache)
+    net = verifier.network()
+    opts = options or CheckOptions()
 
     def sufficient(theta: Fraction) -> bool:
-        nonlocal probes
+        nonlocal probes, unknown_probes
         probes += 1
-        return _holds_under(candidate, cfg, template, theta)
+        result = verifier.find_counterexample(
+            candidate,
+            max_conflicts=opts.max_conflicts,
+            deadline=opts.deadline,
+            extra_constraints=[template.build(net, theta)],
+        )
+        if result.unknown:
+            unknown_probes += 1
+        return result.verified
 
     lo, hi = template.lo, template.hi
     if not sufficient(lo):
         return AssumptionResult(
-            candidate, template, None, None, probes, time.perf_counter() - start
+            candidate, template, None, None, probes,
+            time.perf_counter() - start, unknown_probes,
         )
     if sufficient(hi):
         best = hi
@@ -169,6 +223,7 @@ def weakest_sufficient_assumption(
         template.describe(best),
         probes,
         time.perf_counter() - start,
+        unknown_probes,
     )
 
 
@@ -193,6 +248,8 @@ def differential_comparison(
     cfg: ModelConfig,
     template: AssumptionTemplate,
     precision: Fraction = Fraction(1, 16),
+    environment: Optional[EnvironmentSpec] = None,
+    options: Optional[CheckOptions] = None,
 ) -> DifferentialResult:
     """Compare two CCAs through the lens of one assumption family:
     which tolerates a weaker (larger-theta) environment assumption?
@@ -201,8 +258,14 @@ def differential_comparison(
     deploy in my custom system" with an interpretable constraint rather
     than individual traces.
     """
-    ra = weakest_sufficient_assumption(cand_a, cfg, template, precision)
-    rb = weakest_sufficient_assumption(cand_b, cfg, template, precision)
+    ra = weakest_sufficient_assumption(
+        cand_a, cfg, template, precision,
+        environment=environment, options=options,
+    )
+    rb = weakest_sufficient_assumption(
+        cand_b, cfg, template, precision,
+        environment=environment, options=options,
+    )
     if ra.theta is None and rb.theta is None:
         verdict = "neither CCA meets the property under any assumption in the family"
     elif rb.theta is None:

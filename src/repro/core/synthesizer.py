@@ -52,6 +52,14 @@ class SynthesisQuery:
     #: portfolio width: >1 verifies batches of candidates concurrently
     #: (see :class:`repro.engine.PortfolioVerifier`)
     jobs: int = 1
+    #: environment matrix to verify against (see
+    #: :mod:`repro.ccac.environments`).  ``None`` means the paper's
+    #: lossless fragment — identical, for fingerprints and verdicts, to
+    #: ``[lossless_environment()]``.  With several environments a
+    #: candidate is a solution only when *every* environment's verifier
+    #: says UNSAT; any environment's counterexample prunes the shared
+    #: generator under its own semantics.
+    environments: Optional[list] = None
 
 
 @dataclass
@@ -131,9 +139,11 @@ def synthesize(
         if query.jobs > 1:
             from ..engine import PortfolioVerifier
 
-            verifier = PortfolioVerifier(query.cfg, jobs=query.jobs)
+            verifier = PortfolioVerifier(
+                query.cfg, jobs=query.jobs, environments=query.environments
+            )
         else:
-            verifier = CcacVerifier(query.cfg)
+            verifier = CcacVerifier(query.cfg, environments=query.environments)
     options = CegisOptions(
         worst_case_cex=query.worst_case_cex,
         find_all=query.find_all,

@@ -8,31 +8,44 @@ trace violates the desired property:
 SAT yields a counterexample trace; UNSAT *proves* the candidate achieves
 the property on every trace the model allows.
 
+**Environment matrix** (ISSUE 9): the verifier runs over a list of
+:class:`~repro.ccac.environments.EnvironmentSpec` values — one SMT model,
+one (optionally incremental) solver session, and one verdict per
+environment.  A candidate is *verified* only when **every** environment
+answers UNSAT; the first environment to answer SAT short-circuits the
+loop and yields a counterexample tagged with its origin environment, so
+the generator can prune under that environment's semantics.  With
+``environments=None`` (the default) the verifier behaves exactly like
+the paper's fragment: a single lossless environment and untagged traces.
+
 It also implements the paper's **worst-case counterexample** optimization:
 instead of any counterexample, find one that maximizes
 ``min_t (u_t - l_t)`` — the narrowest width of the range-pruning intervals
 — "we maximize using binary search" (§3.1.2).  Wider intervals let each
-counterexample eliminate more candidates in the generator.
+counterexample eliminate more candidates in the generator.  Each
+environment supplies its own interval widths (two-flow models measure
+aggregate service against the shared token bucket).
 
 **Independent validation** (on by default): because the reproduction
 substitutes z3 with the from-scratch :mod:`repro.smt` solver, every SAT
 model is re-checked by :mod:`repro.runtime.validate` — an exact-arithmetic
 evaluator sharing no code with the solver — against all asserted
-constraints, and every extracted trace is replayed against the CCAC
-environment and the candidate's template semantics.  A refuted result
-raises :class:`~repro.runtime.errors.SoundnessError`; soundness failures
-are never converted to ``unknown``.
+constraints, and every extracted trace is replayed against its origin
+environment's constraints and the candidate's template semantics.  A
+refuted result raises :class:`~repro.runtime.errors.SoundnessError`;
+soundness failures are never converted to ``unknown``.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Sequence
 
-from ..ccac import CcacModel, CexTrace, ModelConfig, negated_desired
+from ..ccac import ModelConfig
+from ..ccac.environments import EnvironmentSpec, lossless_environment
 from ..obs import DEBUG, tracer
 from ..runtime.validate import validate_counterexample, validate_model
 from ..smt import CheckOptions, Or, Real, RealVal, Solver, SolverSession, Term, sat, unknown
@@ -46,7 +59,7 @@ class VerificationResult:
 
     candidate: CandidateCCA
     verified: bool
-    counterexample: Optional[CexTrace]
+    counterexample: Optional[object]
     wall_time: float
     solver_checks: int
     unknown: bool = False
@@ -55,9 +68,28 @@ class VerificationResult:
     degraded: bool = False
     #: True when the verified UNSAT verdict carries an independently
     #: checked proof (see :mod:`repro.trust`); ``certificate`` holds the
-    #: picklable :class:`~repro.trust.certify.CertificateSummary`
+    #: picklable :class:`~repro.trust.certify.CertificateSummary` (one
+    #: per environment for multi-environment verifiers)
     certified: bool = False
     certificate: Optional[object] = None
+    #: origin environment of ``counterexample`` (an
+    #: :class:`~repro.ccac.environments.EnvironmentSpec`); None in
+    #: single-fragment mode or when there is no counterexample
+    environment: Optional[EnvironmentSpec] = None
+
+
+class _EnvState:
+    """Lazily built per-environment solver state."""
+
+    __slots__ = ("env", "cfg", "prefix", "net", "base", "session")
+
+    def __init__(self, env: EnvironmentSpec, cfg: ModelConfig, prefix: str):
+        self.env = env
+        self.cfg = cfg
+        self.prefix = prefix
+        self.net = None
+        self.base: Optional[tuple[Term, ...]] = None
+        self.session: Optional[SolverSession] = None
 
 
 class CcacVerifier:
@@ -69,16 +101,21 @@ class CcacVerifier:
       encoding — stateless, trivially correct, and what the original
       reproduction did.
     * **incremental** (``incremental=True``): one long-lived
-      :class:`~repro.smt.SolverSession` holds the candidate-independent
-      CCAC encoding (environment + negated desired property); each call
-      push/pops only the candidate's template constraints.  The CNF
-      conversion, theory atoms, and learned clauses are amortized across
-      every candidate the verifier ever sees.
+      :class:`~repro.smt.SolverSession` *per environment* holds the
+      candidate-independent encoding (environment + negated desired
+      property); each call push/pops only the candidate's template
+      constraints.  The CNF conversion, theory atoms, and learned
+      clauses are amortized across every candidate the verifier ever
+      sees.
 
     Either mode accepts a ``cache`` (``QueryCacheProtocol``-shaped, e.g.
     :class:`repro.engine.cache.QueryCache`): conclusive subquery verdicts
     are content-addressed and reused, which pays off under worst-case
     binary search and across portfolio workers sharing a ``cache_dir``.
+
+    ``environments`` selects the cells of the CCAC matrix to verify
+    against (in order); ``None`` keeps the legacy single-lossless
+    behaviour, including untagged counterexample traces.
     """
 
     def __init__(
@@ -89,6 +126,7 @@ class CcacVerifier:
         incremental: bool = False,
         cache=None,
         certify: bool = False,
+        environments: Optional[Sequence[EnvironmentSpec]] = None,
     ):
         self.cfg = cfg
         self.wce_precision = wce_precision
@@ -96,59 +134,100 @@ class CcacVerifier:
         self.incremental = incremental
         self.cache = cache
         self.certify = certify
+        self.environments = (
+            tuple(environments) if environments is not None else None
+        )
         self.calls = 0
         self.certified = 0
         self.total_time = 0.0
-        self._session: Optional[SolverSession] = None
-        self._net: Optional[CcacModel] = None
-        self._base: Optional[tuple[Term, ...]] = None
+        self._states: Optional[list[_EnvState]] = None
 
-    def _ensure_net(self) -> tuple[CcacModel, tuple[Term, ...]]:
-        """The candidate-independent encoding, built once per verifier.
+    # -- per-environment state -----------------------------------------
+
+    def _env_states(self) -> list[_EnvState]:
+        if self._states is None:
+            envs = self.environments
+            if envs is None:
+                envs = (lossless_environment(),)
+            states = []
+            for i, env in enumerate(envs):
+                prefix = "v" if len(envs) == 1 else f"v{i}"
+                states.append(
+                    _EnvState(env, env.model_config(self.cfg), prefix)
+                )
+            self._states = states
+        return self._states
+
+    @property
+    def _session(self) -> Optional[SolverSession]:
+        """The first environment's incremental session (None until the
+        first incremental call) — kept for stats introspection."""
+        if not self._states:
+            return None
+        return self._states[0].session
+
+    def network(self, index: int = 0):
+        """The environment model object (e.g. for building assumption
+        terms over its variables); built lazily like the solver state."""
+        state = self._env_states()[index]
+        self._ensure_net(state)
+        return state.net
+
+    def _ensure_net(self, state: _EnvState):
+        """The candidate-independent encoding, built once per environment.
 
         Terms are immutable and interned, so the same environment terms
         are shared by every per-candidate solver; because the compile
         memo (:mod:`repro.smt.compile`) keys on term identity, the
         shared-environment compile work is done once, not per candidate.
         """
-        if self._net is None:
-            self._net = CcacModel(self.cfg, prefix="v")
-            base = list(self._net.constraints())
-            base.append(negated_desired(self._net))
-            self._base = tuple(base)
-        return self._net, self._base
+        if state.net is None:
+            state.net = state.env.build_model(state.cfg, prefix=state.prefix)
+            base = list(state.net.constraints())
+            base.append(state.env.negated_desired(state.net))
+            state.base = tuple(base)
+        return state.net, state.base
 
-    def _ensure_session(self) -> tuple[SolverSession, CcacModel]:
+    def _ensure_session(self, state: _EnvState) -> SolverSession:
         """The long-lived session holding the candidate-independent base."""
-        if self._session is None:
-            net, base = self._ensure_net()
-            self._session = SolverSession(
+        if state.session is None:
+            _, base = self._ensure_net(state)
+            state.session = SolverSession(
                 base, cache=self.cache, produce_proofs=self.certify
             )
-        return self._session, self._net
+        return state.session
 
     @contextmanager
-    def _candidate_scope(self, candidate: CandidateCCA):
+    def _candidate_scope(
+        self,
+        candidate: CandidateCCA,
+        state: _EnvState,
+        extra_constraints: Sequence[Term] = (),
+    ):
         """Yields ``(solver_like, net)`` with the full per-candidate
         encoding asserted; incremental mode reuses the shared base.
         Fresh mode asserts the shared base and the candidate delta as
         separate batches so the base compile is memo-amortized."""
         if self.incremental:
-            session, net = self._ensure_session()
-            with session.scope(*candidate.constraints_for(net)):
+            session = self._ensure_session(state)
+            net = state.net
+            delta = state.env.candidate_constraints(net, candidate)
+            with session.scope(*delta, *extra_constraints):
                 yield session, net
         else:
-            net, base = self._ensure_net()
+            net, base = self._ensure_net(state)
+            delta = list(state.env.candidate_constraints(net, candidate))
+            delta.extend(extra_constraints)
             if self.cache is not None:
                 session = SolverSession(
                     base, cache=self.cache, produce_proofs=self.certify
                 )
-                session.add(*candidate.constraints_for(net))
+                session.add(*delta)
                 yield session, net
             else:
                 solver = Solver(produce_proofs=self.certify)
                 solver.add(*base)
-                solver.add(*candidate.constraints_for(net))
+                solver.add(*delta)
                 yield solver, net
 
     @staticmethod
@@ -158,13 +237,16 @@ class CcacVerifier:
         return getattr(stats, "checks", 0)
 
     def _extract_trace(
-        self, solver, net: CcacModel, model, candidate: CandidateCCA
-    ) -> CexTrace:
+        self, solver, state: _EnvState, model, candidate: CandidateCCA
+    ):
         """Build the counterexample trace, independently validating both
         the SAT model and the extracted trace first (when enabled)."""
         if self.validate:
             validate_model(solver.assertions(), model, context="verifier cex")
-        trace = CexTrace.from_model(model, net)
+        trace = state.env.extract_trace(model, state.net)
+        if self.environments is None:
+            # legacy single-fragment mode: plain untagged traces
+            trace = replace(trace, environment=None)
         if self.validate:
             validate_counterexample(trace, candidate=candidate)
         return trace
@@ -175,72 +257,113 @@ class CcacVerifier:
         worst_case: bool = False,
         max_conflicts: Optional[int] = None,
         deadline: Optional[float] = None,
+        extra_constraints: Sequence[Term] = (),
     ) -> VerificationResult:
-        """Search for a property-violating trace (optionally worst-case).
+        """Search every environment for a property-violating trace
+        (optionally worst-case).
 
         ``deadline`` (a ``time.perf_counter()`` timestamp) bounds the
         wall-clock the underlying SMT search may consume; an expired
         deadline yields an inconclusive result (``unknown=True``), never
-        a false "verified".
+        a false "verified".  ``extra_constraints`` are asserted inside
+        the per-candidate frame (assumption-synthesis probes use this to
+        restrict the adversary without rebuilding the base encoding).
+
+        The first environment to answer SAT returns immediately with a
+        counterexample tagged with that environment; *verified* requires
+        every environment to answer UNSAT.
         """
         start = time.perf_counter()
         self.calls += 1
         opts = CheckOptions(max_conflicts=max_conflicts, deadline=deadline)
         tr = tracer()
+        states = self._env_states()
         with tr.span(
             "verifier.find_cex", level=DEBUG,
             candidate=str(candidate), worst_case=worst_case,
-            incremental=self.incremental,
+            incremental=self.incremental, environments=len(states),
         ) as span:
-            # in incremental mode the session's stats are cumulative;
-            # report this call's delta like the fresh-solver path does
-            base_checks = (
-                self._solver_checks(self._session)
-                if self._session is not None
-                else 0
-            )
-            with self._candidate_scope(candidate) as (solver, net):
-                inconclusive = False
-                if worst_case:
-                    model, inconclusive = self._solve_worst_case(solver, net, opts)
-                else:
-                    outcome = solver.check(opts)
-                    if outcome is unknown:
-                        model, inconclusive = None, True
-                    elif outcome is sat:
-                        model = solver.model()
-                    else:
-                        model = None
-                result = (
-                    None
-                    if model is None
-                    else self._extract_trace(solver, net, model, candidate)
+            total_checks = 0
+            any_unknown = False
+            summaries: list[object] = []
+            outcome_trace = None
+            outcome_env: Optional[EnvironmentSpec] = None
+            for state in states:
+                # in incremental mode the session's stats are cumulative;
+                # report this call's delta like the fresh-solver path does
+                base_checks = (
+                    self._solver_checks(state.session)
+                    if state.session is not None
+                    else 0
                 )
-                summary = None
-                if self.certify and model is None and not inconclusive:
-                    # snapshot + check the proof while the candidate frame
-                    # is still active (pop would disable its guard)
-                    summary, inconclusive = self._certify_unsat(
-                        solver, worst_case, opts
-                    )
-                checks = self._solver_checks(solver) - base_checks
+                with self._candidate_scope(
+                    candidate, state, extra_constraints
+                ) as (solver, net):
+                    inconclusive = False
+                    if worst_case:
+                        model, inconclusive = self._solve_worst_case(
+                            solver, net, state, opts
+                        )
+                    else:
+                        outcome = solver.check(opts)
+                        if outcome is unknown:
+                            model, inconclusive = None, True
+                        elif outcome is sat:
+                            model = solver.model()
+                        else:
+                            model = None
+                    if model is not None:
+                        outcome_trace = self._extract_trace(
+                            solver, state, model, candidate
+                        )
+                        outcome_env = state.env
+                    summary = None
+                    if (
+                        self.certify
+                        and model is None
+                        and not inconclusive
+                    ):
+                        # snapshot + check the proof while the candidate
+                        # frame is still active (pop would disable its
+                        # guard)
+                        summary, inconclusive = self._certify_unsat(
+                            solver, worst_case, opts
+                        )
+                    if summary is not None:
+                        summaries.append(summary)
+                    total_checks += self._solver_checks(solver) - base_checks
+                any_unknown = any_unknown or inconclusive
+                if outcome_trace is not None:
+                    break
             elapsed = time.perf_counter() - start
             self.total_time += elapsed
+            found = outcome_trace is not None
+            verified = not found and not any_unknown
+            all_certified = (
+                self.certify and verified and len(summaries) == len(states)
+            )
             span.set(
-                verified=result is None and not inconclusive,
-                unknown=inconclusive,
-                solver_checks=checks,
-                certified=summary is not None,
+                verified=verified,
+                unknown=not found and any_unknown,
+                solver_checks=total_checks,
+                certified=all_certified,
+                environment=outcome_env.key() if outcome_env else None,
+            )
+        certificate: Optional[object] = None
+        if all_certified:
+            certificate = (
+                summaries[0] if len(summaries) == 1 else tuple(summaries)
             )
         return VerificationResult(
             candidate=candidate,
-            verified=result is None and not inconclusive,
-            counterexample=result,
+            verified=verified,
+            counterexample=outcome_trace,
             wall_time=elapsed,
-            solver_checks=checks,
-            unknown=inconclusive,
-            certified=summary is not None,
-            certificate=summary,
+            solver_checks=total_checks,
+            unknown=not found and any_unknown,
+            certified=all_certified,
+            certificate=certificate,
+            environment=outcome_env if self.environments is not None else None,
         )
 
     def _certify_unsat(self, solver, worst_case: bool, opts: CheckOptions):
@@ -267,26 +390,28 @@ class CcacVerifier:
         self.certified += 1
         return summary, False
 
-    def _solve_worst_case(self, solver, net: CcacModel, opts: CheckOptions):
+    def _solve_worst_case(
+        self, solver, net, state: _EnvState, opts: CheckOptions
+    ):
         """Maximize ``min_t (u_t - l_t)`` over counterexample traces.
 
-        ``u_t - l_t = (C*t - W_t) - S_t`` at steps where the waste grew
-        (elsewhere the interval is unbounded and exempt).  A fresh
-        objective variable ``m`` is tied below every finite width and
-        maximized by binary search.
+        The environment supplies its per-step interval widths (the
+        lossless/lossy width is ``(C*t - W_t) - S_t`` at steps where the
+        waste grew; the two-flow width measures aggregate service).  A
+        fresh objective variable ``m`` is tied below every finite width
+        and maximized by binary search.
 
         Returns ``(model, inconclusive)``: ``(None, False)`` proves no
         counterexample exists, ``(None, True)`` means the search budget
         ran out before the initial probe was decided.
         """
-        cfg = self.cfg
+        cfg = state.cfg
         m = Real(f"{net.prefix}_wce_m")
         solver.add(m >= 0)
         hi = Fraction(cfg.C * cfg.T + cfg.initial_queue_max)
         solver.add(m <= RealVal(hi))
-        for t in range(1, cfg.T + 1):
-            width = net.tokens(t) - net.S[t]
-            solver.add(Or(net.W[t].eq(net.W[t - 1]), width >= m))
+        for flat, width in state.env.wce_widths(net):
+            solver.add(Or(flat, width >= m))
         opt = maximize(
             solver,
             m,

@@ -31,7 +31,7 @@ from typing import Optional, Sequence
 
 from ..ccac import ModelConfig
 from ..obs import DEBUG, tracer
-from .queries import AssumptionTemplate, _holds_under
+from .queries import AssumptionTemplate, _holds_under, _probe_verifier
 from .template import CandidateCCA
 
 
@@ -70,12 +70,15 @@ def tune_verifier(
     start = time.perf_counter()
     probes = 0
     tr = tracer()
+    # one incremental verifier amortizes the environment encoding across
+    # every (candidate, theta) probe of the tuning search
+    verifier = _probe_verifier(cfg, None)
 
     def panel_holds(theta: Fraction) -> bool:
         nonlocal probes
         for cand in panel:
             probes += 1
-            holds = _holds_under(cand, cfg, template, theta)
+            holds = _holds_under(cand, cfg, template, theta, verifier=verifier)
             tr.event(
                 "tuning.probe", level=DEBUG, probe=probes,
                 theta=str(theta), candidate=str(cand), holds=holds,

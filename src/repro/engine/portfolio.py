@@ -189,7 +189,7 @@ def run_portfolio(
 
 def _verify_candidate_task(
     cfg, precision, candidate, worst_case, time_limit, validate, cache_dir,
-    certify=False,
+    certify=False, environments=None,
 ):
     """Runs inside a worker: one fresh verifier, one candidate.
 
@@ -198,6 +198,9 @@ def _verify_candidate_task(
     concurrent workers pool their conclusive subquery verdicts.
     ``certify`` makes the worker's verifier proof-producing; the result
     carries a picklable certificate summary back across the pipe.
+    ``environments`` restricts the worker to one cell of the environment
+    matrix (the parent races the full candidates × environments grid and
+    aggregates per-environment verdicts).
     """
     from ..core.verifier import CcacVerifier
     from .cache import QueryCache
@@ -205,7 +208,7 @@ def _verify_candidate_task(
     cache = QueryCache(cache_dir) if cache_dir else None
     verifier = CcacVerifier(
         cfg, wce_precision=precision, validate=validate, cache=cache,
-        certify=certify,
+        certify=certify, environments=environments,
     )
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     return verifier.find_counterexample(
@@ -223,7 +226,7 @@ _WORKER_STATE: dict = {}
 
 def _pooled_verify_candidate_task(
     cfg, precision, candidate, worst_case, time_limit, validate, cache_dir,
-    certify=False,
+    certify=False, environments=None,
 ):
     """Runs inside a *persistent* pool worker: warm verifier, one candidate.
 
@@ -249,15 +252,21 @@ def _pooled_verify_candidate_task(
         bool(validate),
         str(cache_dir or ""),
         bool(certify),
+        tuple(env.key() for env in environments) if environments else None,
     )
     verifier = _WORKER_STATE.get(key)
     if verifier is None:
         cache = QueryCache(cache_dir) if cache_dir else None
         verifier = CcacVerifier(
             cfg, wce_precision=precision, validate=validate, cache=cache,
-            certify=certify, incremental=True,
+            certify=certify, incremental=True, environments=environments,
         )
-        _WORKER_STATE.clear()  # one warm verifier per worker at a time
+        # bounded: at most one warm verifier per environment cell (the
+        # grid dispatch hands each worker a single-environment task, so
+        # a worker serving mixed cells keeps one session per cell warm
+        # instead of rebuilding the base encoding on every alternation)
+        if len(_WORKER_STATE) >= 8:
+            _WORKER_STATE.clear()
         _WORKER_STATE[key] = verifier
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     try:
@@ -308,6 +317,7 @@ class PortfolioVerifier:
         cache_dir: Optional[str] = None,
         certify: bool = False,
         pool=None,
+        environments=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1 (got {jobs})")
@@ -319,13 +329,18 @@ class PortfolioVerifier:
         self.cache_dir = cache_dir
         self.certify = certify
         self.pool = pool
+        self.environments = (
+            tuple(environments) if environments is not None else None
+        )
         self.calls = 0
         self.rounds = 0
         self.cancelled = 0
         self.total_time = 0.0
         self.degradations: list[dict] = []
 
-    def _task(self, candidate, worst_case: bool, budget: Optional[float]):
+    def _task(
+        self, candidate, worst_case: bool, budget: Optional[float], env=None
+    ):
         return (
             _pooled_verify_candidate_task if self.pool is not None
             else _verify_candidate_task,
@@ -338,6 +353,7 @@ class PortfolioVerifier:
                 self.validate,
                 self.cache_dir,
                 self.certify,
+                [env] if env is not None else None,
             ),
         )
 
@@ -361,6 +377,16 @@ class PortfolioVerifier:
         are cancelled and their candidates stay un-judged.  When no
         worker is conclusive (all unknown / killed / expired) the
         verdict has ``winner=None`` and a degraded unknown result.
+
+        With an environment matrix the race runs over the
+        candidates × environments grid (one single-environment worker
+        per cell, candidate-major).  Any cell's *counterexample* wins
+        immediately — it prunes the shared generator under its own
+        environment's semantics.  A *verified* cell only counts toward
+        its candidate: the race ends on the first candidate whose every
+        environment returned UNSAT, and the verdict aggregates the
+        per-environment results (a candidate is never declared verified
+        on a subset of the matrix).
         """
         from ..cegis.interfaces import BatchVerdict
         from ..core.verifier import VerificationResult
@@ -371,18 +397,41 @@ class PortfolioVerifier:
         self.calls += len(candidates)
         budget, watchdog = self._budget(deadline)
         tr = tracer()
+        envs = self.environments
+        n_envs = len(envs) if envs else 1
+        if envs:
+            tasks = [
+                self._task(c, worst_case, budget, env)
+                for c in candidates
+                for env in envs
+            ]
+            # aggregation state lives in the parent (accept runs there):
+            # candidate key -> per-environment verified results seen so far
+            verified_runs: dict = {}
+
+            def accept(result):
+                if getattr(result, "counterexample", None) is not None:
+                    return True
+                if getattr(result, "verified", False):
+                    bucket = verified_runs.setdefault(
+                        result.candidate.key(), []
+                    )
+                    bucket.append(result)
+                    return len(bucket) == n_envs
+                return False
+        else:
+            tasks = [self._task(c, worst_case, budget) for c in candidates]
+            accept = _conclusive
         if budget is None:
             outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
         elif self.pool is not None:
             outcome = self.pool.run_batch(
-                [self._task(c, worst_case, budget) for c in candidates],
-                accept=_conclusive,
-                wall_time=watchdog,
+                tasks, accept=accept, wall_time=watchdog,
             )
         else:
             outcome = run_portfolio(
-                [self._task(c, worst_case, budget) for c in candidates],
-                accept=_conclusive,
+                tasks,
+                accept=accept,
                 wall_time=watchdog,
                 memory_mb=self.limits.memory_mb,
                 kill_grace=self.limits.kill_grace,
@@ -413,9 +462,34 @@ class PortfolioVerifier:
                 wall_time=round(outcome.wall_time, 4),
             )
         if outcome.winner is not None:
+            result = outcome.result
+            winner = outcome.winner
+            if envs:
+                # grid indices are candidate-major; translate back to the
+                # batch index the CEGIS loop addresses candidates by
+                winner = outcome.winner // n_envs
+                if getattr(result, "verified", False):
+                    runs = verified_runs.get(
+                        result.candidate.key(), [result]
+                    )
+                    certified = len(runs) == n_envs and all(
+                        r.certified for r in runs
+                    )
+                    result = VerificationResult(
+                        candidate=result.candidate,
+                        verified=True,
+                        counterexample=None,
+                        wall_time=max(r.wall_time for r in runs),
+                        solver_checks=sum(r.solver_checks for r in runs),
+                        certified=certified,
+                        certificate=(
+                            tuple(r.certificate for r in runs)
+                            if certified else None
+                        ),
+                    )
             return BatchVerdict(
-                winner=outcome.winner,
-                result=outcome.result,
+                winner=winner,
+                result=result,
                 launched=len(candidates),
                 cancelled=len(outcome.cancelled),
             )

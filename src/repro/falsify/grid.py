@@ -2,9 +2,10 @@
 
 Where the genetic search hunts for a single damning trace, the grid
 runner maps the whole terrain: the Cartesian product of link rates,
-jitter bounds, adversary policies, and initial standing queues, each
-cell simulated as a constant :class:`TraceSchedule` and judged by the
-:class:`PropertyOracle`.  Cells are chunked across worker processes via
+jitter bounds, adversary policies, initial standing queues, and
+environment cells (lossless plus lossy drop-tail buffers), each cell
+simulated as a constant :class:`TraceSchedule` and judged by the
+:class:`PropertyOracle` of its environment.  Cells are chunked across worker processes via
 :func:`repro.runtime.workers.spawn_worker` — the same capped-fork
 primitive the solver portfolio uses — with each worker's spans and
 metric deltas relayed back through :mod:`repro.obs.relay` and merged
@@ -43,28 +44,44 @@ MANIFEST_SCHEMA = 1
 
 @dataclass(frozen=True)
 class GridPoint:
-    """One cell of the sweep: a constant link condition."""
+    """One cell of the sweep: a constant link condition, judged against
+    one environment of the CCAC matrix (``buffer=None`` is the lossless
+    cell; a Fraction adds a lossy drop-tail cell at that buffer)."""
 
     rate: Fraction
     jitter: int
     policy: str
     initial_queue: Fraction
+    buffer: Optional[Fraction] = None
+
+    def environment_key(self) -> str:
+        """The environment this cell's verdict speaks about."""
+        if self.buffer is None:
+            return "lossless"
+        from ..ccac.environments import lossy_environment
+
+        return lossy_environment(buffer=self.buffer).key()
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "rate": str(self.rate),
             "jitter": self.jitter,
             "policy": self.policy,
             "initial_queue": str(self.initial_queue),
         }
+        if self.buffer is not None:
+            data["buffer"] = str(self.buffer)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "GridPoint":
+        buffer = data.get("buffer")
         return cls(
             rate=Fraction(data["rate"]),
             jitter=int(data["jitter"]),
             policy=str(data["policy"]),
             initial_queue=Fraction(data["initial_queue"]),
+            buffer=Fraction(buffer) if buffer is not None else None,
         )
 
 
@@ -76,28 +93,35 @@ class GridSpec:
     jitters: tuple[int, ...] = (0, 1)
     policies: tuple[str, ...] = SEGMENT_POLICIES
     initial_queues: tuple[Fraction, ...] = (Fraction(0),)
+    #: environment axis: ``None`` is the lossless cell, a Fraction adds
+    #: a lossy cell judged at that drop-tail buffer
+    buffers: tuple[Optional[Fraction], ...] = (None,)
     ticks: int = 80
     seed: int = 0
 
     @classmethod
-    def from_model(cls, cfg, ticks: int = 80) -> "GridSpec":
+    def from_model(cls, cfg, ticks: int = 80, buffers=()) -> "GridSpec":
         """A default sweep bracketing the model's operating point:
         rates around ``C`` (half, nominal, double), jitter up to the
-        model bound plus one beyond, queues up to the initial box."""
+        model bound plus one beyond, queues up to the initial box.
+        ``buffers`` adds lossy cells on top of the always-present
+        lossless one."""
         C = Fraction(cfg.C)
         return cls(
             rates=(C / 2, C, 2 * C),
             jitters=tuple(range(0, cfg.jitter + 2)),
             initial_queues=(Fraction(0), Fraction(cfg.initial_queue_max)),
+            buffers=(None,) + tuple(Fraction(b) for b in buffers),
             ticks=ticks,
         )
 
     def points(self) -> list[GridPoint]:
         """All cells, in a deterministic axis-major order."""
         return [
-            GridPoint(rate=r, jitter=j, policy=p, initial_queue=q)
-            for r, j, p, q in itertools.product(
-                self.rates, self.jitters, self.policies, self.initial_queues
+            GridPoint(rate=r, jitter=j, policy=p, initial_queue=q, buffer=b)
+            for r, j, p, q, b in itertools.product(
+                self.rates, self.jitters, self.policies,
+                self.initial_queues, self.buffers,
             )
         ]
 
@@ -107,6 +131,9 @@ class GridSpec:
             "jitters": list(self.jitters),
             "policies": list(self.policies),
             "initial_queues": [str(q) for q in self.initial_queues],
+            "buffers": [
+                str(b) if b is not None else None for b in self.buffers
+            ],
             "ticks": self.ticks,
             "seed": self.seed,
         }
@@ -193,16 +220,25 @@ def _grid_task(
     """
     from . import resolve_cca
 
+    from ..ccac.environments import lossy_environment
+
     cfg = _cfg_from_dict(cfg_data)
     # covered windows only: a "violated" cell means a *model-admissible*
     # window failed the property — boot transients and states the model
     # cannot reach (e.g. a huge queue under a tiny window) are terrain,
-    # not findings
-    oracle = PropertyOracle(cfg, covered_only=True)
+    # not findings.  Lossy cells get their own oracle: coverage narrows
+    # to windows whose queue stays within the buffer (see PropertyOracle).
+    oracles = {None: PropertyOracle(cfg, covered_only=True)}
     factory, _ = resolve_cca(cca_spec)
     records = []
     for data in point_dicts:
         point = GridPoint.from_dict(data)
+        oracle = oracles.get(point.buffer)
+        if oracle is None:
+            oracle = oracles[point.buffer] = PropertyOracle(
+                cfg, covered_only=True,
+                environment=lossy_environment(buffer=point.buffer),
+            )
         schedule = constant_schedule(
             ticks,
             rate=point.rate,
@@ -214,6 +250,7 @@ def _grid_task(
         verdict = oracle.evaluate_result(result)
         records.append({
             **point.to_dict(),
+            "environment": point.environment_key(),
             "in_fragment": schedule.in_fragment(cfg),
             "violated": verdict.violated,
             "margin": str(verdict.margin),

@@ -73,9 +73,36 @@ class TraceVerdict:
 
 class PropertyOracle:
     """Windowed relaxed-property check derived from a
-    :class:`repro.ccac.ModelConfig`."""
+    :class:`repro.ccac.ModelConfig`.
 
-    def __init__(self, cfg, covered_only: bool = True):
+    With an ``environment`` (an :class:`~repro.ccac.EnvironmentSpec`),
+    verdicts contradict *that* cell of the CCAC matrix instead of the
+    lossless model.  The simulator itself never drops — so only
+    environments whose model admits the simulated trace as-is can be
+    judged: config-override kinds (``jitter``/``thresholds``) fold into
+    ``cfg``, and a ``lossy`` cell narrows coverage to windows whose
+    queue never reaches the buffer.  Soundness of the lossy narrowing:
+    a zero-loss trace whose queue stays at or below the buffer satisfies
+    every finite-buffer constraint with ``L ≡ 0`` (drops are only
+    *forced* at a full buffer), and with ``L ≡ 0`` the lossy desired
+    property's loss-budget leg holds trivially — so a base-property
+    violation on such a window refutes a lossy "verified" verdict
+    exactly as it refutes a lossless one.  Multiflow cells are rejected:
+    the simulator is single-flow.
+    """
+
+    def __init__(self, cfg, covered_only: bool = True, environment=None):
+        self.environment = environment
+        self._buffer = None
+        if environment is not None:
+            if environment.kind == "multiflow":
+                raise ValueError(
+                    "the single-flow simulator cannot judge multiflow "
+                    "environments"
+                )
+            cfg = environment.model_config(cfg)
+            if environment.kind == "lossy":
+                self._buffer = environment.param("buffer")
         self.cfg = cfg
         #: only count windows the SMT proof covers (the in-fragment
         #: disagreement rule); ``False`` widens to every window — used
@@ -153,6 +180,13 @@ class PropertyOracle:
         h = cfg.history
         if start < h:
             return False
+        if self._buffer is not None:
+            # lossy cell: the shifted trace is admissible with L ≡ 0
+            # only while the queue stays within the drop-tail buffer —
+            # beyond it the model *forces* drops the sim never took
+            for t in range(start, start + cfg.T + 1):
+                if result.A[t] - result.S[t] > self._buffer:
+                    return False
         if result.A[start] - result.S[start] > cfg.initial_queue_max:
             return False
         if result.A[start] > result.S[start - 1] + result.cwnd[start]:

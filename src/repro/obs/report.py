@@ -69,6 +69,10 @@ class TraceSummary:
     malformed: int = 0
     degradations: list[dict] = field(default_factory=list)
     workers: dict[str, WorkerLane] = field(default_factory=dict)
+    #: counterexamples per origin environment (``cegis.counterexample``
+    #: events carrying an ``environment`` key); untagged events count
+    #: under "lossless" once any tagged one is present
+    cex_environments: dict[str, int] = field(default_factory=dict)
 
     def span_total(self, name: str) -> float:
         agg = self.spans.get(name)
@@ -145,6 +149,11 @@ def _aggregate(summary: TraceSummary, rec: dict) -> None:
             summary.cegis_done = rec.get("attrs", {})
         elif name == "runtime.degrade":
             summary.degradations.append(rec.get("attrs", {}))
+        elif name == "cegis.counterexample":
+            env = (attrs or {}).get("environment") or "lossless"
+            summary.cex_environments[env] = (
+                summary.cex_environments.get(env, 0) + 1
+            )
     elif kind == "metrics":
         summary.metrics = rec.get("snapshot")
     elif kind == "meta":
@@ -241,6 +250,14 @@ def render_report(summary: TraceSummary) -> str:
         out.append("events:")
         for name, n in sorted(summary.events.items(), key=lambda kv: -kv[1]):
             out.append(f"  {name:30s} {n:7d}")
+
+    if any(env != "lossless" for env in summary.cex_environments):
+        out.append("")
+        out.append("counterexamples by environment:")
+        for env, n in sorted(
+            summary.cex_environments.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            out.append(f"  {env:30s} {n:7d}")
 
     done = summary.cegis_done
     if done is not None:

@@ -53,6 +53,8 @@ TRACKED_TIMINGS = (
     "portfolio.jobs_4.wall_s",
     "service.pooled_s",
     "service.forked_s",
+    "matrix.forked_s",
+    "matrix.pooled_s",
 )
 
 #: guard-rail ratios (higher is better) re-checked by the diff so a
@@ -61,6 +63,7 @@ TRACKED_RATIOS = (
     "compile.speedup",
     "cache.speedup",
     "service.speedup",
+    "matrix.speedup",
 )
 
 

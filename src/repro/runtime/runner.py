@@ -119,6 +119,7 @@ def _build_verifier(query, options: RuntimeOptions):
 
     parts = []
     jobs = int(getattr(query, "jobs", 1))
+    environments = getattr(query, "environments", None)
     if jobs > 1:
         from ..engine import PortfolioVerifier
 
@@ -135,6 +136,7 @@ def _build_verifier(query, options: RuntimeOptions):
             cache_dir=options.cache_dir,
             certify=options.certify,
             pool=options.worker_pool,
+            environments=environments,
         )
     elif options.isolate:
         base = IsolatedVerifier(
@@ -147,6 +149,7 @@ def _build_verifier(query, options: RuntimeOptions):
             ),
             validate=options.validate,
             certify=options.certify,
+            environments=environments,
         )
     else:
         cache = None
@@ -161,6 +164,7 @@ def _build_verifier(query, options: RuntimeOptions):
             incremental=options.incremental,
             cache=cache,
             certify=options.certify,
+            environments=environments,
         )
     parts.append(base)
     verifier = base

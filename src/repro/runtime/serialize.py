@@ -27,11 +27,13 @@ from ..ccac.trace import CexTrace
 __all__ = [
     "decode_candidate",
     "decode_config",
+    "decode_environments",
     "decode_query",
     "decode_spec",
     "decode_trace",
     "encode_candidate",
     "encode_config",
+    "encode_environments",
     "encode_query",
     "encode_spec",
     "encode_trace",
@@ -100,10 +102,36 @@ def decode_config(data: dict) -> ModelConfig:
     return ModelConfig(**kwargs)
 
 
+# -- environments -------------------------------------------------------------
+
+def encode_environments(environments) -> list[dict]:
+    """Canonical encoding of a query's environment list: ``None`` (the
+    paper's fragment) encodes as ``[lossless]``, so a query that never
+    mentions environments and one that spells out ``[lossless]`` have
+    the same fingerprint and checkpoint identity."""
+    from ..ccac.environments import default_environments
+
+    envs = environments if environments else default_environments()
+    return [env.to_json() for env in envs]
+
+
+def decode_environments(data) -> Optional[list]:
+    """Inverse of :func:`encode_environments`; a missing/``[lossless]``
+    list decodes back to ``None`` (the canonical default form)."""
+    from ..ccac.environments import default_environments, environment_from_json
+
+    if not data:
+        return None
+    envs = [environment_from_json(item) for item in data]
+    if tuple(envs) == default_environments():
+        return None
+    return envs
+
+
 # -- counterexample traces ----------------------------------------------------
 
-def encode_trace(trace: CexTrace) -> dict:
-    return {
+def _encode_flat_trace(trace) -> dict:
+    data = {
         "A": _fracs(trace.A),
         "S": _fracs(trace.S),
         "W": _fracs(trace.W),
@@ -112,10 +140,60 @@ def encode_trace(trace: CexTrace) -> dict:
         "cwnd_pre": _fracs(trace.cwnd_pre),
         "ack_offset": _frac(trace.ack_offset),
     }
+    return data
 
 
-def decode_trace(data: dict, cfg: ModelConfig) -> CexTrace:
-    return CexTrace(
+def encode_trace(trace) -> dict:
+    """Encode any counterexample trace (lossless, lossy, two-flow).
+
+    The lossless shape is unchanged from the original format; variants
+    add a ``"kind"`` discriminator, and any trace tagged with an origin
+    environment carries it under ``"env"`` so checkpointed
+    counterexamples keep pruning under the right semantics on resume.
+    """
+    flows = getattr(trace, "flows", None)
+    if flows is not None:
+        data: dict = {
+            "kind": "twoflow",
+            "W": _fracs(trace.W),
+            "flows": [_encode_flat_trace(f) for f in flows],
+            "min_share": _frac(trace.min_share),
+            "phi": _frac(trace.phi),
+        }
+    else:
+        data = _encode_flat_trace(trace)
+        if hasattr(trace, "L"):
+            data["kind"] = "lossy"
+            data["L"] = _fracs(trace.L)
+            data["buffer"] = _frac(trace.buffer)
+            data["loss_thresh"] = _frac(trace.loss_thresh)
+    env = getattr(trace, "environment", None)
+    if env is not None:
+        data["env"] = env.to_json()
+    return data
+
+
+def decode_trace(data: dict, cfg: ModelConfig):
+    environment = None
+    if data.get("env") is not None:
+        from ..ccac.environments import environment_from_json
+
+        environment = environment_from_json(data["env"])
+        cfg = environment.model_config(cfg)
+    kind = data.get("kind")
+    if kind == "twoflow":
+        from ..ccac.multiflow import TwoFlowCexTrace
+
+        flows = tuple(decode_trace(f, cfg) for f in data["flows"])
+        return TwoFlowCexTrace(
+            cfg=cfg,
+            W=_unfracs(data["W"]),
+            flows=flows,
+            min_share=_unfrac(data["min_share"]),
+            phi=_unfrac(data["phi"]),
+            environment=environment,
+        )
+    common = dict(
         cfg=cfg,
         A=_unfracs(data["A"]),
         S=_unfracs(data["S"]),
@@ -124,7 +202,18 @@ def decode_trace(data: dict, cfg: ModelConfig) -> CexTrace:
         S_pre=_unfracs(data["S_pre"]),
         cwnd_pre=_unfracs(data["cwnd_pre"]),
         ack_offset=_unfrac(data["ack_offset"]),
+        environment=environment,
     )
+    if kind == "lossy":
+        from ..ccac.lossy import LossyCexTrace
+
+        return LossyCexTrace(
+            L=_unfracs(data["L"]),
+            buffer=_unfrac(data["buffer"]),
+            loss_thresh=_unfrac(data["loss_thresh"]),
+            **common,
+        )
+    return CexTrace(**common)
 
 
 # -- template specs and queries -----------------------------------------------
@@ -163,6 +252,7 @@ def encode_query(query) -> dict:
         "max_solutions": query.max_solutions,
         "time_budget": query.time_budget,
         "jobs": query.jobs,
+        "environments": encode_environments(query.environments),
     }
 
 
@@ -183,12 +273,24 @@ def decode_query(data: dict):
         # volatile like the budgets: absent in old checkpoints, and a
         # resumed run may legally change it
         jobs=int(data.get("jobs", 1)),
+        # absent in old checkpoints == the lossless default
+        environments=decode_environments(data.get("environments")),
     )
 
 
 #: fields of the encoded query that define its *identity*; budgets and
-#: iteration caps are resumable knobs, not identity
-_FINGERPRINT_FIELDS = ("spec", "cfg", "pruning", "worst_case_cex", "generator", "find_all")
+#: iteration caps are resumable knobs, not identity.  ``environments``
+#: is identity: verifying against a different matrix is a different ∃∀
+#: question (the canonical encoding makes ``None`` == ``[lossless]``).
+_FINGERPRINT_FIELDS = (
+    "spec",
+    "cfg",
+    "pruning",
+    "worst_case_cex",
+    "generator",
+    "find_all",
+    "environments",
+)
 
 
 def query_fingerprint(query) -> str:

@@ -165,15 +165,15 @@ def validate_model(assertions: Iterable[Term], model, context: str = "model") ->
 
 
 def _desired_holds(trace) -> bool:
-    """The paper's desired property, computed numerically on a trace."""
-    cfg = trace.cfg
-    T = cfg.T
-    util_ok = trace.S[T] - trace.S[0] >= cfg.util_thresh * cfg.C * cfg.T
-    limit = cfg.delay_thresh * cfg.C * cfg.D
-    queue_ok = all(trace.A[t] - trace.S[t] <= limit for t in range(T + 1))
-    increased = trace.cwnd[T] > trace.cwnd[0]
-    decreased = trace.cwnd[T] < trace.cwnd[0]
-    return (util_ok or increased) and (queue_ok or decreased)
+    """The trace's environment-specific desired property, numerically.
+
+    Every trace class carries its own exact-arithmetic property check
+    (:meth:`~repro.ccac.trace.CexTrace.desired_holds` for the paper's
+    lossless property; the lossy subclass adds the loss-budget leg; the
+    two-flow trace checks no-starvation), so this dispatch follows the
+    counterexample's origin environment automatically.
+    """
+    return trace.desired_holds()
 
 
 def _template_violations(trace, candidate) -> list[str]:
@@ -181,8 +181,18 @@ def _template_violations(trace, candidate) -> list[str]:
 
     Uses the candidate's raw coefficients directly (not its own
     ``next_cwnd`` helper) so the check stays independent of the
-    template's evaluation code as well as the SMT encoding.
+    template's evaluation code as well as the SMT encoding.  A two-flow
+    trace runs the check once per flow (both flows execute the same
+    candidate on their own observations).
     """
+    flows = getattr(trace, "flows", None)
+    if flows is not None:
+        errors = []
+        for i, flow in enumerate(flows, start=1):
+            errors.extend(
+                f"flow {i}: {e}" for e in _template_violations(flow, candidate)
+            )
+        return errors
     cfg = trace.cfg
     errors: list[str] = []
     history = len(candidate.betas)
@@ -207,17 +217,23 @@ def validate_counterexample(trace, candidate=None, must_violate: bool = True) ->
 
     Three independent checks, any failure raising :class:`SoundnessError`:
 
-    1. the trace satisfies every CCAC environment constraint (monotonicity,
-       token bucket, service bounds, eager sender) under exact arithmetic;
+    1. the trace satisfies every environment constraint of its origin
+       environment (monotonicity, token bucket, service bounds, eager
+       sender; loss semantics for finite-buffer traces; aggregate
+       service splits and the min-share assumption for two-flow traces)
+       under exact arithmetic — each trace class replays its own
+       environment's constraints;
     2. if ``candidate`` is given, the trace's cwnd trajectory matches the
-       candidate's template rule at every step;
-    3. if ``must_violate``, the trace actually violates the desired
-       property — otherwise it would wrongly prune correct candidates.
+       candidate's template rule at every step (per flow for two-flow
+       traces);
+    3. if ``must_violate``, the trace actually violates its
+       environment's desired property — otherwise it would wrongly prune
+       correct candidates.
     """
     errors = trace.check_environment()
     if errors:
         raise SoundnessError(
-            "counterexample violates CCAC environment constraints: "
+            "counterexample violates its environment constraints: "
             + "; ".join(errors)
         )
     if candidate is not None:

@@ -464,13 +464,15 @@ def run_isolated(
 
 
 def _verify_task(
-    cfg, precision, candidate, worst_case, time_limit, validate, certify=False
+    cfg, precision, candidate, worst_case, time_limit, validate,
+    certify=False, environments=None,
 ):
     """Runs inside the worker: one fresh verifier, one call."""
     from ..core.verifier import CcacVerifier
 
     verifier = CcacVerifier(
-        cfg, wce_precision=precision, validate=validate, certify=certify
+        cfg, wce_precision=precision, validate=validate, certify=certify,
+        environments=environments,
     )
     deadline = None if time_limit is None else time.perf_counter() + time_limit
     return verifier.find_counterexample(
@@ -498,12 +500,16 @@ class IsolatedVerifier:
         validate: bool = True,
         retry_seed: Optional[int] = None,
         certify: bool = False,
+        environments=None,
     ):
         self.cfg = cfg
         self.wce_precision = Fraction(wce_precision)
         self.limits = limits
         self.validate = validate
         self.certify = certify
+        self.environments = (
+            tuple(environments) if environments is not None else None
+        )
         self.calls = 0
         self.total_time = 0.0
         self.kills = 0
@@ -543,6 +549,7 @@ class IsolatedVerifier:
                     budget,
                     self.validate,
                     self.certify,
+                    self.environments,
                 ),
                 wall_time=watchdog,
                 memory_mb=limits.memory_mb,

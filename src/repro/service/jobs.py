@@ -56,8 +56,10 @@ __all__ = [
 ]
 
 #: bump when the JobSpec layout changes; a spec with a different version
-#: is rejected with a clear error, never half-parsed
-JOBSPEC_VERSION = 1
+#: is rejected with a clear error, never half-parsed.
+#: v2: queries and verify jobs carry a canonical ``environments`` list
+#: (the CCAC matrix); encodings and fingerprints changed shape.
+JOBSPEC_VERSION = 2
 
 _KINDS = ("synthesize", "verify", "falsify")
 
@@ -175,8 +177,16 @@ def verify_spec(
     certify: bool = False,
     falsify: int = 0,
     falsify_seed: int = 0,
+    environments=None,
 ) -> JobSpec:
-    """A verify job for a named CCA (``rocc``/``eq3``/``const:<gamma>``)."""
+    """A verify job for a named CCA (``rocc``/``eq3``/``const:<gamma>``).
+
+    ``environments`` selects the cells of the CCAC matrix to verify
+    against; the canonical encoding makes "not specified" and
+    ``[lossless]`` the same spec (and the same fingerprint).
+    """
+    from ..runtime.serialize import encode_environments
+
     return JobSpec(
         kind="verify",
         params={
@@ -186,6 +196,7 @@ def verify_spec(
             "certify": bool(certify),
             "falsify": int(falsify),
             "falsify_seed": int(falsify_seed),
+            "environments": encode_environments(environments),
         },
     )
 
@@ -395,16 +406,19 @@ def _execute_synthesize(spec, pool, cache_dir, checkpoint_path) -> dict:
 
 def _execute_verify(spec, cache_dir: Optional[str] = None) -> dict:
     from ..core.verifier import CcacVerifier
+    from ..runtime.serialize import decode_environments
 
     cca = _named_cca(spec.params["cca"])
     cfg = decode_config(spec.params["cfg"])
+    environments = decode_environments(spec.params.get("environments"))
     cache = None
     if cache_dir:
         from ..engine.cache import QueryCache
 
         cache = QueryCache(cache_dir)
     verifier = CcacVerifier(
-        cfg, certify=bool(spec.params.get("certify")), cache=cache
+        cfg, certify=bool(spec.params.get("certify")), cache=cache,
+        environments=environments,
     )
     res = verifier.find_counterexample(
         cca, worst_case=bool(spec.params.get("worst_case"))
@@ -421,19 +435,25 @@ def _execute_verify(spec, cache_dir: Optional[str] = None) -> dict:
         "counterexample_text": (
             str(res.counterexample) if res.counterexample is not None else None
         ),
+        "environment": (
+            res.environment.key() if res.environment is not None else None
+        ),
         "certified": bool(res.certified),
         "solver_checks": int(res.solver_checks),
         "wall_time": res.wall_time,
     }
     if res.certified and res.certificate is not None:
         c = res.certificate
-        payload["certificate"] = {
-            "steps": int(c.steps),
-            "inputs": int(c.inputs),
-            "rup_additions": int(c.rup_additions),
-            "theory_lemmas": int(c.theory_lemmas),
-            "check_time": float(c.check_time),
-        }
+        if isinstance(c, tuple):
+            payload["certificates"] = len(c)
+        else:
+            payload["certificate"] = {
+                "steps": int(c.steps),
+                "inputs": int(c.inputs),
+                "rup_additions": int(c.rup_additions),
+                "theory_lemmas": int(c.theory_lemmas),
+                "check_time": float(c.check_time),
+            }
     budget = int(spec.params.get("falsify") or 0)
     if budget and res.verified:
         from ..ccas import TemplateCCA

@@ -1,0 +1,169 @@
+"""The environment matrix: registry identity, codecs, portfolio verdicts."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ccac import (
+    ENVIRONMENT_VERSION,
+    EnvironmentSpec,
+    ModelConfig,
+    default_environments,
+    environment,
+    environment_from_json,
+    lossless_environment,
+    lossy_environment,
+    multiflow_environment,
+    parse_environment,
+    parse_environments,
+    registered_kinds,
+)
+from repro.core import CcacVerifier, SynthesisQuery, rocc, table1_spaces
+from repro.runtime.serialize import (
+    decode_environments,
+    decode_trace,
+    encode_environments,
+    encode_trace,
+    query_fingerprint,
+)
+
+
+@pytest.fixture
+def cfg():
+    return ModelConfig(T=5, history=3)
+
+
+class TestRegistry:
+    def test_all_matrix_kinds_registered(self):
+        assert {"lossless", "lossy", "multiflow", "jitter", "thresholds"} \
+            <= set(registered_kinds())
+
+    def test_defaults_fill_in_canonically(self):
+        env = lossy_environment(buffer=2)
+        assert env.param("loss_thresh") == Fraction(1)
+        assert env.key() == "lossy:buffer=2,loss_thresh=1"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown environment kind"):
+            environment("wormhole")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="does not take parameter"):
+            environment("lossless", buffer=2)
+
+    def test_missing_required_parameter_rejected(self):
+        with pytest.raises(ValueError, match="requires parameter"):
+            environment("lossy")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="buffer must be positive"):
+            lossy_environment(buffer=0)
+        with pytest.raises(ValueError):
+            multiflow_environment(min_share=Fraction(3, 2))
+
+    def test_param_order_is_canonical(self):
+        a = environment("lossy", buffer=2, loss_thresh=1)
+        b = environment("lossy", loss_thresh=1, buffer=2)
+        assert a == b and hash(a) == hash(b) and a.key() == b.key()
+
+
+class TestCodecs:
+    def test_parse_round_trips_through_key(self):
+        env = parse_environment("lossy:buffer=13/7")
+        assert env.param("buffer") == Fraction(13, 7)
+        assert parse_environment(env.key()) == env
+
+    def test_parse_rejects_malformed_params(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_environment("lossy:buffer")
+        with pytest.raises(ValueError, match="non-rational"):
+            parse_environment("lossy:buffer=huge")
+
+    def test_parse_environments_keeps_none_canonical(self):
+        assert parse_environments(None) is None
+        assert parse_environments([]) is None
+        assert parse_environments(["lossless"]) == [lossless_environment()]
+
+    def test_json_round_trip_is_exact(self):
+        env = multiflow_environment(min_share=Fraction(1, 3),
+                                    phi=Fraction(2, 7))
+        again = environment_from_json(env.to_json())
+        assert again == env
+        assert again.param("min_share") == Fraction(1, 3)
+
+    def test_json_version_gated(self):
+        wire = lossless_environment().to_json()
+        wire["version"] = ENVIRONMENT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported environment version"):
+            EnvironmentSpec.from_json(wire)
+
+    def test_encode_environments_canonicalizes_none(self):
+        # None and [lossless] must serialize identically — the paper's
+        # lossless fragment is one identity, not two
+        assert encode_environments(None) == \
+            encode_environments([lossless_environment()])
+        assert decode_environments(encode_environments(None)) is None
+        multi = [lossless_environment(), lossy_environment(buffer=8)]
+        assert decode_environments(encode_environments(multi)) == multi
+
+
+class TestQueryFingerprints:
+    def _query(self, environments):
+        return SynthesisQuery(
+            spec=table1_spaces()["no_cwnd_small"],
+            cfg=ModelConfig(T=5),
+            environments=environments,
+        )
+
+    def test_none_equals_explicit_lossless(self):
+        assert query_fingerprint(self._query(None)) == \
+            query_fingerprint(self._query([lossless_environment()]))
+
+    def test_environments_are_identity(self):
+        assert query_fingerprint(self._query(None)) != \
+            query_fingerprint(
+                self._query([lossless_environment(),
+                             lossy_environment(buffer=2)])
+            )
+
+
+class TestPortfolioVerdicts:
+    def test_rocc_verified_across_adequate_matrix(self, cfg):
+        envs = [lossless_environment(), lossy_environment(buffer=8)]
+        verifier = CcacVerifier(cfg, environments=envs)
+        assert verifier.verify(rocc(cfg.history))
+
+    def test_none_and_lossless_verdicts_agree(self, cfg):
+        candidate = rocc(cfg.history)
+        implicit = CcacVerifier(cfg).verify(candidate)
+        explicit = CcacVerifier(
+            cfg, environments=[lossless_environment()]
+        ).verify(candidate)
+        assert implicit == explicit is True
+
+    def test_tiny_buffer_counterexample_tagged_with_origin(self, cfg):
+        envs = [lossless_environment(), lossy_environment(buffer=1)]
+        res = CcacVerifier(cfg, environments=envs).find_counterexample(
+            rocc(cfg.history)
+        )
+        assert not res.verified
+        assert res.environment is not None
+        assert res.environment.kind == "lossy"
+        assert res.counterexample.environment == res.environment
+
+    def test_tagged_counterexample_round_trips(self, cfg):
+        env = lossy_environment(buffer=1)
+        res = CcacVerifier(cfg, environments=[env]).find_counterexample(
+            rocc(cfg.history)
+        )
+        cex = res.counterexample
+        wire = encode_trace(cex)
+        assert wire["kind"] == "lossy"
+        again = decode_trace(wire, cfg)
+        assert again == cex
+        assert again.environment == env
+
+
+class TestDefaults:
+    def test_default_environments_is_the_paper_fragment(self):
+        assert default_environments() == (lossless_environment(),)

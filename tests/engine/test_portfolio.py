@@ -170,6 +170,33 @@ def test_jobs_validation(fast_cfg):
         PortfolioVerifier(fast_cfg, jobs=0)
 
 
+def test_environment_grid_requires_every_cell_unsat(fast_cfg):
+    """In matrix mode a candidate only wins as verified when every
+    environment answered UNSAT; any cell's counterexample wins outright,
+    tagged with its origin."""
+    from repro.ccac import lossless_environment, lossy_environment
+    from repro.core import rocc
+
+    envs = [lossless_environment(), lossy_environment(buffer=8)]
+    portfolio = PortfolioVerifier(fast_cfg, jobs=2, environments=envs)
+    verdict = portfolio.verify_batch([rocc(3)])
+    assert verdict.winner == 0
+    assert verdict.result.verified
+    assert verdict.result.counterexample is None
+    assert _no_zombies()
+
+    tiny = [lossless_environment(), lossy_environment(buffer=1)]
+    portfolio = PortfolioVerifier(fast_cfg, jobs=2, environments=tiny)
+    verdict = portfolio.verify_batch([rocc(3)])
+    assert verdict.winner == 0
+    assert not verdict.result.verified
+    cex = verdict.result.counterexample
+    assert cex is not None
+    assert cex.environment is not None
+    assert cex.environment.kind == "lossy"
+    assert _no_zombies()
+
+
 def test_synthesis_verdict_identical_across_jobs(fast_cfg):
     """jobs=1 and jobs=3 reach the same verdict on the same query (the
     winning solutions are independently proven, so verdict-level equality

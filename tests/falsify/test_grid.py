@@ -35,6 +35,20 @@ class TestGridSpec:
     def test_point_round_trip(self):
         point = GridPoint(Fraction(3, 2), 2, "lazy", Fraction(4))
         assert GridPoint.from_dict(point.to_dict()) == point
+        lossy = GridPoint(Fraction(1), 1, "ideal", Fraction(0),
+                          buffer=Fraction(13, 7))
+        assert GridPoint.from_dict(lossy.to_dict()) == lossy
+        assert "buffer" not in point.to_dict()  # lossless shape unchanged
+
+    def test_buffers_extend_the_environment_axis(self):
+        cfg = ModelConfig()
+        base = GridSpec.from_model(cfg)
+        swept = GridSpec.from_model(cfg, buffers=(2, 8))
+        assert swept.buffers == (None, Fraction(2), Fraction(8))
+        assert len(swept.points()) == 3 * len(base.points())
+        keys = {p.environment_key() for p in swept.points()}
+        assert keys == {"lossless", "lossy:buffer=2,loss_thresh=1",
+                        "lossy:buffer=8,loss_thresh=1"}
 
 
 class TestRunGrid:
@@ -60,6 +74,27 @@ class TestRunGrid:
         bad = manifest.violations
         assert bad
         assert any(r["in_fragment"] for r in bad)
+
+    def test_lossy_cells_narrow_coverage_to_buffered_windows(self):
+        """A lossy cell only judges windows whose queue fits the buffer:
+        an ample buffer matches the lossless verdict, a buffer below the
+        CCA's steady queue leaves nothing to judge — never a spurious
+        violation."""
+        cfg = ModelConfig()
+        spec = GridSpec(
+            rates=(Fraction(1),), jitters=(0,), policies=("ideal",),
+            initial_queues=(Fraction(0),),
+            buffers=(None, Fraction(8), Fraction(1, 2)), ticks=30,
+        )
+        manifest = run_grid("rocc", cfg, spec, jobs=0)
+        by_env = {r["environment"]: r for r in manifest.records}
+        assert set(by_env) == {"lossless", "lossy:buffer=8,loss_thresh=1",
+                               "lossy:buffer=1/2,loss_thresh=1"}
+        ample = by_env["lossy:buffer=8,loss_thresh=1"]
+        assert ample["covered_windows"] == \
+            by_env["lossless"]["covered_windows"]
+        assert by_env["lossy:buffer=1/2,loss_thresh=1"]["covered_windows"] == 0
+        assert not any(r["violated"] for r in manifest.records)
 
     def test_manifest_round_trip(self, tmp_path):
         cfg = ModelConfig()

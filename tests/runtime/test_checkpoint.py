@@ -170,6 +170,45 @@ class TestSynthesisCheckpointing:
         assert resumed.counterexamples == full.counterexamples
         assert resumed.stop_reason is full.stop_reason
 
+    def test_resume_mid_portfolio_matrix_run(self, tmp_path, tiny_query):
+        """A multi-environment run checkpoints counterexamples from every
+        cell, each tagged with its origin, and resumes to the same
+        verdict the uninterrupted run reaches."""
+        import dataclasses
+
+        from repro.ccac import lossless_environment, lossy_environment
+
+        matrix_q = dataclasses.replace(
+            tiny_query,
+            environments=[lossless_environment(),
+                          lossy_environment(buffer=2)],
+        )
+        full = synthesize(matrix_q)
+        path = str(tmp_path / "matrix.ckpt")
+        partial_q = dataclasses.replace(matrix_q, max_iterations=6)
+        run_synthesis(partial_q, RuntimeOptions(checkpoint_path=path))
+        with open(path) as f:
+            raw = json.load(f)
+        raw["stop_reason"] = None
+        with open(path, "w") as f:
+            json.dump(raw, f)
+
+        resumed = run_synthesis(matrix_q, RuntimeOptions(checkpoint_path=path))
+        assert resumed.resumed
+        assert resumed.stop_reason is full.stop_reason
+        assert resumed.iterations == full.iterations
+        assert resumed.counterexamples == full.counterexamples
+        assert resumed.solutions == full.solutions
+
+        state = make_checkpoint_store(matrix_q, path).load()
+        tags = {
+            trace.environment.key()
+            for trace in state.counterexamples
+            if getattr(trace, "environment", None) is not None
+        }
+        assert "lossless" in tags
+        assert "lossy:buffer=2,loss_thresh=1" in tags
+
     def test_resume_under_different_query_refused(self, tmp_path, tiny_query):
         import dataclasses
 

@@ -117,6 +117,63 @@ class TestJobSpec:
             JobSpec(kind="frobnicate", params={})
 
 
+class TestEnvironmentJobs:
+    """v2 of the wire format: jobs carry their environment matrix."""
+
+    def test_default_matches_explicit_lossless(self):
+        from repro.ccac import lossless_environment
+
+        cfg = _exact_cfg()
+        implicit = verify_spec("rocc", cfg)
+        explicit = verify_spec(
+            "rocc", cfg, environments=[lossless_environment()]
+        )
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_environment_fingerprint_stable_across_processes(self):
+        from repro.ccac import lossless_environment, lossy_environment
+
+        envs = [lossless_environment(),
+                lossy_environment(buffer=Fraction(13, 7))]
+        spec = verify_spec("rocc", _exact_cfg(), environments=envs)
+        code = (
+            "from fractions import Fraction\n"
+            "from repro.ccac import ModelConfig, lossless_environment,"
+            " lossy_environment\n"
+            "from repro.service import verify_spec\n"
+            "cfg = ModelConfig(T=5, util_thresh=Fraction(1, 3),"
+            " delay_thresh=Fraction(13, 7))\n"
+            "envs = [lossless_environment(),"
+            " lossy_environment(buffer=Fraction(13, 7))]\n"
+            "print(verify_spec('rocc', cfg, environments=envs)"
+            ".fingerprint())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=dict(os.environ),
+        )
+        assert out.stdout.strip() == spec.fingerprint()
+
+    def test_v2_specs_round_trip_environments(self):
+        from repro.ccac import lossy_environment
+        from repro.runtime.serialize import decode_environments
+
+        envs = [lossy_environment(buffer=2)]
+        spec = verify_spec("rocc", ModelConfig(T=5), environments=envs)
+        again = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert decode_environments(again.params["environments"]) == envs
+
+    def test_verify_job_reports_origin_environment(self):
+        from repro.ccac import lossy_environment
+
+        spec = verify_spec("rocc", ModelConfig(T=5),
+                           environments=[lossy_environment(buffer=1)])
+        payload = execute_job(spec)
+        assert payload["verified"] is False
+        assert payload["environment"] == "lossy:buffer=1,loss_thresh=1"
+        assert payload["counterexample"]["kind"] == "lossy"
+
+
 class TestResultPayload:
     @pytest.fixture(scope="class")
     def tiny_payload(self):
