@@ -27,6 +27,12 @@ Runs three workloads against :mod:`repro.engine` and writes a single
    dispatch with per-environment warm verifiers vs fork-per-cell;
    per-cell verdict parity required and the pooled grid must be
    >= 1.3x faster.
+7. **resilience** — the same job set pushed through a real
+   :class:`repro.service.JobServer` with ``executors=1`` vs
+   ``executors=4``: result fingerprints must be pairwise identical and
+   the concurrent side >= 1.5x faster on multi-core hosts (>= 0.8x —
+   no-collapse — on single-core runners, where CPU-bound work cannot
+   overlap regardless of dispatch).
 
 Usage::
 
@@ -425,6 +431,101 @@ def bench_service(cfg: ModelConfig, candidates: list, rounds: int) -> dict:
     }
 
 
+def bench_resilience(n_jobs: int, budget: int) -> dict:
+    """One-at-a-time vs four concurrent executors on a real JobServer.
+
+    Boots two in-process control planes (ephemeral ports, same pool
+    size) and pushes the same ``n_jobs`` distinct falsify jobs through
+    each: ``executors=1`` serializes them, ``executors=4`` overlaps
+    them across the shared pool's fork workers.  Every job must end
+    ``done`` and the two sides must produce pairwise identical result
+    fingerprints — concurrency is not allowed to change *what* was
+    computed, only *when*.
+
+    The throughput gate is hardware-aware: executor concurrency buys
+    real process parallelism, so on >= 2 cores the concurrent side must
+    be >= 1.5x faster; on a single-core host (CI smoke runners) the
+    work serializes on the CPU no matter how it is dispatched, and the
+    gate degrades to "concurrency must not collapse throughput"
+    (>= 0.8x — catching lease/lock thrash, not claiming parallel wins
+    the hardware cannot deliver).
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.service import JobServer, ServiceClient, ServiceConfig
+    from repro.service import falsify_spec
+
+    jobs = [
+        falsify_spec("aimd:8", ModelConfig(T=5), budget=budget, seed=seed,
+                     exhaustive=True, no_verify=True)
+        for seed in range(n_jobs)
+    ]
+
+    def _throughput(executors: int) -> tuple[float, list, list]:
+        state = tempfile.mkdtemp(prefix=f"bench-resilience-x{executors}-")
+        config = ServiceConfig(
+            port=0, state_dir=state, pool_size=4, executors=executors,
+        )
+        server = JobServer(config)
+        started = threading.Event()
+        info = {}
+
+        def _run():
+            async def _main():
+                await server.start()
+                info["port"] = server.port
+                started.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(_main())
+
+        thread = threading.Thread(target=_run, daemon=True)
+        thread.start()
+        if not started.wait(120):
+            raise RuntimeError("bench server never came up")
+        client = ServiceClient(port=info["port"], timeout=600.0)
+        t0 = time.perf_counter()
+        ids = [client.submit(spec)["job_id"] for spec in jobs]
+        states = [client.wait(job_id)["state"] for job_id in ids]
+        wall = time.perf_counter() - t0
+        fingerprints = [
+            client.result(job_id)["fingerprint"]
+            for job_id, state in zip(ids, states) if state == "done"
+        ]
+        client.shutdown()
+        thread.join(timeout=120)
+        return wall, states, fingerprints
+
+    serial_s, serial_states, serial_fps = _throughput(1)
+    concurrent_s, concurrent_states, concurrent_fps = _throughput(4)
+
+    cores = os.cpu_count() or 1
+    required = 1.5 if cores >= 2 else 0.8
+    speedup = serial_s / concurrent_s if concurrent_s > 0 else float("inf")
+    all_done = (
+        serial_states == ["done"] * n_jobs
+        and concurrent_states == ["done"] * n_jobs
+    )
+    return {
+        "jobs": n_jobs,
+        "budget": budget,
+        "cores": cores,
+        "serial_s": round(serial_s, 4),
+        "concurrent_s": round(concurrent_s, 4),
+        "speedup": round(speedup, 2),
+        "required_speedup": required,
+        "all_done": all_done,
+        "fingerprints_identical": serial_fps == concurrent_fps,
+        "ok": (
+            all_done
+            and serial_fps == concurrent_fps
+            and speedup >= required
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -526,11 +627,22 @@ def main(argv=None) -> int:
           f"identical={m['verdicts_identical']}  "
           f"[{'ok' if m['ok'] else 'FAIL'}]")
 
+    report["resilience"] = bench_resilience(
+        n_jobs=4 if args.quick else 8,
+        budget=150 if args.quick else 250,
+    )
+    r = report["resilience"]
+    print(f"  resilience:  serial={r['serial_s']}s "
+          f"concurrent={r['concurrent_s']}s speedup={r['speedup']}x "
+          f"(need {r['required_speedup']}x on {r['cores']} core(s)) "
+          f"identical={r['fingerprints_identical']}  "
+          f"[{'ok' if r['ok'] else 'FAIL'}]")
+
     report["ok"] = all(
         report[k]["ok"]
         for k in (
             "compile", "cache", "incremental", "proof", "portfolio",
-            "service", "matrix",
+            "service", "matrix", "resilience",
         )
     )
     with open(args.out, "w", encoding="utf-8") as f:

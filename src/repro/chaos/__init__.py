@@ -12,9 +12,11 @@ See ``scripts/chaos_smoke.py`` for the end-to-end smoke and
 
 from .faults import (
     ENV_VAR,
+    NETWORK_KINDS,
     ChaosConfig,
     FaultInjector,
     FaultSpec,
+    NetworkFault,
     chaos_point,
     current_injector,
     install,
@@ -25,9 +27,11 @@ from .supervisor import full_jitter_backoff, quarantine_file
 
 __all__ = [
     "ENV_VAR",
+    "NETWORK_KINDS",
     "ChaosConfig",
     "FaultInjector",
     "FaultSpec",
+    "NetworkFault",
     "chaos_point",
     "current_injector",
     "full_jitter_backoff",

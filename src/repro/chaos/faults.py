@@ -28,6 +28,21 @@ Fault kinds:
     chop the file at the point's ``path`` to half its size (torn write).
 ``bitflip``
     XOR one byte of the file at ``path`` (silent media corruption).
+
+Network faults (PR 10) are *cooperative*: firing one raises
+:class:`NetworkFault`, which the service path catches at its injection
+points (``service.accept``, ``service.response``, ``service.stream``)
+and turns into the wire-level misbehaviour — the injector cannot reach
+into a socket, but the server can:
+
+``conn_reset``
+    abort the connection without a response (client sees ECONNRESET).
+``slow_write``
+    stretch the response out over ``delay`` seconds (client timeouts).
+``torn_stream``
+    close an NDJSON stream mid-record (a torn line at the client).
+``reject_503``
+    answer ``503 Service Unavailable`` with a ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -45,7 +60,23 @@ from ..obs import WARN, metrics, tracer
 
 ENV_VAR = "REPRO_CHAOS"
 
-_KINDS = ("kill", "oom", "error", "stall", "disk_full", "truncate", "bitflip")
+#: kinds the service path interprets by catching :class:`NetworkFault`
+NETWORK_KINDS = ("conn_reset", "slow_write", "torn_stream", "reject_503")
+
+_KINDS = (
+    "kill", "oom", "error", "stall", "disk_full", "truncate", "bitflip",
+) + NETWORK_KINDS
+
+
+class NetworkFault(Exception):
+    """An injected wire-level fault; the service path catches it at the
+    injection point and performs the misbehaviour on the real socket."""
+
+    def __init__(self, kind: str, point: str, delay: float = 0.0):
+        self.kind = kind
+        self.point = point
+        self.delay = delay
+        super().__init__(f"chaos: injected {kind} at {point}")
 
 
 @dataclass(frozen=True)
@@ -145,6 +176,8 @@ class FaultInjector:
             path = ctx.get("path")
             if path:
                 _corrupt_file(path, kind, self.rng)
+        elif kind in NETWORK_KINDS:
+            raise NetworkFault(kind, point, delay=spec.delay)
 
 
 def _corrupt_file(path: str, kind: str, rng: Random) -> None:

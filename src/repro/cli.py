@@ -594,6 +594,11 @@ def cmd_serve(args) -> int:
         memory_mb=args.solver_mem_mb,
         max_cache_mb=args.max_cache_mb,
         max_tasks_per_worker=args.max_tasks_per_worker,
+        executors=args.executors,
+        max_queue=args.max_queue,
+        drain_grace=args.drain_grace,
+        probe_timeout=args.probe_timeout,
+        prime_timeout=args.prime_timeout,
     ))
     return 0
 
@@ -614,8 +619,14 @@ def _spec_from_args(args):
     from .service.jobs import falsify_spec, synthesis_spec, verify_spec
 
     kind = args.job_kind
+    limits = {
+        "max_attempts": getattr(args, "max_attempts", None),
+        "deadline_s": getattr(args, "deadline_s", None),
+    }
     if kind == "synthesize":
-        return synthesis_spec(_synthesis_query(args), _runtime_options(args))
+        return synthesis_spec(
+            _synthesis_query(args), _runtime_options(args), **limits
+        )
     if kind == "verify":
         return verify_spec(
             args.cca,
@@ -625,6 +636,7 @@ def _spec_from_args(args):
             falsify=args.falsify,
             falsify_seed=args.falsify_seed,
             environments=getattr(args, "environments", None),
+            **limits,
         )
     return falsify_spec(
         args.cca,
@@ -636,6 +648,7 @@ def _spec_from_args(args):
         beyond=args.beyond,
         exhaustive=args.exhaustive,
         no_verify=args.no_verify,
+        **limits,
     )
 
 
@@ -1069,6 +1082,23 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="recycle a pooled worker after N tasks "
                         "(default: %(default)s)")
+    p.add_argument("--executors", type=_positive_int, default=2, metavar="N",
+                   help="concurrent job executors over the shared pool "
+                        "(default: %(default)s)")
+    p.add_argument("--max-queue", type=_positive_int, default=64, metavar="N",
+                   help="shed submits (429 + Retry-After) beyond this many "
+                        "queued jobs (default: %(default)s)")
+    p.add_argument("--drain-grace", type=_positive_float, default=30.0,
+                   metavar="SECONDS",
+                   help="on shutdown, let in-flight jobs finish this long "
+                        "before re-queueing them (default: %(default)s)")
+    p.add_argument("--probe-timeout", type=_positive_float, default=1.0,
+                   metavar="SECONDS",
+                   help="idle-worker heartbeat timeout; raise on slow CI "
+                        "machines (default: %(default)s)")
+    p.add_argument("--prime-timeout", type=_positive_float, default=60.0,
+                   metavar="SECONDS",
+                   help="worker warm-up call timeout (default: %(default)s)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1090,6 +1120,14 @@ def build_parser() -> argparse.ArgumentParser:
         ps.add_argument("--watch", action="store_true",
                         help="stream progress and render the result "
                              "(exit code matches the local command)")
+        ps.add_argument("--max-attempts", type=_positive_int, default=None,
+                        metavar="N",
+                        help="execution attempts before the server marks "
+                             "the job failed (default: server policy)")
+        ps.add_argument("--deadline-s", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock bound enforced by the "
+                             "server watchdog (default: unbounded)")
         ps.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(

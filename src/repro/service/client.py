@@ -5,25 +5,41 @@ synchronous calls against a running :class:`~repro.service.server.JobServer`.
 Progress streaming reads the NDJSON ``/jobs/<id>/events`` body
 incrementally (one parsed record per line), so a watcher renders events
 as the job produces them.
+
+Resilience (PR 10): requests retry with full-jitter backoff
+(:class:`~repro.service.resilience.RetryPolicy`) on connection faults
+and on 429/503 — honouring the server's ``Retry-After`` — because every
+retried request is idempotent: submits dedup server-side by spec
+fingerprint, reads are pure, cancels converge.  The event stream
+reconnects mid-job using the per-record ``seq`` cursor
+(``/jobs/<id>/events?from=N``), so a reset connection resumes where it
+tore instead of starting over or losing records.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
+from random import Random
 from typing import Iterator, Optional
 
 from .jobs import JobSpec
+from .resilience import RetryPolicy
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+_TERMINAL = ("done", "failed", "cancelled")
 
 
 class ServiceError(RuntimeError):
     """A non-success response from the control plane."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(self, status: int, payload: dict,
+                 retry_after: Optional[float] = None):
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
         super().__init__(
             f"service returned {status}: "
             f"{payload.get('error', json.dumps(payload))}"
@@ -34,15 +50,45 @@ class ServiceClient:
     """Talks to one ``host:port`` control plane."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8736,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 retry_seed: Optional[int] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        # seedable so chaos experiments replay the same retry schedule
+        self._rng = Random(retry_seed)
 
     # -- plumbing ------------------------------------------------------------
 
     def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> dict:
+                 body: Optional[dict] = None, retry: bool = True) -> dict:
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if (
+                    not retry
+                    or exc.status not in policy.retry_statuses
+                    or attempt >= policy.retries
+                ):
+                    raise
+                delay = policy.delay(
+                    attempt, retry_after=exc.retry_after, rng=self._rng
+                )
+            except (OSError, http.client.HTTPException):
+                if not retry or attempt >= policy.retries:
+                    raise
+                delay = policy.delay(attempt, rng=self._rng)
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[dict] = None) -> dict:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -51,9 +97,20 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"} if payload else {}
             conn.request(method, path, body=payload, headers=headers)
             resp = conn.getresponse()
-            data = json.loads(resp.read().decode("utf-8") or "{}")
-            if resp.status >= 400 or (resp.status == 409):
-                raise ServiceError(resp.status, data)
+            raw = resp.read().decode("utf-8", "replace")
+            retry_after = _parse_retry_after(resp.getheader("Retry-After"))
+            try:
+                data = json.loads(raw or "{}")
+            except ValueError:
+                # a torn or non-JSON body is a structured error, never a
+                # JSONDecodeError leaking out of the client
+                raise ServiceError(
+                    resp.status,
+                    {"error": "non-JSON response body", "body": raw[:200]},
+                    retry_after=retry_after,
+                )
+            if resp.status >= 400:
+                raise ServiceError(resp.status, data, retry_after=retry_after)
             return data
         finally:
             conn.close()
@@ -62,12 +119,19 @@ class ServiceClient:
 
     def healthy(self) -> bool:
         try:
-            return bool(self._request("GET", "/healthz").get("ok"))
+            return bool(
+                self._request("GET", "/healthz", retry=False).get("ok")
+            )
         except (OSError, ServiceError, ValueError):
             return False
 
     def submit(self, spec: JobSpec) -> dict:
-        """Submit a spec; returns ``{job_id, state, spec_fingerprint}``."""
+        """Submit a spec; returns ``{job_id, state, spec_fingerprint}``.
+
+        Safe to retry (and retried automatically): the server dedups by
+        spec fingerprint, so a re-submit after a lost response returns
+        the existing job (``deduped: true``) instead of a duplicate.
+        """
         return self._request("POST", "/jobs", spec.to_json())
 
     def jobs(self) -> list[dict]:
@@ -90,25 +154,78 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def shutdown(self) -> dict:
-        return self._request("POST", "/shutdown")
+        # deliberately not retried: a dropped response usually means the
+        # drain already started
+        return self._request("POST", "/shutdown", retry=False)
 
     def events(self, job_id: str,
                timeout: Optional[float] = None) -> Iterator[dict]:
         """Stream a job's NDJSON progress records until it finishes.
 
         The final yielded record has ``type == "job"`` with a terminal
-        ``state`` — callers can stop rendering there.
+        ``state`` — callers can stop rendering there.  A torn stream
+        reconnects with ``?from=<cursor>`` and resumes at the first
+        unseen record (a ``{"type": "gap"}`` line marks records the
+        server's buffer lost); the stream gives up only after
+        ``retry_policy.retries`` consecutive dead reconnects.
         """
+        policy = self.retry_policy
+        cursor: Optional[int] = None
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for record in self._stream_once(job_id, cursor, timeout):
+                    progressed = True
+                    failures = 0
+                    seq = record.get("seq")
+                    if isinstance(seq, int):
+                        cursor = seq + 1
+                    yield record
+                    if record.get("type") == "job" and \
+                            record.get("state") in _TERMINAL:
+                        return
+            except ServiceError as exc:
+                if exc.status not in policy.retry_statuses:
+                    raise
+            except (OSError, http.client.HTTPException, ValueError):
+                pass  # torn mid-line or reset: reconnect from the cursor
+            # stream ended without a terminal record
+            if not progressed:
+                failures += 1
+                if failures > policy.retries:
+                    return  # caller falls back to polling status()
+            delay = policy.delay(max(0, failures - 1), rng=self._rng)
+            if delay > 0:
+                time.sleep(delay)
+            if cursor is None:
+                cursor = 0  # resume mode from here on
+
+    def _stream_once(self, job_id: str, cursor: Optional[int],
+                     timeout: Optional[float]) -> Iterator[dict]:
+        path = f"/jobs/{job_id}/events"
+        if cursor is not None:
+            path += f"?from={cursor}"
         conn = http.client.HTTPConnection(
             self.host, self.port,
             timeout=timeout if timeout is not None else self.timeout,
         )
         try:
-            conn.request("GET", f"/jobs/{job_id}/events")
+            conn.request("GET", path)
             resp = conn.getresponse()
             if resp.status >= 400:
-                data = json.loads(resp.read().decode("utf-8") or "{}")
-                raise ServiceError(resp.status, data)
+                raw = resp.read().decode("utf-8", "replace")
+                try:
+                    data = json.loads(raw or "{}")
+                except ValueError:
+                    data = {"error": "non-JSON response body",
+                            "body": raw[:200]}
+                raise ServiceError(
+                    resp.status, data,
+                    retry_after=_parse_retry_after(
+                        resp.getheader("Retry-After")
+                    ),
+                )
             buffer = b""
             while True:
                 chunk = resp.read1(65536)
@@ -135,3 +252,12 @@ class ServiceClient:
             ):
                 break
         return self.status(job_id)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None  # HTTP-date form: let backoff decide

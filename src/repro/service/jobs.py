@@ -11,7 +11,11 @@ across processes and hosts.
 
 A :class:`JobRecord` is the server-side lifecycle wrapper (queued →
 running → done/failed/cancelled) persisted as one JSON file per job, so
-a restarted server still knows every job it ever accepted.
+a restarted server still knows every job it ever accepted.  Record
+version 2 (PR 10) adds the resilience fields: a heartbeat-renewed
+*lease* while the job runs, an attempt counter, and the per-attempt
+history a re-queued job accumulates; v1 records on disk migrate on
+load with the fields defaulted.
 
 Result payloads are JSON too: :func:`encode_synthesis_result` splits
 *semantic* fields (solutions, verdict counts, stop reason) from *timing*
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field, replace
@@ -43,6 +48,8 @@ from ..runtime.serialize import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "JOBRECORD_VERSION",
     "JOBSPEC_VERSION",
     "JobSpec",
     "JobSpecError",
@@ -51,6 +58,8 @@ __all__ = [
     "encode_synthesis_result",
     "execute_job",
     "falsify_spec",
+    "spec_deadline",
+    "spec_max_attempts",
     "synthesis_spec",
     "verify_spec",
 ]
@@ -117,6 +126,31 @@ class JobSpec:
 
 # -- spec builders ------------------------------------------------------------
 
+#: attempts a job gets before the server marks it honestly failed, when
+#: the spec does not say otherwise
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def _encode_limits(params: dict, max_attempts, deadline_s) -> dict:
+    """Fold the resilience limits into ``params`` — only when explicitly
+    given, so a default spec fingerprints identically to older builds."""
+    if max_attempts is not None:
+        params["max_attempts"] = int(max_attempts)
+    if deadline_s is not None:
+        params["deadline_s"] = float(deadline_s)
+    return params
+
+
+def spec_max_attempts(spec: JobSpec) -> int:
+    """Execution attempts this spec allows before an honest ``failed``."""
+    return int(spec.params.get("max_attempts") or DEFAULT_MAX_ATTEMPTS)
+
+
+def spec_deadline(spec: JobSpec) -> Optional[float]:
+    """Per-attempt wall-clock bound in seconds (None = unbounded)."""
+    value = spec.params.get("deadline_s")
+    return float(value) if value else None
+
 #: RuntimeOptions fields carried in a synthesis spec, with their codecs.
 #: checkpoint_path is deliberately NOT part of a spec — where state lives
 #: is the executor's business (the server keeps it under its state dir).
@@ -156,17 +190,22 @@ def _decode_options(data: dict):
     return RuntimeOptions(**kwargs)
 
 
-def synthesis_spec(query, options=None) -> JobSpec:
+def synthesis_spec(
+    query, options=None, max_attempts=None, deadline_s=None,
+) -> JobSpec:
     """A synthesize job: the full query plus its runtime options."""
     from ..runtime.runner import RuntimeOptions
 
     options = options or RuntimeOptions()
     return JobSpec(
         kind="synthesize",
-        params={
-            "query": encode_query(query),
-            "options": _encode_options(options),
-        },
+        params=_encode_limits(
+            {
+                "query": encode_query(query),
+                "options": _encode_options(options),
+            },
+            max_attempts, deadline_s,
+        ),
     )
 
 
@@ -178,6 +217,8 @@ def verify_spec(
     falsify: int = 0,
     falsify_seed: int = 0,
     environments=None,
+    max_attempts=None,
+    deadline_s=None,
 ) -> JobSpec:
     """A verify job for a named CCA (``rocc``/``eq3``/``const:<gamma>``).
 
@@ -189,15 +230,18 @@ def verify_spec(
 
     return JobSpec(
         kind="verify",
-        params={
-            "cca": cca,
-            "cfg": encode_config(cfg),
-            "worst_case": bool(worst_case),
-            "certify": bool(certify),
-            "falsify": int(falsify),
-            "falsify_seed": int(falsify_seed),
-            "environments": encode_environments(environments),
-        },
+        params=_encode_limits(
+            {
+                "cca": cca,
+                "cfg": encode_config(cfg),
+                "worst_case": bool(worst_case),
+                "certify": bool(certify),
+                "falsify": int(falsify),
+                "falsify_seed": int(falsify_seed),
+                "environments": encode_environments(environments),
+            },
+            max_attempts, deadline_s,
+        ),
     )
 
 
@@ -211,21 +255,26 @@ def falsify_spec(
     beyond: bool = False,
     exhaustive: bool = False,
     no_verify: bool = False,
+    max_attempts=None,
+    deadline_s=None,
 ) -> JobSpec:
     """A falsify job: adversarial trace search against one CCA."""
     return JobSpec(
         kind="falsify",
-        params={
-            "cca": cca,
-            "cfg": encode_config(cfg),
-            "budget": int(budget),
-            "seed": int(seed),
-            "ticks": int(ticks),
-            "population": int(population),
-            "beyond": bool(beyond),
-            "exhaustive": bool(exhaustive),
-            "no_verify": bool(no_verify),
-        },
+        params=_encode_limits(
+            {
+                "cca": cca,
+                "cfg": encode_config(cfg),
+                "budget": int(budget),
+                "seed": int(seed),
+                "ticks": int(ticks),
+                "population": int(population),
+                "beyond": bool(beyond),
+                "exhaustive": bool(exhaustive),
+                "no_verify": bool(no_verify),
+            },
+            max_attempts, deadline_s,
+        ),
     )
 
 
@@ -243,6 +292,23 @@ _SEMANTIC_KEYS = (
 
 def _payload_fingerprint(payload: dict) -> str:
     semantic = {k: payload.get(k) for k in _SEMANTIC_KEYS}
+    return hashlib.sha256(_canonical(semantic).encode("utf-8")).hexdigest()
+
+
+#: semantic keys of verify / falsify payloads — deterministic for a
+#: given spec (seeded searches), unlike wall_time or solver_checks
+#: (cache warmth changes those between runs of the *same* job)
+_VERIFY_SEMANTIC_KEYS = (
+    "cca", "verified", "unknown", "counterexample", "environment",
+    "certified", "survived",
+)
+_FALSIFY_SEMANTIC_KEYS = (
+    "cca", "verified", "smt_verdict", "survived", "evaluations",
+)
+
+
+def _fingerprint_over(payload: dict, keys: tuple) -> str:
+    semantic = {k: payload.get(k) for k in keys}
     return hashlib.sha256(_canonical(semantic).encode("utf-8")).hexdigest()
 
 
@@ -338,6 +404,7 @@ def execute_job(
     corpus_dir: Optional[str] = None,
     write_corpus: bool = False,
     progress: Optional[Callable[[dict], None]] = None,
+    cancel=None,
 ) -> dict:
     """Run one job to completion; returns its JSON result payload.
 
@@ -352,7 +419,11 @@ def execute_job(
     commit minimized violations into a corpus (the server keeps this
     off — jobs must not write into the repo); ``progress`` receives
     every tracer record emitted while the job runs (the server's NDJSON
-    stream).
+    stream); ``cancel`` (a
+    :class:`~repro.service.resilience.CancelScope`) cooperatively
+    aborts the run — with a pool, every kind routes its solver work
+    through pool batches, so cancellation lands within one poll tick
+    and raises :class:`~repro.service.resilience.JobCancelled` here.
     """
     sink = _ProgressSink(progress) if progress is not None else None
     tr = None
@@ -361,28 +432,87 @@ def execute_job(
 
         tr = tracer()
         tr.add_sink(sink)
+    if cancel is not None:
+        cancel.raise_if_cancelled()
+    bound = pool is not None and cancel is not None
+    if bound:
+        pool.bind_cancel(cancel)
     try:
         if spec.kind == "synthesize":
             return _execute_synthesize(spec, pool, cache_dir, checkpoint_path)
         if spec.kind == "verify":
+            if pool is not None:
+                return _run_in_pool(
+                    pool, _pooled_verify_job, (spec.to_json(), cache_dir),
+                    cancel,
+                )
             return _execute_verify(spec, cache_dir)
+        if pool is not None and not write_corpus:
+            return _run_in_pool(
+                pool, _pooled_falsify_job, (spec.to_json(),), cancel
+            )
         return _execute_falsify(
             spec, corpus_dir=corpus_dir, write_corpus=write_corpus
         )
     finally:
+        if bound:
+            pool.unbind_cancel()
         if tr is not None:
             tr.remove_sink(sink)
 
 
+def _run_in_pool(pool, fn, args, cancel) -> dict:
+    """Run one job body as a single pool task (subprocess, cancellable).
+
+    Verify/falsify bodies are pure Python holding the GIL; running them
+    in the executor thread would serialize the server's N executors and
+    leave a wedged solver uncancellable.  As a pool task they get real
+    process parallelism and the SIGUSR1 cancel path.
+    """
+    outcome = pool.run_batch(
+        [(fn, args)], accept=lambda _r: False, cancel=cancel
+    )
+    report = outcome.reports.get(0)
+    if report is None or report.status == "cancelled":
+        from .resilience import JobCancelled
+
+        raise JobCancelled(getattr(cancel, "reason", None) or "user")
+    if report.status != "ok":
+        raise RuntimeError(
+            f"pooled job {report.status}: {report.detail or 'no detail'}"
+        )
+    return report.result
+
+
+def _pooled_verify_job(spec_json: dict, cache_dir: Optional[str]) -> dict:
+    """Top-level (picklable) verify job body, run inside a pool worker."""
+    return _execute_verify(JobSpec.from_json(spec_json), cache_dir)
+
+
+def _pooled_falsify_job(spec_json: dict) -> dict:
+    """Top-level (picklable) falsify job body, run inside a pool worker."""
+    return _execute_falsify(JobSpec.from_json(spec_json))
+
+
 class _ProgressSink:
-    """Forwards every tracer record to a callback (server job streams)."""
+    """Forwards tracer records to a callback (server job streams).
+
+    Filtered to the thread that created the sink: the tracer is
+    process-global and the server runs N executor threads, so an
+    unfiltered sink would leak one job's spans into another job's
+    stream.  Records relayed from a job's own pool workers are merged
+    by ``run_batch`` *in the executor thread*, so they pass the filter.
+    """
 
     level = DEBUG  # stream everything
 
     def __init__(self, callback: Callable[[dict], None]):
         self._callback = callback
+        self._ident = threading.get_ident()
 
     def emit(self, record: dict) -> None:
+        if threading.get_ident() != self._ident:
+            return
         try:
             self._callback(record)
         except Exception:  # noqa: BLE001 - progress is advisory
@@ -469,6 +599,7 @@ def _execute_verify(spec, cache_dir: Optional[str] = None) -> dict:
         )
         payload["falsify"] = rep.search.describe()
         payload["survived"] = bool(rep.survived)
+    payload["fingerprint"] = _fingerprint_over(payload, _VERIFY_SEMANTIC_KEYS)
     return payload
 
 
@@ -509,7 +640,7 @@ def _execute_falsify(
         corpus_dir=corpus_dir,
         write_corpus=write_corpus,
     )
-    return {
+    payload = {
         "cca": p["cca"],
         "verified": verified,
         "smt_verdict": smt_verdict,
@@ -517,6 +648,8 @@ def _execute_falsify(
         "description": report.describe(),
         "evaluations": int(report.search.attempts),
     }
+    payload["fingerprint"] = _fingerprint_over(payload, _FALSIFY_SEMANTIC_KEYS)
+    return payload
 
 
 def _named_cca(name: str):
@@ -538,6 +671,11 @@ def _named_cca(name: str):
 
 _STATES = ("queued", "running", "done", "failed", "cancelled")
 
+#: bump when the JobRecord layout changes; older records on disk are
+#: migrated on load, never rejected.
+#: v2: lease_expires_at, attempts, attempt_history (PR 10 resilience).
+JOBRECORD_VERSION = 2
+
 
 @dataclass
 class JobRecord:
@@ -551,9 +689,18 @@ class JobRecord:
     finished_at: Optional[float] = None
     result: Optional[dict] = None
     error: Optional[str] = None
+    record_version: int = JOBRECORD_VERSION
+    #: execution attempts started so far (crash re-queues increment it)
+    attempts: int = 0
+    #: one dict per closed attempt (see resilience.AttemptRecord.to_json)
+    attempt_history: list = field(default_factory=list)
+    #: heartbeat-renewed while an executor runs the job; an expired lease
+    #: at boot means the previous server died mid-attempt -> re-queue
+    lease_expires_at: Optional[float] = None
 
     def to_json(self, with_result: bool = True) -> dict:
         out = {
+            "record_version": self.record_version,
             "job_id": self.job_id,
             "kind": self.spec.kind,
             "state": self.state,
@@ -563,6 +710,9 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "attempts": self.attempts,
+            "attempt_history": list(self.attempt_history),
+            "lease_expires_at": self.lease_expires_at,
         }
         if with_result:
             out["result"] = self.result
@@ -574,6 +724,7 @@ class JobRecord:
         state = data.get("state", "queued")
         if state not in _STATES:
             raise JobSpecError(f"unknown job state {state!r}")
+        # v1 records predate the lease fields: default them (migration)
         return cls(
             spec=spec,
             job_id=str(data["job_id"]),
@@ -583,4 +734,10 @@ class JobRecord:
             finished_at=data.get("finished_at"),
             result=data.get("result"),
             error=data.get("error"),
+            # normalized to the current version: a migrated v1 record is
+            # re-persisted v2-shaped the next time its state changes
+            record_version=JOBRECORD_VERSION,
+            attempts=int(data.get("attempts", 0)),
+            attempt_history=list(data.get("attempt_history", ())),
+            lease_expires_at=data.get("lease_expires_at"),
         )

@@ -31,6 +31,24 @@ pool-specific behaviours layered on top:
   retired and replaced, bounding the memory growth that keeping the
   intern table warm otherwise permits.
 
+Concurrency (PR 10): the pool is shared by N server executor threads,
+so batches *lease* lanes.  ``run_batch`` takes as many idle lanes as it
+can use (blocking until at least one is free), works exclusively on
+that leased set, and releases the lanes at the end — two concurrent
+batches never touch the same worker, and the only synchronisation is
+the lease hand-off under one condition variable.  Slow operations
+(spawn, prime, reap, pipe waits) all happen on exclusively-held lanes,
+outside the lock.
+
+Cancellation from *outside* the batch rides the same path: a
+:class:`~repro.service.resilience.CancelScope` — passed as
+``run_batch(..., cancel=...)`` or bound to the calling thread via
+:meth:`bind_cancel` so callers deep inside the synthesis stack inherit
+it — is polled every ``_POLL_TICK``; once fired, in-flight tasks get
+the SIGUSR1 treatment and the batch raises
+:class:`~repro.service.resilience.JobCancelled` with the scope's
+reason.
+
 Soundness note (see DESIGN "The control plane"): pooled tasks
 deliberately skip the per-task ``interned_scope`` reset that one-shot
 workers use, because warm state *is* the speedup.  A task that is
@@ -44,6 +62,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -60,6 +79,7 @@ from ..runtime.workers import (
     reap_worker,
     spawn_pool_worker,
 )
+from .resilience import CANCEL_DRAIN, CancelScope, JobCancelled
 
 __all__ = ["PoolStats", "WorkerPool"]
 
@@ -67,6 +87,9 @@ try:
     from multiprocessing.connection import wait as _wait_connections
 except ImportError:  # pragma: no cover
     _wait_connections = None
+
+#: cancel/close re-check cadence while waiting on worker pipes, seconds
+_POLL_TICK = 0.25
 
 
 @dataclass
@@ -96,6 +119,8 @@ class _Lane:
     tasks_served: int = 0
     #: task token currently executing (None when idle)
     busy: Optional[str] = None
+    #: held exclusively by one batch/probe (guarded by the pool condition)
+    leased: bool = False
     epoch: int = field(default=0)
 
 
@@ -110,6 +135,8 @@ class WorkerPool:
         max_tasks_per_worker: int = 64,
         retries: int = 1,
         prime: Optional[tuple] = None,
+        probe_timeout: float = 1.0,
+        prime_timeout: float = 60.0,
     ):
         if size < 1:
             raise ValueError(f"pool size must be >= 1 (got {size})")
@@ -118,19 +145,30 @@ class WorkerPool:
         self.kill_grace = kill_grace
         self.max_tasks_per_worker = max_tasks_per_worker
         self.retries = retries
+        self.probe_timeout = probe_timeout
+        self.prime_timeout = prime_timeout
         self.stats = PoolStats(size=size)
         self._lanes: list[_Lane] = []
         self._prime = prime  # (fn, args, kwargs) run on every new worker
         self._batch_seq = 0
         self._started = False
+        self._closing = False
+        self._cond = threading.Condition()
+        #: thread ident -> CancelScope bound via bind_cancel()
+        self._bound: dict[int, CancelScope] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "WorkerPool":
-        if self._started:
-            return self
-        self._lanes = [self._spawn(lane) for lane in range(self.size)]
-        self._started = True
+        with self._cond:
+            if self._started:
+                return self
+            self._started = True
+            self._closing = False
+        lanes = [self._spawn(lane) for lane in range(self.size)]
+        with self._cond:
+            self._lanes = lanes
+            self._cond.notify_all()
         return self
 
     def __enter__(self) -> "WorkerPool":
@@ -142,16 +180,42 @@ class WorkerPool:
     def set_prime(self, fn, args=(), kwargs=None) -> None:
         """Warm-up call executed once on each (re)spawned worker."""
         self._prime = (fn, tuple(args), dict(kwargs or {}))
-        if self._started:
-            for lane in self._lanes:
-                if lane.busy is None:
-                    self._prime_lane(lane)
-
-    def shutdown(self) -> None:
-        """Stop every worker: polite shutdown for idle, cancel for busy."""
         if not self._started:
             return
-        for lane in self._lanes:
+        mine: list[_Lane] = []
+        with self._cond:
+            for lane in self._lanes:
+                if not lane.leased:
+                    lane.leased = True
+                    mine.append(lane)
+        try:
+            for lane in mine:
+                self._prime_lane(lane)
+        finally:
+            self._release(mine)
+
+    def bind_cancel(self, scope: CancelScope) -> None:
+        """Attach ``scope`` to the calling thread: every ``run_batch``
+        issued from this thread (however deep in the call stack) polls it.
+        """
+        self._bound[threading.get_ident()] = scope
+
+    def unbind_cancel(self) -> None:
+        self._bound.pop(threading.get_ident(), None)
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite shutdown for idle, cancel for busy.
+
+        Concurrent batches abort on their next poll tick (they observe
+        ``_closing`` and raise ``JobCancelled("drain")``).
+        """
+        with self._cond:
+            if not self._started:
+                return
+            self._closing = True
+            lanes = list(self._lanes)
+            self._cond.notify_all()
+        for lane in lanes:
             if lane.busy is not None:
                 self._signal_cancel(lane)
             try:
@@ -159,29 +223,46 @@ class WorkerPool:
             except (OSError, ValueError, BrokenPipeError):
                 pass
         deadline = time.monotonic() + max(self.kill_grace, 0.1)
-        for lane in self._lanes:
+        for lane in lanes:
             lane.proc.join(max(0.0, deadline - time.monotonic()))
-        for lane in self._lanes:
+        for lane in lanes:
             reap_worker(lane.proc, lane.conn, self.kill_grace)
-        self._lanes = []
-        self._started = False
+        with self._cond:
+            self._lanes = []
+            self._started = False
+            self._closing = False
+            self._cond.notify_all()
 
-    def probe(self, timeout: float = 1.0) -> dict[int, str]:
+    def probe(self, timeout: Optional[float] = None) -> dict[int, str]:
         """Heartbeat every idle lane; respawn the dead, keep the idle.
 
-        Busy lanes are judged by ``proc.is_alive()`` only — a worker deep
-        in an exact-arithmetic pivot legitimately ignores its pipe.
+        Lanes leased to a running batch are judged by ``proc.is_alive()``
+        only — a worker deep in an exact-arithmetic pivot legitimately
+        ignores its pipe.  ``timeout`` defaults to the pool's
+        ``probe_timeout`` (threaded from ``ServiceConfig`` by the server).
         """
+        if timeout is None:
+            timeout = self.probe_timeout
         verdicts: dict[int, str] = {}
-        for i, lane in enumerate(self._lanes):
-            if lane.busy is not None:
-                verdicts[lane.lane] = "busy" if lane.proc.is_alive() else "dead"
-                continue
-            verdicts[lane.lane] = probe_worker(lane.proc, lane.conn, timeout)
-        for i, lane in enumerate(list(self._lanes)):
-            if verdicts[lane.lane] in ("dead", "stuck") and lane.busy is None:
-                reap_worker(lane.proc, lane.conn, self.kill_grace)
-                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+        mine: list[_Lane] = []
+        with self._cond:
+            for lane in self._lanes:
+                if lane.leased:
+                    verdicts[lane.lane] = (
+                        "busy" if lane.proc.is_alive() else "dead"
+                    )
+                else:
+                    lane.leased = True
+                    mine.append(lane)
+        try:
+            for i, lane in enumerate(list(mine)):
+                verdict = probe_worker(lane.proc, lane.conn, timeout)
+                verdicts[lane.lane] = verdict
+                if verdict in ("dead", "stuck"):
+                    metrics().counter("service.pool.probe_respawns").inc()
+                    mine[i] = self._replace_lane(lane)
+        finally:
+            self._release(mine)
         return verdicts
 
     # -- batch execution -----------------------------------------------------
@@ -192,6 +273,7 @@ class WorkerPool:
         *,
         accept: Optional[Callable[[Any], bool]] = None,
         wall_time: Optional[float] = None,
+        cancel: Optional[CancelScope] = None,
     ) -> PortfolioOutcome:
         """Run ``tasks`` (``(fn, args)`` / ``(fn, args, kwargs)``) across
         the pool; first accepted result wins, mirroring
@@ -201,25 +283,36 @@ class WorkerPool:
         winner, all results in ``outcome.reports``).  Raises
         :class:`SoundnessError` from any worker immediately and
         :class:`WorkerError` when every task errored.
+
+        ``cancel`` (explicit, or bound to this thread via
+        :meth:`bind_cancel`) is polled while the batch runs; once fired,
+        in-flight tasks are SIGUSR1-cancelled and the batch raises
+        :class:`JobCancelled` with the scope's reason.
         """
         if not self._started:
             self.start()
-        self._accept_fn = accept or (lambda _result: True)
+        if cancel is None:
+            cancel = self._bound.get(threading.get_ident())
+        accept_fn = accept or (lambda _result: True)
         tr = tracer()
         start = time.perf_counter()
         deadline = None if wall_time is None else start + wall_time
-        self._batch_seq += 1
-        self.stats.batches += 1
+        with self._cond:
+            self._batch_seq += 1
+            batch_no = self._batch_seq
+            self.stats.batches += 1
         outcome = PortfolioOutcome(winner=None, result=None, cancelled=[])
         queue: deque[int] = deque(range(len(tasks)))
         attempts = {i: 0 for i in range(len(tasks))}
         tokens: dict[str, int] = {}  # live token -> task index
 
         def _token(i: int) -> str:
-            t = f"b{self._batch_seq}:{i}:a{attempts[i]}"
+            t = f"b{batch_no}:{i}:a{attempts[i]}"
             tokens[t] = i
             return t
 
+        leased = self._lease(min(self.size, len(tasks)), cancel)
+        timed_out = False
         with tr.span(
             "service.pool.batch", size=len(tasks), pool=self.size
         ) as span:
@@ -227,38 +320,50 @@ class WorkerPool:
             anchor_depth = getattr(span, "depth", 0)
             try:
                 while outcome.winner is None:
-                    self._dispatch(queue, tasks, attempts, _token)
-                    busy = [ln for ln in self._lanes if ln.busy is not None]
+                    if self._closing:
+                        self._cancel_busy(leased, outcome, tokens)
+                        raise JobCancelled(CANCEL_DRAIN)
+                    if cancel is not None and cancel.cancelled:
+                        self._cancel_busy(leased, outcome, tokens)
+                        raise JobCancelled(cancel.reason or "user")
+                    self._dispatch(leased, queue, tasks, _token)
+                    busy = [ln for ln in leased if ln.busy is not None]
                     if not busy and not queue:
                         break  # everything judged
-                    timeout = None
+                    remaining = None
                     if deadline is not None:
-                        timeout = deadline - time.perf_counter()
-                        if timeout <= 0:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            timed_out = True
                             break
                     if not busy:
                         continue  # dispatch again (fresh respawns)
+                    tick = (
+                        _POLL_TICK if remaining is None
+                        else min(_POLL_TICK, remaining)
+                    )
                     ready = _wait_connections(
-                        [ln.conn for ln in busy],
-                        timeout=timeout,
+                        [ln.conn for ln in busy], timeout=tick
                     )
                     if not ready:
-                        break  # batch-level timeout
+                        continue  # poll tick: re-check cancel/deadline
                     by_conn = {ln.conn: ln for ln in busy}
                     for conn in ready:
                         lane = by_conn[conn]
                         if self._consume(
-                            lane, tokens, queue, attempts, outcome, start,
-                            anchor, anchor_depth,
+                            lane, leased, tokens, queue, attempts, outcome,
+                            start, accept_fn, anchor, anchor_depth,
                         ):
                             break  # winner accepted
                 # losers: anything queued or in flight when the race ended
                 if outcome.winner is not None:
-                    self._cancel_busy(outcome, tokens)
+                    self._cancel_busy(leased, outcome, tokens)
                     for i in queue:
                         outcome.cancelled.append(i)
-                else:
-                    self._cancel_busy(outcome, tokens, as_timeout=wall_time)
+                elif timed_out:
+                    self._cancel_busy(
+                        leased, outcome, tokens, as_timeout=wall_time
+                    )
                     for i in queue:
                         outcome.reports[i] = WorkerReport(
                             status="timeout",
@@ -268,7 +373,8 @@ class WorkerPool:
                             ),
                         )
             finally:
-                self._recycle_idle()
+                self._recycle_leased(leased)
+                self._release(leased)
             for i, frames in sorted(outcome.telemetry.items()):
                 for frame in frames:
                     merge_frame(
@@ -290,6 +396,46 @@ class WorkerPool:
             )
         return outcome
 
+    # -- lane leasing --------------------------------------------------------
+
+    def _lease(self, want: int, cancel: Optional[CancelScope]) -> list[_Lane]:
+        """Take up to ``want`` idle lanes (at least one; blocks for it)."""
+        want = max(1, want)
+        with self._cond:
+            while True:
+                if self._closing:
+                    raise JobCancelled(CANCEL_DRAIN)
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                free = [ln for ln in self._lanes if not ln.leased]
+                if free:
+                    take = free[:want]
+                    for ln in take:
+                        ln.leased = True
+                    return take
+                self._cond.wait(_POLL_TICK)
+
+    def _release(self, leased: list[_Lane]) -> None:
+        with self._cond:
+            for ln in leased:
+                ln.leased = False
+            self._cond.notify_all()
+
+    def _replace_lane(self, lane: _Lane, respawn: bool = True) -> _Lane:
+        """Reap an exclusively-held dead/condemned lane, spawn its successor
+        (still leased), and swap it into the pool's lane table."""
+        reap_worker(lane.proc, lane.conn, self.kill_grace)
+        if self._closing:
+            raise JobCancelled(CANCEL_DRAIN)
+        fresh = self._spawn(lane.lane, respawn=respawn)
+        fresh.leased = True
+        with self._cond:
+            try:
+                self._lanes[self._lanes.index(lane)] = fresh
+            except ValueError:  # pool shut down underneath us
+                pass
+        return fresh
+
     # -- internals -----------------------------------------------------------
 
     def _spawn(self, lane_no: int, respawn: bool = False) -> _Lane:
@@ -305,9 +451,11 @@ class WorkerPool:
         self._prime_lane(lane)
         return lane
 
-    def _prime_lane(self, lane: _Lane, timeout: float = 60.0) -> None:
+    def _prime_lane(self, lane: _Lane, timeout: Optional[float] = None) -> None:
         if self._prime is None:
             return
+        if timeout is None:
+            timeout = self.prime_timeout
         fn, args, kwargs = self._prime
         try:
             lane.conn.send(("prime", fn, args, kwargs))
@@ -330,16 +478,15 @@ class WorkerPool:
                 return
             # stale telemetry/pong from a previous life: drop it
 
-    def _dispatch(self, queue, tasks, attempts, make_token) -> None:
-        """Hand queued tasks to idle lanes (respawning dead idles)."""
-        for i, lane in enumerate(self._lanes):
+    def _dispatch(self, leased, queue, tasks, make_token) -> None:
+        """Hand queued tasks to idle leased lanes (respawning dead idles)."""
+        for i, lane in enumerate(leased):
             if not queue:
                 return
             if lane.busy is not None:
                 continue
             if not lane.proc.is_alive():
-                reap_worker(lane.proc, lane.conn, self.kill_grace)
-                lane = self._lanes[i] = self._spawn(lane.lane, respawn=True)
+                lane = leased[i] = self._replace_lane(lane)
             idx = queue.popleft()
             task = tasks[idx]
             fn, args = task[0], task[1]
@@ -351,20 +498,19 @@ class WorkerPool:
                 # died between the liveness check and the send; retry the
                 # task on a fresh worker next dispatch round
                 queue.appendleft(idx)
-                reap_worker(lane.proc, lane.conn, self.kill_grace)
-                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+                leased[i] = self._replace_lane(lane)
                 continue
             lane.busy = token
 
     def _consume(
-        self, lane, tokens, queue, attempts, outcome, start,
-        anchor, anchor_depth,
+        self, lane, leased, tokens, queue, attempts, outcome, start,
+        accept_fn, anchor, anchor_depth,
     ) -> bool:
         """Read one message from a busy lane.  True = winner accepted."""
         try:
             msg = lane.conn.recv()
         except (EOFError, OSError):
-            self._lane_died(lane, tokens, queue, attempts, outcome)
+            self._lane_died(lane, leased, tokens, queue, attempts, outcome)
             return False
         if not isinstance(msg, tuple) or not msg:
             return False
@@ -390,14 +536,14 @@ class WorkerPool:
                     )
             outcome.telemetry.clear()
             dump_flight("soundness")
-            self._cancel_busy(outcome, tokens)
+            self._cancel_busy(leased, outcome, tokens)
             raise SoundnessError(payload)
         if status == "ok":
             outcome.reports[idx] = WorkerReport(
                 status="ok", result=payload,
                 wall_time=time.perf_counter() - start,
             )
-            if outcome.winner is None and self._accept(payload):
+            if outcome.winner is None and accept_fn(payload):
                 outcome.winner = idx
                 outcome.result = payload
                 return True
@@ -409,7 +555,7 @@ class WorkerPool:
                 status="oom", detail=str(payload),
                 wall_time=time.perf_counter() - start,
             )
-            self._retire(lane)
+            self._retire(lane, leased)
             return False
         outcome.reports[idx] = WorkerReport(
             status="cancelled" if status == "cancelled" else "error",
@@ -418,14 +564,12 @@ class WorkerPool:
         )
         return False
 
-    def _lane_died(self, lane, tokens, queue, attempts, outcome) -> None:
+    def _lane_died(self, lane, leased, tokens, queue, attempts, outcome) -> None:
         """Broken pipe mid-task: respawn the lane, re-queue its task."""
         token = lane.busy
         idx = tokens.pop(token, None) if token else None
-        i = self._lanes.index(lane)
         exitcode = lane.proc.exitcode
-        reap_worker(lane.proc, lane.conn, self.kill_grace)
-        self._lanes[i] = self._spawn(lane.lane, respawn=True)
+        leased[leased.index(lane)] = self._replace_lane(lane)
         if idx is None:
             return
         attempts[idx] += 1
@@ -448,9 +592,9 @@ class WorkerPool:
         except (ProcessLookupError, OSError):
             pass
 
-    def _cancel_busy(self, outcome, tokens, as_timeout=None) -> None:
+    def _cancel_busy(self, leased, outcome, tokens, as_timeout=None) -> None:
         """Cancel in-flight tasks; keep workers that acknowledge."""
-        busy = [ln for ln in self._lanes if ln.busy is not None]
+        busy = [ln for ln in leased if ln.busy is not None]
         for lane in busy:
             self._signal_cancel(lane)
         deadline = time.monotonic() + max(self.kill_grace, 0.1)
@@ -467,9 +611,7 @@ class WorkerPool:
                 else:
                     outcome.cancelled.append(idx)
             if not acked:
-                i = self._lanes.index(lane)
-                reap_worker(lane.proc, lane.conn, self.kill_grace)
-                self._lanes[i] = self._spawn(lane.lane, respawn=True)
+                leased[leased.index(lane)] = self._replace_lane(lane)
             else:
                 lane.busy = None
                 lane.tasks_served += 1
@@ -498,22 +640,17 @@ class WorkerPool:
                 return True  # final status (cancelled/ok/error), discarded
             # anything else: stale, keep draining
 
-    def _retire(self, lane) -> None:
-        i = self._lanes.index(lane)
-        reap_worker(lane.proc, lane.conn, self.kill_grace)
-        self._lanes[i] = self._spawn(lane.lane, respawn=True)
+    def _retire(self, lane, leased) -> None:
+        leased[leased.index(lane)] = self._replace_lane(lane)
         self.stats.recycles += 1
 
-    def _recycle_idle(self) -> None:
-        """Replace idle lanes that served their max task quota."""
-        for i, lane in enumerate(self._lanes):
+    def _recycle_leased(self, leased) -> None:
+        """Replace leased-idle lanes that served their max task quota."""
+        for i, lane in enumerate(leased):
             if lane.busy is None and lane.tasks_served >= self.max_tasks_per_worker:
-                reap_worker(lane.proc, lane.conn, self.kill_grace)
-                self._lanes[i] = self._spawn(lane.lane)
+                try:
+                    leased[i] = self._replace_lane(lane, respawn=False)
+                except JobCancelled:
+                    return  # closing: shutdown() owns the cleanup now
                 self.stats.recycles += 1
                 metrics().counter("service.pool.recycles").inc()
-
-    # run_batch stores accept here so _consume can reach it without
-    # threading it through every call
-    def _accept(self, payload) -> bool:
-        return self._accept_fn(payload)

@@ -1,0 +1,164 @@
+"""Overload-and-failure survival policies for the control plane.
+
+This module holds the primitives PR 10 threads through the whole
+service stack — they are deliberately tiny, because each one is shared
+by several layers that must agree on its semantics:
+
+* :class:`CancelScope` — one job's cancellation token.  The server's
+  watchdog (wall-clock deadline), the ``POST /jobs/<id>/cancel``
+  handler, and the drain path all ``cancel()`` it with a *reason*; the
+  :class:`~repro.service.pool.WorkerPool` polls it inside
+  ``run_batch`` and converts it into SIGUSR1 on the busy lanes plus a
+  :class:`JobCancelled` raised in the executor thread.  The reason
+  decides what the server does next: a user cancel is terminal, a
+  deadline cancel re-queues (bounded by the spec's ``max_attempts``),
+  a drain cancel re-queues without judgement.
+
+* :class:`JobCancelled` — the exception that unwinds a cancelled job's
+  executor thread.  It derives from ``BaseException`` for the same
+  reason :class:`~repro.runtime.workers.TaskCancelled` does: job code
+  that catches ``Exception`` (retry loops, advisory telemetry) must
+  not be able to swallow a cancellation.
+
+* :class:`RetryPolicy` — the client-side retry/backoff contract:
+  full-jitter exponential backoff (reusing
+  :func:`repro.chaos.full_jitter_backoff`) on connection faults and on
+  429/503 responses, honouring a server-provided ``Retry-After``.
+
+* :class:`AttemptRecord` — one entry of a job's attempt history: when
+  it started, how it ended, why.  Persisted in the v2
+  :class:`~repro.service.jobs.JobRecord` so a job that was re-queued
+  and finally failed carries the honest story of every attempt.
+
+Why re-queueing is safe at all: a JobSpec is a *pure description* — no
+attempt mutates it — and result payloads fingerprint their semantic
+content, so a duplicate execution is detectable (equal fingerprints)
+rather than harmful.  See DESIGN "Why re-queue is safe".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional
+
+from ..chaos.supervisor import full_jitter_backoff
+
+__all__ = [
+    "AttemptRecord",
+    "CancelScope",
+    "JobCancelled",
+    "RetryPolicy",
+    "CANCEL_USER",
+    "CANCEL_DEADLINE",
+    "CANCEL_DRAIN",
+]
+
+#: cancellation reasons with distinct server-side consequences
+CANCEL_USER = "user"          # POST /jobs/<id>/cancel -> terminal "cancelled"
+CANCEL_DEADLINE = "deadline"  # watchdog: wall clock exceeded -> re-queue/fail
+CANCEL_DRAIN = "drain"        # graceful shutdown -> re-queue, no judgement
+
+
+class JobCancelled(BaseException):
+    """Unwinds a cancelled job's executor thread (carries the reason)."""
+
+    def __init__(self, reason: str = CANCEL_USER):
+        self.reason = reason
+        super().__init__(f"job cancelled ({reason})")
+
+
+class CancelScope:
+    """One job's cancellation token, shared across threads.
+
+    ``cancel()`` is idempotent: the first reason wins, so a user cancel
+    racing the deadline watchdog yields one consistent verdict.
+    """
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+        self._lock = threading.Lock()
+
+    def cancel(self, reason: str = CANCEL_USER) -> bool:
+        """Request cancellation; returns True if this call won the race."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+                self._event.set()
+                return True
+            return False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise JobCancelled(self._reason or CANCEL_USER)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry contract for transient control-plane faults.
+
+    ``retries`` bounds the extra attempts after the first; the sleep
+    before retry ``attempt`` (0-based) is the server's ``Retry-After``
+    when it sent one, full-jitter exponential backoff otherwise.
+    """
+
+    retries: int = 3
+    backoff_base: float = 0.2
+    backoff_cap: float = 3.0
+    #: response statuses that are retried (connection faults always are)
+    retry_statuses: tuple = (429, 503)
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None,
+              rng: Optional[Random] = None) -> float:
+        if retry_after is not None and retry_after >= 0:
+            return min(retry_after, self.backoff_cap)
+        return full_jitter_backoff(
+            self.backoff_base, attempt, cap=self.backoff_cap, rng=rng
+        )
+
+
+@dataclass
+class AttemptRecord:
+    """One execution attempt of a job (a row of its attempt history)."""
+
+    attempt: int
+    started_at: float = field(default_factory=time.time)
+    ended_at: Optional[float] = None
+    outcome: Optional[str] = None  # done|failed|user|deadline|drain|lease-expired
+    detail: Optional[str] = None
+
+    def close(self, outcome: str, detail: Optional[str] = None) -> "AttemptRecord":
+        self.ended_at = time.time()
+        self.outcome = outcome
+        self.detail = detail
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AttemptRecord":
+        return cls(
+            attempt=int(data.get("attempt", 0)),
+            started_at=float(data.get("started_at", 0.0)),
+            ended_at=data.get("ended_at"),
+            outcome=data.get("outcome"),
+            detail=data.get("detail"),
+        )

@@ -7,30 +7,50 @@ control and NDJSON for live progress streams.
 Endpoints:
 
 * ``POST /jobs`` — submit a :class:`~repro.service.jobs.JobSpec`;
-  returns ``202`` with the job id and spec fingerprint.
+  returns ``202`` with the job id and spec fingerprint.  Re-submitting
+  an identical spec while the original is queued/running/done returns
+  the existing job (``200``, ``deduped: true``) — client retries after
+  a lost response are safe.  A full queue answers ``429`` with a
+  ``Retry-After`` header; a draining server answers ``503``.
 * ``GET /jobs`` — list every known job (durable across restarts).
 * ``GET /jobs/<id>`` — one job's lifecycle record (sans result body).
 * ``GET /jobs/<id>/result`` — the result payload once ``done``.
-* ``GET /jobs/<id>/events`` — NDJSON: every ``repro.obs`` tracer record
-  emitted while the job runs, then one final ``{"state": ...}`` line.
-* ``POST /jobs/<id>/cancel`` — cancel a *queued* job (running jobs
-  finish; the pool owns in-flight cancellation).
+* ``GET /jobs/<id>/events[?from=N]`` — NDJSON: every ``repro.obs``
+  tracer record emitted while the job runs, then one final
+  ``{"state": ...}`` line.  Records carry a monotonically increasing
+  ``seq``; ``?from=N`` replays the buffered tail from that cursor (a
+  ``{"type": "gap"}`` line marks records that fell out of the buffer),
+  so a client can reconnect a torn stream without losing progress.
+* ``POST /jobs/<id>/cancel`` — cancel a queued *or running* job;
+  running jobs are cancelled cooperatively through the worker pool's
+  SIGUSR1 path (``202 cancelling``, terminal state follows).
 * ``GET /cache/stats`` — persisted counters + true disk usage of the
   service-wide query cache.
-* ``GET /stats`` — pool counters and job-state tallies.
+* ``GET /stats`` — pool counters, job-state tallies, queue depth,
+  executor occupancy, and load-shed count.
 * ``GET /healthz`` — liveness probe.
-* ``POST /shutdown`` — drain and exit cleanly (no orphan workers).
+* ``POST /shutdown`` — graceful drain: stop admitting work, finish (or
+  re-queue, past ``drain_grace``) in-flight jobs, then exit cleanly.
 
 Durability: every job record is one JSON file under
 ``<state_dir>/jobs/``, rewritten atomically on each state change.  On
 boot the server re-loads them; jobs that were ``running`` when the
-previous process died are re-queued (their execution is repeatable — a
-JobSpec is a pure description).
+previous process died hold an expired *lease* and are re-queued —
+bounded by the spec's ``max_attempts`` — with the interrupted attempt
+recorded in their history (their execution is repeatable: a JobSpec is
+a pure description; see DESIGN "Why re-queue is safe").
 
-Execution: one job at a time, in a thread
-(``asyncio.to_thread``), against the shared :class:`WorkerPool` and the
+Execution: ``executors`` jobs at a time, each in a thread
+(``asyncio.to_thread``) against the shared :class:`WorkerPool` and the
 service-wide cache — the same :func:`~repro.service.jobs.execute_job`
-path the CLI uses locally.
+path the CLI uses locally.  A watchdog renews running jobs' leases and
+enforces per-spec wall-clock deadlines through each job's
+:class:`~repro.service.resilience.CancelScope`.
+
+Chaos: the request path visits ``service.accept``, ``service.response``
+and ``service.stream`` injection points; armed network faults
+(:class:`~repro.chaos.NetworkFault`) become real socket misbehaviour —
+aborted connections, stretched writes, torn NDJSON lines, 503s.
 """
 
 from __future__ import annotations
@@ -40,18 +60,34 @@ import json
 import os
 import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
+from urllib.parse import parse_qs
 
-from ..obs import tracer
+from ..chaos import NetworkFault, chaos_point
+from ..obs import metrics, tracer
 from ..runtime.errors import SoundnessError
-from .jobs import JobRecord, JobSpec, JobSpecError
+from .jobs import (
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    spec_deadline,
+    spec_max_attempts,
+)
 from .pool import WorkerPool
+from .resilience import (
+    CANCEL_DEADLINE,
+    CANCEL_DRAIN,
+    CANCEL_USER,
+    AttemptRecord,
+    CancelScope,
+    JobCancelled,
+)
 
 __all__ = ["ServiceConfig", "JobServer", "run_server"]
 
-_JSON = {"Content-Type": "application/json"}
-_NDJSON = {"Content-Type": "application/x-ndjson"}
+_TERMINAL = ("done", "failed", "cancelled")
 
 
 @dataclass
@@ -71,6 +107,24 @@ class ServiceConfig:
     max_cache_mb: Optional[float] = None
     #: recycle a pool worker after this many tasks
     max_tasks_per_worker: int = 64
+    #: concurrent job executors over the shared pool
+    executors: int = 2
+    #: queued jobs beyond this are shed with 429 + Retry-After
+    max_queue: int = 64
+    #: Retry-After seconds suggested on 429/503 responses
+    retry_after_s: float = 2.0
+    #: running jobs hold a lease this long; renewed by the watchdog
+    lease_duration: float = 15.0
+    #: watchdog cadence (lease renewal + deadline enforcement), seconds
+    watchdog_interval: float = 1.0
+    #: graceful-drain budget before in-flight jobs are re-queued
+    drain_grace: float = 30.0
+    #: per-job event ring buffer (cursor-resumable stream tail)
+    event_buffer: int = 512
+    #: idle-worker heartbeat timeout (WorkerPool.probe)
+    probe_timeout: float = 1.0
+    #: worker warm-up call timeout (WorkerPool prime)
+    prime_timeout: float = 60.0
 
     @property
     def cache_dir(self) -> str:
@@ -96,6 +150,16 @@ def _prime_worker():
     from ..smt import compile as _compile  # noqa: F401
 
 
+@dataclass
+class _Execution:
+    """Live bookkeeping of one running job attempt (in-memory only)."""
+
+    cancel: CancelScope
+    attempt: AttemptRecord
+    started_wall: float
+    deadline_s: Optional[float] = None
+
+
 class JobServer:
     """One control-plane instance (see module docstring)."""
 
@@ -107,12 +171,24 @@ class JobServer:
             memory_mb=self.config.memory_mb,
             max_tasks_per_worker=self.config.max_tasks_per_worker,
             prime=(_prime_worker, (), {}),
+            probe_timeout=self.config.probe_timeout,
+            prime_timeout=self.config.prime_timeout,
         )
-        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._queue: asyncio.Queue[Optional[str]] = asyncio.Queue()
         self._watchers: dict[str, list[asyncio.Queue]] = {}
+        #: per-job ring buffer of emitted stream records (seq-stamped)
+        self._event_logs: dict[str, deque] = {}
+        self._event_seq: dict[str, int] = {}
+        #: spec fingerprint -> job id (the dedup index)
+        self._by_fingerprint: dict[str, str] = {}
+        #: job id -> live execution state (cancel scope, deadline)
+        self._running: dict[str, _Execution] = {}
         self._server: Optional[asyncio.AbstractServer] = None
-        self._runner_task: Optional[asyncio.Task] = None
+        self._executor_tasks: list[asyncio.Task] = []
+        self._watchdog_task: Optional[asyncio.Task] = None
         self._shutdown = asyncio.Event()
+        self._draining = False
+        self._shed = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -124,7 +200,11 @@ class JobServer:
         self._loop = asyncio.get_running_loop()
         self._load_jobs()
         self.pool.start()
-        self._runner_task = asyncio.create_task(self._run_jobs())
+        self._executor_tasks = [
+            asyncio.create_task(self._run_jobs(n))
+            for n in range(max(1, self.config.executors))
+        ]
+        self._watchdog_task = asyncio.create_task(self._watchdog())
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -133,8 +213,10 @@ class JobServer:
             host=self.config.host,
             port=self.port,
             pool=self.config.pool_size,
+            executors=self.config.executors,
             msg=f"[service] listening on {self.config.host}:{self.port} "
-                f"({self.config.pool_size} pooled workers)",
+                f"({self.config.pool_size} pooled workers, "
+                f"{self.config.executors} executors)",
         )
 
     @property
@@ -150,23 +232,63 @@ class JobServer:
 
     async def stop(self) -> None:
         self._shutdown.set()
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._runner_task is not None:
-            self._runner_task.cancel()
+        # cancel in-flight jobs as a drain (they re-queue durably) and
+        # unblock idle executors with one sentinel each
+        for ex in list(self._running.values()):
+            ex.cancel.cancel(CANCEL_DRAIN)
+        for _ in self._executor_tasks:
+            self._queue.put_nowait(None)
+        if self._executor_tasks:
+            done, pending = await asyncio.wait(
+                self._executor_tasks,
+                timeout=max(10.0, self.pool.kill_grace * 4),
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                exc = task.exception()
+                if exc is not None and not isinstance(exc, SoundnessError):
+                    tracer().event(
+                        "service.executor_error",
+                        msg=f"[service] executor died: {exc}", error=str(exc),
+                    )
+            self._executor_tasks = []
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
             try:
-                await self._runner_task
+                await self._watchdog_task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
-            self._runner_task = None
+            self._watchdog_task = None
         # wake every stream so clients see the end of their job
         for queues in list(self._watchers.values()):
             for q in queues:
                 q.put_nowait(None)
         self.pool.shutdown()
         tracer().event("service.stop", msg="[service] stopped")
+
+    async def _drain_and_stop(self) -> None:
+        """Graceful ``POST /shutdown``: admit nothing, finish in-flight
+        work within ``drain_grace``, re-queue the rest, then stop."""
+        self._draining = True
+        for _ in self._executor_tasks:
+            self._queue.put_nowait(None)
+        deadline = time.monotonic() + self.config.drain_grace
+        while self._running and time.monotonic() < deadline:
+            await asyncio.sleep(0.1)
+        for ex in list(self._running.values()):
+            ex.cancel.cancel(CANCEL_DRAIN)
+        grace = time.monotonic() + max(5.0, self.pool.kill_grace * 2)
+        while self._running and time.monotonic() < grace:
+            await asyncio.sleep(0.1)
+        self._shutdown.set()
 
     # -- durable job store ---------------------------------------------------
 
@@ -195,55 +317,153 @@ class JobServer:
             except (OSError, ValueError, KeyError, JobSpecError):
                 continue  # a torn or foreign file is not a job
             self.jobs[record.job_id] = record
-            if record.state in ("queued", "running"):
-                # a job that was mid-flight when the previous process
-                # died is repeatable: its spec is a pure description
-                record.state = "queued"
+            if record.state == "running":
+                # the previous process died mid-attempt: its lease is
+                # stale by definition.  Close the interrupted attempt
+                # honestly and re-queue, bounded by max_attempts.
+                record.attempt_history.append({
+                    "attempt": record.attempts,
+                    "started_at": record.started_at,
+                    "ended_at": None,
+                    "outcome": "lease-expired",
+                    "detail": "server died mid-attempt; lease not renewed",
+                })
+                record.lease_expires_at = None
                 record.started_at = None
+                if record.attempts >= spec_max_attempts(record.spec):
+                    record.state = "failed"
+                    record.error = (
+                        f"gave up after {record.attempts} interrupted "
+                        f"attempts (see attempt_history)"
+                    )
+                    record.finished_at = time.time()
+                    self._persist(record)
+                else:
+                    record.state = "queued"
+                    self._persist(record)
+                    self._queue.put_nowait(record.job_id)
+            elif record.state == "queued":
                 self._persist(record)
                 self._queue.put_nowait(record.job_id)
+        # rebuild the dedup index; a live claim beats a terminal one
+        for record in self.jobs.values():
+            fp = record.spec.fingerprint()
+            if record.state in ("queued", "running", "done"):
+                self._by_fingerprint[fp] = record.job_id
 
     # -- job execution -------------------------------------------------------
 
-    async def _run_jobs(self) -> None:
+    async def _run_jobs(self, executor_no: int) -> None:
         while True:
             job_id = await self._queue.get()
+            if job_id is None:
+                return  # drain sentinel
+            if self._draining:
+                # leave the id queued durably; a restart picks it up
+                continue
             record = self.jobs.get(job_id)
             if record is None or record.state != "queued":
                 continue  # cancelled (or foreign) while queued
-            record.state = "running"
-            record.started_at = time.time()
-            self._persist(record)
-            self._notify(job_id, {"type": "job", "state": "running",
-                                  "job_id": job_id})
-            loop = asyncio.get_running_loop()
+            await self._execute_one(record)
 
-            def _progress(rec: dict, job_id=job_id) -> None:
-                # called from the executor thread: hop to the loop
-                loop.call_soon_threadsafe(self._notify, job_id, rec)
+    async def _execute_one(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        record.state = "running"
+        record.started_at = time.time()
+        record.attempts += 1
+        record.lease_expires_at = time.time() + self.config.lease_duration
+        attempt = AttemptRecord(attempt=record.attempts)
+        execution = _Execution(
+            cancel=CancelScope(),
+            attempt=attempt,
+            started_wall=time.monotonic(),
+            deadline_s=spec_deadline(record.spec),
+        )
+        self._running[job_id] = execution
+        self._persist(record)
+        self._notify(job_id, {"type": "job", "state": "running",
+                              "job_id": job_id,
+                              "attempt": record.attempts})
+        loop = asyncio.get_running_loop()
 
-            try:
-                result = await asyncio.to_thread(
-                    self._execute, record, _progress
-                )
-                record.result = result
-                record.state = "done"
-                record.error = None
-            except SoundnessError as exc:
-                # a soundness failure is loud everywhere: the job fails
-                # AND the server refuses further work (something is
-                # wrong with the engine, not with this one spec)
-                record.state = "failed"
-                record.error = f"SoundnessError: {exc}"
-                self._finish(record)
-                self._shutdown.set()
-                raise
-            except Exception as exc:  # noqa: BLE001 - job-level fault barrier
-                record.state = "failed"
-                record.error = f"{type(exc).__name__}: {exc}"
+        def _progress(rec: dict, job_id=job_id) -> None:
+            # called from the executor thread: hop to the loop
+            loop.call_soon_threadsafe(self._notify, job_id, rec)
+
+        try:
+            result = await asyncio.to_thread(
+                self._execute, record, _progress, execution.cancel
+            )
+            record.result = result
+            record.state = "done"
+            record.error = None
+            record.attempt_history.append(attempt.close("done").to_json())
+        except JobCancelled as exc:
+            self._handle_cancelled(record, attempt, exc.reason)
+            return
+        except SoundnessError as exc:
+            # a soundness failure is loud everywhere: the job fails
+            # AND the server refuses further work (something is
+            # wrong with the engine, not with this one spec)
+            record.state = "failed"
+            record.error = f"SoundnessError: {exc}"
+            record.attempt_history.append(
+                attempt.close("failed", record.error).to_json()
+            )
             self._finish(record)
+            self._shutdown.set()
+            raise
+        except Exception as exc:  # noqa: BLE001 - job-level fault barrier
+            record.state = "failed"
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.attempt_history.append(
+                attempt.close("failed", record.error).to_json()
+            )
+        finally:
+            self._running.pop(job_id, None)
+        self._finish(record)
 
-    def _execute(self, record: JobRecord, progress) -> dict:
+    def _handle_cancelled(
+        self, record: JobRecord, attempt: AttemptRecord, reason: str
+    ) -> None:
+        """Route a cancelled attempt by *why* it was cancelled."""
+        job_id = record.job_id
+        self._running.pop(job_id, None)
+        if reason == CANCEL_USER:
+            record.state = "cancelled"
+            record.attempt_history.append(
+                attempt.close(CANCEL_USER, "cancelled by request").to_json()
+            )
+            self._finish(record)
+            return
+        detail = (
+            f"exceeded wall-clock deadline "
+            f"({spec_deadline(record.spec)}s)"
+            if reason == CANCEL_DEADLINE else "server draining"
+        )
+        record.attempt_history.append(attempt.close(reason, detail).to_json())
+        allowed = spec_max_attempts(record.spec)
+        if reason == CANCEL_DEADLINE and record.attempts >= allowed:
+            record.state = "failed"
+            record.error = (
+                f"gave up after {record.attempts}/{allowed} attempts: {detail}"
+            )
+            self._finish(record)
+            return
+        # deadline with attempts left, or drain: back to the queue
+        record.state = "queued"
+        record.started_at = None
+        record.lease_expires_at = None
+        self._persist(record)
+        metrics().counter("service.requeues").inc()
+        self._notify(job_id, {"type": "job", "state": "queued",
+                              "job_id": job_id, "requeued": True,
+                              "reason": reason,
+                              "attempt": record.attempts})
+        if not self._draining:
+            self._queue.put_nowait(job_id)
+
+    def _execute(self, record: JobRecord, progress, cancel) -> dict:
         from .jobs import execute_job
 
         checkpoint = None
@@ -257,11 +477,18 @@ class JobServer:
             cache_dir=self.config.cache_dir,
             checkpoint_path=checkpoint,
             progress=progress,
+            cancel=cancel,
         )
 
     def _finish(self, record: JobRecord) -> None:
         record.finished_at = time.time()
+        record.lease_expires_at = None
         self._persist(record)
+        if record.state in ("failed", "cancelled"):
+            # release the dedup claim: a failed spec may be resubmitted
+            fp = record.spec.fingerprint()
+            if self._by_fingerprint.get(fp) == record.job_id:
+                del self._by_fingerprint[fp]
         if self.config.max_cache_mb is not None:
             # enforce the service-wide cache cap between jobs (the
             # executor-side caches track bytes; this applies the LRU cut)
@@ -279,13 +506,64 @@ class JobServer:
             q.put_nowait(None)
 
     def _notify(self, job_id: str, record: dict) -> None:
+        seq = self._event_seq.get(job_id, 0)
+        self._event_seq[job_id] = seq + 1
+        record = dict(record)
+        record["seq"] = seq
+        log = self._event_logs.get(job_id)
+        if log is None:
+            log = self._event_logs[job_id] = deque(
+                maxlen=max(16, self.config.event_buffer)
+            )
+        log.append(record)
         for q in self._watchers.get(job_id, ()):
             q.put_nowait(record)
+
+    async def _watchdog(self) -> None:
+        """Renew running jobs' leases; cancel past-deadline attempts.
+
+        The lease is the crash detector: it is renewed unconditionally
+        while the executor thread is alive, so an *expired* lease is
+        only ever observed by a freshly booted server — meaning the
+        previous process died mid-attempt.  The wall-clock deadline is
+        the runaway bound, enforced here through the job's CancelScope.
+        """
+        interval = max(0.05, self.config.watchdog_interval)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.time()
+            mono = time.monotonic()
+            for job_id, execution in list(self._running.items()):
+                record = self.jobs.get(job_id)
+                if record is None or record.state != "running":
+                    continue
+                record.lease_expires_at = now + self.config.lease_duration
+                try:
+                    self._persist(record)
+                except OSError:
+                    pass  # disk hiccup: renew on the next tick
+                if (
+                    execution.deadline_s is not None
+                    and mono - execution.started_wall > execution.deadline_s
+                ):
+                    if execution.cancel.cancel(CANCEL_DEADLINE):
+                        metrics().counter("service.deadline_cancels").inc()
+                        tracer().event(
+                            "service.deadline",
+                            job=job_id,
+                            msg=f"[service] job {job_id} exceeded "
+                                f"{execution.deadline_s}s; cancelling",
+                        )
 
     # -- HTTP plumbing -------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
         try:
+            try:
+                chaos_point("service.accept")
+            except NetworkFault as fault:
+                if await self._misbehave_accept(fault, writer):
+                    return
             await self._handle_request(reader, writer)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass
@@ -300,6 +578,22 @@ class JobServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _misbehave_accept(self, fault: NetworkFault, writer) -> bool:
+        """Turn an injected accept-path fault into wire misbehaviour.
+        Returns True when the request must not be served."""
+        if fault.kind == "slow_write":
+            await asyncio.sleep(fault.delay)
+            return False  # stretched, then served normally
+        if fault.kind == "reject_503":
+            await _respond(
+                writer, 503, {"error": "chaos: service unavailable"},
+                headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+            )
+            return True
+        # conn_reset / torn_stream: drop the connection on the floor
+        _abort(writer)
+        return True
 
     async def _handle_request(self, reader, writer) -> None:
         request_line = (await reader.readline()).decode("latin-1").strip()
@@ -322,9 +616,12 @@ class JobServer:
         length = int(headers.get("content-length", 0) or 0)
         if length:
             body = await reader.readexactly(length)
-        await self._route(method, target.split("?", 1)[0], body, writer)
+        path, _, query = target.partition("?")
+        await self._route(method, path, body, writer, parse_qs(query))
 
-    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+    async def _route(
+        self, method: str, path: str, body: bytes, writer, params: dict,
+    ) -> None:
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             await _respond(writer, 200, {"ok": True})
@@ -333,8 +630,8 @@ class JobServer:
         elif method == "GET" and parts == ["cache", "stats"]:
             await self._get_cache_stats(writer)
         elif method == "POST" and parts == ["shutdown"]:
-            await _respond(writer, 200, {"ok": True, "state": "stopping"})
-            self._shutdown.set()
+            await _respond(writer, 200, {"ok": True, "state": "draining"})
+            asyncio.get_running_loop().create_task(self._drain_and_stop())
         elif method == "POST" and parts == ["jobs"]:
             await self._post_job(body, writer)
         elif method == "GET" and parts == ["jobs"]:
@@ -349,7 +646,13 @@ class JobServer:
             await self._get_result(parts[1], writer)
         elif len(parts) == 3 and parts[0] == "jobs" and method == "GET" \
                 and parts[2] == "events":
-            await self._stream_events(parts[1], writer)
+            from_seq = None
+            if params.get("from"):
+                try:
+                    from_seq = max(0, int(params["from"][0]))
+                except ValueError:
+                    from_seq = None
+            await self._stream_events(parts[1], writer, from_seq)
         elif len(parts) == 3 and parts[0] == "jobs" and method == "POST" \
                 and parts[2] == "cancel":
             await self._cancel_job(parts[1], writer)
@@ -359,13 +662,48 @@ class JobServer:
     # -- handlers ------------------------------------------------------------
 
     async def _post_job(self, body: bytes, writer) -> None:
+        if self._draining:
+            await _respond(
+                writer, 503,
+                {"error": "server is draining; resubmit elsewhere or later"},
+                headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+            )
+            return
         try:
             spec = JobSpec.from_json(json.loads(body.decode("utf-8")))
         except (ValueError, JobSpecError) as exc:
             await _respond(writer, 400, {"error": str(exc)})
             return
+        fingerprint = spec.fingerprint()
+        existing_id = self._by_fingerprint.get(fingerprint)
+        if existing_id is not None:
+            existing = self.jobs.get(existing_id)
+            if existing is not None and existing.state in (
+                "queued", "running", "done",
+            ):
+                # identical spec, same computation: hand back the
+                # existing job so client re-submits are idempotent
+                await _respond(writer, 200, {
+                    "job_id": existing.job_id,
+                    "state": existing.state,
+                    "spec_fingerprint": fingerprint,
+                    "deduped": True,
+                })
+                return
+        queued = sum(1 for r in self.jobs.values() if r.state == "queued")
+        if queued >= self.config.max_queue:
+            self._shed += 1
+            metrics().counter("service.shed").inc()
+            await _respond(
+                writer, 429,
+                {"error": f"queue full ({queued}/{self.config.max_queue}); "
+                          f"retry after backoff"},
+                headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+            )
+            return
         record = JobRecord(spec=spec)
         self.jobs[record.job_id] = record
+        self._by_fingerprint[fingerprint] = record.job_id
         self._persist(record)
         self._queue.put_nowait(record.job_id)
         tracer().event(
@@ -375,7 +713,7 @@ class JobServer:
         await _respond(writer, 202, {
             "job_id": record.job_id,
             "state": record.state,
-            "spec_fingerprint": spec.fingerprint(),
+            "spec_fingerprint": fingerprint,
         })
 
     async def _get_job(self, job_id: str, writer) -> None:
@@ -411,19 +749,32 @@ class JobServer:
             self._finish(record)
             await _respond(writer, 200, {"job_id": job_id,
                                          "state": "cancelled"})
+        elif record.state == "running":
+            execution = self._running.get(job_id)
+            if execution is None:
+                await _respond(writer, 409, {
+                    "job_id": job_id, "state": record.state,
+                    "error": "job is running but has no live execution",
+                })
+                return
+            execution.cancel.cancel(CANCEL_USER)
+            await _respond(writer, 202, {"job_id": job_id,
+                                         "state": "cancelling"})
         else:
             await _respond(writer, 409, {
                 "job_id": job_id, "state": record.state,
-                "error": "only queued jobs can be cancelled",
+                "error": f"job already {record.state}",
             })
 
-    async def _stream_events(self, job_id: str, writer) -> None:
+    async def _stream_events(
+        self, job_id: str, writer, from_seq: Optional[int] = None,
+    ) -> None:
         record = self.jobs.get(job_id)
         if record is None:
             await _respond(writer, 404, {"error": f"no job {job_id!r}"})
             return
         queue: asyncio.Queue = asyncio.Queue()
-        terminal = record.state in ("done", "failed", "cancelled")
+        terminal = record.state in _TERMINAL
         if not terminal:
             self._watchers.setdefault(job_id, []).append(queue)
         writer.write(
@@ -431,22 +782,86 @@ class JobServer:
             b"Content-Type: application/x-ndjson\r\n"
             b"Connection: close\r\n\r\n"
         )
-        writer.write(_ndjson({"type": "job", "state": record.state,
-                              "job_id": job_id}))
-        await writer.drain()
-        if terminal:
-            return
+        next_seq = 0
         try:
+            if from_seq is None:
+                # fresh stream: one synthetic current-state line first
+                await self._write_stream_item(
+                    writer,
+                    {"type": "job", "state": record.state, "job_id": job_id},
+                )
+                next_seq = self._event_seq.get(job_id, 0)
+            else:
+                # cursor resume: replay the buffered tail
+                current = self._event_seq.get(job_id, 0)
+                if from_seq > current:
+                    # cursor from a previous server incarnation (the
+                    # sequence restarted at boot): replay from the top
+                    from_seq = 0
+                log = list(self._event_logs.get(job_id, ()))
+                first = log[0]["seq"] if log else current
+                if from_seq < first:
+                    await self._write_stream_item(
+                        writer,
+                        {"type": "gap", "job_id": job_id,
+                         "missing_from": from_seq,
+                         "resume_at": first},
+                    )
+                next_seq = from_seq
+                replayed = False
+                for item in log:
+                    if item["seq"] >= from_seq:
+                        await self._write_stream_item(writer, item)
+                        next_seq = item["seq"] + 1
+                        replayed = True
+                if terminal and not (
+                    replayed and log[-1].get("type") == "job"
+                    and log[-1].get("state") in _TERMINAL
+                ):
+                    # buffer lost the closing record (or predates it):
+                    # synthesize it so the client still sees the end
+                    await self._write_stream_item(
+                        writer,
+                        {"type": "job", "state": record.state,
+                         "job_id": job_id, "error": record.error},
+                    )
+            if terminal:
+                return
             while True:
                 item = await queue.get()
                 if item is None:
                     break
-                writer.write(_ndjson(item))
-                await writer.drain()
+                if item.get("seq", 0) < next_seq:
+                    continue  # already replayed from the buffer
+                await self._write_stream_item(writer, item)
+        except NetworkFault:
+            _abort(writer)  # torn_stream/conn_reset landed mid-stream
         finally:
             watchers = self._watchers.get(job_id)
             if watchers and queue in watchers:
                 watchers.remove(queue)
+
+    async def _write_stream_item(self, writer, item: dict) -> None:
+        """One NDJSON line, via the ``service.stream`` chaos point."""
+        line = _ndjson(item)
+        try:
+            chaos_point("service.stream")
+        except NetworkFault as fault:
+            if fault.kind == "slow_write":
+                await asyncio.sleep(fault.delay)
+            elif fault.kind == "torn_stream":
+                # half a line, no newline, then a dead socket: the
+                # client's resume cursor must cope
+                writer.write(line[: max(1, len(line) // 2)])
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                raise
+            else:
+                raise  # conn_reset / reject_503: drop the stream
+        writer.write(line)
+        await writer.drain()
 
     async def _get_cache_stats(self, writer) -> None:
         from ..engine.cache import QueryCache, read_persisted_stats
@@ -464,7 +879,12 @@ class JobServer:
             states[record.state] = states.get(record.state, 0) + 1
         await _respond(writer, 200, {
             "jobs": states,
-            "queued": self._queue.qsize(),
+            "queued": states.get("queued", 0),
+            "running": len(self._running),
+            "executors": self.config.executors,
+            "max_queue": self.config.max_queue,
+            "shed": self._shed,
+            "draining": self._draining,
             "pool": self.pool.stats.to_json(),
         })
 
@@ -473,22 +893,88 @@ def _ndjson(obj: dict) -> bytes:
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-async def _respond(writer, status: int, payload: dict) -> None:
+def _abort(writer) -> None:
+    """Hard-drop a connection (no FIN handshake: clients see a reset)."""
+    transport = getattr(writer, "transport", None)
+    if transport is not None:
+        try:
+            transport.abort()
+        except Exception:  # noqa: BLE001 - already gone
+            pass
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+async def _respond(
+    writer, status: int, payload: dict,
+    headers: Optional[dict] = None,
+) -> None:
     body = json.dumps(payload).encode("utf-8")
-    reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-              404: "Not Found", 409: "Conflict",
-              500: "Internal Server Error"}.get(status, "OK")
-    writer.write(
+    torn = False
+    delay = 0.0
+    try:
+        chaos_point("service.response")
+    except NetworkFault as fault:
+        if fault.kind == "conn_reset":
+            _abort(writer)
+            return
+        if fault.kind == "reject_503":
+            status, payload = 503, {"error": "chaos: service unavailable"}
+            headers = dict(headers or {})
+            headers.setdefault("Retry-After", "1")
+            body = json.dumps(payload).encode("utf-8")
+        elif fault.kind == "torn_stream":
+            torn = True
+        elif fault.kind == "slow_write":
+            delay = fault.delay
+    reason = _REASONS.get(status, "OK")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
+    head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n".encode("latin-1") + body
-    )
+        f"{extra}"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    if torn:
+        # headers promise the full body; deliver half and vanish
+        writer.write(head + body[: max(1, len(body) // 2)])
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        _abort(writer)
+        return
+    if delay > 0:
+        # stretch the response over the delay in a few chunks
+        writer.write(head)
+        step = max(1, len(body) // 4)
+        for i in range(0, len(body), step):
+            writer.write(body[i:i + step])
+            await writer.drain()
+            await asyncio.sleep(delay / 4)
+        return
+    writer.write(head + body)
     await writer.drain()
 
 
 def run_server(config: Optional[ServiceConfig] = None) -> None:
-    """Blocking entry point (the ``ccmatic serve`` body)."""
+    """Blocking entry point (the ``ccmatic serve`` body).
+
+    Honours ``REPRO_CHAOS``, like pool workers do: a chaos experiment
+    targeting the network injection points arms the *server* process
+    (scripts/service_chaos_smoke.py drives a real serve through it).
+    """
+    from ..chaos import maybe_install_from_env
+
+    maybe_install_from_env()
 
     async def _main() -> None:
         server = JobServer(config)

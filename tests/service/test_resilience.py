@@ -1,0 +1,324 @@
+"""Storm-proofing: admission control, leases, retries, chaos streams.
+
+Each test drives a real :class:`JobServer` over HTTP (ephemeral port,
+background thread) exactly like ``tests/service/test_server.py`` — the
+resilience behaviour under test is wire-visible, so the tests assert it
+from the client side.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.ccac import ModelConfig
+from repro.chaos import ChaosConfig, FaultSpec, install, uninstall
+from repro.obs import metrics
+from repro.service import (
+    JobServer,
+    RetryPolicy,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    WorkerPool,
+    falsify_spec,
+    verify_spec,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.runtime]
+
+
+def _start_server(tmp_path, **overrides):
+    """Run a JobServer on an ephemeral port in a background thread."""
+    config = ServiceConfig(
+        port=0, state_dir=str(tmp_path / "state"), pool_size=2, **overrides
+    )
+    server = JobServer(config)
+    started = threading.Event()
+    info = {}
+
+    def _run():
+        async def _main():
+            await server.start()
+            info["port"] = server.port
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(60), "server never came up"
+    return server, ServiceClient(port=info["port"], timeout=120.0), thread
+
+
+def _slow_spec(seed: int, **limits):
+    """A falsify job that runs until cancelled: an exhaustive genetic
+    search with an unreachable budget (distinct seeds -> distinct
+    fingerprints, so dedup never collapses two of them)."""
+    return falsify_spec(
+        "aimd", ModelConfig(T=5), budget=10**8, ticks=300,
+        exhaustive=True, no_verify=True, seed=seed, **limits,
+    )
+
+
+def _wait_state(client, job_id, *states, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.status(job_id)
+        if record["state"] in states:
+            return record
+        time.sleep(0.1)
+    raise AssertionError(
+        f"job {job_id} never reached {states} (last: {record['state']})"
+    )
+
+
+def test_admission_dedup_and_running_cancel(tmp_path):
+    """One executor, queue depth 1: the third distinct submit sheds with
+    429 + Retry-After; identical specs dedup; running jobs cancel."""
+    server, client, thread = _start_server(
+        tmp_path, executors=1, max_queue=1, retry_after_s=1.5,
+    )
+    impatient = ServiceClient(
+        port=client.port, timeout=120.0,
+        retry_policy=RetryPolicy(retries=0),
+    )
+    try:
+        running = client.submit(_slow_spec(seed=1))
+        _wait_state(client, running["job_id"], "running")
+        queued = client.submit(_slow_spec(seed=2))
+        assert queued["state"] == "queued"
+
+        # queue is full: the next distinct spec is shed, with advice
+        with pytest.raises(ServiceError) as err:
+            impatient.submit(_slow_spec(seed=3))
+        assert err.value.status == 429
+        assert err.value.retry_after == pytest.approx(1.5)
+
+        # ...but an *identical* spec is not new work: dedup, not shed
+        again = client.submit(_slow_spec(seed=1))
+        assert again["deduped"] is True
+        assert again["job_id"] == running["job_id"]
+
+        stats = client.stats()
+        assert stats["shed"] >= 1
+        assert stats["queued"] == 1
+        assert stats["running"] == 1
+        assert stats["executors"] == 1
+
+        # cancel the queued job: immediate terminal state
+        out = client.cancel(queued["job_id"])
+        assert out["state"] == "cancelled"
+
+        # cancel the *running* job: cooperative, through the pool
+        out = client.cancel(running["job_id"])
+        assert out["state"] == "cancelling"
+        record = _wait_state(
+            client, running["job_id"], "done", "failed", "cancelled"
+        )
+        assert record["state"] == "cancelled"
+        assert record["attempt_history"][-1]["outcome"] == "user"
+
+        # terminal failure released the dedup claim: resubmit is new work
+        fresh = client.submit(_slow_spec(seed=1))
+        assert "deduped" not in fresh
+        assert fresh["job_id"] != running["job_id"]
+        client.cancel(fresh["job_id"])
+        _wait_state(client, fresh["job_id"], "cancelled")
+    finally:
+        try:
+            client.shutdown()
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=60)
+    assert not thread.is_alive()
+
+
+def test_deadline_requeues_then_fails_honestly(tmp_path):
+    """A job past its wall-clock deadline is cancelled and re-queued,
+    at most ``max_attempts`` times, then fails with its history."""
+    server, client, thread = _start_server(
+        tmp_path, executors=1, watchdog_interval=0.2,
+        # a chatty search must not evict the requeue record under test
+        event_buffer=65536,
+    )
+    try:
+        accepted = client.submit(
+            _slow_spec(seed=7, deadline_s=0.75, max_attempts=2)
+        )
+        record = _wait_state(
+            client, accepted["job_id"], "done", "failed", "cancelled",
+            timeout=120.0,
+        )
+        assert record["state"] == "failed"
+        assert record["attempts"] == 2
+        assert "gave up after 2/2 attempts" in record["error"]
+        outcomes = [a["outcome"] for a in record["attempt_history"]]
+        assert outcomes == ["deadline", "deadline"]
+
+        # the replayable stream shows the requeue between the attempts
+        records = list(client._stream_once(accepted["job_id"], 0, None))
+        requeues = [
+            r for r in records
+            if r.get("type") == "job" and r.get("requeued")
+        ]
+        assert requeues and requeues[0]["reason"] == "deadline"
+        seqs = [r["seq"] for r in records if "seq" in r]
+        assert seqs == sorted(seqs)
+        assert records[-1]["type"] == "job"
+        assert records[-1]["state"] == "failed"
+    finally:
+        try:
+            client.shutdown()
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=60)
+
+
+def test_client_rides_out_503s_and_torn_streams(tmp_path):
+    """Armed network chaos: responses answer 503 and streams tear
+    mid-line; the retrying client still sees one coherent history."""
+    server, client, thread = _start_server(tmp_path)
+    try:
+        accepted = client.submit(verify_spec("rocc", ModelConfig(T=5)))
+        record = client.wait(accepted["job_id"])
+        assert record["state"] == "done"
+
+        # identical spec, job already done: resubmit returns it verbatim
+        again = client.submit(verify_spec("rocc", ModelConfig(T=5)))
+        assert again["deduped"] is True
+        assert again["job_id"] == accepted["job_id"]
+
+        install(ChaosConfig(seed=11, specs=(
+            FaultSpec(point="service.response", kind="reject_503", count=2),
+            FaultSpec(point="service.stream", kind="torn_stream", count=3),
+        )))
+        try:
+            # two straight 503s: the default policy retries through them
+            assert client.status(accepted["job_id"])["state"] == "done"
+            # three torn stream writes: the cursor resume survives them
+            stormy = ServiceClient(
+                port=client.port, timeout=120.0,
+                retry_policy=RetryPolicy(retries=6, backoff_base=0.05),
+                retry_seed=1,
+            )
+            records = list(stormy.events(accepted["job_id"]))
+        finally:
+            uninstall()
+        assert records, "stream never recovered"
+        assert records[-1]["type"] == "job"
+        assert records[-1]["state"] == "done"
+        seqs = [r["seq"] for r in records if "seq" in r]
+        assert seqs == sorted(seqs), "resume replayed out of order"
+        assert len(seqs) == len(set(seqs)), "resume duplicated records"
+    finally:
+        uninstall()
+        try:
+            client.shutdown()
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=60)
+
+
+def test_drain_rejects_new_work_and_requeues_in_flight(tmp_path):
+    """POST /shutdown: new submits bounce with 503, the in-flight job is
+    cancelled past ``drain_grace`` and lands back on disk *queued*."""
+    server, client, thread = _start_server(
+        tmp_path, executors=1, drain_grace=0.5,
+    )
+    accepted = client.submit(_slow_spec(seed=4))
+    _wait_state(client, accepted["job_id"], "running")
+    out = client.shutdown()
+    assert out["state"] == "draining"
+    impatient = ServiceClient(
+        port=client.port, timeout=120.0,
+        retry_policy=RetryPolicy(retries=0),
+    )
+    try:
+        with pytest.raises((ServiceError, OSError)) as err:
+            impatient.submit(_slow_spec(seed=5))
+        if isinstance(err.value, ServiceError):
+            assert err.value.status == 503
+    finally:
+        thread.join(timeout=60)
+    assert not thread.is_alive()
+    # durable truth: the interrupted job is queued for the next boot,
+    # with the drain recorded in its attempt history
+    path = os.path.join(
+        str(tmp_path / "state"), "jobs", f"{accepted['job_id']}.json"
+    )
+    with open(path, "r", encoding="utf-8") as f:
+        record = json.load(f)
+    assert record["state"] == "queued"
+    assert record["attempts"] == 1
+    assert record["attempt_history"][-1]["outcome"] == "drain"
+
+
+def test_v1_record_on_disk_migrates_and_requeues(tmp_path):
+    """A pre-lease (v1) job record left ``running`` by an older server
+    must migrate on boot — re-queued with the interruption recorded,
+    never a crash."""
+    jobs_dir = tmp_path / "state" / "jobs"
+    jobs_dir.mkdir(parents=True)
+    spec = verify_spec("rocc", ModelConfig(T=5))
+    legacy = {
+        # v1 shape: no record_version, attempts, attempt_history or lease
+        "job_id": "legacy00deadbeef",
+        "kind": "verify",
+        "state": "running",
+        "spec": spec.to_json(),
+        "spec_fingerprint": spec.fingerprint(),
+        "submitted_at": 1700000000.0,
+        "started_at": 1700000001.0,
+        "finished_at": None,
+        "error": None,
+        "result": None,
+    }
+    with open(jobs_dir / "legacy00deadbeef.json", "w", encoding="utf-8") as f:
+        json.dump(legacy, f)
+    server, client, thread = _start_server(tmp_path)
+    try:
+        record = _wait_state(
+            client, "legacy00deadbeef", "done", "failed", "cancelled"
+        )
+        assert record["state"] == "done", record.get("error")
+        assert record["record_version"] == 2
+        assert record["attempt_history"][0]["outcome"] == "lease-expired"
+        assert record["attempts"] == 1
+        payload = client.result("legacy00deadbeef")
+        assert payload["verified"] is True
+        assert payload["fingerprint"]
+    finally:
+        try:
+            client.shutdown()
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=60)
+
+
+def test_probe_and_prime_timeouts_thread_through_config():
+    config = ServiceConfig(probe_timeout=0.5, prime_timeout=12.0)
+    server = JobServer(config)  # never started: construction is cheap
+    assert server.pool.probe_timeout == 0.5
+    assert server.pool.prime_timeout == 12.0
+
+
+def test_probe_respawn_increments_obs_counter():
+    pool = WorkerPool(size=1)
+    pool.start()
+    try:
+        before = metrics().counter("service.pool.probe_respawns").value
+        pool._lanes[0].proc.kill()
+        pool._lanes[0].proc.join(timeout=10)
+        verdicts = pool.probe(timeout=1.0)
+        assert verdicts[0] == "dead"
+        after = metrics().counter("service.pool.probe_respawns").value
+        assert after == before + 1
+        # the replacement lane answers the next probe
+        assert pool.probe(timeout=1.0)[0] == "idle"
+    finally:
+        pool.shutdown()
